@@ -1,0 +1,63 @@
+/// Ablation abl-par: chunked parallel execution of a vectorized UDF
+/// (the paper's "parallel processing opportunities" claim, §1).
+///
+/// A compute-heavy scalar UDF runs over 1M rows split into 1..8 chunks on
+/// the global thread pool. NOTE: the reference container is single-core,
+/// so the expected curve here is flat — the measurement demonstrates the
+/// machinery (chunk split + stitch overhead) rather than speedup; on a
+/// multi-core host the same binary shows near-linear scaling.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "udf/parallel.h"
+
+namespace {
+
+using namespace mlcs;
+
+udf::UdfRegistry& Registry() {
+  static udf::UdfRegistry* registry = [] {
+    auto* r = new udf::UdfRegistry();
+    udf::ScalarUdfEntry heavy;
+    heavy.name = "heavy_sigmoid";
+    heavy.fn = [](const std::vector<ColumnPtr>& args,
+                  size_t) -> Result<ColumnPtr> {
+      MLCS_ASSIGN_OR_RETURN(std::vector<double> data,
+                            args[0]->ToDoubleVector());
+      for (auto& v : data) {
+        // A few transcendental ops per element to make compute dominate.
+        v = 1.0 / (1.0 + std::exp(-std::sin(v) * std::cos(v)));
+      }
+      return Column::FromDouble(std::move(data));
+    };
+    (void)r->RegisterScalar(std::move(heavy));
+    return r;
+  }();
+  return *registry;
+}
+
+void BM_ParallelUdfChunks(benchmark::State& state) {
+  constexpr size_t kRows = 1 << 20;
+  std::vector<double> data(kRows);
+  for (size_t i = 0; i < kRows; ++i) data[i] = static_cast<double>(i % 997);
+  std::vector<ColumnPtr> args = {Column::FromDouble(std::move(data))};
+  udf::ParallelOptions options;
+  options.num_chunks = static_cast<size_t>(state.range(0));
+  options.min_rows_per_chunk = 1;
+  for (auto _ : state) {
+    auto r = udf::ParallelCallScalar(Registry(), "heavy_sigmoid", args,
+                                     kRows, options);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRows));
+  state.counters["chunks"] = static_cast<double>(options.num_chunks);
+}
+
+BENCHMARK(BM_ParallelUdfChunks)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

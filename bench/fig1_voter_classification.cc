@@ -1,0 +1,191 @@
+/// Figure 1 reproduction — "Voter Classification Benchmark".
+///
+/// Runs the complete voter-classification pipeline once per data channel
+/// and prints one row per bar of the paper's Figure 1: total pipeline time
+/// plus the load/initial-wrangling share (the paper's gray sub-bar).
+///
+/// Scale knobs (defaults keep the suite CI-sized; the paper's full scale
+/// is rows=7500000):
+///   MLCS_FIG1_ROWS       voters            (default 100000)
+///   MLCS_FIG1_COLS       voter columns     (default 96, as in the paper)
+///   MLCS_FIG1_PRECINCTS  precincts         (default 2751, as in the paper)
+///   MLCS_FIG1_TREES      n_estimators      (default 8)
+///   MLCS_FIG1_REPS       repetitions; the min-total run is reported
+///                        (default 3)
+///
+/// Expected shape (paper §4): the in-database channel is fastest with an
+/// order-of-magnitude lower wrangling share; binary files (npy, h5b) load
+/// fast but stay slower overall; CSV is comparable to socket transfer;
+/// the socket channels are the slowest.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+
+#include "client/server.h"
+#include "common/timer.h"
+#include "io/csv.h"
+#include "io/h5b.h"
+#include "io/npy.h"
+#include "pipeline/voter_pipeline.h"
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+size_t g_reps = 1;
+
+/// Runs a channel g_reps times and keeps the fastest run (min total) —
+/// standard practice to suppress scheduler noise on a busy host.
+template <typename Fn>
+mlcs::Result<mlcs::pipeline::PipelineResult> Repeated(Fn&& run) {
+  mlcs::Result<mlcs::pipeline::PipelineResult> best = run();
+  if (!best.ok()) return best;
+  for (size_t i = 1; i < g_reps; ++i) {
+    auto next = run();
+    if (!next.ok()) return next;
+    if (next.ValueOrDie().total_seconds < best.ValueOrDie().total_seconds) {
+      best = std::move(next);
+    }
+  }
+  return best;
+}
+
+void PrintRow(const mlcs::pipeline::PipelineResult& r) {
+  std::printf("%-28s %12.3f %10.3f %11.3f %11.3f %8.4f\n",
+              r.method.c_str(), r.load_wrangle_seconds, r.train_seconds,
+              r.predict_seconds, r.total_seconds, r.precinct_share_mae);
+  std::fflush(stdout);
+}
+
+bool Check(const mlcs::Status& st, const char* what) {
+  if (st.ok()) return true;
+  std::fprintf(stderr, "%s failed: %s\n", what, st.ToString().c_str());
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mlcs;
+  pipeline::PipelineConfig config;
+  config.data.num_voters = EnvSize("MLCS_FIG1_ROWS", 100000);
+  config.data.num_columns = EnvSize("MLCS_FIG1_COLS", 96);
+  config.data.num_precincts = EnvSize("MLCS_FIG1_PRECINCTS", 2751);
+  config.n_estimators = static_cast<int>(EnvSize("MLCS_FIG1_TREES", 8));
+  g_reps = EnvSize("MLCS_FIG1_REPS", 3);
+
+  std::printf("== Figure 1: Voter Classification Benchmark ==\n");
+  std::printf("dataset: %zu voters x %zu columns, %zu precincts; "
+              "random forest n_estimators=%d\n\n",
+              config.data.num_voters, config.data.num_columns,
+              config.data.num_precincts, config.n_estimators);
+
+  // Stage the external inputs (write time is not part of any bar — the
+  // paper's files pre-exist on disk).
+  std::string dir = "/tmp/mlcs_fig1";
+  mkdir(dir.c_str(), 0755);
+  std::string voters_npy = dir + "/voters_npy";
+  std::string precincts_npy = dir + "/precincts_npy";
+  mkdir(voters_npy.c_str(), 0755);
+  mkdir(precincts_npy.c_str(), 0755);
+
+  auto voters = io::GenerateVoters(config.data);
+  auto precincts = io::GeneratePrecincts(config.data);
+  if (!voters.ok() || !precincts.ok()) {
+    std::fprintf(stderr, "data generation failed\n");
+    return 1;
+  }
+  WallTimer stage_timer;
+  if (!Check(io::WriteCsv(*voters.ValueOrDie(), dir + "/voters.csv"),
+             "stage csv") ||
+      !Check(io::WriteCsv(*precincts.ValueOrDie(), dir + "/precincts.csv"),
+             "stage csv") ||
+      !Check(io::SaveTableAsNpyDir(*voters.ValueOrDie(), voters_npy),
+             "stage npy") ||
+      !Check(io::SaveTableAsNpyDir(*precincts.ValueOrDie(), precincts_npy),
+             "stage npy") ||
+      !Check(io::WriteH5b(*voters.ValueOrDie(), dir + "/voters.h5b"),
+             "stage h5b") ||
+      !Check(io::WriteH5b(*precincts.ValueOrDie(), dir + "/precincts.h5b"),
+             "stage h5b")) {
+    return 1;
+  }
+  std::printf("staged file inputs in %s (%.2fs, not counted)\n\n",
+              dir.c_str(), stage_timer.ElapsedSeconds());
+
+  std::printf("%-28s %12s %10s %11s %11s %8s\n", "method",
+              "wrangle(s)", "train(s)", "predict(s)", "total(s)", "mae");
+
+  // In-database (MonetDB/Python analogue).
+  {
+    Database db;
+    if (!Check(pipeline::LoadVoterData(&db, config), "load")) return 1;
+    auto r = Repeated([&] { return pipeline::RunInDatabase(&db, config); });
+    if (!Check(r.status(), "in-database")) return 1;
+    PrintRow(r.ValueOrDie());
+  }
+  // Binary files.
+  {
+    auto r = Repeated(
+        [&] { return pipeline::RunFromNpyDir(voters_npy, precincts_npy,
+                                             config); });
+    if (!Check(r.status(), "npy")) return 1;
+    PrintRow(r.ValueOrDie());
+  }
+  {
+    auto r = Repeated([&] {
+      return pipeline::RunFromH5b(dir + "/voters.h5b",
+                                  dir + "/precincts.h5b", config);
+    });
+    if (!Check(r.status(), "h5b")) return 1;
+    PrintRow(r.ValueOrDie());
+  }
+  // CSV text.
+  {
+    auto r = Repeated([&] {
+      return pipeline::RunFromCsv(dir + "/voters.csv",
+                                  dir + "/precincts.csv", config);
+    });
+    if (!Check(r.status(), "csv")) return 1;
+    PrintRow(r.ValueOrDie());
+  }
+  // Socket channels (PostgreSQL-like text, MySQL-like binary).
+  {
+    Database server_db;
+    if (!Check(pipeline::LoadVoterData(&server_db, config), "server load") ||
+        !Check(pipeline::RegisterVoterUdfs(&server_db), "server udfs")) {
+      return 1;
+    }
+    client::TableServer server(&server_db);
+    if (!Check(server.Start(0), "server start")) return 1;
+    for (auto protocol :
+         {client::WireProtocol::kPgText, client::WireProtocol::kMyBinary}) {
+      auto r = Repeated([&] {
+        return pipeline::RunFromSocket("127.0.0.1", server.port(), protocol,
+                                       config);
+      });
+      if (!Check(r.status(), "socket")) return 1;
+      PrintRow(r.ValueOrDie());
+    }
+    server.Stop();
+  }
+  // SQLite-like in-process row-at-a-time.
+  {
+    Database db;
+    if (!Check(pipeline::LoadVoterData(&db, config), "load")) return 1;
+    auto r = Repeated([&] { return pipeline::RunSqliteLike(&db, config); });
+    if (!Check(r.status(), "sqlite-like")) return 1;
+    PrintRow(r.ValueOrDie());
+  }
+
+  std::printf(
+      "\nshape check (paper): in-database fastest, wrangle share ~an order "
+      "of magnitude below the socket channels; binary files fast to load; "
+      "csv comparable to sockets.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "client/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "client/net_util.h"
+
+namespace mlcs::client {
+
+TableClient::~TableClient() { Disconnect(); }
+
+Status TableClient::Connect(const std::string& host, uint16_t port) {
+  Disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::NetworkError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Disconnect();
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::NetworkError("connect() failed: " +
+                                     std::string(std::strerror(errno)));
+    Disconnect();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void TableClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TablePtr> TableClient::Query(const std::string& sql,
+                                    WireProtocol protocol) {
+  if (fd_ < 0) return Status::NetworkError("not connected");
+  uint8_t protocol_byte = static_cast<uint8_t>(protocol);
+  uint32_t sql_len = static_cast<uint32_t>(sql.size());
+  if (!net::WriteAll(fd_, &protocol_byte, 1) ||
+      !net::WriteAll(fd_, &sql_len, sizeof(sql_len)) ||
+      !net::WriteAll(fd_, sql.data(), sql.size())) {
+    return Status::NetworkError("failed to send query");
+  }
+  uint64_t frame_len = 0;
+  if (!net::ReadExact(fd_, &frame_len, sizeof(frame_len))) {
+    return Status::NetworkError("connection closed while reading response");
+  }
+  std::vector<uint8_t> frame(frame_len);
+  if (!net::ReadExact(fd_, frame.data(), frame.size())) {
+    return Status::NetworkError("truncated response frame");
+  }
+  last_response_bytes_ = frame.size();
+  ByteReader reader(frame);
+  MLCS_ASSIGN_OR_RETURN(uint8_t ok_flag, reader.ReadU8());
+  if (ok_flag != 0) {
+    MLCS_ASSIGN_OR_RETURN(std::string message, reader.ReadString());
+    return Status::NetworkError("server error: " + message);
+  }
+  return DecodeResultSet(&reader, protocol);
+}
+
+}  // namespace mlcs::client

@@ -1,0 +1,41 @@
+#ifndef MLCS_CLIENT_CLIENT_H_
+#define MLCS_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "client/protocol.h"
+#include "common/result.h"
+
+namespace mlcs::client {
+
+/// TCP client for TableServer — the "analysis tool connects to the
+/// database over a socket" side of the benchmark. Query() ships SQL,
+/// receives the row-major result stream and converts it back into columns
+/// (that conversion IS the measured client overhead).
+class TableClient {
+ public:
+  TableClient() = default;
+  ~TableClient();
+
+  TableClient(const TableClient&) = delete;
+  TableClient& operator=(const TableClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Executes SQL on the server and materializes the result locally.
+  Result<TablePtr> Query(const std::string& sql, WireProtocol protocol);
+
+  /// Bytes received for the last query (for throughput reporting).
+  size_t last_response_bytes() const { return last_response_bytes_; }
+
+ private:
+  int fd_ = -1;
+  size_t last_response_bytes_ = 0;
+};
+
+}  // namespace mlcs::client
+
+#endif  // MLCS_CLIENT_CLIENT_H_

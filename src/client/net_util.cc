@@ -1,0 +1,40 @@
+#include "client/net_util.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+
+namespace mlcs::client::net {
+
+bool ReadExact(int fd, void* buffer, size_t size) {
+  uint8_t* p = static_cast<uint8_t*>(buffer);
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n == 0) return false;  // orderly shutdown
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const void* buffer, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(buffer);
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace mlcs::client::net

@@ -1,0 +1,16 @@
+#ifndef MLCS_CLIENT_NET_UTIL_H_
+#define MLCS_CLIENT_NET_UTIL_H_
+
+#include <cstddef>
+
+namespace mlcs::client::net {
+
+/// Reads exactly `size` bytes; false on EOF/error.
+bool ReadExact(int fd, void* buffer, size_t size);
+
+/// Writes all `size` bytes; false on error.
+bool WriteAll(int fd, const void* buffer, size_t size);
+
+}  // namespace mlcs::client::net
+
+#endif  // MLCS_CLIENT_NET_UTIL_H_

@@ -1,0 +1,212 @@
+#include "client/protocol.h"
+
+#include "common/string_util.h"
+
+namespace mlcs::client {
+
+namespace {
+constexpr uint8_t kRowMarker = 'D';
+constexpr uint8_t kEndMarker = 'C';
+}  // namespace
+
+const char* WireProtocolToString(WireProtocol protocol) {
+  switch (protocol) {
+    case WireProtocol::kPgText:
+      return "pg-text";
+    case WireProtocol::kMyBinary:
+      return "mysql-binary";
+  }
+  return "?";
+}
+
+void EncodeHeader(const Schema& schema, ByteWriter* out) {
+  out->WriteU16(static_cast<uint16_t>(schema.num_fields()));
+  for (const auto& field : schema.fields()) {
+    out->WriteString(field.name);
+    out->WriteU8(static_cast<uint8_t>(field.type));
+  }
+}
+
+Result<Schema> DecodeHeader(ByteReader* in) {
+  MLCS_ASSIGN_OR_RETURN(uint16_t ncols, in->ReadU16());
+  Schema schema;
+  for (uint16_t c = 0; c < ncols; ++c) {
+    MLCS_ASSIGN_OR_RETURN(std::string name, in->ReadString());
+    MLCS_ASSIGN_OR_RETURN(uint8_t type_byte, in->ReadU8());
+    if (type_byte > static_cast<uint8_t>(TypeId::kBlob)) {
+      return Status::ParseError("bad type tag in result header");
+    }
+    schema.AddField(std::move(name), static_cast<TypeId>(type_byte));
+  }
+  return schema;
+}
+
+Status EncodeRows(const Table& table, WireProtocol protocol, size_t begin,
+                  size_t count, ByteWriter* out) {
+  size_t end = begin + count;
+  if (end > table.num_rows()) {
+    return Status::OutOfRange("row range exceeds table");
+  }
+  size_t ncols = table.num_columns();
+  for (size_t r = begin; r < end; ++r) {
+    out->WriteU8(kRowMarker);
+    if (protocol == WireProtocol::kPgText) {
+      // Every value as length-prefixed text; -1 length marks NULL.
+      for (size_t c = 0; c < ncols; ++c) {
+        const Column& col = *table.column(c);
+        if (col.IsNull(r)) {
+          out->WriteI32(-1);
+          continue;
+        }
+        std::string text;
+        switch (col.type()) {
+          case TypeId::kBool:
+            text = col.bool_data()[r] != 0 ? "t" : "f";
+            break;
+          case TypeId::kInt32:
+            text = std::to_string(col.i32_data()[r]);
+            break;
+          case TypeId::kInt64:
+            text = std::to_string(col.i64_data()[r]);
+            break;
+          case TypeId::kDouble:
+            text = FormatDouble(col.f64_data()[r]);
+            break;
+          case TypeId::kVarchar:
+          case TypeId::kBlob:
+            text = col.str_data()[r];
+            break;
+        }
+        out->WriteI32(static_cast<int32_t>(text.size()));
+        out->WriteRaw(text.data(), text.size());
+      }
+    } else {
+      // Binary: NULL bitmap then packed values.
+      size_t bitmap_bytes = (ncols + 7) / 8;
+      std::vector<uint8_t> bitmap(bitmap_bytes, 0);
+      for (size_t c = 0; c < ncols; ++c) {
+        if (table.column(c)->IsNull(r)) bitmap[c / 8] |= (1u << (c % 8));
+      }
+      out->WriteRaw(bitmap.data(), bitmap.size());
+      for (size_t c = 0; c < ncols; ++c) {
+        const Column& col = *table.column(c);
+        if (col.IsNull(r)) continue;
+        switch (col.type()) {
+          case TypeId::kBool:
+            out->WriteU8(col.bool_data()[r]);
+            break;
+          case TypeId::kInt32:
+            out->WriteI32(col.i32_data()[r]);
+            break;
+          case TypeId::kInt64:
+            out->WriteI64(col.i64_data()[r]);
+            break;
+          case TypeId::kDouble:
+            out->WriteDouble(col.f64_data()[r]);
+            break;
+          case TypeId::kVarchar:
+          case TypeId::kBlob:
+            out->WriteString(col.str_data()[r]);
+            break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void EncodeEnd(ByteWriter* out) { out->WriteU8(kEndMarker); }
+
+Result<TablePtr> DecodeResultSet(ByteReader* in, WireProtocol protocol) {
+  MLCS_ASSIGN_OR_RETURN(Schema schema, DecodeHeader(in));
+  auto table = Table::Make(schema);
+  size_t ncols = schema.num_fields();
+  while (true) {
+    MLCS_ASSIGN_OR_RETURN(uint8_t marker, in->ReadU8());
+    if (marker == kEndMarker) break;
+    if (marker != kRowMarker) {
+      return Status::ParseError("unexpected message marker " +
+                                std::to_string(marker));
+    }
+    if (protocol == WireProtocol::kPgText) {
+      for (size_t c = 0; c < ncols; ++c) {
+        Column* col = table->column(c).get();
+        MLCS_ASSIGN_OR_RETURN(int32_t len, in->ReadI32());
+        if (len < 0) {
+          col->AppendNull();
+          continue;
+        }
+        std::string text(static_cast<size_t>(len), '\0');
+        MLCS_RETURN_IF_ERROR(in->ReadRaw(text.data(), text.size()));
+        // Client-side conversion: text → native value (the per-cell parse
+        // cost the paper's PostgreSQL/MySQL bars pay).
+        switch (col->type()) {
+          case TypeId::kBool:
+            col->AppendBool(text == "t" || text == "true");
+            break;
+          case TypeId::kInt32: {
+            MLCS_ASSIGN_OR_RETURN(int32_t v, ParseInt32(text));
+            col->AppendInt32(v);
+            break;
+          }
+          case TypeId::kInt64: {
+            MLCS_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+            col->AppendInt64(v);
+            break;
+          }
+          case TypeId::kDouble: {
+            MLCS_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+            col->AppendDouble(v);
+            break;
+          }
+          case TypeId::kVarchar:
+          case TypeId::kBlob:
+            col->AppendString(std::move(text));
+            break;
+        }
+      }
+    } else {
+      size_t bitmap_bytes = (ncols + 7) / 8;
+      std::vector<uint8_t> bitmap(bitmap_bytes);
+      MLCS_RETURN_IF_ERROR(in->ReadRaw(bitmap.data(), bitmap.size()));
+      for (size_t c = 0; c < ncols; ++c) {
+        Column* col = table->column(c).get();
+        if (bitmap[c / 8] & (1u << (c % 8))) {
+          col->AppendNull();
+          continue;
+        }
+        switch (col->type()) {
+          case TypeId::kBool: {
+            MLCS_ASSIGN_OR_RETURN(uint8_t v, in->ReadU8());
+            col->AppendBool(v != 0);
+            break;
+          }
+          case TypeId::kInt32: {
+            MLCS_ASSIGN_OR_RETURN(int32_t v, in->ReadI32());
+            col->AppendInt32(v);
+            break;
+          }
+          case TypeId::kInt64: {
+            MLCS_ASSIGN_OR_RETURN(int64_t v, in->ReadI64());
+            col->AppendInt64(v);
+            break;
+          }
+          case TypeId::kDouble: {
+            MLCS_ASSIGN_OR_RETURN(double v, in->ReadDouble());
+            col->AppendDouble(v);
+            break;
+          }
+          case TypeId::kVarchar:
+          case TypeId::kBlob: {
+            MLCS_ASSIGN_OR_RETURN(std::string s, in->ReadString());
+            col->AppendString(std::move(s));
+            break;
+          }
+        }
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace mlcs::client

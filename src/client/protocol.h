@@ -1,0 +1,44 @@
+#ifndef MLCS_CLIENT_PROTOCOL_H_
+#define MLCS_CLIENT_PROTOCOL_H_
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace mlcs::client {
+
+/// Row-major result-set wire formats modeling the client protocols the
+/// paper benchmarks against (§4, citing "Don't Hold My Data Hostage"):
+///
+///  - kPgText:    PostgreSQL-style — every value rendered as ASCII text
+///                with a 4-byte per-field length prefix. Pays printf on
+///                the server and strtol/strtod on the client, per cell.
+///  - kMyBinary:  MySQL-style binary rows — per-row NULL bitmap + fixed
+///                width little-endian values / length-prefixed strings.
+///                Cheaper per cell but still row-major: the client must
+///                transpose rows back into columns.
+///
+/// The contrast with the in-database path (zero-copy column handoff to the
+/// UDF) is exactly Figure 1's "socket" bars.
+enum class WireProtocol : uint8_t { kPgText = 0, kMyBinary = 1 };
+
+const char* WireProtocolToString(WireProtocol protocol);
+
+/// Result-set header: column names and types.
+void EncodeHeader(const Schema& schema, ByteWriter* out);
+Result<Schema> DecodeHeader(ByteReader* in);
+
+/// Encodes rows [begin, begin+count) of `table`, one 'D' message per row.
+Status EncodeRows(const Table& table, WireProtocol protocol, size_t begin,
+                  size_t count, ByteWriter* out);
+
+/// Terminator after all rows.
+void EncodeEnd(ByteWriter* out);
+
+/// Decodes a full result set (header + rows + end marker) into a table,
+/// converting every cell — the client-side share of the protocol cost.
+Result<TablePtr> DecodeResultSet(ByteReader* in, WireProtocol protocol);
+
+}  // namespace mlcs::client
+
+#endif  // MLCS_CLIENT_PROTOCOL_H_

@@ -1,0 +1,124 @@
+#include "client/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "client/net_util.h"
+#include "common/logging.h"
+
+namespace mlcs::client {
+
+TableServer::~TableServer() { Stop(); }
+
+Status TableServer::Start(uint16_t port) {
+  if (running_.load()) return Status::InvalidArgument("already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::NetworkError("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::NetworkError("bind() failed: " +
+                                std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::NetworkError("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::NetworkError("listen() failed");
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TableServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listen socket unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : connection_threads_) {
+    if (t.joinable()) t.join();
+  }
+  connection_threads_.clear();
+}
+
+void TableServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (running_.load()) {
+        MLCS_LOG(kWarn) << "accept() failed: " << std::strerror(errno);
+      }
+      break;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connection_threads_.emplace_back(
+        [this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TableServer::ServeConnection(int fd) {
+  while (running_.load()) {
+    uint8_t protocol_byte = 0;
+    if (!net::ReadExact(fd, &protocol_byte, 1)) break;  // client gone
+    uint32_t sql_len = 0;
+    if (!net::ReadExact(fd, &sql_len, sizeof(sql_len))) break;
+    if (sql_len > (64u << 20)) break;  // refuse absurd frames
+    std::string sql(sql_len, '\0');
+    if (!net::ReadExact(fd, sql.data(), sql.size())) break;
+
+    ByteWriter response;
+    auto result = db_->Query(sql);
+    if (!result.ok() ||
+        protocol_byte > static_cast<uint8_t>(WireProtocol::kMyBinary)) {
+      response.WriteU8(1);
+      response.WriteString(result.ok() ? "bad protocol"
+                                       : result.status().ToString());
+    } else {
+      WireProtocol protocol = static_cast<WireProtocol>(protocol_byte);
+      const Table& table = *result.ValueOrDie();
+      response.WriteU8(0);
+      EncodeHeader(table.schema(), &response);
+      Status encoded =
+          EncodeRows(table, protocol, 0, table.num_rows(), &response);
+      if (!encoded.ok()) {
+        ByteWriter error;
+        error.WriteU8(1);
+        error.WriteString(encoded.ToString());
+        response = std::move(error);
+      } else {
+        EncodeEnd(&response);
+      }
+    }
+    uint64_t frame_len = response.size();
+    if (!net::WriteAll(fd, &frame_len, sizeof(frame_len))) break;
+    if (!net::WriteAll(fd, response.data().data(), response.size())) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace mlcs::client

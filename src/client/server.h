@@ -1,0 +1,49 @@
+#ifndef MLCS_CLIENT_SERVER_H_
+#define MLCS_CLIENT_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "client/protocol.h"
+#include "common/result.h"
+#include "sql/database.h"
+
+namespace mlcs::client {
+
+/// A TCP table server fronting a Database — the "separate database server
+/// + socket connection" deployment the paper benchmarks against. Request
+/// framing: u8 protocol, u32 length, SQL bytes. Response: u8 ok-flag;
+/// on error a length-prefixed message, on success an encoded result set
+/// (header + row messages + end marker), all length-framed as one blob.
+class TableServer {
+ public:
+  explicit TableServer(Database* db) : db_(db) {}
+  ~TableServer();
+
+  TableServer(const TableServer&) = delete;
+  TableServer& operator=(const TableServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 → ephemeral) and starts the accept loop.
+  Status Start(uint16_t port = 0);
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Database* db_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace mlcs::client
+
+#endif  // MLCS_CLIENT_SERVER_H_

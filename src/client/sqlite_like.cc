@@ -1,0 +1,68 @@
+#include "client/sqlite_like.h"
+
+namespace mlcs::client {
+
+Status RowCursor::Prepare(Database* db, const std::string& sql) {
+  MLCS_ASSIGN_OR_RETURN(result_, db->Query(sql));
+  row_ = 0;
+  started_ = false;
+  return Status::OK();
+}
+
+bool RowCursor::Step() {
+  if (result_ == nullptr) return false;
+  if (!started_) {
+    started_ = true;
+    return result_->num_rows() > 0;
+  }
+  if (row_ + 1 >= result_->num_rows()) return false;
+  ++row_;
+  return true;
+}
+
+size_t RowCursor::num_columns() const {
+  return result_ == nullptr ? 0 : result_->num_columns();
+}
+
+Result<Value> RowCursor::ColumnValue(size_t col) const {
+  if (result_ == nullptr || !started_) {
+    return Status::InvalidArgument("cursor is not positioned on a row");
+  }
+  return result_->GetValue(row_, col);
+}
+
+Result<int64_t> RowCursor::ColumnInt(size_t col) const {
+  MLCS_ASSIGN_OR_RETURN(Value v, ColumnValue(col));
+  return v.AsInt64();
+}
+
+Result<double> RowCursor::ColumnDouble(size_t col) const {
+  MLCS_ASSIGN_OR_RETURN(Value v, ColumnValue(col));
+  return v.AsDouble();
+}
+
+Result<std::string> RowCursor::ColumnText(size_t col) const {
+  MLCS_ASSIGN_OR_RETURN(Value v, ColumnValue(col));
+  return v.AsString();
+}
+
+Result<bool> RowCursor::ColumnIsNull(size_t col) const {
+  MLCS_ASSIGN_OR_RETURN(Value v, ColumnValue(col));
+  return v.is_null();
+}
+
+Result<TablePtr> FetchAllRowAtATime(Database* db, const std::string& sql) {
+  RowCursor cursor;
+  MLCS_RETURN_IF_ERROR(cursor.Prepare(db, sql));
+  auto out = Table::Make(cursor.schema());
+  std::vector<Value> row(cursor.num_columns());
+  while (cursor.Step()) {
+    for (size_t c = 0; c < cursor.num_columns(); ++c) {
+      MLCS_ASSIGN_OR_RETURN(row[c], cursor.ColumnValue(c));
+    }
+    MLCS_RETURN_IF_ERROR(out->AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace mlcs::client

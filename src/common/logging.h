@@ -1,0 +1,44 @@
+#ifndef MLCS_COMMON_LOGGING_H_
+#define MLCS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mlcs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted (default: kWarn, so
+/// library internals stay quiet in tests and benchmarks).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Use via the MLCS_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mlcs
+
+#define MLCS_LOG(level)                                               \
+  ::mlcs::internal::LogMessage(::mlcs::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // MLCS_COMMON_LOGGING_H_

@@ -1,0 +1,58 @@
+#ifndef MLCS_COMMON_RESULT_H_
+#define MLCS_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mlcs {
+
+/// Result<T> holds either a value of type T or an error Status.
+/// The usual access pattern is via MLCS_ASSIGN_OR_RETURN, or explicit
+/// `if (!r.ok()) ...; use(r.ValueOrDie());`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return my_table;`.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit construction from an error status: `return Status::...;`.
+  /// Constructing from an OK status is a programming error and aborts.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      // A Result without a value must carry an error.
+      std::abort();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Must only be called when ok().
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mlcs
+
+#endif  // MLCS_COMMON_RESULT_H_

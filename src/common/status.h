@@ -1,0 +1,105 @@
+#ifndef MLCS_COMMON_STATUS_H_
+#define MLCS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace mlcs {
+
+/// Error categories used across the library. Modeled after the RocksDB /
+/// Arrow Status idiom: library code never throws; every fallible operation
+/// returns a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kParseError,
+  kTypeMismatch,
+  kNotImplemented,
+  kInternal,
+  kNetworkError,
+};
+
+/// Returns a human-readable name for a status code ("Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status carries either success (ok) or an error code plus message.
+/// Cheap to copy in the OK case (empty message string).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NetworkError(std::string msg) {
+    return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<code name>: <message>", or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace mlcs
+
+/// Propagates a non-OK Status to the caller.
+#define MLCS_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::mlcs::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define MLCS_CONCAT_IMPL(a, b) a##b
+#define MLCS_CONCAT(a, b) MLCS_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise moves the value into `lhs` (which may be a declaration).
+#define MLCS_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto MLCS_CONCAT(_res_, __LINE__) = (expr);                   \
+  if (!MLCS_CONCAT(_res_, __LINE__).ok())                       \
+    return MLCS_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(MLCS_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+#endif  // MLCS_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+#ifndef MLCS_COMMON_STRING_UTIL_H_
+#define MLCS_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlcs {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Joins with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Case-insensitive ASCII equality (SQL keywords, type names).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict numeric parsing built on std::from_chars: the whole (trimmed)
+/// string must be consumed, otherwise kParseError.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<int32_t> ParseInt32(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// Formats a double the way a text protocol would (shortest round-trip).
+std::string FormatDouble(double v);
+
+}  // namespace mlcs
+
+#endif  // MLCS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,57 @@
+#ifndef MLCS_COMMON_THREAD_POOL_H_
+#define MLCS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mlcs {
+
+/// Fixed-size worker pool. Supports fire-and-forget Submit plus a blocking
+/// ParallelFor used by the chunked UDF driver and random-forest training.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means hardware_concurrency (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for completion/raised value.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, count), partitioned across the pool, and
+  /// blocks until all iterations finish. fn must be thread-safe.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Splits [0, count) into `num_chunks` contiguous ranges and runs
+  /// fn(chunk_index, begin, end) for each in parallel.
+  void ParallelForChunks(
+      size_t count, size_t num_chunks,
+      const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed, never destroyed —
+  /// avoids static destruction order issues per Google style).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace mlcs
+
+#endif  // MLCS_COMMON_THREAD_POOL_H_

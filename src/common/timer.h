@@ -1,0 +1,29 @@
+#ifndef MLCS_COMMON_TIMER_H_
+#define MLCS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace mlcs {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mlcs
+
+#endif  // MLCS_COMMON_TIMER_H_

@@ -1,0 +1,281 @@
+#include "exec/aggregate.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "exec/kernels.h"
+
+namespace mlcs::exec {
+
+Result<AggOp> AggOpFromName(std::string_view name, bool is_star) {
+  if (EqualsIgnoreCase(name, "count")) {
+    return is_star ? AggOp::kCountStar : AggOp::kCount;
+  }
+  if (is_star) {
+    return Status::InvalidArgument("only COUNT supports '*'");
+  }
+  if (EqualsIgnoreCase(name, "sum")) return AggOp::kSum;
+  if (EqualsIgnoreCase(name, "stddev") ||
+      EqualsIgnoreCase(name, "stddev_pop")) {
+    return AggOp::kStdDev;
+  }
+  if (EqualsIgnoreCase(name, "avg")) return AggOp::kAvg;
+  if (EqualsIgnoreCase(name, "min")) return AggOp::kMin;
+  if (EqualsIgnoreCase(name, "max")) return AggOp::kMax;
+  return Status::NotFound("unknown aggregate function '" + std::string(name) +
+                          "'");
+}
+
+const char* AggOpToString(AggOp op) {
+  switch (op) {
+    case AggOp::kCountStar:
+      return "COUNT(*)";
+    case AggOp::kCount:
+      return "COUNT";
+    case AggOp::kSum:
+      return "SUM";
+    case AggOp::kAvg:
+      return "AVG";
+    case AggOp::kMin:
+      return "MIN";
+    case AggOp::kMax:
+      return "MAX";
+    case AggOp::kStdDev:
+      return "STDDEV";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-group accumulator, generic across aggregate ops.
+struct Accumulator {
+  int64_t count = 0;        // non-null inputs seen (or rows for COUNT(*))
+  double sum = 0;           // numeric running sum
+  double sum_sq = 0;        // running sum of squares (STDDEV)
+  int64_t isum = 0;         // integer running sum (exact SUM for int types)
+  double dmin = std::numeric_limits<double>::infinity();
+  double dmax = -std::numeric_limits<double>::infinity();
+  std::string smin, smax;   // VARCHAR MIN/MAX
+  bool has_value = false;
+};
+
+TypeId OutputTypeFor(AggOp op, TypeId input) {
+  switch (op) {
+    case AggOp::kCountStar:
+    case AggOp::kCount:
+      return TypeId::kInt64;
+    case AggOp::kSum:
+      return input == TypeId::kDouble ? TypeId::kDouble : TypeId::kInt64;
+    case AggOp::kAvg:
+    case AggOp::kStdDev:
+      return TypeId::kDouble;
+    case AggOp::kMin:
+    case AggOp::kMax:
+      return input;
+  }
+  return TypeId::kDouble;
+}
+
+}  // namespace
+
+Result<TablePtr> HashGroupBy(const Table& input,
+                             const std::vector<std::string>& group_keys,
+                             const std::vector<AggSpec>& aggregates) {
+  size_t n = input.num_rows();
+
+  // Resolve key columns and build per-row group ids.
+  std::vector<ColumnPtr> key_cols;
+  std::vector<uint32_t> group_of_row(n, 0);
+  std::vector<uint32_t> representative_row;  // first row of each group
+  size_t num_groups = 0;
+  if (group_keys.empty()) {
+    num_groups = 1;
+    representative_row.push_back(0);
+  } else {
+    std::vector<uint64_t> hashes(n, kHashSeed);
+    for (const auto& key : group_keys) {
+      MLCS_ASSIGN_OR_RETURN(ColumnPtr col, input.ColumnByName(key));
+      key_cols.push_back(col);
+      HashCombineColumn(*col, &hashes);
+    }
+    // hash → candidate group ids (chained on collisions).
+    std::unordered_multimap<uint64_t, uint32_t> groups;
+    groups.reserve(1024);
+    for (size_t row = 0; row < n; ++row) {
+      uint32_t gid = UINT32_MAX;
+      auto [begin, end] = groups.equal_range(hashes[row]);
+      for (auto it = begin; it != end; ++it) {
+        size_t rep = representative_row[it->second];
+        bool equal = true;
+        for (const auto& col : key_cols) {
+          if (!CellEquals(*col, row, *col, rep)) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) {
+          gid = it->second;
+          break;
+        }
+      }
+      if (gid == UINT32_MAX) {
+        gid = static_cast<uint32_t>(num_groups++);
+        representative_row.push_back(static_cast<uint32_t>(row));
+        groups.emplace(hashes[row], gid);
+      }
+      group_of_row[row] = gid;
+    }
+  }
+
+  // Resolve aggregate input columns.
+  std::vector<ColumnPtr> agg_cols(aggregates.size());
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    if (aggregates[a].op == AggOp::kCountStar) continue;
+    MLCS_ASSIGN_OR_RETURN(agg_cols[a],
+                          input.ColumnByName(aggregates[a].input_column));
+    TypeId t = agg_cols[a]->type();
+    bool numeric_needed = aggregates[a].op == AggOp::kSum ||
+                          aggregates[a].op == AggOp::kAvg ||
+                          aggregates[a].op == AggOp::kStdDev;
+    if (numeric_needed && !IsNumericType(t)) {
+      return Status::TypeMismatch(std::string(AggOpToString(aggregates[a].op)) +
+                                  " requires a numeric column, got " +
+                                  TypeIdToString(t));
+    }
+    if ((aggregates[a].op == AggOp::kMin || aggregates[a].op == AggOp::kMax) &&
+        t == TypeId::kBlob) {
+      return Status::TypeMismatch("MIN/MAX not supported on BLOB");
+    }
+  }
+
+  // Accumulate.
+  std::vector<std::vector<Accumulator>> accs(aggregates.size());
+  for (auto& v : accs) v.resize(num_groups);
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    const AggSpec& spec = aggregates[a];
+    auto& acc = accs[a];
+    if (spec.op == AggOp::kCountStar) {
+      for (size_t row = 0; row < n; ++row) ++acc[group_of_row[row]].count;
+      continue;
+    }
+    const Column& col = *agg_cols[a];
+    bool is_string = col.type() == TypeId::kVarchar;
+    std::vector<double> numeric;
+    if (!is_string) {
+      MLCS_ASSIGN_OR_RETURN(numeric, col.ToDoubleVector());
+    }
+    const auto* i32 = col.type() == TypeId::kInt32 ? &col.i32_data() : nullptr;
+    const auto* i64 = col.type() == TypeId::kInt64 ? &col.i64_data() : nullptr;
+    for (size_t row = 0; row < n; ++row) {
+      if (col.IsNull(row)) continue;
+      Accumulator& g = acc[group_of_row[row]];
+      ++g.count;
+      g.has_value = true;
+      if (is_string) {
+        const std::string& s = col.str_data()[row];
+        if (g.count == 1 || s < g.smin) g.smin = s;
+        if (g.count == 1 || s > g.smax) g.smax = s;
+      } else {
+        double v = numeric[row];
+        g.sum += v;
+        g.sum_sq += v * v;
+        if (i32 != nullptr) g.isum += (*i32)[row];
+        if (i64 != nullptr) g.isum += (*i64)[row];
+        if (col.type() == TypeId::kBool) g.isum += col.bool_data()[row];
+        if (v < g.dmin) g.dmin = v;
+        if (v > g.dmax) g.dmax = v;
+      }
+    }
+  }
+
+  // Emit output table: key columns then aggregate columns.
+  Schema schema;
+  std::vector<ColumnPtr> out_cols;
+  if (!group_keys.empty()) {
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      schema.AddField(group_keys[k], key_cols[k]->type());
+      out_cols.push_back(key_cols[k]->Take(representative_row));
+    }
+  }
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    const AggSpec& spec = aggregates[a];
+    TypeId input_type =
+        spec.op == AggOp::kCountStar ? TypeId::kInt64 : agg_cols[a]->type();
+    TypeId out_type = OutputTypeFor(spec.op, input_type);
+    ColumnPtr col = Column::Make(out_type);
+    col->Reserve(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      const Accumulator& acc = accs[a][g];
+      switch (spec.op) {
+        case AggOp::kCountStar:
+        case AggOp::kCount:
+          col->AppendInt64(acc.count);
+          break;
+        case AggOp::kSum:
+          if (!acc.has_value) {
+            col->AppendNull();
+          } else if (out_type == TypeId::kInt64) {
+            col->AppendInt64(acc.isum);
+          } else {
+            col->AppendDouble(acc.sum);
+          }
+          break;
+        case AggOp::kAvg:
+          if (!acc.has_value) {
+            col->AppendNull();
+          } else {
+            col->AppendDouble(acc.sum / static_cast<double>(acc.count));
+          }
+          break;
+        case AggOp::kStdDev:
+          if (!acc.has_value) {
+            col->AppendNull();
+          } else {
+            double n = static_cast<double>(acc.count);
+            double mean = acc.sum / n;
+            double var = acc.sum_sq / n - mean * mean;
+            col->AppendDouble(std::sqrt(std::max(0.0, var)));
+          }
+          break;
+        case AggOp::kMin:
+        case AggOp::kMax: {
+          if (!acc.has_value) {
+            col->AppendNull();
+            break;
+          }
+          bool is_min = spec.op == AggOp::kMin;
+          if (input_type == TypeId::kVarchar) {
+            col->AppendString(is_min ? acc.smin : acc.smax);
+          } else {
+            double v = is_min ? acc.dmin : acc.dmax;
+            switch (out_type) {
+              case TypeId::kBool:
+                col->AppendBool(v != 0);
+                break;
+              case TypeId::kInt32:
+                col->AppendInt32(static_cast<int32_t>(v));
+                break;
+              case TypeId::kInt64:
+                col->AppendInt64(static_cast<int64_t>(v));
+                break;
+              default:
+                col->AppendDouble(v);
+                break;
+            }
+          }
+          break;
+        }
+      }
+    }
+    schema.AddField(spec.output_name, out_type);
+    out_cols.push_back(std::move(col));
+  }
+  auto out = std::make_shared<Table>(std::move(schema), std::move(out_cols));
+  MLCS_RETURN_IF_ERROR(out->Validate());
+  return out;
+}
+
+}  // namespace mlcs::exec

@@ -1,0 +1,38 @@
+#ifndef MLCS_EXEC_AGGREGATE_H_
+#define MLCS_EXEC_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace mlcs::exec {
+
+enum class AggOp { kCountStar, kCount, kSum, kAvg, kMin, kMax, kStdDev };
+
+Result<AggOp> AggOpFromName(std::string_view name, bool is_star);
+const char* AggOpToString(AggOp op);
+
+/// One aggregate in a GROUP BY: op over `input_column` (ignored for
+/// COUNT(*)), emitted as `output_name`.
+struct AggSpec {
+  AggOp op = AggOp::kCountStar;
+  std::string input_column;
+  std::string output_name;
+};
+
+/// Hash group-by aggregation. Output schema = key columns (original names
+/// and types, first-seen group order) followed by one column per AggSpec.
+/// COUNT → BIGINT; SUM over ints → BIGINT, over doubles → DOUBLE;
+/// AVG and STDDEV (population) → DOUBLE; MIN/MAX keep the input type. NULL inputs are skipped by
+/// all aggregates except COUNT(*). Groups with only NULL inputs produce
+/// NULL (COUNT produces 0). With `group_keys` empty the whole input is one
+/// group (global aggregation, emits exactly one row).
+Result<TablePtr> HashGroupBy(const Table& input,
+                             const std::vector<std::string>& group_keys,
+                             const std::vector<AggSpec>& aggregates);
+
+}  // namespace mlcs::exec
+
+#endif  // MLCS_EXEC_AGGREGATE_H_

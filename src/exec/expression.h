@@ -1,0 +1,150 @@
+#ifndef MLCS_EXEC_EXPRESSION_H_
+#define MLCS_EXEC_EXPRESSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/kernels.h"
+#include "storage/table.h"
+
+namespace mlcs::exec {
+
+/// Everything an expression needs to evaluate against a row source.
+/// `call_function` is injected by the SQL executor and dispatches to the
+/// vectorized scalar-UDF registry (keeping exec/ independent of udf/).
+struct EvalContext {
+  const Table* input = nullptr;
+  std::function<Result<ColumnPtr>(const std::string& name,
+                                  const std::vector<ColumnPtr>& args,
+                                  size_t num_rows)>
+      call_function;
+};
+
+/// A vectorized expression: evaluates to a whole column over the input
+/// table (column-at-a-time, MonetDB style). Length-1 results broadcast
+/// inside kernels.
+class Expression {
+ public:
+  virtual ~Expression() = default;
+  virtual Result<ColumnPtr> Evaluate(const EvalContext& ctx) const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<Expression>;
+
+/// Reference to an input column by (case-insensitive) name.
+class ColumnRefExpr : public Expression {
+ public:
+  explicit ColumnRefExpr(std::string name) : name_(std::move(name)) {}
+  Result<ColumnPtr> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override { return name_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Constant; broadcasts as a length-1 column.
+class LiteralExpr : public Expression {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+  Result<ColumnPtr> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override { return value_.ToString(); }
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+class BinaryExpr : public Expression {
+ public:
+  BinaryExpr(BinOpKind op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+  Result<ColumnPtr> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  BinOpKind op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class UnaryExpr : public Expression {
+ public:
+  UnaryExpr(UnOpKind op, ExprPtr operand)
+      : op_(op), operand_(std::move(operand)) {}
+  Result<ColumnPtr> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  UnOpKind op_;
+  ExprPtr operand_;
+};
+
+/// CAST(expr AS TYPE).
+class CastExpr : public Expression {
+ public:
+  CastExpr(ExprPtr operand, TypeId target)
+      : operand_(std::move(operand)), target_(target) {}
+  Result<ColumnPtr> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  ExprPtr operand_;
+  TypeId target_;
+};
+
+/// expr IS [NOT] NULL — evaluates to BOOL.
+class IsNullExpr : public Expression {
+ public:
+  IsNullExpr(ExprPtr operand, bool negated)
+      : operand_(std::move(operand)), negated_(negated) {}
+  Result<ColumnPtr> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  ExprPtr operand_;
+  bool negated_;
+};
+
+/// CASE WHEN c1 THEN v1 [WHEN ...] [ELSE e] END — evaluated fully
+/// vectorized (all branches computed, then a row-wise select; SQL CASE
+/// short-circuit semantics for side effects do not apply since expressions
+/// here are pure). Value types must share a numeric promotion or be
+/// identical; rows with no matching branch and no ELSE become NULL.
+class CaseExpr : public Expression {
+ public:
+  CaseExpr(std::vector<std::pair<ExprPtr, ExprPtr>> branches,
+           ExprPtr else_value)
+      : branches_(std::move(branches)), else_value_(std::move(else_value)) {}
+  Result<ColumnPtr> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<std::pair<ExprPtr, ExprPtr>> branches_;
+  ExprPtr else_value_;
+};
+
+/// name(arg, ...) — dispatched through EvalContext::call_function, i.e.
+/// a registered vectorized scalar UDF (the paper's Listing 2 style) or an
+/// engine builtin.
+class FunctionCallExpr : public Expression {
+ public:
+  FunctionCallExpr(std::string name, std::vector<ExprPtr> args)
+      : name_(std::move(name)), args_(std::move(args)) {}
+  Result<ColumnPtr> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+}  // namespace mlcs::exec
+
+#endif  // MLCS_EXEC_EXPRESSION_H_

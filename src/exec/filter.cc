@@ -1,0 +1,51 @@
+#include "exec/filter.h"
+
+namespace mlcs::exec {
+
+Result<std::vector<uint32_t>> SelectionIndices(const Column& predicate,
+                                               size_t num_rows) {
+  if (predicate.type() != TypeId::kBool) {
+    return Status::TypeMismatch("filter predicate must be BOOLEAN, got " +
+                                std::string(TypeIdToString(predicate.type())));
+  }
+  std::vector<uint32_t> indices;
+  if (predicate.size() == 1) {
+    // Broadcast scalar predicate.
+    bool keep = !predicate.IsNull(0) && predicate.bool_data()[0] != 0;
+    if (keep) {
+      indices.resize(num_rows);
+      for (size_t i = 0; i < num_rows; ++i) {
+        indices[i] = static_cast<uint32_t>(i);
+      }
+    }
+    return indices;
+  }
+  if (predicate.size() != num_rows) {
+    return Status::InvalidArgument("predicate length " +
+                                   std::to_string(predicate.size()) +
+                                   " does not match row count " +
+                                   std::to_string(num_rows));
+  }
+  const auto& data = predicate.bool_data();
+  indices.reserve(num_rows / 2);
+  if (!predicate.has_nulls()) {
+    for (size_t i = 0; i < num_rows; ++i) {
+      if (data[i] != 0) indices.push_back(static_cast<uint32_t>(i));
+    }
+  } else {
+    for (size_t i = 0; i < num_rows; ++i) {
+      if (data[i] != 0 && !predicate.IsNull(i)) {
+        indices.push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+  return indices;
+}
+
+Result<TablePtr> FilterTable(const Table& input, const Column& predicate) {
+  MLCS_ASSIGN_OR_RETURN(std::vector<uint32_t> indices,
+                        SelectionIndices(predicate, input.num_rows()));
+  return input.TakeRows(indices);
+}
+
+}  // namespace mlcs::exec

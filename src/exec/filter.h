@@ -1,0 +1,21 @@
+#ifndef MLCS_EXEC_FILTER_H_
+#define MLCS_EXEC_FILTER_H_
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace mlcs::exec {
+
+/// Selection-vector filter: keeps rows where `predicate` is true (NULL and
+/// false rows are dropped, SQL semantics). `predicate` must be a BOOL
+/// column of the table's length, or length 1 (broadcast keep-all/none).
+Result<TablePtr> FilterTable(const Table& input, const Column& predicate);
+
+/// Extracts the indices of true rows (shared by FilterTable and callers
+/// that want the selection vector itself).
+Result<std::vector<uint32_t>> SelectionIndices(const Column& predicate,
+                                               size_t num_rows);
+
+}  // namespace mlcs::exec
+
+#endif  // MLCS_EXEC_FILTER_H_

@@ -1,0 +1,113 @@
+#include "exec/hash_join.h"
+
+#include <unordered_map>
+
+#include "exec/kernels.h"
+
+namespace mlcs::exec {
+
+namespace {
+
+/// Row hashes for the given key columns of a table.
+Result<std::vector<uint64_t>> KeyHashes(
+    const Table& table, const std::vector<std::string>& keys,
+    std::vector<ColumnPtr>* key_cols) {
+  std::vector<uint64_t> hashes(table.num_rows(), kHashSeed);
+  for (const auto& key : keys) {
+    MLCS_ASSIGN_OR_RETURN(ColumnPtr col, table.ColumnByName(key));
+    key_cols->push_back(col);
+    HashCombineColumn(*col, &hashes);
+  }
+  return hashes;
+}
+
+bool KeysEqual(const std::vector<ColumnPtr>& left_cols, size_t li,
+               const std::vector<ColumnPtr>& right_cols, size_t ri) {
+  for (size_t k = 0; k < left_cols.size(); ++k) {
+    if (!CellEquals(*left_cols[k], li, *right_cols[k], ri)) return false;
+  }
+  return true;
+}
+
+bool AnyKeyNull(const std::vector<ColumnPtr>& cols, size_t row) {
+  for (const auto& c : cols) {
+    if (c->IsNull(row)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<TablePtr> HashJoin(const Table& left, const Table& right,
+                          const std::vector<std::string>& left_keys,
+                          const std::vector<std::string>& right_keys,
+                          JoinType type) {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    return Status::InvalidArgument(
+        "join requires equal, non-empty key lists");
+  }
+  std::vector<ColumnPtr> lcols, rcols;
+  MLCS_ASSIGN_OR_RETURN(std::vector<uint64_t> lhash,
+                        KeyHashes(left, left_keys, &lcols));
+  MLCS_ASSIGN_OR_RETURN(std::vector<uint64_t> rhash,
+                        KeyHashes(right, right_keys, &rcols));
+  for (size_t k = 0; k < lcols.size(); ++k) {
+    if (lcols[k]->type() != rcols[k]->type()) {
+      return Status::TypeMismatch(
+          "join key type mismatch on '" + left_keys[k] + "': " +
+          TypeIdToString(lcols[k]->type()) + " vs " +
+          TypeIdToString(rcols[k]->type()));
+    }
+  }
+
+  // Build: hash → right row ids (chained for duplicates/collisions).
+  std::unordered_multimap<uint64_t, uint32_t> build;
+  build.reserve(right.num_rows());
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    if (AnyKeyNull(rcols, r)) continue;  // NULL keys never match
+    build.emplace(rhash[r], static_cast<uint32_t>(r));
+  }
+
+  // Probe.
+  std::vector<uint32_t> out_left;
+  std::vector<int64_t> out_right;
+  out_left.reserve(left.num_rows());
+  out_right.reserve(left.num_rows());
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    bool matched = false;
+    if (!AnyKeyNull(lcols, l)) {
+      auto [begin, end] = build.equal_range(lhash[l]);
+      for (auto it = begin; it != end; ++it) {
+        uint32_t r = it->second;
+        if (KeysEqual(lcols, l, rcols, r)) {
+          out_left.push_back(static_cast<uint32_t>(l));
+          out_right.push_back(r);
+          matched = true;
+        }
+      }
+    }
+    if (!matched && type == JoinType::kLeft) {
+      out_left.push_back(static_cast<uint32_t>(l));
+      out_right.push_back(-1);
+    }
+  }
+
+  // Materialize output columns.
+  Schema schema;
+  std::vector<ColumnPtr> columns;
+  for (size_t c = 0; c < left.num_columns(); ++c) {
+    schema.AddField(left.schema().field(c).name, left.schema().field(c).type);
+    columns.push_back(left.column(c)->Take(out_left));
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    std::string name = right.schema().field(c).name;
+    if (schema.FieldIndex(name).has_value()) name += "_r";
+    schema.AddField(std::move(name), right.schema().field(c).type);
+    columns.push_back(TakeOrNull(*right.column(c), out_right));
+  }
+  auto out = std::make_shared<Table>(std::move(schema), std::move(columns));
+  MLCS_RETURN_IF_ERROR(out->Validate());
+  return out;
+}
+
+}  // namespace mlcs::exec

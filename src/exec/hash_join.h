@@ -1,0 +1,29 @@
+#ifndef MLCS_EXEC_HASH_JOIN_H_
+#define MLCS_EXEC_HASH_JOIN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace mlcs::exec {
+
+enum class JoinType { kInner, kLeft };
+
+/// Equi-join of two tables on one or more key column pairs
+/// (left_keys[i] = right_keys[i]). Builds a hash table on the right input,
+/// probes with the left (so put the smaller relation on the right — in the
+/// voter pipeline that is the 2 751-row precincts table).
+///
+/// Output schema: all left columns followed by all right columns; right
+/// column names that collide with a left name get a "_r" suffix. For
+/// kLeft, unmatched left rows appear once with NULL right columns.
+/// NULL keys never match (SQL semantics).
+Result<TablePtr> HashJoin(const Table& left, const Table& right,
+                          const std::vector<std::string>& left_keys,
+                          const std::vector<std::string>& right_keys,
+                          JoinType type = JoinType::kInner);
+
+}  // namespace mlcs::exec
+
+#endif  // MLCS_EXEC_HASH_JOIN_H_

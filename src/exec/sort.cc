@@ -1,0 +1,41 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "exec/kernels.h"
+
+namespace mlcs::exec {
+
+Result<std::vector<uint32_t>> SortIndices(const Table& input,
+                                          const std::vector<SortKey>& keys) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("sort requires at least one key");
+  }
+  std::vector<ColumnPtr> cols;
+  cols.reserve(keys.size());
+  for (const auto& k : keys) {
+    MLCS_ASSIGN_OR_RETURN(ColumnPtr col, input.ColumnByName(k.column));
+    cols.push_back(std::move(col));
+  }
+  std::vector<uint32_t> indices(input.num_rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  std::stable_sort(indices.begin(), indices.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     for (size_t k = 0; k < cols.size(); ++k) {
+                       int c = CellCompare(*cols[k], a, *cols[k], b);
+                       if (c != 0) return keys[k].descending ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+  return indices;
+}
+
+Result<TablePtr> SortTable(const Table& input,
+                           const std::vector<SortKey>& keys) {
+  MLCS_ASSIGN_OR_RETURN(std::vector<uint32_t> indices,
+                        SortIndices(input, keys));
+  return input.TakeRows(indices);
+}
+
+}  // namespace mlcs::exec

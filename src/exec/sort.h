@@ -1,0 +1,29 @@
+#ifndef MLCS_EXEC_SORT_H_
+#define MLCS_EXEC_SORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace mlcs::exec {
+
+struct SortKey {
+  std::string column;
+  bool descending = false;
+};
+
+/// Stable multi-key sort; NULLs sort first (before all values) on ascending
+/// keys, last on descending keys.
+Result<TablePtr> SortTable(const Table& input,
+                           const std::vector<SortKey>& keys);
+
+/// The permutation that SortTable applies (exposed for operators that sort
+/// auxiliary payloads alongside).
+Result<std::vector<uint32_t>> SortIndices(const Table& input,
+                                          const std::vector<SortKey>& keys);
+
+}  // namespace mlcs::exec
+
+#endif  // MLCS_EXEC_SORT_H_

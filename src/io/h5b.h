@@ -1,0 +1,80 @@
+#ifndef MLCS_IO_H5B_H_
+#define MLCS_IO_H5B_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace mlcs::io {
+
+struct H5bOptions {
+  /// Rows per chunk (PyTables-style chunked layout).
+  size_t chunk_rows = 65536;
+};
+
+/// `.h5b` — a single-file chunked binary columnar table format standing in
+/// for HDF5/PyTables (see DESIGN.md's substitution table). Layout: magic,
+/// schema, row count, chunk size, then per chunk each column's serialized
+/// block. Like PyTables it loads with near-memcpy cost from one file, in
+/// chunks, without the per-column file management of the .npy baseline.
+Status WriteH5b(const Table& table, const std::string& path,
+                const H5bOptions& options = {});
+Result<TablePtr> ReadH5b(const std::string& path);
+
+/// Streaming chunk-at-a-time reader — the paper's §5.1 "out-of-memory
+/// datasets" future-work path: only one chunk is resident at a time, so a
+/// UDF can score a dataset far larger than RAM. Each chunk on disk is
+/// length-prefixed, so the reader seeks/loads exactly one chunk per call.
+///
+///   MLCS_ASSIGN_OR_RETURN(auto reader, H5bChunkReader::Open(path));
+///   while (reader.HasNext()) {
+///     MLCS_ASSIGN_OR_RETURN(TablePtr chunk, reader.NextChunk());
+///     ...process chunk...
+///   }
+class H5bChunkReader {
+ public:
+  static Result<H5bChunkReader> Open(const std::string& path);
+
+  H5bChunkReader(H5bChunkReader&& other) noexcept { *this = std::move(other); }
+  H5bChunkReader& operator=(H5bChunkReader&& other) noexcept {
+    if (this != &other) {
+      if (file_ != nullptr) std::fclose(file_);
+      file_ = other.file_;
+      other.file_ = nullptr;
+      schema_ = std::move(other.schema_);
+      total_rows_ = other.total_rows_;
+      chunk_rows_ = other.chunk_rows_;
+      rows_read_ = other.rows_read_;
+      path_ = std::move(other.path_);
+    }
+    return *this;
+  }
+  H5bChunkReader(const H5bChunkReader&) = delete;
+  H5bChunkReader& operator=(const H5bChunkReader&) = delete;
+  ~H5bChunkReader();
+
+  const Schema& schema() const { return schema_; }
+  uint64_t total_rows() const { return total_rows_; }
+  uint64_t rows_read() const { return rows_read_; }
+  bool HasNext() const { return rows_read_ < total_rows_; }
+
+  /// Reads and materializes the next chunk. Calling past the end errors.
+  Result<TablePtr> NextChunk();
+
+ private:
+  H5bChunkReader() = default;
+
+  std::FILE* file_ = nullptr;
+  Schema schema_;
+  uint64_t total_rows_ = 0;
+  uint64_t chunk_rows_ = 0;
+  uint64_t rows_read_ = 0;
+  std::string path_;
+};
+
+}  // namespace mlcs::io
+
+#endif  // MLCS_IO_H5B_H_

@@ -1,0 +1,27 @@
+#ifndef MLCS_IO_NPY_H_
+#define MLCS_IO_NPY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace mlcs::io {
+
+/// NumPy `.npy` v1.0 files — byte-compatible with numpy.save for 1-D
+/// arrays of int32 (`<i4`), int64 (`<i8`), float64 (`<f8`) and bool
+/// (`|b1`). This is the paper's "NumPy binary files" baseline: each of the
+/// 96 voter columns lives in its own file on disk, loading is a header
+/// parse plus one fread.
+Status WriteNpy(const Column& column, const std::string& path);
+Result<ColumnPtr> ReadNpy(const std::string& path);
+
+/// One .npy per column (named `<index>_<column>.npy`) plus a `columns.txt`
+/// manifest recording order, names and types — mirroring how the paper's
+/// external pipeline manages "each of the 96 columns as a separate file".
+Status SaveTableAsNpyDir(const Table& table, const std::string& dir);
+Result<TablePtr> LoadTableFromNpyDir(const std::string& dir);
+
+}  // namespace mlcs::io
+
+#endif  // MLCS_IO_NPY_H_

@@ -1,0 +1,124 @@
+#include "io/voter_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace mlcs::io {
+
+double PrecinctDemShare(uint64_t seed, size_t precinct,
+                        size_t num_precincts) {
+  // One gaussian draw per precinct, deterministic in (seed, precinct).
+  Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (precinct + 1)));
+  double share = 0.5 + 0.18 * rng.NextGaussian();
+  return std::clamp(share, 0.05, 0.95);
+}
+
+Result<TablePtr> GeneratePrecincts(const VoterDataOptions& options) {
+  if (options.num_precincts == 0) {
+    return Status::InvalidArgument("need at least one precinct");
+  }
+  Schema schema;
+  schema.AddField("precinct_id", TypeId::kInt32);
+  schema.AddField("dem_votes", TypeId::kInt32);
+  schema.AddField("rep_votes", TypeId::kInt32);
+  auto table = Table::Make(std::move(schema));
+  Rng rng(options.seed + 1);
+  auto& ids = table->column(0)->i32_data();
+  auto& dem = table->column(1)->i32_data();
+  auto& rep = table->column(2)->i32_data();
+  ids.reserve(options.num_precincts);
+  dem.reserve(options.num_precincts);
+  rep.reserve(options.num_precincts);
+  for (size_t p = 0; p < options.num_precincts; ++p) {
+    double share = PrecinctDemShare(options.seed, p, options.num_precincts);
+    int32_t total = static_cast<int32_t>(200 + rng.NextBounded(4000));
+    int32_t d = static_cast<int32_t>(std::lround(total * share));
+    ids.push_back(static_cast<int32_t>(p));
+    dem.push_back(d);
+    rep.push_back(total - d);
+  }
+  return table;
+}
+
+Result<TablePtr> GenerateVoters(const VoterDataOptions& options) {
+  if (options.num_columns < 9) {
+    return Status::InvalidArgument("voter table needs >= 9 columns");
+  }
+  if (options.num_precincts == 0 || options.num_voters == 0) {
+    return Status::InvalidArgument("empty voter dataset requested");
+  }
+  Schema schema;
+  schema.AddField("voter_id", TypeId::kInt32);
+  schema.AddField("precinct_id", TypeId::kInt32);
+  schema.AddField("age", TypeId::kInt32);
+  schema.AddField("gender", TypeId::kInt32);
+  schema.AddField("ethnicity", TypeId::kInt32);
+  schema.AddField("party_reg", TypeId::kInt32);
+  schema.AddField("income_bracket", TypeId::kInt32);
+  schema.AddField("urban_score", TypeId::kInt32);
+  schema.AddField("years_registered", TypeId::kInt32);
+  for (size_t c = schema.num_fields(); c < options.num_columns; ++c) {
+    schema.AddField("attr_" + std::to_string(c), TypeId::kInt32);
+  }
+  auto table = Table::Make(schema);
+  for (size_t c = 0; c < options.num_columns; ++c) {
+    table->column(c)->i32_data().reserve(options.num_voters);
+  }
+
+  // Filler-attribute cardinalities cycle through realistic ranges
+  // (county codes, boolean flags, small categorical domains).
+  auto filler_cardinality = [](size_t column_index) -> uint64_t {
+    switch (column_index % 5) {
+      case 0:
+        return 2;    // flag
+      case 1:
+        return 8;    // small categorical
+      case 2:
+        return 100;  // county-ish
+      case 3:
+        return 12;   // month-ish
+      default:
+        return 50;
+    }
+  };
+
+  Rng rng(options.seed + 2);
+  for (size_t v = 0; v < options.num_voters; ++v) {
+    size_t precinct = rng.NextBounded(options.num_precincts);
+    double share =
+        PrecinctDemShare(options.seed, precinct, options.num_precincts);
+    table->column(0)->i32_data().push_back(static_cast<int32_t>(v));
+    table->column(1)->i32_data().push_back(static_cast<int32_t>(precinct));
+    // Correlated demographics: noisy functions of the precinct lean, so
+    // the classifier has signal beyond the precinct id itself.
+    int32_t age = static_cast<int32_t>(std::clamp(
+        45.0 - 20.0 * (share - 0.5) + 14.0 * rng.NextGaussian(), 18.0,
+        100.0));
+    int32_t gender = static_cast<int32_t>(rng.NextBounded(2));
+    int32_t ethnicity = static_cast<int32_t>(
+        rng.NextDouble() < share * 0.6 ? rng.NextBounded(4) + 1 : 0);
+    int32_t party_reg =
+        rng.NextDouble() < share ? 0 : (rng.NextDouble() < 0.8 ? 1 : 2);
+    int32_t income = static_cast<int32_t>(std::clamp(
+        5.0 + 3.0 * (share - 0.5) + 2.0 * rng.NextGaussian(), 0.0, 10.0));
+    int32_t urban = static_cast<int32_t>(std::clamp(
+        10.0 * share + 2.0 * rng.NextGaussian(), 0.0, 10.0));
+    int32_t years = static_cast<int32_t>(rng.NextBounded(40));
+    table->column(2)->i32_data().push_back(age);
+    table->column(3)->i32_data().push_back(gender);
+    table->column(4)->i32_data().push_back(ethnicity);
+    table->column(5)->i32_data().push_back(party_reg);
+    table->column(6)->i32_data().push_back(income);
+    table->column(7)->i32_data().push_back(urban);
+    table->column(8)->i32_data().push_back(years);
+    for (size_t c = 9; c < options.num_columns; ++c) {
+      table->column(c)->i32_data().push_back(
+          static_cast<int32_t>(rng.NextBounded(filler_cardinality(c))));
+    }
+  }
+  return table;
+}
+
+}  // namespace mlcs::io

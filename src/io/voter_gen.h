@@ -1,0 +1,42 @@
+#ifndef MLCS_IO_VOTER_GEN_H_
+#define MLCS_IO_VOTER_GEN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace mlcs::io {
+
+/// Shape parameters of the synthetic North Carolina voter dataset — the
+/// real file used by the paper is not redistributable, so we generate a
+/// deterministic dataset with the same shape (see DESIGN.md): N voters ×
+/// 96 INTEGER columns keyed by precinct, plus a 2 751-row precinct table
+/// with Democrat/Republican vote totals.
+struct VoterDataOptions {
+  size_t num_voters = 250000;    // paper: 7.5M (env-scalable in benches)
+  size_t num_precincts = 2751;   // paper's NC precinct count
+  /// Total voter columns, including precinct_id. The paper reports 96.
+  size_t num_columns = 96;
+  uint64_t seed = 42;
+};
+
+/// `precincts(precinct_id INTEGER, dem_votes INTEGER, rep_votes INTEGER)`.
+/// Each precinct gets a persistent partisan lean (clamped gaussian around
+/// 0.5) so that voter features correlated with the lean are learnable.
+Result<TablePtr> GeneratePrecincts(const VoterDataOptions& options);
+
+/// `voters(voter_id, precinct_id, age, gender, ... attr_NN)`
+/// — num_columns INT32 columns. A handful of demographic features are
+/// correlated with the precinct lean (so a classifier beats the 50 %
+/// baseline); the rest are independent noise with realistic cardinalities,
+/// matching the "96 columns describing characteristics" shape.
+Result<TablePtr> GenerateVoters(const VoterDataOptions& options);
+
+/// The precinct lean used internally (exposed for tests): deterministic in
+/// (seed, precinct).
+double PrecinctDemShare(uint64_t seed, size_t precinct, size_t num_precincts);
+
+}  // namespace mlcs::io
+
+#endif  // MLCS_IO_VOTER_GEN_H_

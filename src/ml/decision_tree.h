@@ -1,0 +1,111 @@
+#ifndef MLCS_ML_DECISION_TREE_H_
+#define MLCS_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/model.h"
+
+namespace mlcs::ml {
+
+struct DecisionTreeOptions {
+  int max_depth = 16;
+  size_t min_samples_split = 2;
+  size_t min_samples_leaf = 1;
+  /// Features considered per split; 0 = all (plain CART). Random forests
+  /// set this to ~sqrt(d).
+  size_t max_features = 0;
+  /// Histogram splitter granularity (bins per feature per node). The
+  /// histogram splitter is O(n·d) per node — the right trade for the
+  /// paper-scale datasets; `exact_splits` switches to the O(n log n · d)
+  /// sort-based CART splitter for small data / tests.
+  int num_bins = 32;
+  bool exact_splits = false;
+  uint64_t seed = 42;
+};
+
+/// CART decision-tree classifier (gini impurity). NaN feature values are
+/// routed to the left child at both fit and predict time.
+class DecisionTree : public Model {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {});
+
+  ModelType type() const override { return ModelType::kDecisionTree; }
+  Status Fit(const Matrix& x, const Labels& y) override;
+  Result<Labels> Predict(const Matrix& x) const override;
+  Result<std::vector<double>> PredictProba(const Matrix& x,
+                                           int32_t cls) const override;
+  Result<std::vector<double>> PredictConfidence(
+      const Matrix& x) const override;
+  const std::vector<int32_t>& classes() const override { return classes_; }
+  std::string ParamsString() const override;
+  void Serialize(ByteWriter* writer) const override;
+
+  /// Fits on a row subset with a pre-agreed class set — lets a random
+  /// forest bootstrap without copying the matrix and keeps every tree's
+  /// class-index space aligned.
+  Status FitOnRows(const Matrix& x, const Labels& y,
+                   const std::vector<uint32_t>& rows,
+                   const std::vector<int32_t>& class_set);
+
+  /// Class-index probability distribution for each row (num_classes per
+  /// row); the forest averages these across trees.
+  Result<std::vector<std::vector<double>>> PredictDistribution(
+      const Matrix& x) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Per-feature importance: total gini impurity decrease weighted by node
+  /// size, normalized to sum to 1 (sklearn's feature_importances_).
+  /// Empty before fitting; all-zero when the tree is a single leaf.
+  const std::vector<double>& feature_importances() const {
+    return feature_importances_;
+  }
+
+  static Result<std::unique_ptr<DecisionTree>> DeserializeBody(
+      ByteReader* reader);
+
+  const DecisionTreeOptions& options() const { return options_; }
+
+ private:
+  struct Node {
+    int32_t feature = -1;  // -1 → leaf
+    double threshold = 0;
+    uint32_t left = 0;
+    uint32_t right = 0;
+    std::vector<float> probs;  // leaf only: class distribution
+  };
+
+  struct SplitResult {
+    bool found = false;
+    size_t feature = 0;
+    double threshold = 0;
+    double impurity_decrease = 0;
+  };
+
+  uint32_t BuildNode(const Matrix& x, const Labels& y,
+                     std::vector<uint32_t>& rows, int depth, Rng& rng);
+  SplitResult FindBestSplit(const Matrix& x, const Labels& y,
+                            const std::vector<uint32_t>& rows,
+                            const std::vector<size_t>& features) const;
+  SplitResult BestSplitHistogram(const std::vector<double>& col,
+                                 const Labels& y,
+                                 const std::vector<uint32_t>& rows,
+                                 size_t feature) const;
+  SplitResult BestSplitExact(const std::vector<double>& col, const Labels& y,
+                             const std::vector<uint32_t>& rows,
+                             size_t feature) const;
+  uint32_t MakeLeaf(const Labels& y, const std::vector<uint32_t>& rows);
+  size_t WalkToLeaf(const Matrix& x, size_t row) const;
+
+  DecisionTreeOptions options_;
+  std::vector<int32_t> classes_;
+  size_t num_features_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<double> feature_importances_;
+};
+
+}  // namespace mlcs::ml
+
+#endif  // MLCS_ML_DECISION_TREE_H_

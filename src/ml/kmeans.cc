@@ -1,0 +1,137 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+
+namespace mlcs::ml {
+
+KMeans::KMeans(KMeansOptions options) : options_(options) {}
+
+size_t KMeans::NearestCentroid(const Matrix& x, size_t row,
+                               double* distance_sq) const {
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    double dist = 0;
+    for (size_t f = 0; f < num_features_; ++f) {
+      double v = x.At(row, f);
+      if (std::isnan(v)) v = 0;
+      double e = v - centroids_[c][f];
+      dist += e * e;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  if (distance_sq != nullptr) *distance_sq = best_dist;
+  return best;
+}
+
+Status KMeans::Fit(const Matrix& x) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("cannot cluster an empty matrix");
+  }
+  if (options_.k == 0 || options_.k > x.rows()) {
+    return Status::InvalidArgument(
+        "k must be in [1, rows]; got k=" + std::to_string(options_.k) +
+        " rows=" + std::to_string(x.rows()));
+  }
+  num_features_ = x.cols();
+  size_t n = x.rows(), d = x.cols(), k = options_.k;
+  Rng rng(options_.seed);
+
+  auto row_of = [&x, d](size_t r) {
+    std::vector<double> out(d);
+    for (size_t f = 0; f < d; ++f) {
+      double v = x.At(r, f);
+      out[f] = std::isnan(v) ? 0 : v;
+    }
+    return out;
+  };
+
+  // k-means++ seeding: first center uniform, the rest D²-weighted.
+  centroids_.clear();
+  centroids_.push_back(row_of(rng.NextBounded(n)));
+  std::vector<double> dist_sq(n);
+  while (centroids_.size() < k) {
+    double total = 0;
+    for (size_t r = 0; r < n; ++r) {
+      NearestCentroid(x, r, &dist_sq[r]);
+      total += dist_sq[r];
+    }
+    size_t chosen = 0;
+    if (total > 0) {
+      double target = rng.NextDouble() * total;
+      double cumulative = 0;
+      for (size_t r = 0; r < n; ++r) {
+        cumulative += dist_sq[r];
+        if (cumulative >= target) {
+          chosen = r;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.NextBounded(n);  // degenerate: all points identical
+    }
+    centroids_.push_back(row_of(chosen));
+  }
+
+  // Lloyd's iterations.
+  std::vector<size_t> assignment(n, 0);
+  iterations_run_ = 0;
+  for (int iter = 0; iter < options_.max_iters; ++iter) {
+    ++iterations_run_;
+    for (size_t r = 0; r < n; ++r) {
+      assignment[r] = NearestCentroid(x, r, nullptr);
+    }
+    std::vector<std::vector<double>> sums(k, std::vector<double>(d, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t r = 0; r < n; ++r) {
+      ++counts[assignment[r]];
+      for (size_t f = 0; f < d; ++f) {
+        double v = x.At(r, f);
+        sums[assignment[r]][f] += std::isnan(v) ? 0 : v;
+      }
+    }
+    double movement = 0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: reseed on a random point (keeps k clusters).
+        centroids_[c] = row_of(rng.NextBounded(n));
+        movement += 1.0;
+        continue;
+      }
+      for (size_t f = 0; f < d; ++f) {
+        double next = sums[c][f] / static_cast<double>(counts[c]);
+        movement += std::fabs(next - centroids_[c][f]);
+        centroids_[c][f] = next;
+      }
+    }
+    if (movement < options_.tolerance) break;
+  }
+
+  inertia_ = 0;
+  for (size_t r = 0; r < n; ++r) {
+    double dist = 0;
+    NearestCentroid(x, r, &dist);
+    inertia_ += dist;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int32_t>> KMeans::Assign(const Matrix& x) const {
+  if (!fitted()) return Status::InvalidArgument("KMeans is not fitted");
+  if (x.cols() != num_features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  std::vector<int32_t> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    out[r] = static_cast<int32_t>(NearestCentroid(x, r, nullptr));
+  }
+  return out;
+}
+
+}  // namespace mlcs::ml

@@ -1,0 +1,56 @@
+#ifndef MLCS_ML_KMEANS_H_
+#define MLCS_ML_KMEANS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace mlcs::ml {
+
+struct KMeansOptions {
+  size_t k = 8;
+  int max_iters = 100;
+  /// Stop when total centroid movement falls below this.
+  double tolerance = 1e-6;
+  uint64_t seed = 42;
+};
+
+/// Lloyd's k-means with k-means++ initialization. Unsupervised — used for
+/// the preprocessing stage of pipelines (e.g. bucketing voters into
+/// behavioural segments before classification), which the paper notes can
+/// also live inside UDFs.
+class KMeans {
+ public:
+  explicit KMeans(KMeansOptions options = {});
+
+  /// Clusters X; deterministic given the seed.
+  Status Fit(const Matrix& x);
+
+  bool fitted() const { return !centroids_.empty(); }
+  size_t k() const { return options_.k; }
+  /// [cluster][feature] centers.
+  const std::vector<std::vector<double>>& centroids() const {
+    return centroids_;
+  }
+  /// Sum of squared distances of training points to their centers.
+  double inertia() const { return inertia_; }
+  int iterations_run() const { return iterations_run_; }
+
+  /// Nearest-centroid assignment per row.
+  Result<std::vector<int32_t>> Assign(const Matrix& x) const;
+
+ private:
+  size_t NearestCentroid(const Matrix& x, size_t row,
+                         double* distance_sq) const;
+
+  KMeansOptions options_;
+  size_t num_features_ = 0;
+  std::vector<std::vector<double>> centroids_;
+  double inertia_ = 0;
+  int iterations_run_ = 0;
+};
+
+}  // namespace mlcs::ml
+
+#endif  // MLCS_ML_KMEANS_H_

@@ -1,0 +1,48 @@
+#include "ml/matrix.h"
+
+namespace mlcs::ml {
+
+Result<Matrix> Matrix::FromColumns(const std::vector<ColumnPtr>& columns) {
+  Matrix m;
+  for (const auto& col : columns) {
+    if (col == nullptr) return Status::InvalidArgument("null column");
+    MLCS_ASSIGN_OR_RETURN(std::vector<double> data, col->ToDoubleVector());
+    MLCS_RETURN_IF_ERROR(m.AddColumn(std::move(data)));
+  }
+  return m;
+}
+
+Result<Matrix> Matrix::FromTable(const Table& table,
+                                 const std::vector<std::string>& features) {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(features.size());
+  for (const auto& name : features) {
+    MLCS_ASSIGN_OR_RETURN(ColumnPtr col, table.ColumnByName(name));
+    cols.push_back(std::move(col));
+  }
+  return FromColumns(cols);
+}
+
+Status Matrix::AddColumn(std::vector<double> column) {
+  if (cols_ > 0 && column.size() != rows_) {
+    return Status::InvalidArgument(
+        "column length " + std::to_string(column.size()) +
+        " does not match matrix rows " + std::to_string(rows_));
+  }
+  if (cols_ == 0) rows_ = column.size();
+  data_.push_back(std::move(column));
+  ++cols_;
+  return Status::OK();
+}
+
+Matrix Matrix::SelectRows(const std::vector<uint32_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t c = 0; c < cols_; ++c) {
+    const auto& src = data_[c];
+    auto& dst = out.data_[c];
+    for (size_t i = 0; i < indices.size(); ++i) dst[i] = src[indices[i]];
+  }
+  return out;
+}
+
+}  // namespace mlcs::ml

@@ -1,0 +1,57 @@
+#ifndef MLCS_ML_MATRIX_H_
+#define MLCS_ML_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace mlcs::ml {
+
+/// Class labels. Arbitrary int32 values; models remap them internally.
+using Labels = std::vector<int32_t>;
+
+/// Column-major dense double matrix — the feature-set view every model
+/// consumes. Column-major matches the column store's layout, so building a
+/// Matrix from table columns is a straight per-column copy (and the paper's
+/// "no row-major conversion" benefit shows up in the benchmarks).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols),
+        data_(cols, std::vector<double>(rows, 0.0)) {}
+
+  /// Builds from numeric columns (each converted to doubles; NULL → NaN).
+  static Result<Matrix> FromColumns(const std::vector<ColumnPtr>& columns);
+  /// Builds from named table columns.
+  static Result<Matrix> FromTable(const Table& table,
+                                  const std::vector<std::string>& features);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double At(size_t r, size_t c) const { return data_[c][r]; }
+  void Set(size_t r, size_t c, double v) { data_[c][r] = v; }
+
+  const std::vector<double>& column(size_t c) const { return data_[c]; }
+  std::vector<double>& column(size_t c) { return data_[c]; }
+
+  /// Adopts a pre-built column (length must match rows(), or the matrix
+  /// must be empty).
+  Status AddColumn(std::vector<double> column);
+
+  /// Row-gather into a new matrix.
+  Matrix SelectRows(const std::vector<uint32_t>& indices) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<std::vector<double>> data_;
+};
+
+}  // namespace mlcs::ml
+
+#endif  // MLCS_ML_MATRIX_H_

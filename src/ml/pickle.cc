@@ -1,0 +1,56 @@
+#include "ml/pickle.h"
+
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace mlcs::ml::pickle {
+
+namespace {
+constexpr uint32_t kMagic = 0x4D4C504B;  // "MLPK"
+}
+
+std::string Dumps(const Model& model) {
+  ByteWriter writer;
+  writer.WriteU32(kMagic);
+  writer.WriteU8(static_cast<uint8_t>(model.type()));
+  model.Serialize(&writer);
+  return writer.TakeString();
+}
+
+Result<ModelPtr> Loads(const std::string& bytes) {
+  ByteReader reader(bytes);
+  MLCS_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kMagic) {
+    return Status::ParseError("not a pickled mlcs model");
+  }
+  MLCS_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+  switch (static_cast<ModelType>(tag)) {
+    case ModelType::kDecisionTree: {
+      MLCS_ASSIGN_OR_RETURN(auto m, DecisionTree::DeserializeBody(&reader));
+      return ModelPtr(std::move(m));
+    }
+    case ModelType::kRandomForest: {
+      MLCS_ASSIGN_OR_RETURN(auto m, RandomForest::DeserializeBody(&reader));
+      return ModelPtr(std::move(m));
+    }
+    case ModelType::kLogisticRegression: {
+      MLCS_ASSIGN_OR_RETURN(auto m,
+                            LogisticRegression::DeserializeBody(&reader));
+      return ModelPtr(std::move(m));
+    }
+    case ModelType::kNaiveBayes: {
+      MLCS_ASSIGN_OR_RETURN(auto m, NaiveBayes::DeserializeBody(&reader));
+      return ModelPtr(std::move(m));
+    }
+    case ModelType::kKnn: {
+      MLCS_ASSIGN_OR_RETURN(auto m, Knn::DeserializeBody(&reader));
+      return ModelPtr(std::move(m));
+    }
+  }
+  return Status::ParseError("unknown model type tag " + std::to_string(tag));
+}
+
+}  // namespace mlcs::ml::pickle

@@ -1,0 +1,31 @@
+#ifndef MLCS_MODELSTORE_ENSEMBLE_H_
+#define MLCS_MODELSTORE_ENSEMBLE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/model.h"
+
+namespace mlcs::modelstore {
+
+/// Ensemble strategies from the paper's §3.3: "classify the same data
+/// using multiple models and use the result of the model that reports the
+/// highest confidence", plus plain majority voting for comparison.
+
+/// Per-row label from the model whose PredictConfidence is highest.
+Result<ml::Labels> PredictHighestConfidence(
+    const std::vector<ml::ModelPtr>& models, const ml::Matrix& x);
+
+/// Per-row majority vote across models (ties broken by the earliest
+/// model in the list).
+Result<ml::Labels> PredictMajorityVote(
+    const std::vector<ml::ModelPtr>& models, const ml::Matrix& x);
+
+/// Which model index won each row under the highest-confidence rule —
+/// useful for meta-analysis ("which specialist handles which region?").
+Result<std::vector<size_t>> WinningModelPerRow(
+    const std::vector<ml::ModelPtr>& models, const ml::Matrix& x);
+
+}  // namespace mlcs::modelstore
+
+#endif  // MLCS_MODELSTORE_ENSEMBLE_H_

@@ -1,0 +1,62 @@
+#include "modelstore/model_cache.h"
+
+#include "ml/pickle.h"
+
+namespace mlcs::modelstore {
+
+uint64_t ModelCache::HashBytes(const std::string& bytes) {
+  // FNV-1a 64 over the pickled payload. A collision would serve the wrong
+  // model; with 64-bit keys over a handful of cached models the risk is
+  // negligible (and a collision still yields a *valid* model object).
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  h ^= bytes.size();
+  return h;
+}
+
+Result<ml::ModelPtr> ModelCache::Get(const std::string& pickled_bytes) {
+  uint64_t key = HashBytes(pickled_bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Move to front (most recently used).
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits_.fetch_add(1);
+      return it->second->model;
+    }
+  }
+  misses_.fetch_add(1);
+  MLCS_ASSIGN_OR_RETURN(ml::ModelPtr model, ml::pickle::Loads(pickled_bytes));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto existing = index_.find(key);
+  if (existing != index_.end()) return existing->second->model;  // raced
+  lru_.push_front(Entry{key, model});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return model;
+}
+
+size_t ModelCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void ModelCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+ModelCache& ModelCache::Global() {
+  static ModelCache* cache = new ModelCache(16);
+  return *cache;
+}
+
+}  // namespace mlcs::modelstore

@@ -1,0 +1,61 @@
+#ifndef MLCS_MODELSTORE_MODEL_CACHE_H_
+#define MLCS_MODELSTORE_MODEL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "ml/model.h"
+
+namespace mlcs::modelstore {
+
+/// The paper's §5.1 future-work item, implemented: "directly store
+/// snapshots of the in-memory representation of the models to avoid this
+/// (de)serialization overhead".
+///
+/// An LRU cache keyed by a hash of the pickled BLOB: the first Get
+/// deserializes and snapshots the model; subsequent predict calls with the
+/// same BLOB reuse the in-memory object. Content addressing keeps the
+/// cache correct under model replacement (a retrained model has different
+/// bytes, hence a different key). Thread-safe.
+class ModelCache {
+ public:
+  explicit ModelCache(size_t capacity = 16) : capacity_(capacity) {}
+
+  ModelCache(const ModelCache&) = delete;
+  ModelCache& operator=(const ModelCache&) = delete;
+
+  /// Returns the cached model for these bytes, deserializing on miss.
+  Result<ml::ModelPtr> Get(const std::string& pickled_bytes);
+
+  size_t size() const;
+  uint64_t hits() const { return hits_.load(); }
+  uint64_t misses() const { return misses_.load(); }
+  void Clear();
+
+  /// Process-wide cache used by the `_cached` predict UDFs.
+  static ModelCache& Global();
+
+ private:
+  static uint64_t HashBytes(const std::string& bytes);
+
+  struct Entry {
+    uint64_t key;
+    ml::ModelPtr model;
+  };
+
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace mlcs::modelstore
+
+#endif  // MLCS_MODELSTORE_MODEL_CACHE_H_

@@ -1,0 +1,114 @@
+#include "modelstore/model_store.h"
+
+#include "ml/pickle.h"
+
+namespace mlcs::modelstore {
+
+ModelStore::ModelStore(Database* db, std::string table_name)
+    : db_(db), table_name_(std::move(table_name)) {}
+
+Status ModelStore::Init() {
+  if (db_->catalog().HasTable(table_name_)) return Status::OK();
+  Schema schema;
+  schema.AddField("name", TypeId::kVarchar);
+  schema.AddField("algorithm", TypeId::kVarchar);
+  schema.AddField("params", TypeId::kVarchar);
+  schema.AddField("classifier", TypeId::kBlob);
+  schema.AddField("accuracy", TypeId::kDouble);
+  schema.AddField("trained_rows", TypeId::kInt64);
+  return db_->catalog().CreateTable(table_name_,
+                                    Table::Make(std::move(schema)));
+}
+
+Result<TablePtr> ModelStore::Table() const {
+  return db_->catalog().GetTable(table_name_);
+}
+
+Result<size_t> ModelStore::RowOf(const std::string& name) const {
+  MLCS_ASSIGN_OR_RETURN(TablePtr table, Table());
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr names, table->ColumnByName("name"));
+  for (size_t r = 0; r < names->size(); ++r) {
+    if (!names->IsNull(r) && names->str_data()[r] == name) return r;
+  }
+  return Status::NotFound("model '" + name + "' is not stored");
+}
+
+Status ModelStore::SaveModel(const std::string& name, const ml::Model& model,
+                             double accuracy, int64_t trained_rows) {
+  if (!model.fitted()) {
+    return Status::InvalidArgument("refusing to store an unfitted model");
+  }
+  // Replace semantics: drop any previous entry with this name.
+  Status deleted = DeleteModel(name);
+  if (!deleted.ok() && deleted.code() != StatusCode::kNotFound) {
+    return deleted;
+  }
+  MLCS_ASSIGN_OR_RETURN(TablePtr table, Table());
+  return table->AppendRow(
+      {Value::Varchar(name),
+       Value::Varchar(ml::ModelTypeToString(model.type())),
+       Value::Varchar(model.ParamsString()),
+       Value::Blob(ml::pickle::Dumps(model)), Value::Double(accuracy),
+       Value::Int64(trained_rows)});
+}
+
+Result<ml::ModelPtr> ModelStore::LoadModel(const std::string& name) const {
+  MLCS_ASSIGN_OR_RETURN(size_t row, RowOf(name));
+  MLCS_ASSIGN_OR_RETURN(TablePtr table, Table());
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr blobs, table->ColumnByName("classifier"));
+  return ml::pickle::Loads(blobs->str_data()[row]);
+}
+
+Result<ModelInfo> ModelStore::GetInfo(const std::string& name) const {
+  MLCS_ASSIGN_OR_RETURN(size_t row, RowOf(name));
+  MLCS_ASSIGN_OR_RETURN(TablePtr table, Table());
+  ModelInfo info;
+  MLCS_ASSIGN_OR_RETURN(Value n, table->GetValue(row, 0));
+  info.name = n.string_value();
+  MLCS_ASSIGN_OR_RETURN(Value a, table->GetValue(row, 1));
+  info.algorithm = a.string_value();
+  MLCS_ASSIGN_OR_RETURN(Value p, table->GetValue(row, 2));
+  info.params = p.string_value();
+  MLCS_ASSIGN_OR_RETURN(Value acc, table->GetValue(row, 4));
+  info.accuracy = acc.double_value();
+  MLCS_ASSIGN_OR_RETURN(Value tr, table->GetValue(row, 5));
+  info.trained_rows = tr.int64_value();
+  return info;
+}
+
+Result<std::vector<ModelInfo>> ModelStore::ListModels() const {
+  MLCS_ASSIGN_OR_RETURN(TablePtr table, Table());
+  std::vector<ModelInfo> out;
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr names, table->ColumnByName("name"));
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    MLCS_ASSIGN_OR_RETURN(ModelInfo info, GetInfo(names->str_data()[r]));
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<std::string> ModelStore::BestModelName() const {
+  MLCS_ASSIGN_OR_RETURN(std::vector<ModelInfo> models, ListModels());
+  if (models.empty()) return Status::NotFound("no models stored");
+  size_t best = 0;
+  for (size_t i = 1; i < models.size(); ++i) {
+    if (models[i].accuracy > models[best].accuracy) best = i;
+  }
+  return models[best].name;
+}
+
+Status ModelStore::DeleteModel(const std::string& name) {
+  auto row = RowOf(name);
+  if (!row.ok()) return row.status();
+  MLCS_ASSIGN_OR_RETURN(TablePtr table, Table());
+  // Rebuild the table without the row (no DELETE support needed in SQL).
+  std::vector<uint32_t> keep;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    if (r != row.ValueOrDie()) keep.push_back(static_cast<uint32_t>(r));
+  }
+  TablePtr rebuilt = table->TakeRows(keep);
+  return db_->catalog().CreateTable(table_name_, rebuilt,
+                                    /*or_replace=*/true);
+}
+
+}  // namespace mlcs::modelstore

@@ -1,0 +1,62 @@
+#ifndef MLCS_MODELSTORE_MODEL_STORE_H_
+#define MLCS_MODELSTORE_MODEL_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/model.h"
+#include "sql/database.h"
+
+namespace mlcs::modelstore {
+
+/// Metadata row describing a stored model (paper §3.3: hyperparameters and
+/// quality metrics persist next to the serialized model, queryable by SQL).
+struct ModelInfo {
+  std::string name;
+  std::string algorithm;   // ml::ModelTypeToString
+  std::string params;      // model.ParamsString()
+  double accuracy = 0;     // quality metric recorded at save time
+  int64_t trained_rows = 0;
+};
+
+/// Persists models into a relational catalog table (`name` BLOB + metadata)
+/// inside a Database, and loads them back. This is the in-database
+/// ModelDB-style management layer the paper contrasts with external model
+/// stores: because models live in ordinary tables, plain SQL performs the
+/// meta-analysis (best model, per-algorithm comparison, ...).
+class ModelStore {
+ public:
+  /// Creates (if needed) the backing table `table_name`.
+  explicit ModelStore(Database* db, std::string table_name = "models");
+
+  Status Init();
+
+  /// Saves a fitted model under `name` (replaces an existing entry).
+  Status SaveModel(const std::string& name, const ml::Model& model,
+                   double accuracy, int64_t trained_rows);
+
+  /// Loads and unpickles the model stored under `name`.
+  Result<ml::ModelPtr> LoadModel(const std::string& name) const;
+
+  Result<ModelInfo> GetInfo(const std::string& name) const;
+  Result<std::vector<ModelInfo>> ListModels() const;
+
+  /// Name of the stored model with the highest recorded accuracy.
+  Result<std::string> BestModelName() const;
+
+  Status DeleteModel(const std::string& name);
+
+  const std::string& table_name() const { return table_name_; }
+
+ private:
+  Result<TablePtr> Table() const;
+  Result<size_t> RowOf(const std::string& name) const;
+
+  Database* db_;
+  std::string table_name_;
+};
+
+}  // namespace mlcs::modelstore
+
+#endif  // MLCS_MODELSTORE_MODEL_STORE_H_

@@ -1,0 +1,530 @@
+#include "pipeline/voter_pipeline.h"
+
+#include <cmath>
+
+#include "client/client.h"
+#include "client/sqlite_like.h"
+#include "common/timer.h"
+#include "dataframe/dataframe.h"
+#include "exec/kernels.h"
+#include "io/csv.h"
+#include "io/h5b.h"
+#include "io/npy.h"
+#include "ml/pickle.h"
+#include "ml/random_forest.h"
+#include "modelstore/model_cache.h"
+
+namespace mlcs::pipeline {
+
+namespace {
+
+/// splitmix64 finalizer mapped to [0, 1) — the deterministic "random"
+/// shared by every channel so labels and splits agree bit-for-bit.
+double HashToUnit(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x = x ^ (x >> 31);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kLabelSalt = 0xA5A5A5A5A5A5A5A5ULL;
+constexpr uint64_t kSplitSalt = 0x5A5A5A5A5A5A5A5AULL;
+
+/// Feature columns = every voter column except voter_id (the paper trains
+/// on the demographic characteristics; precinct_id is a feature too).
+std::vector<std::string> FeatureNames(const PipelineConfig& config) {
+  std::vector<std::string> names = {"precinct_id",    "age",
+                                    "gender",         "ethnicity",
+                                    "party_reg",      "income_bracket",
+                                    "urban_score",    "years_registered"};
+  for (size_t c = 9; c < config.data.num_columns; ++c) {
+    names.push_back("attr_" + std::to_string(c));
+  }
+  return names;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names[i];
+  }
+  return out;
+}
+
+/// Mean absolute error between aggregated predicted dem share and the
+/// generator's true precinct lean. `predictions` has columns
+/// (precinct_id, pred_dem, n).
+Result<double> PrecinctShareMae(const Table& predictions,
+                                const PipelineConfig& config) {
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr precinct,
+                        predictions.ColumnByName("precinct_id"));
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr pred_dem,
+                        predictions.ColumnByName("pred_dem"));
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr count, predictions.ColumnByName("n"));
+  MLCS_ASSIGN_OR_RETURN(std::vector<double> dem, pred_dem->ToDoubleVector());
+  MLCS_ASSIGN_OR_RETURN(std::vector<double> n, count->ToDoubleVector());
+  double mae = 0;
+  size_t rows = predictions.num_rows();
+  if (rows == 0) return Status::InvalidArgument("no precinct predictions");
+  for (size_t r = 0; r < rows; ++r) {
+    double share = n[r] > 0 ? dem[r] / n[r] : 0;
+    double truth = io::PrecinctDemShare(
+        config.data.seed, static_cast<size_t>(precinct->i32_data()[r]),
+        config.data.num_precincts);
+    mae += std::fabs(share - truth);
+  }
+  return mae / static_cast<double>(rows);
+}
+
+/// Shared by the external channels: client-side wrangle + train + predict
+/// + aggregate, starting from already-loaded voters/precincts frames.
+Result<PipelineResult> RunExternal(dataframe::DataFrame voters,
+                                   dataframe::DataFrame precincts,
+                                   const PipelineConfig& config,
+                                   std::string method,
+                                   double load_seconds) {
+  PipelineResult result;
+  result.method = std::move(method);
+  WallTimer wrangle_timer;
+
+  // Preprocessing (pandas analogue): join, labels, split mask.
+  MLCS_ASSIGN_OR_RETURN(dataframe::DataFrame joined,
+                        voters.Merge(precincts, {"precinct_id"}));
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr voter_id, joined.Column("voter_id"));
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr dem, joined.Column("dem_votes"));
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr rep, joined.Column("rep_votes"));
+  ColumnPtr label = GenerateLabelColumn(*voter_id, *dem, *rep, config.seed);
+  ColumnPtr mask =
+      SplitMaskColumn(*voter_id, config.seed, config.train_fraction);
+  MLCS_RETURN_IF_ERROR(joined.AddColumn("label", label));
+  MLCS_ASSIGN_OR_RETURN(dataframe::DataFrame train_df, joined.Filter(*mask));
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr not_mask,
+                        exec::UnaryKernel(exec::UnOpKind::kNot, *mask));
+  MLCS_ASSIGN_OR_RETURN(dataframe::DataFrame test_df,
+                        joined.Filter(*not_mask));
+  result.load_wrangle_seconds = load_seconds + wrangle_timer.ElapsedSeconds();
+
+  // Training.
+  WallTimer train_timer;
+  std::vector<std::string> features = FeatureNames(config);
+  MLCS_ASSIGN_OR_RETURN(ml::Matrix x_train, train_df.ToMatrix(features));
+  MLCS_ASSIGN_OR_RETURN(ml::Labels y_train, train_df.LabelColumn("label"));
+  ml::RandomForestOptions opt;
+  opt.n_estimators = config.n_estimators;
+  opt.max_depth = config.max_depth;
+  opt.seed = config.seed;
+  ml::RandomForest forest(opt);
+  MLCS_RETURN_IF_ERROR(forest.Fit(x_train, y_train));
+  result.train_seconds = train_timer.ElapsedSeconds();
+
+  // Prediction + per-precinct aggregation.
+  WallTimer predict_timer;
+  MLCS_ASSIGN_OR_RETURN(ml::Matrix x_test, test_df.ToMatrix(features));
+  MLCS_ASSIGN_OR_RETURN(ml::Labels pred, forest.Predict(x_test));
+  dataframe::DataFrame pred_df(test_df.table());
+  MLCS_RETURN_IF_ERROR(
+      pred_df.AddColumn("pred", Column::FromInt32(ml::Labels(pred))));
+  MLCS_ASSIGN_OR_RETURN(
+      dataframe::DataFrame aggregated,
+      pred_df.GroupBy({"precinct_id"},
+                      {{exec::AggOp::kSum, "pred", "pred_dem"},
+                       {exec::AggOp::kCountStar, "", "n"}}));
+  result.predict_seconds = predict_timer.ElapsedSeconds();
+
+  result.test_rows = test_df.num_rows();
+  result.precinct_predictions = aggregated.table();
+  MLCS_ASSIGN_OR_RETURN(result.precinct_share_mae,
+                        PrecinctShareMae(*aggregated.table(), config));
+  result.total_seconds = result.load_wrangle_seconds +
+                         result.train_seconds + result.predict_seconds;
+  return result;
+}
+
+/// Post-wrangle tail shared by the channels that receive an already
+/// joined+labelled table (socket and row-cursor): split, train, predict,
+/// aggregate.
+Result<PipelineResult> FinishFromWrangled(TablePtr wrangled,
+                                          const PipelineConfig& config,
+                                          std::string method,
+                                          double load_seconds) {
+  PipelineResult result;
+  result.method = std::move(method);
+  dataframe::DataFrame joined(std::move(wrangled));
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr mask_col, joined.Column("is_train"));
+  MLCS_ASSIGN_OR_RETURN(dataframe::DataFrame train_df,
+                        joined.Filter(*mask_col));
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr not_mask,
+                        exec::UnaryKernel(exec::UnOpKind::kNot, *mask_col));
+  MLCS_ASSIGN_OR_RETURN(dataframe::DataFrame test_df,
+                        joined.Filter(*not_mask));
+  result.load_wrangle_seconds = load_seconds;
+
+  WallTimer train_timer;
+  std::vector<std::string> features = FeatureNames(config);
+  MLCS_ASSIGN_OR_RETURN(ml::Matrix x_train, train_df.ToMatrix(features));
+  MLCS_ASSIGN_OR_RETURN(ml::Labels y_train, train_df.LabelColumn("label"));
+  ml::RandomForestOptions opt;
+  opt.n_estimators = config.n_estimators;
+  opt.max_depth = config.max_depth;
+  opt.seed = config.seed;
+  ml::RandomForest forest(opt);
+  MLCS_RETURN_IF_ERROR(forest.Fit(x_train, y_train));
+  result.train_seconds = train_timer.ElapsedSeconds();
+
+  WallTimer predict_timer;
+  MLCS_ASSIGN_OR_RETURN(ml::Matrix x_test, test_df.ToMatrix(features));
+  MLCS_ASSIGN_OR_RETURN(ml::Labels pred, forest.Predict(x_test));
+  dataframe::DataFrame pred_df(test_df.table());
+  MLCS_RETURN_IF_ERROR(
+      pred_df.AddColumn("pred", Column::FromInt32(std::move(pred))));
+  MLCS_ASSIGN_OR_RETURN(
+      dataframe::DataFrame aggregated,
+      pred_df.GroupBy({"precinct_id"},
+                      {{exec::AggOp::kSum, "pred", "pred_dem"},
+                       {exec::AggOp::kCountStar, "", "n"}}));
+  result.predict_seconds = predict_timer.ElapsedSeconds();
+
+  result.test_rows = test_df.num_rows();
+  result.precinct_predictions = aggregated.table();
+  MLCS_ASSIGN_OR_RETURN(result.precinct_share_mae,
+                        PrecinctShareMae(*aggregated.table(), config));
+  result.total_seconds = result.load_wrangle_seconds +
+                         result.train_seconds + result.predict_seconds;
+  return result;
+}
+
+}  // namespace
+
+ColumnPtr GenerateLabelColumn(const Column& voter_id, const Column& dem,
+                              const Column& rep, uint64_t seed) {
+  size_t n = voter_id.size();
+  std::vector<int32_t> labels(n);
+  const auto& ids = voter_id.i32_data();
+  const auto& d = dem.i32_data();
+  const auto& r = rep.i32_data();
+  // Length-1 vote columns broadcast (scalar literals from SQL).
+  size_t dn = d.size() == 1 ? 0 : 1;
+  size_t rn = r.size() == 1 ? 0 : 1;
+  for (size_t i = 0; i < n; ++i) {
+    double di = static_cast<double>(d[i * dn]);
+    double ri = static_cast<double>(r[i * rn]);
+    double total = di + ri;
+    double share = total > 0 ? di / total : 0.5;
+    double u = HashToUnit(seed ^ kLabelSalt ^
+                          (static_cast<uint64_t>(
+                               static_cast<uint32_t>(ids[i])) *
+                           0x100000001B3ULL));
+    labels[i] = u < share ? 1 : 0;
+  }
+  return Column::FromInt32(std::move(labels));
+}
+
+ColumnPtr SplitMaskColumn(const Column& voter_id, uint64_t seed,
+                          double train_fraction) {
+  size_t n = voter_id.size();
+  std::vector<uint8_t> mask(n);
+  const auto& ids = voter_id.i32_data();
+  for (size_t i = 0; i < n; ++i) {
+    double u = HashToUnit(seed ^ kSplitSalt ^
+                          (static_cast<uint64_t>(
+                               static_cast<uint32_t>(ids[i])) *
+                           0xC4CEB9FE1A85EC53ULL));
+    mask[i] = u < train_fraction ? 1 : 0;
+  }
+  return Column::FromBool(std::move(mask));
+}
+
+Status RegisterVoterUdfs(Database* db) {
+  udf::UdfRegistry& registry = db->udfs();
+
+  udf::ScalarUdfEntry gen_label;
+  gen_label.name = "gen_label";
+  gen_label.return_type = TypeId::kInt32;
+  gen_label.has_return_type = true;
+  gen_label.fn = [](const std::vector<ColumnPtr>& args,
+                    size_t num_rows) -> Result<ColumnPtr> {
+    if (args.size() != 4) {
+      return Status::InvalidArgument("gen_label(voter_id, dem, rep, seed)");
+    }
+    MLCS_ASSIGN_OR_RETURN(Value seed, args[3]->GetValue(0));
+    MLCS_ASSIGN_OR_RETURN(int64_t seed_value, seed.AsInt64());
+    return GenerateLabelColumn(*args[0], *args[1], *args[2],
+                               static_cast<uint64_t>(seed_value));
+  };
+  Status st = registry.RegisterScalar(std::move(gen_label),
+                                      /*or_replace=*/true);
+  MLCS_RETURN_IF_ERROR(st);
+
+  udf::ScalarUdfEntry split_mask;
+  split_mask.name = "split_mask";
+  split_mask.return_type = TypeId::kBool;
+  split_mask.has_return_type = true;
+  split_mask.fn = [](const std::vector<ColumnPtr>& args,
+                     size_t num_rows) -> Result<ColumnPtr> {
+    if (args.size() != 3) {
+      return Status::InvalidArgument("split_mask(voter_id, seed, fraction)");
+    }
+    MLCS_ASSIGN_OR_RETURN(Value seed, args[1]->GetValue(0));
+    MLCS_ASSIGN_OR_RETURN(int64_t seed_value, seed.AsInt64());
+    MLCS_ASSIGN_OR_RETURN(Value fraction, args[2]->GetValue(0));
+    MLCS_ASSIGN_OR_RETURN(double f, fraction.AsDouble());
+    return SplitMaskColumn(*args[0], static_cast<uint64_t>(seed_value), f);
+  };
+  MLCS_RETURN_IF_ERROR(
+      registry.RegisterScalar(std::move(split_mask), /*or_replace=*/true));
+
+  udf::TableUdfEntry train;
+  train.name = "train_voter_rf";
+  train.return_schema.AddField("classifier", TypeId::kBlob);
+  train.return_schema.AddField("n_estimators", TypeId::kInt32);
+  train.fn = [](const std::vector<ColumnPtr>& args) -> Result<TablePtr> {
+    if (args.size() < 5) {
+      return Status::InvalidArgument(
+          "train_voter_rf(n_estimators, max_depth, seed, features..., "
+          "labels)");
+    }
+    MLCS_ASSIGN_OR_RETURN(Value n_est, args[0]->GetValue(0));
+    MLCS_ASSIGN_OR_RETURN(Value depth, args[1]->GetValue(0));
+    MLCS_ASSIGN_OR_RETURN(Value seed, args[2]->GetValue(0));
+    ml::RandomForestOptions opt;
+    MLCS_ASSIGN_OR_RETURN(int64_t n_est_v, n_est.AsInt64());
+    MLCS_ASSIGN_OR_RETURN(int64_t depth_v, depth.AsInt64());
+    MLCS_ASSIGN_OR_RETURN(int64_t seed_v, seed.AsInt64());
+    opt.n_estimators = static_cast<int>(n_est_v);
+    opt.max_depth = static_cast<int>(depth_v);
+    opt.seed = static_cast<uint64_t>(seed_v);
+    std::vector<ColumnPtr> features(args.begin() + 3, args.end() - 1);
+    MLCS_ASSIGN_OR_RETURN(ml::Matrix x, ml::Matrix::FromColumns(features));
+    MLCS_ASSIGN_OR_RETURN(ColumnPtr labels,
+                          args.back()->CastTo(TypeId::kInt32));
+    ml::RandomForest forest(opt);
+    MLCS_RETURN_IF_ERROR(forest.Fit(x, labels->i32_data()));
+    Schema schema;
+    schema.AddField("classifier", TypeId::kBlob);
+    schema.AddField("n_estimators", TypeId::kInt32);
+    auto out = Table::Make(std::move(schema));
+    MLCS_RETURN_IF_ERROR(
+        out->AppendRow({Value::Blob(ml::pickle::Dumps(forest)),
+                        Value::Int32(opt.n_estimators)}));
+    return out;
+  };
+  MLCS_RETURN_IF_ERROR(
+      registry.RegisterTable(std::move(train), /*or_replace=*/true));
+
+  udf::ScalarUdfEntry predict;
+  predict.name = "predict_voter_rf";
+  predict.return_type = TypeId::kInt32;
+  predict.has_return_type = true;
+  predict.fn = [](const std::vector<ColumnPtr>& args,
+                  size_t num_rows) -> Result<ColumnPtr> {
+    if (args.size() < 2) {
+      return Status::InvalidArgument(
+          "predict_voter_rf(classifier, features...)");
+    }
+    MLCS_ASSIGN_OR_RETURN(Value blob, args[0]->GetValue(0));
+    if (blob.type() != TypeId::kBlob) {
+      return Status::TypeMismatch("first argument must be the model BLOB");
+    }
+    // Deserialization per call — the §5.1 overhead the abl-ser benchmark
+    // quantifies.
+    MLCS_ASSIGN_OR_RETURN(ml::ModelPtr model,
+                          ml::pickle::Loads(blob.blob_value()));
+    std::vector<ColumnPtr> features(args.begin() + 1, args.end());
+    MLCS_ASSIGN_OR_RETURN(ml::Matrix x, ml::Matrix::FromColumns(features));
+    MLCS_ASSIGN_OR_RETURN(ml::Labels pred, model->Predict(x));
+    return Column::FromInt32(std::move(pred));
+  };
+  MLCS_RETURN_IF_ERROR(
+      registry.RegisterScalar(std::move(predict), /*or_replace=*/true));
+
+  // The §5.1 optimization: same signature, but the deserialized model is
+  // snapshotted in the global content-addressed cache, so repeated
+  // predict calls skip the BLOB round-trip.
+  udf::ScalarUdfEntry predict_cached;
+  predict_cached.name = "predict_voter_rf_cached";
+  predict_cached.return_type = TypeId::kInt32;
+  predict_cached.has_return_type = true;
+  predict_cached.fn = [](const std::vector<ColumnPtr>& args,
+                         size_t num_rows) -> Result<ColumnPtr> {
+    if (args.size() < 2) {
+      return Status::InvalidArgument(
+          "predict_voter_rf_cached(classifier, features...)");
+    }
+    MLCS_ASSIGN_OR_RETURN(Value blob, args[0]->GetValue(0));
+    if (blob.type() != TypeId::kBlob) {
+      return Status::TypeMismatch("first argument must be the model BLOB");
+    }
+    MLCS_ASSIGN_OR_RETURN(
+        ml::ModelPtr model,
+        modelstore::ModelCache::Global().Get(blob.blob_value()));
+    std::vector<ColumnPtr> features(args.begin() + 1, args.end());
+    MLCS_ASSIGN_OR_RETURN(ml::Matrix x, ml::Matrix::FromColumns(features));
+    MLCS_ASSIGN_OR_RETURN(ml::Labels pred, model->Predict(x));
+    return Column::FromInt32(std::move(pred));
+  };
+  return registry.RegisterScalar(std::move(predict_cached),
+                                 /*or_replace=*/true);
+}
+
+Status LoadVoterData(Database* db, const PipelineConfig& config) {
+  MLCS_ASSIGN_OR_RETURN(TablePtr voters, io::GenerateVoters(config.data));
+  MLCS_ASSIGN_OR_RETURN(TablePtr precincts,
+                        io::GeneratePrecincts(config.data));
+  MLCS_RETURN_IF_ERROR(db->catalog().CreateTable("voters", voters,
+                                                 /*or_replace=*/true));
+  return db->catalog().CreateTable("precincts", precincts,
+                                   /*or_replace=*/true);
+}
+
+std::string WranglingSql(const PipelineConfig& config) {
+  std::vector<std::string> features = FeatureNames(config);
+  std::string sql = "SELECT voter_id, " + JoinNames(features) +
+                    ", gen_label(voter_id, dem_votes, rep_votes, " +
+                    std::to_string(config.seed) + ") AS label" +
+                    ", split_mask(voter_id, " + std::to_string(config.seed) +
+                    ", " + std::to_string(config.train_fraction) +
+                    ") AS is_train" +
+                    " FROM voters JOIN precincts ON precinct_id = "
+                    "precinct_id";
+  return sql;
+}
+
+Result<PipelineResult> RunInDatabase(Database* db,
+                                     const PipelineConfig& config) {
+  MLCS_RETURN_IF_ERROR(RegisterVoterUdfs(db));
+  PipelineResult result;
+  result.method = "mlcs (in-database UDF)";
+  std::vector<std::string> features = FeatureNames(config);
+
+  // Wrangle: join + labels + split, all inside the engine. The result is
+  // registered directly (columnar intermediates share buffers, MonetDB
+  // style) instead of CREATE TABLE AS, which would deep-copy.
+  WallTimer wrangle_timer;
+  MLCS_ASSIGN_OR_RETURN(TablePtr joined, db->Query(WranglingSql(config)));
+  MLCS_RETURN_IF_ERROR(db->catalog().CreateTable("voter_joined", joined,
+                                                 /*or_replace=*/true));
+  result.load_wrangle_seconds = wrangle_timer.ElapsedSeconds();
+
+  // Train via the table UDF; model persists as a BLOB row (Listing 1).
+  WallTimer train_timer;
+  std::string train_sql =
+      "CREATE OR REPLACE TABLE voter_models AS SELECT * FROM "
+      "train_voter_rf(" +
+      std::to_string(config.n_estimators) + ", " +
+      std::to_string(config.max_depth) + ", " + std::to_string(config.seed) +
+      ", (SELECT " + JoinNames(features) +
+      ", label FROM voter_joined WHERE is_train))";
+  MLCS_RETURN_IF_ERROR(db->Query(train_sql).status());
+  result.train_seconds = train_timer.ElapsedSeconds();
+
+  // Predict + aggregate per precinct (Listing 2 + the paper's testing
+  // aggregation), still inside the engine.
+  WallTimer predict_timer;
+  std::string predict_sql =
+      "CREATE OR REPLACE TABLE voter_predictions AS SELECT precinct_id, "
+      "predict_voter_rf((SELECT classifier FROM voter_models), " +
+      JoinNames(features) +
+      ") AS pred FROM voter_joined WHERE NOT is_train";
+  MLCS_RETURN_IF_ERROR(db->Query(predict_sql).status());
+  MLCS_ASSIGN_OR_RETURN(
+      TablePtr aggregated,
+      db->Query("SELECT precinct_id, SUM(pred) AS pred_dem, COUNT(*) AS n "
+                "FROM voter_predictions GROUP BY precinct_id"));
+  result.predict_seconds = predict_timer.ElapsedSeconds();
+
+  MLCS_ASSIGN_OR_RETURN(
+      TablePtr test_count,
+      db->Query("SELECT COUNT(*) FROM voter_joined WHERE NOT is_train"));
+  MLCS_ASSIGN_OR_RETURN(Value n, test_count->GetValue(0, 0));
+  result.test_rows = static_cast<size_t>(n.int64_value());
+  result.precinct_predictions = aggregated;
+  MLCS_ASSIGN_OR_RETURN(result.precinct_share_mae,
+                        PrecinctShareMae(*aggregated, config));
+  result.total_seconds = result.load_wrangle_seconds +
+                         result.train_seconds + result.predict_seconds;
+  return result;
+}
+
+Result<PipelineResult> RunFromCsv(const std::string& voters_csv,
+                                  const std::string& precincts_csv,
+                                  const PipelineConfig& config) {
+  WallTimer load_timer;
+  MLCS_ASSIGN_OR_RETURN(TablePtr voters_schema_probe,
+                        io::GenerateVoters({1, 1, config.data.num_columns,
+                                            config.data.seed}));
+  // Known schemas → the fast typed CSV path.
+  MLCS_ASSIGN_OR_RETURN(
+      TablePtr voters,
+      io::ReadCsv(voters_csv, voters_schema_probe->schema()));
+  Schema precinct_schema;
+  precinct_schema.AddField("precinct_id", TypeId::kInt32);
+  precinct_schema.AddField("dem_votes", TypeId::kInt32);
+  precinct_schema.AddField("rep_votes", TypeId::kInt32);
+  MLCS_ASSIGN_OR_RETURN(TablePtr precincts,
+                        io::ReadCsv(precincts_csv, precinct_schema));
+  double load_seconds = load_timer.ElapsedSeconds();
+  return RunExternal(dataframe::DataFrame(voters),
+                     dataframe::DataFrame(precincts), config, "csv",
+                     load_seconds);
+}
+
+Result<PipelineResult> RunFromNpyDir(const std::string& voters_dir,
+                                     const std::string& precincts_dir,
+                                     const PipelineConfig& config) {
+  WallTimer load_timer;
+  MLCS_ASSIGN_OR_RETURN(TablePtr voters,
+                        io::LoadTableFromNpyDir(voters_dir));
+  MLCS_ASSIGN_OR_RETURN(TablePtr precincts,
+                        io::LoadTableFromNpyDir(precincts_dir));
+  double load_seconds = load_timer.ElapsedSeconds();
+  return RunExternal(dataframe::DataFrame(voters),
+                     dataframe::DataFrame(precincts), config, "numpy-binary",
+                     load_seconds);
+}
+
+Result<PipelineResult> RunFromH5b(const std::string& voters_file,
+                                  const std::string& precincts_file,
+                                  const PipelineConfig& config) {
+  WallTimer load_timer;
+  MLCS_ASSIGN_OR_RETURN(TablePtr voters, io::ReadH5b(voters_file));
+  MLCS_ASSIGN_OR_RETURN(TablePtr precincts, io::ReadH5b(precincts_file));
+  double load_seconds = load_timer.ElapsedSeconds();
+  return RunExternal(dataframe::DataFrame(voters),
+                     dataframe::DataFrame(precincts), config, "hdf5-like",
+                     load_seconds);
+}
+
+Result<PipelineResult> RunFromSocket(const std::string& host, uint16_t port,
+                                     client::WireProtocol protocol,
+                                     const PipelineConfig& config) {
+  // The server performs the join/label/split in SQL; the client receives
+  // the preprocessed rows over the socket and continues externally — the
+  // paper's PostgreSQL/MySQL setup.
+  WallTimer load_timer;
+  client::TableClient tcp;
+  MLCS_RETURN_IF_ERROR(tcp.Connect(host, port));
+  MLCS_ASSIGN_OR_RETURN(TablePtr wrangled,
+                        tcp.Query(WranglingSql(config), protocol));
+  double load_seconds = load_timer.ElapsedSeconds();
+  return FinishFromWrangled(std::move(wrangled), config,
+                            std::string("socket ") +
+                                client::WireProtocolToString(protocol),
+                            load_seconds);
+}
+
+Result<PipelineResult> RunSqliteLike(Database* db,
+                                     const PipelineConfig& config) {
+  MLCS_RETURN_IF_ERROR(RegisterVoterUdfs(db));
+  // In-process, but the result set is fetched row-at-a-time through the
+  // cursor API with per-cell Value boxing — the SQLite bar.
+  WallTimer load_timer;
+  MLCS_ASSIGN_OR_RETURN(TablePtr wrangled,
+                        client::FetchAllRowAtATime(db, WranglingSql(config)));
+  double load_seconds = load_timer.ElapsedSeconds();
+  return FinishFromWrangled(std::move(wrangled), config,
+                            "sqlite-like (row-at-a-time)", load_seconds);
+}
+
+}  // namespace mlcs::pipeline

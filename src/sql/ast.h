@@ -1,0 +1,183 @@
+#ifndef MLCS_SQL_AST_H_
+#define MLCS_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "exec/hash_join.h"
+#include "exec/kernels.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace mlcs::sql {
+
+struct SelectStatement;
+
+/// SQL expression AST. Kept separate from exec::Expression so the executor
+/// can resolve scalar subqueries and aggregate calls before building the
+/// vectorized expression tree.
+struct SqlExpr;
+using SqlExprPtr = std::unique_ptr<SqlExpr>;
+
+enum class SqlExprKind {
+  kLiteral,
+  kColumnRef,   // name (possibly qualified; only the last part is kept)
+  kBinary,
+  kUnary,
+  kCall,        // function(args) — scalar UDF, builtin, or aggregate
+  kCast,        // CAST(expr AS TYPE)
+  kIsNull,      // expr IS [NOT] NULL
+  kSubquery,    // (SELECT ...) used as a scalar
+  kStar,        // '*' inside COUNT(*)
+  kCase,        // CASE WHEN ... THEN ... [ELSE ...] END
+};
+// Note: `x IN (a, b)` and `x BETWEEN a AND b` are desugared by the parser
+// into OR-of-equalities / AND-of-comparisons, so they need no AST kinds.
+
+struct SqlExpr {
+  SqlExprKind kind = SqlExprKind::kLiteral;
+  int line = 1;
+
+  Value literal;                       // kLiteral
+  std::string name;                    // kColumnRef / kCall
+  exec::BinOpKind bin_op = exec::BinOpKind::kAdd;  // kBinary
+  exec::UnOpKind un_op = exec::UnOpKind::kNeg;     // kUnary
+  SqlExprPtr left;
+  SqlExprPtr right;
+  std::vector<SqlExprPtr> args;        // kCall
+  TypeId cast_type = TypeId::kInt32;   // kCast
+  bool is_not_null = false;            // kIsNull: true → IS NOT NULL
+  std::unique_ptr<SelectStatement> subquery;  // kSubquery
+  // kCase: (condition, value) pairs in order; `left` holds the ELSE value
+  // (null when absent).
+  std::vector<std::pair<SqlExprPtr, SqlExprPtr>> when_clauses;
+
+  std::string ToString() const;
+};
+
+/// One item of a SELECT list.
+struct SelectItem {
+  bool star = false;   // SELECT *
+  SqlExprPtr expr;
+  std::string alias;   // empty → derived from the expression
+};
+
+/// Argument of a table function in FROM: either a scalar expression or a
+/// parenthesized subquery whose columns become vector arguments (the
+/// MonetDB `SELECT * FROM train((SELECT ...), 16)` calling convention).
+struct TableFunctionArg {
+  SqlExprPtr scalar;
+  std::unique_ptr<SelectStatement> table;
+};
+
+/// FROM-clause relation.
+struct TableRef {
+  enum class Kind { kBase, kJoin, kFunction, kSubquery };
+  Kind kind = Kind::kBase;
+
+  std::string name;   // kBase table name / kFunction function name
+  std::string alias;
+
+  // kJoin
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  exec::JoinType join_type = exec::JoinType::kInner;
+  std::vector<std::pair<std::string, std::string>> join_keys;  // left=right
+
+  // kFunction
+  std::vector<TableFunctionArg> fn_args;
+
+  // kSubquery
+  std::unique_ptr<SelectStatement> subquery;
+};
+
+struct OrderItem {
+  SqlExprPtr expr;   // usually a column ref; evaluated over the result
+  bool descending = false;
+};
+
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::unique_ptr<TableRef> from;   // null → SELECT without FROM
+  SqlExprPtr where;
+  std::vector<std::string> group_by;
+  /// Evaluated over the projected output (reference output column names /
+  /// aliases, e.g. `HAVING n > 5` with `COUNT(*) AS n`).
+  SqlExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;               // -1 → no limit
+};
+
+struct CreateTableStmt {
+  std::string name;
+  bool or_replace = false;
+  Schema schema;                                   // column-list form
+  std::unique_ptr<SelectStatement> as_select;      // CREATE TABLE AS form
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<SqlExprPtr>> rows;       // VALUES form (literals)
+  std::unique_ptr<SelectStatement> select;         // INSERT ... SELECT form
+};
+
+struct DropStmt {
+  bool is_function = false;
+  std::string name;
+  bool if_exists = false;
+};
+
+struct CreateFunctionStmt {
+  std::string name;
+  bool or_replace = false;
+  std::vector<Field> params;
+  bool returns_table = false;
+  Schema table_schema;           // RETURNS TABLE(...)
+  TypeId scalar_type = TypeId::kInt32;  // RETURNS <type>
+  std::string language;          // e.g. "VSCRIPT"
+  std::string body;              // raw text between { }
+};
+
+struct DeleteStmt {
+  std::string table;
+  SqlExprPtr where;  // null → delete all rows
+};
+
+/// UPDATE <table> SET col = expr [, ...] [WHERE expr].
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, SqlExprPtr>> assignments;
+  SqlExprPtr where;  // null → all rows
+};
+
+/// SHOW TABLES / SHOW FUNCTIONS.
+struct ShowStmt {
+  enum class What { kTables, kFunctions };
+  What what = What::kTables;
+};
+
+/// DESCRIBE <table> — one row per column (name, type).
+struct DescribeStmt {
+  std::string table;
+};
+
+struct ExplainStmt;  // defined after Statement (holds one)
+
+using Statement =
+    std::variant<SelectStatement, CreateTableStmt, InsertStmt, DropStmt,
+                 CreateFunctionStmt, DeleteStmt, UpdateStmt, ShowStmt,
+                 DescribeStmt, std::unique_ptr<ExplainStmt>>;
+
+/// EXPLAIN <statement> — renders the interpreted plan as text rather than
+/// executing.
+struct ExplainStmt {
+  Statement inner;
+};
+
+}  // namespace mlcs::sql
+
+#endif  // MLCS_SQL_AST_H_

@@ -1,0 +1,166 @@
+#include "sql/database.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+#include "storage/table_io.h"
+
+namespace mlcs {
+
+namespace {
+
+/// Registers a 1-argument numeric builtin computing fn over doubles.
+void RegisterNumericFn(udf::UdfRegistry* registry, const char* name,
+                       double (*fn)(double)) {
+  udf::ScalarUdfEntry entry;
+  entry.name = name;
+  entry.return_type = TypeId::kDouble;
+  entry.has_return_type = true;
+  entry.fn = [fn, name = std::string(name)](
+                 const std::vector<ColumnPtr>& args,
+                 size_t num_rows) -> Result<ColumnPtr> {
+    if (args.size() != 1) {
+      return Status::InvalidArgument(name + " takes exactly one argument");
+    }
+    MLCS_ASSIGN_OR_RETURN(std::vector<double> data,
+                          args[0]->ToDoubleVector());
+    for (auto& v : data) v = fn(v);
+    ColumnPtr out = Column::FromDouble(std::move(data));
+    if (args[0]->has_nulls()) {
+      for (size_t i = 0; i < args[0]->size(); ++i) {
+        if (args[0]->IsNull(i)) out->SetNull(i);
+      }
+    }
+    return out;
+  };
+  (void)registry->RegisterScalar(std::move(entry));
+}
+
+/// Registers a 1-argument string builtin.
+void RegisterStringFn(udf::UdfRegistry* registry, const char* name,
+                      std::string (*fn)(std::string_view), TypeId out_type) {
+  udf::ScalarUdfEntry entry;
+  entry.name = name;
+  entry.return_type = out_type;
+  entry.has_return_type = true;
+  entry.fn = [fn, out_type, name = std::string(name)](
+                 const std::vector<ColumnPtr>& args,
+                 size_t num_rows) -> Result<ColumnPtr> {
+    if (args.size() != 1) {
+      return Status::InvalidArgument(name + " takes exactly one argument");
+    }
+    if (args[0]->type() != TypeId::kVarchar) {
+      return Status::TypeMismatch(name + " requires a VARCHAR argument");
+    }
+    ColumnPtr out = Column::Make(out_type);
+    out->Reserve(args[0]->size());
+    for (size_t i = 0; i < args[0]->size(); ++i) {
+      if (args[0]->IsNull(i)) {
+        out->AppendNull();
+        continue;
+      }
+      std::string transformed = fn(args[0]->str_data()[i]);
+      if (out_type == TypeId::kVarchar) {
+        out->AppendString(std::move(transformed));
+      } else {
+        MLCS_ASSIGN_OR_RETURN(int64_t v, ParseInt64(transformed));
+        out->AppendInt64(v);
+      }
+    }
+    return out;
+  };
+  (void)registry->RegisterScalar(std::move(entry));
+}
+
+}  // namespace
+
+Database::Database() {
+  executor_ = std::make_unique<sql::Executor>(&catalog_, &udfs_);
+  RegisterBuiltinFunctions();
+}
+
+void Database::RegisterBuiltinFunctions() {
+  RegisterNumericFn(&udfs_, "abs", [](double v) { return std::fabs(v); });
+  RegisterNumericFn(&udfs_, "sqrt", [](double v) { return std::sqrt(v); });
+  RegisterNumericFn(&udfs_, "floor", [](double v) { return std::floor(v); });
+  RegisterNumericFn(&udfs_, "ceil", [](double v) { return std::ceil(v); });
+  RegisterNumericFn(&udfs_, "round", [](double v) { return std::round(v); });
+  RegisterNumericFn(&udfs_, "ln", [](double v) { return std::log(v); });
+  RegisterNumericFn(&udfs_, "exp", [](double v) { return std::exp(v); });
+  RegisterStringFn(
+      &udfs_, "lower",
+      [](std::string_view s) { return ToLower(s); }, TypeId::kVarchar);
+  RegisterStringFn(
+      &udfs_, "upper",
+      [](std::string_view s) { return ToUpper(s); }, TypeId::kVarchar);
+  RegisterStringFn(
+      &udfs_, "length",
+      [](std::string_view s) { return std::to_string(s.size()); },
+      TypeId::kInt64);
+}
+
+Result<TablePtr> Database::Query(const std::string& sql) {
+  MLCS_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  return executor_->Execute(stmt);
+}
+
+Result<TablePtr> Database::Run(const std::string& script) {
+  MLCS_ASSIGN_OR_RETURN(std::vector<sql::Statement> statements,
+                        sql::ParseScript(script));
+  if (statements.empty()) {
+    return Status::InvalidArgument("empty SQL script");
+  }
+  TablePtr last;
+  for (const auto& stmt : statements) {
+    MLCS_ASSIGN_OR_RETURN(last, executor_->Execute(stmt));
+  }
+  return last;
+}
+
+Connection Database::Connect() { return Connection(this); }
+
+Status Database::SaveTo(const std::string& dir) const {
+  std::string manifest;
+  for (const std::string& name : catalog_.ListTables()) {
+    MLCS_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(name));
+    MLCS_RETURN_IF_ERROR(SaveTable(*table, dir + "/" + name + ".mlt"));
+    manifest += name + "\n";
+  }
+  std::FILE* f = std::fopen((dir + "/tables.txt").c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot write manifest in '" + dir + "'");
+  }
+  size_t written = std::fwrite(manifest.data(), 1, manifest.size(), f);
+  std::fclose(f);
+  if (written != manifest.size()) {
+    return Status::IoError("short manifest write in '" + dir + "'");
+  }
+  return Status::OK();
+}
+
+Status Database::LoadFrom(const std::string& dir) {
+  std::FILE* f = std::fopen((dir + "/tables.txt").c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("'" + dir + "' has no tables.txt manifest");
+  }
+  std::string manifest;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    manifest.append(buf, got);
+  }
+  std::fclose(f);
+  for (const std::string& line : SplitString(manifest, '\n')) {
+    std::string name = Trim(line);
+    if (name.empty()) continue;
+    MLCS_ASSIGN_OR_RETURN(TablePtr table,
+                          LoadTable(dir + "/" + name + ".mlt"));
+    MLCS_RETURN_IF_ERROR(
+        catalog_.CreateTable(name, table, /*or_replace=*/true));
+  }
+  return Status::OK();
+}
+
+}  // namespace mlcs

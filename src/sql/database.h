@@ -1,0 +1,79 @@
+#ifndef MLCS_SQL_DATABASE_H_
+#define MLCS_SQL_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/executor.h"
+#include "storage/catalog.h"
+#include "udf/udf.h"
+
+namespace mlcs {
+
+/// The embedded analytical database — the library's main entry point.
+///
+///   mlcs::Database db;
+///   auto conn = db.Connect();
+///   conn.Query("CREATE TABLE t (x INTEGER)");
+///   conn.Query("INSERT INTO t VALUES (1), (2)");
+///   auto result = conn.Query("SELECT SUM(x) FROM t");
+///
+/// UDFs (vectorized, the paper's integration mechanism) register either
+/// natively from C++ via udfs() or from SQL via
+/// `CREATE FUNCTION ... LANGUAGE VSCRIPT { ... }` (LANGUAGE PYTHON is an
+/// accepted alias so the paper's listings run verbatim).
+class Database {
+ public:
+  Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  udf::UdfRegistry& udfs() { return udfs_; }
+
+  /// Executes one SQL statement and returns its result table.
+  Result<TablePtr> Query(const std::string& sql);
+  /// Executes a semicolon-separated script; returns the last result.
+  Result<TablePtr> Run(const std::string& script);
+
+  /// Persists every catalog table into `dir` (one .mlt file per table plus
+  /// a manifest) — "storing data inside a relational database" across
+  /// process restarts. UDFs are code, not data: native ones must be
+  /// re-registered; VSCRIPT functions must be re-created.
+  Status SaveTo(const std::string& dir) const;
+  /// Loads all tables a previous SaveTo wrote (replacing same-named ones).
+  Status LoadFrom(const std::string& dir);
+
+  class Connection Connect();
+
+ private:
+  void RegisterBuiltinFunctions();
+
+  Catalog catalog_;
+  udf::UdfRegistry udfs_;
+  std::unique_ptr<sql::Executor> executor_;
+};
+
+/// A lightweight session handle. Connections share the database's catalog
+/// and UDF registry and may be used from different threads (each call is
+/// internally synchronized at the catalog/registry level; concurrent DDL
+/// and DML on the same table is the caller's responsibility, as in SQLite).
+class Connection {
+ public:
+  explicit Connection(Database* db) : db_(db) {}
+
+  Result<TablePtr> Query(const std::string& sql) { return db_->Query(sql); }
+  Result<TablePtr> Run(const std::string& script) {
+    return db_->Run(script);
+  }
+  Database& database() { return *db_; }
+
+ private:
+  Database* db_;
+};
+
+}  // namespace mlcs
+
+#endif  // MLCS_SQL_DATABASE_H_

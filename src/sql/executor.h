@@ -1,0 +1,74 @@
+#ifndef MLCS_SQL_EXECUTOR_H_
+#define MLCS_SQL_EXECUTOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "exec/expression.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+#include "udf/udf.h"
+
+namespace mlcs::sql {
+
+/// Interprets bound SQL statements against a catalog + UDF registry using
+/// the column-at-a-time operators in exec/ (MonetDB-style operator-at-a-
+/// time execution: each operator materializes full columns).
+class Executor {
+ public:
+  Executor(Catalog* catalog, udf::UdfRegistry* udfs)
+      : catalog_(catalog), udfs_(udfs) {}
+
+  /// Runs one statement; DDL/DML return a one-column status table.
+  Result<TablePtr> Execute(const Statement& stmt);
+  Result<TablePtr> ExecuteSelect(const SelectStatement& select);
+
+ private:
+  Result<TablePtr> ExecuteCreateTable(const CreateTableStmt& stmt);
+  Result<TablePtr> ExecuteInsert(const InsertStmt& stmt);
+  Result<TablePtr> ExecuteDrop(const DropStmt& stmt);
+  Result<TablePtr> ExecuteCreateFunction(const CreateFunctionStmt& stmt);
+  Result<TablePtr> ExecuteDelete(const DeleteStmt& stmt);
+  Result<TablePtr> ExecuteUpdate(const UpdateStmt& stmt);
+
+  Result<TablePtr> ResolveTableRef(const TableRef& ref);
+  Result<TablePtr> ExecuteJoin(const TableRef& ref);
+
+  /// Lowers a SQL expression into a vectorized exec expression, resolving
+  /// scalar subqueries to literals on the way.
+  Result<exec::ExprPtr> Lower(const SqlExpr& e);
+  Result<Value> EvaluateScalarSubquery(const SelectStatement& select);
+  /// Evaluates an expression with no row source (literals, scalar
+  /// subqueries, scalar UDFs of constants).
+  Result<Value> EvaluateConstant(const SqlExpr& e);
+
+  exec::EvalContext MakeContext(const Table* input) const;
+
+  Result<TablePtr> ProjectPlain(const SelectStatement& select,
+                                const TablePtr& input);
+  Result<TablePtr> ProjectAggregate(const SelectStatement& select,
+                                    const TablePtr& input);
+  /// `row_source` (may be null) is the filtered FROM table whose rows are
+  /// 1:1 with the output rows; ORDER BY expressions that do not resolve
+  /// against the projection are retried against it (so
+  /// `SELECT id ... ORDER BY age` works).
+  Result<TablePtr> ApplyOrderByLimit(const SelectStatement& select,
+                                     TablePtr table,
+                                     const TablePtr& row_source);
+
+  static TablePtr StatusTable(const std::string& message);
+
+  /// Textual plan rendering for EXPLAIN (interpreted plan: the operator
+  /// order ExecuteSelect applies).
+  static std::string RenderPlan(const Statement& stmt);
+  static std::string RenderSelectPlan(const SelectStatement& select,
+                                      int indent);
+  static std::string RenderTableRefPlan(const TableRef& ref, int indent);
+
+  Catalog* catalog_;
+  udf::UdfRegistry* udfs_;
+};
+
+}  // namespace mlcs::sql
+
+#endif  // MLCS_SQL_EXECUTOR_H_

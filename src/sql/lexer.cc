@@ -1,0 +1,216 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace mlcs::sql {
+
+Result<std::vector<SqlToken>> TokenizeSql(const std::string& source) {
+  std::vector<SqlToken> tokens;
+  size_t i = 0;
+  int line = 1;
+  auto push = [&](SqlTokenType type, std::string text, size_t offset) {
+    tokens.push_back(SqlToken{type, std::move(text), line, offset});
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < source.size() && source[i + 1] == '-') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        ++i;
+      }
+      push(SqlTokenType::kIdent, source.substr(start, i - start), start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[i])) ||
+              source[i] == '.' || source[i] == 'e' || source[i] == 'E' ||
+              ((source[i] == '+' || source[i] == '-') && i > start &&
+               (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+        if (source[i] == '.' || source[i] == 'e' || source[i] == 'E') {
+          is_float = true;
+        }
+        ++i;
+      }
+      push(is_float ? SqlTokenType::kFloat : SqlTokenType::kInt,
+           source.substr(start, i - start), start);
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        if (source[i] == '\'') {
+          if (i + 1 < source.size() && source[i + 1] == '\'') {
+            text.push_back('\'');  // '' escape
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        if (source[i] == '\n') ++line;
+        text.push_back(source[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string at line " +
+                                  std::to_string(line));
+      }
+      push(SqlTokenType::kString, std::move(text), start);
+      continue;
+    }
+    auto two = [&](char next) {
+      return i + 1 < source.size() && source[i + 1] == next;
+    };
+    switch (c) {
+      case '(':
+        push(SqlTokenType::kLParen, "(", start);
+        ++i;
+        break;
+      case ')':
+        push(SqlTokenType::kRParen, ")", start);
+        ++i;
+        break;
+      case '{': {
+        // Raw-capture a UDF body up to the matching close brace.
+        ++i;
+        int depth = 1;
+        std::string body;
+        while (i < source.size() && depth > 0) {
+          char b = source[i];
+          if (b == '\n') ++line;
+          if (b == '#') {  // VectorScript comment: braces inside are inert
+            while (i < source.size() && source[i] != '\n') {
+              body.push_back(source[i]);
+              ++i;
+            }
+            continue;
+          }
+          if (b == '\'' || b == '"') {
+            char quote = b;
+            body.push_back(b);
+            ++i;
+            while (i < source.size()) {
+              if (source[i] == '\\' && i + 1 < source.size()) {
+                body.push_back(source[i]);
+                body.push_back(source[i + 1]);
+                i += 2;
+                continue;
+              }
+              if (source[i] == '\n') ++line;
+              body.push_back(source[i]);
+              if (source[i] == quote) {
+                ++i;
+                break;
+              }
+              ++i;
+            }
+            continue;
+          }
+          if (b == '{') ++depth;
+          if (b == '}') {
+            --depth;
+            if (depth == 0) {
+              ++i;
+              break;
+            }
+          }
+          body.push_back(b);
+          ++i;
+        }
+        if (depth != 0) {
+          return Status::ParseError("unterminated { } block at line " +
+                                    std::to_string(line));
+        }
+        push(SqlTokenType::kBody, std::move(body), start);
+        break;
+      }
+      case '}':
+        return Status::ParseError("unmatched '}' at line " +
+                                  std::to_string(line));
+      case ',':
+        push(SqlTokenType::kComma, ",", start);
+        ++i;
+        break;
+      case ';':
+        push(SqlTokenType::kSemicolon, ";", start);
+        ++i;
+        break;
+      case '.':
+        push(SqlTokenType::kDot, ".", start);
+        ++i;
+        break;
+      case '*':
+        push(SqlTokenType::kStar, "*", start);
+        ++i;
+        break;
+      case '=':
+        push(SqlTokenType::kOperator, "=", start);
+        ++i;
+        break;
+      case '<':
+        if (two('=')) {
+          push(SqlTokenType::kOperator, "<=", start);
+          i += 2;
+        } else if (two('>')) {
+          push(SqlTokenType::kOperator, "<>", start);
+          i += 2;
+        } else {
+          push(SqlTokenType::kOperator, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(SqlTokenType::kOperator, ">=", start);
+          i += 2;
+        } else {
+          push(SqlTokenType::kOperator, ">", start);
+          ++i;
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(SqlTokenType::kOperator, "!=", start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at line " +
+                                    std::to_string(line));
+        }
+        break;
+      case '+':
+      case '-':
+      case '/':
+      case '%':
+        push(SqlTokenType::kOperator, std::string(1, c), start);
+        ++i;
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at line " + std::to_string(line));
+    }
+  }
+  tokens.push_back(SqlToken{SqlTokenType::kEof, "", line, source.size()});
+  return tokens;
+}
+
+}  // namespace mlcs::sql

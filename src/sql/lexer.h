@@ -1,0 +1,46 @@
+#ifndef MLCS_SQL_LEXER_H_
+#define MLCS_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlcs::sql {
+
+enum class SqlTokenType {
+  kIdent,     // bare identifier or keyword (keyword-ness decided in parser)
+  kInt,
+  kFloat,
+  kString,    // '...' literal
+  kOperator,  // = <> != < <= > >= + - * / %
+  kLParen,
+  kRParen,
+  /// `{ ... }` block captured raw (text excludes the outer braces). UDF
+  /// bodies are VectorScript, not SQL — the lexer must not tokenize them.
+  /// Nested braces, quoted strings and `#` comments inside are respected.
+  kBody,
+  kComma,
+  kSemicolon,
+  kDot,
+  kStar,      // '*' (also multiplication; parser disambiguates)
+  kEof,
+};
+
+struct SqlToken {
+  SqlTokenType type = SqlTokenType::kEof;
+  std::string text;
+  int line = 1;
+  /// Byte offset into the original source — used to slice raw UDF bodies
+  /// out of CREATE FUNCTION ... { ... } without re-lexing them as SQL.
+  size_t offset = 0;
+};
+
+/// Tokenizes SQL. `--` starts a line comment; strings use single quotes
+/// with '' escaping. Keywords stay kIdent (matched case-insensitively by
+/// the parser).
+Result<std::vector<SqlToken>> TokenizeSql(const std::string& source);
+
+}  // namespace mlcs::sql
+
+#endif  // MLCS_SQL_LEXER_H_

@@ -1,0 +1,20 @@
+#ifndef MLCS_SQL_PARSER_H_
+#define MLCS_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace mlcs::sql {
+
+/// Parses a single SQL statement (a trailing semicolon is allowed).
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parses a script of semicolon-separated statements.
+Result<std::vector<Statement>> ParseScript(const std::string& sql);
+
+}  // namespace mlcs::sql
+
+#endif  // MLCS_SQL_PARSER_H_

@@ -1,0 +1,57 @@
+#include "storage/catalog.h"
+
+#include "common/string_util.h"
+
+namespace mlcs {
+
+Status Catalog::CreateTable(const std::string& name, TablePtr table,
+                            bool or_replace) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("CreateTable: null table");
+  }
+  std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(key);
+  if (it != tables_.end() && !or_replace) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_[key] = std::move(table);
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+Status Catalog::DropTable(const std::string& name, bool if_exists) {
+  std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tables_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mlcs

@@ -1,0 +1,36 @@
+#ifndef MLCS_STORAGE_CATALOG_H_
+#define MLCS_STORAGE_CATALOG_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace mlcs {
+
+/// Thread-safe name → table registry; the database's system catalog.
+/// Table names are case-insensitive (stored lower-cased).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status CreateTable(const std::string& name, TablePtr table,
+                     bool or_replace = false);
+  Result<TablePtr> GetTable(const std::string& name) const;
+  Status DropTable(const std::string& name, bool if_exists = false);
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> ListTables() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace mlcs
+
+#endif  // MLCS_STORAGE_CATALOG_H_

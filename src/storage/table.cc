@@ -1,0 +1,143 @@
+#include "storage/table.h"
+
+#include <sstream>
+
+namespace mlcs {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const auto& f : schema_.fields()) {
+    columns_.push_back(Column::Make(f.type));
+  }
+}
+
+Table::Table(Schema schema, std::vector<ColumnPtr> columns)
+    : schema_(std::move(schema)), columns_(std::move(columns)) {}
+
+Result<ColumnPtr> Table::ColumnByName(std::string_view name) const {
+  MLCS_ASSIGN_OR_RETURN(size_t idx, schema_.RequireFieldIndex(name));
+  return columns_[idx];
+}
+
+Status Table::Validate() const {
+  if (columns_.size() != schema_.num_fields()) {
+    return Status::Internal("column count does not match schema");
+  }
+  size_t rows = num_rows();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == nullptr) {
+      return Status::Internal("column " + std::to_string(i) + " is null");
+    }
+    if (columns_[i]->type() != schema_.field(i).type) {
+      return Status::TypeMismatch(
+          "column '" + schema_.field(i).name + "' has type " +
+          TypeIdToString(columns_[i]->type()) + ", schema says " +
+          TypeIdToString(schema_.field(i).type));
+    }
+    if (columns_[i]->size() != rows) {
+      return Status::Internal("column '" + schema_.field(i).name +
+                              "' length mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, table has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    MLCS_RETURN_IF_ERROR(columns_[i]->AppendValue(row[i]));
+  }
+  return Status::OK();
+}
+
+Status Table::AppendTable(const Table& other) {
+  if (other.num_columns() != num_columns()) {
+    return Status::TypeMismatch("cannot append table: column count differs");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    MLCS_RETURN_IF_ERROR(columns_[i]->AppendColumn(*other.columns_[i]));
+  }
+  return Status::OK();
+}
+
+Status Table::AddColumn(std::string name, ColumnPtr column) {
+  if (column == nullptr) {
+    return Status::InvalidArgument("AddColumn: null column");
+  }
+  if (!columns_.empty() && column->size() != num_rows()) {
+    return Status::InvalidArgument(
+        "AddColumn: length " + std::to_string(column->size()) +
+        " does not match table rows " + std::to_string(num_rows()));
+  }
+  schema_.AddField(std::move(name), column->type());
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<Value> Table::GetValue(size_t row, size_t col) const {
+  if (col >= columns_.size()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  return columns_[col]->GetValue(row);
+}
+
+TablePtr Table::Project(const std::vector<size_t>& column_indices) const {
+  Schema schema;
+  std::vector<ColumnPtr> cols;
+  cols.reserve(column_indices.size());
+  for (size_t idx : column_indices) {
+    schema.AddField(schema_.field(idx).name, schema_.field(idx).type);
+    cols.push_back(columns_[idx]);
+  }
+  return std::make_shared<Table>(std::move(schema), std::move(cols));
+}
+
+TablePtr Table::TakeRows(const std::vector<uint32_t>& indices) const {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) cols.push_back(c->Take(indices));
+  return std::make_shared<Table>(schema_, std::move(cols));
+}
+
+TablePtr Table::SliceRows(size_t offset, size_t length) const {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) cols.push_back(c->Slice(offset, length));
+  return std::make_shared<Table>(schema_, std::move(cols));
+}
+
+bool Table::Equals(const Table& other) const {
+  if (!(schema_ == other.schema_)) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!columns_[i]->Equals(*other.columns_[i])) return false;
+  }
+  return true;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream out;
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    if (i > 0) out << " | ";
+    out << schema_.field(i).name;
+  }
+  out << "\n";
+  size_t rows = std::min(num_rows(), max_rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out << " | ";
+      auto v = columns_[c]->GetValue(r);
+      out << (v.ok() ? v.ValueOrDie().ToString() : "<err>");
+    }
+    out << "\n";
+  }
+  if (num_rows() > max_rows) {
+    out << "... (" << num_rows() << " rows total)\n";
+  }
+  return out.str();
+}
+
+}  // namespace mlcs

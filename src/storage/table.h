@@ -1,0 +1,75 @@
+#ifndef MLCS_STORAGE_TABLE_H_
+#define MLCS_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace mlcs {
+
+class Table;
+using TablePtr = std::shared_ptr<Table>;
+
+/// A named collection of equal-length columns. Tables are immutable-ish
+/// value containers: operators produce new tables rather than mutating
+/// inputs (except bulk-append during loading).
+class Table {
+ public:
+  /// Empty table with the given schema (one empty column per field).
+  explicit Table(Schema schema);
+  /// Table over pre-built columns; lengths and types must agree with the
+  /// schema (checked by Validate()).
+  Table(Schema schema, std::vector<ColumnPtr> columns);
+
+  static TablePtr Make(Schema schema) {
+    return std::make_shared<Table>(std::move(schema));
+  }
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0]->size();
+  }
+
+  const ColumnPtr& column(size_t i) const { return columns_[i]; }
+  ColumnPtr& column(size_t i) { return columns_[i]; }
+  Result<ColumnPtr> ColumnByName(std::string_view name) const;
+
+  /// Checks that every column matches the schema type and all lengths agree.
+  Status Validate() const;
+
+  /// Appends one row of values (cast to column types; count must match).
+  Status AppendRow(const std::vector<Value>& row);
+  /// Appends all rows of `other` (schemas must be type-compatible).
+  Status AppendTable(const Table& other);
+  /// Adds a column on the right; its length must equal num_rows() (or the
+  /// table must be empty of columns).
+  Status AddColumn(std::string name, ColumnPtr column);
+
+  Result<Value> GetValue(size_t row, size_t col) const;
+
+  /// New table with only the given column indices (shares column buffers).
+  TablePtr Project(const std::vector<size_t>& column_indices) const;
+  /// New table with rows gathered by index (applies Take per column).
+  TablePtr TakeRows(const std::vector<uint32_t>& indices) const;
+  /// Contiguous row range copy.
+  TablePtr SliceRows(size_t offset, size_t length) const;
+
+  bool Equals(const Table& other) const;
+
+  /// Pretty-printer for tests/examples: header + up to `max_rows` rows.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<ColumnPtr> columns_;
+};
+
+}  // namespace mlcs
+
+#endif  // MLCS_STORAGE_TABLE_H_

@@ -1,0 +1,82 @@
+#include "storage/table_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/byte_buffer.h"
+
+namespace mlcs {
+
+namespace {
+constexpr uint32_t kMagic = 0x4D4C5431;  // "MLT1"
+constexpr uint16_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+Status SaveTable(const Table& table, const std::string& path) {
+  MLCS_RETURN_IF_ERROR(table.Validate());
+  ByteWriter writer;
+  writer.WriteU32(kMagic);
+  writer.WriteU16(kVersion);
+  table.schema().Serialize(&writer);
+  writer.WriteVarint(table.num_rows());
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    table.column(i)->Serialize(&writer);
+  }
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  if (std::fwrite(writer.data().data(), 1, writer.size(), f.get()) !=
+      writer.size()) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> LoadTable(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::fseek(f.get(), 0, SEEK_END);
+  long file_size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (file_size < 0) return Status::IoError("cannot stat '" + path + "'");
+  std::vector<uint8_t> bytes(static_cast<size_t>(file_size));
+  if (std::fread(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    return Status::IoError("short read from '" + path + "'");
+  }
+  ByteReader reader(bytes);
+  MLCS_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kMagic) {
+    return Status::ParseError("'" + path + "' is not an mlcs table file");
+  }
+  MLCS_ASSIGN_OR_RETURN(uint16_t version, reader.ReadU16());
+  if (version != kVersion) {
+    return Status::ParseError("unsupported table file version " +
+                              std::to_string(version));
+  }
+  MLCS_ASSIGN_OR_RETURN(Schema schema, Schema::Deserialize(&reader));
+  MLCS_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadVarint());
+  std::vector<ColumnPtr> columns;
+  columns.reserve(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    MLCS_ASSIGN_OR_RETURN(ColumnPtr col, Column::Deserialize(&reader));
+    if (col->size() != rows) {
+      return Status::ParseError("column length mismatch in '" + path + "'");
+    }
+    columns.push_back(std::move(col));
+  }
+  auto table = std::make_shared<Table>(std::move(schema), std::move(columns));
+  MLCS_RETURN_IF_ERROR(table->Validate());
+  return table;
+}
+
+}  // namespace mlcs

@@ -1,0 +1,19 @@
+#ifndef MLCS_STORAGE_TABLE_IO_H_
+#define MLCS_STORAGE_TABLE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace mlcs {
+
+/// Native on-disk table format (".mlt"): magic, format version, schema,
+/// then each column's serialized payload. Used for database persistence
+/// and by tests; the benchmark file formats (.npy, .h5b, .csv) live in io/.
+Status SaveTable(const Table& table, const std::string& path);
+Result<TablePtr> LoadTable(const std::string& path);
+
+}  // namespace mlcs
+
+#endif  // MLCS_STORAGE_TABLE_IO_H_

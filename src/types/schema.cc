@@ -1,0 +1,60 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace mlcs {
+
+std::optional<size_t> Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::RequireFieldIndex(std::string_view name) const {
+  auto idx = FieldIndex(name);
+  if (idx.has_value()) return *idx;
+  std::vector<std::string> names;
+  names.reserve(fields_.size());
+  for (const auto& f : fields_) names.push_back(f.name);
+  return Status::NotFound("column '" + std::string(name) +
+                          "' not found; available: " +
+                          JoinStrings(names, ", "));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += TypeIdToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+void Schema::Serialize(ByteWriter* writer) const {
+  writer->WriteVarint(fields_.size());
+  for (const auto& f : fields_) {
+    writer->WriteString(f.name);
+    writer->WriteU8(static_cast<uint8_t>(f.type));
+  }
+}
+
+Result<Schema> Schema::Deserialize(ByteReader* reader) {
+  MLCS_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarint());
+  std::vector<Field> fields;
+  fields.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MLCS_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    MLCS_ASSIGN_OR_RETURN(uint8_t type_byte, reader->ReadU8());
+    if (type_byte > static_cast<uint8_t>(TypeId::kBlob)) {
+      return Status::ParseError("invalid type tag in serialized schema");
+    }
+    fields.push_back(Field{std::move(name), static_cast<TypeId>(type_byte)});
+  }
+  return Schema(std::move(fields));
+}
+
+}  // namespace mlcs

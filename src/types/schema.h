@@ -1,0 +1,59 @@
+#ifndef MLCS_TYPES_SCHEMA_H_
+#define MLCS_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace mlcs {
+
+/// A named, typed column slot in a schema.
+struct Field {
+  std::string name;
+  TypeId type = TypeId::kInt32;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of fields describing a table or result set.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(std::string name, TypeId type) {
+    fields_.push_back(Field{std::move(name), type});
+  }
+
+  /// Case-insensitive lookup; nullopt if absent.
+  std::optional<size_t> FieldIndex(std::string_view name) const;
+  /// Lookup that errors with the available field names on a miss.
+  Result<size_t> RequireFieldIndex(std::string_view name) const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  /// "(a INTEGER, b VARCHAR)"
+  std::string ToString() const;
+
+  void Serialize(ByteWriter* writer) const;
+  static Result<Schema> Deserialize(ByteReader* reader);
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace mlcs
+
+#endif  // MLCS_TYPES_SCHEMA_H_

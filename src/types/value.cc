@@ -1,0 +1,207 @@
+#include "types/value.h"
+
+#include "common/string_util.h"
+
+namespace mlcs {
+
+namespace {
+std::string HexEncode(const std::string& bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out = "\\x";
+  out.reserve(2 + bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xF]);
+  }
+  return out;
+}
+}  // namespace
+
+Result<int64_t> Value::AsInt64() const {
+  if (is_null_) return Status::InvalidArgument("NULL has no integer value");
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return static_cast<int64_t>(int_);
+    case TypeId::kDouble:
+      return static_cast<int64_t>(double_);
+    case TypeId::kVarchar:
+      return ParseInt64(str_);
+    case TypeId::kBlob:
+      return Status::TypeMismatch("BLOB is not numeric");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<double> Value::AsDouble() const {
+  if (is_null_) return Status::InvalidArgument("NULL has no double value");
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return static_cast<double>(static_cast<int64_t>(int_));
+    case TypeId::kDouble:
+      return double_;
+    case TypeId::kVarchar:
+      return ParseDouble(str_);
+    case TypeId::kBlob:
+      return Status::TypeMismatch("BLOB is not numeric");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<bool> Value::AsBool() const {
+  if (is_null_) return Status::InvalidArgument("NULL has no bool value");
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return int_ != 0;
+    case TypeId::kDouble:
+      return double_ != 0.0;
+    case TypeId::kVarchar:
+      if (EqualsIgnoreCase(str_, "true")) return true;
+      if (EqualsIgnoreCase(str_, "false")) return false;
+      return Status::ParseError("invalid bool: '" + str_ + "'");
+    case TypeId::kBlob:
+      return Status::TypeMismatch("BLOB is not boolean");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::string> Value::AsString() const {
+  if (is_null_) return Status::InvalidArgument("NULL has no string value");
+  if (type_ == TypeId::kVarchar || type_ == TypeId::kBlob) return str_;
+  return ToString();
+}
+
+Result<Value> Value::CastTo(TypeId target) const {
+  if (type_ == target) return *this;
+  if (is_null_) return MakeNull(target);
+  switch (target) {
+    case TypeId::kBool: {
+      MLCS_ASSIGN_OR_RETURN(bool b, AsBool());
+      return Bool(b);
+    }
+    case TypeId::kInt32: {
+      MLCS_ASSIGN_OR_RETURN(int64_t v, AsInt64());
+      if (v < INT32_MIN || v > INT32_MAX) {
+        return Status::OutOfRange("cast to INTEGER overflows");
+      }
+      return Int32(static_cast<int32_t>(v));
+    }
+    case TypeId::kInt64: {
+      MLCS_ASSIGN_OR_RETURN(int64_t v, AsInt64());
+      return Int64(v);
+    }
+    case TypeId::kDouble: {
+      MLCS_ASSIGN_OR_RETURN(double v, AsDouble());
+      return Double(v);
+    }
+    case TypeId::kVarchar:
+      return Varchar(ToString());
+    case TypeId::kBlob:
+      if (type_ == TypeId::kVarchar) return Blob(str_);
+      return Status::TypeMismatch("only VARCHAR casts to BLOB");
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  switch (type_) {
+    case TypeId::kBool:
+      return int_ != 0 ? "true" : "false";
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return std::to_string(static_cast<int64_t>(int_));
+    case TypeId::kDouble:
+      return FormatDouble(double_);
+    case TypeId::kVarchar:
+      return str_;
+    case TypeId::kBlob:
+      return HexEncode(str_);
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  if (is_null_ || other.is_null_) return is_null_ == other.is_null_;
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return int_ == other.int_;
+    case TypeId::kDouble:
+      return double_ == other.double_;
+    case TypeId::kVarchar:
+    case TypeId::kBlob:
+      return str_ == other.str_;
+  }
+  return false;
+}
+
+void Value::Serialize(ByteWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(type_));
+  writer->WriteBool(is_null_);
+  if (is_null_) return;
+  switch (type_) {
+    case TypeId::kBool:
+      writer->WriteBool(int_ != 0);
+      break;
+    case TypeId::kInt32:
+      writer->WriteI32(static_cast<int32_t>(int_));
+      break;
+    case TypeId::kInt64:
+      writer->WriteI64(static_cast<int64_t>(int_));
+      break;
+    case TypeId::kDouble:
+      writer->WriteDouble(double_);
+      break;
+    case TypeId::kVarchar:
+    case TypeId::kBlob:
+      writer->WriteString(str_);
+      break;
+  }
+}
+
+Result<Value> Value::Deserialize(ByteReader* reader) {
+  MLCS_ASSIGN_OR_RETURN(uint8_t type_byte, reader->ReadU8());
+  if (type_byte > static_cast<uint8_t>(TypeId::kBlob)) {
+    return Status::ParseError("invalid type tag in serialized value");
+  }
+  TypeId type = static_cast<TypeId>(type_byte);
+  MLCS_ASSIGN_OR_RETURN(bool is_null, reader->ReadBool());
+  if (is_null) return MakeNull(type);
+  switch (type) {
+    case TypeId::kBool: {
+      MLCS_ASSIGN_OR_RETURN(bool v, reader->ReadBool());
+      return Bool(v);
+    }
+    case TypeId::kInt32: {
+      MLCS_ASSIGN_OR_RETURN(int32_t v, reader->ReadI32());
+      return Int32(v);
+    }
+    case TypeId::kInt64: {
+      MLCS_ASSIGN_OR_RETURN(int64_t v, reader->ReadI64());
+      return Int64(v);
+    }
+    case TypeId::kDouble: {
+      MLCS_ASSIGN_OR_RETURN(double v, reader->ReadDouble());
+      return Double(v);
+    }
+    case TypeId::kVarchar: {
+      MLCS_ASSIGN_OR_RETURN(std::string v, reader->ReadString());
+      return Varchar(std::move(v));
+    }
+    case TypeId::kBlob: {
+      MLCS_ASSIGN_OR_RETURN(std::string v, reader->ReadString());
+      return Blob(std::move(v));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace mlcs

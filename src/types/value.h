@@ -1,0 +1,103 @@
+#ifndef MLCS_TYPES_VALUE_H_
+#define MLCS_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace mlcs {
+
+/// A single typed (possibly NULL) scalar. Values appear at the boundaries of
+/// the vectorized engine: literals in expressions, INSERT rows, protocol
+/// cells, and scalar UDF parameters. Hot loops operate on Columns instead.
+class Value {
+ public:
+  /// NULL of type INTEGER (the default). Use MakeNull for explicit types.
+  Value() : type_(TypeId::kInt32), is_null_(true) {}
+
+  static Value MakeNull(TypeId type) {
+    Value v;
+    v.type_ = type;
+    v.is_null_ = true;
+    return v;
+  }
+  static Value Bool(bool v) { return Value(TypeId::kBool, uint64_t(v)); }
+  static Value Int32(int32_t v) {
+    return Value(TypeId::kInt32, static_cast<uint64_t>(static_cast<int64_t>(v)));
+  }
+  static Value Int64(int64_t v) {
+    return Value(TypeId::kInt64, static_cast<uint64_t>(v));
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = TypeId::kDouble;
+    out.is_null_ = false;
+    out.double_ = v;
+    return out;
+  }
+  static Value Varchar(std::string v) {
+    Value out;
+    out.type_ = TypeId::kVarchar;
+    out.is_null_ = false;
+    out.str_ = std::move(v);
+    return out;
+  }
+  static Value Blob(std::string bytes) {
+    Value out;
+    out.type_ = TypeId::kBlob;
+    out.is_null_ = false;
+    out.str_ = std::move(bytes);
+    return out;
+  }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return is_null_; }
+
+  /// Typed accessors; the caller must know the type (checked in debug via
+  /// the As* Result variants below when the type is dynamic).
+  bool bool_value() const { return int_ != 0; }
+  int32_t int32_value() const { return static_cast<int32_t>(int_); }
+  int64_t int64_value() const { return static_cast<int64_t>(int_); }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return str_; }
+  const std::string& blob_value() const { return str_; }
+
+  /// Numeric coercions (NULL or non-numeric → error).
+  Result<int64_t> AsInt64() const;
+  Result<double> AsDouble() const;
+  Result<bool> AsBool() const;
+  Result<std::string> AsString() const;
+
+  /// Converts to the given type (numeric widening/narrowing, string
+  /// parse/format). NULLs stay NULL.
+  Result<Value> CastTo(TypeId target) const;
+
+  /// SQL-ish rendering; NULL → "NULL"; BLOBs render as "\x<hex>".
+  std::string ToString() const;
+
+  /// Deep equality: same type, both NULL or equal payloads.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Binary serialization (type tag + null flag + payload).
+  void Serialize(ByteWriter* writer) const;
+  static Result<Value> Deserialize(ByteReader* reader);
+
+ private:
+  Value(TypeId type, uint64_t bits)
+      : type_(type), is_null_(false), int_(bits) {}
+
+  TypeId type_;
+  bool is_null_ = false;
+  uint64_t int_ = 0;    // bool/int32/int64 payload
+  double double_ = 0;   // double payload
+  std::string str_;     // varchar/blob payload
+};
+
+}  // namespace mlcs
+
+#endif  // MLCS_TYPES_VALUE_H_

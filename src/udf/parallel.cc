@@ -1,0 +1,78 @@
+#include "udf/parallel.h"
+
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace mlcs::udf {
+
+Result<ColumnPtr> ParallelCallScalar(const UdfRegistry& registry,
+                                     const std::string& name,
+                                     const std::vector<ColumnPtr>& args,
+                                     size_t num_rows,
+                                     const ParallelOptions& options) {
+  ThreadPool& pool = ThreadPool::Global();
+  size_t num_chunks =
+      options.num_chunks == 0 ? pool.num_threads() : options.num_chunks;
+  if (options.min_rows_per_chunk > 0) {
+    num_chunks = std::min(num_chunks,
+                          std::max<size_t>(1, num_rows /
+                                                  options.min_rows_per_chunk));
+  }
+  if (num_chunks <= 1 || num_rows == 0) {
+    return registry.CallScalar(name, args, num_rows);
+  }
+
+  size_t chunk_size = (num_rows + num_chunks - 1) / num_chunks;
+  struct ChunkResult {
+    Status status = Status::OK();
+    ColumnPtr column;
+  };
+  std::vector<ChunkResult> results(num_chunks);
+
+  pool.ParallelForChunks(
+      num_rows, num_chunks, [&](size_t chunk, size_t begin, size_t end) {
+        size_t rows = end - begin;
+        std::vector<ColumnPtr> sliced;
+        sliced.reserve(args.size());
+        for (const auto& arg : args) {
+          if (arg->size() == 1) {
+            sliced.push_back(arg);  // broadcast scalar, shared
+          } else {
+            sliced.push_back(arg->Slice(begin, rows));
+          }
+        }
+        auto r = registry.CallScalar(name, sliced, rows);
+        if (!r.ok()) {
+          results[chunk].status = r.status();
+        } else {
+          results[chunk].column = std::move(r).ValueOrDie();
+        }
+      });
+
+  // Stitch in chunk order; broadcast (length-1) chunk outputs expand.
+  ColumnPtr out;
+  size_t chunk_index = 0;
+  for (size_t begin = 0; begin < num_rows; begin += chunk_size) {
+    ChunkResult& cr = results[chunk_index];
+    MLCS_RETURN_IF_ERROR(cr.status);
+    if (cr.column == nullptr) {
+      return Status::Internal("parallel UDF chunk produced no column");
+    }
+    size_t rows = std::min(chunk_size, num_rows - begin);
+    ColumnPtr piece = cr.column;
+    if (piece->size() == 1 && rows != 1) {
+      MLCS_ASSIGN_OR_RETURN(Value v, piece->GetValue(0));
+      piece = Column::Constant(v, rows);
+    }
+    if (out == nullptr) {
+      out = Column::Make(piece->type());
+      out->Reserve(num_rows);
+    }
+    MLCS_RETURN_IF_ERROR(out->AppendColumn(*piece));
+    ++chunk_index;
+  }
+  return out;
+}
+
+}  // namespace mlcs::udf

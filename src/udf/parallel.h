@@ -1,0 +1,33 @@
+#ifndef MLCS_UDF_PARALLEL_H_
+#define MLCS_UDF_PARALLEL_H_
+
+#include "common/result.h"
+#include "udf/udf.h"
+
+namespace mlcs::udf {
+
+struct ParallelOptions {
+  /// Number of chunks the input columns are split into; 0 = thread count.
+  size_t num_chunks = 0;
+  /// Minimum rows per chunk — below this the call stays single-chunk
+  /// (splitting tiny inputs costs more than it saves).
+  size_t min_rows_per_chunk = 4096;
+};
+
+/// Runs a *vectorized scalar* UDF over the input in parallel: slices each
+/// full-length argument column into contiguous chunks, invokes the UDF once
+/// per chunk on the thread pool, and stitches the result columns back
+/// together in order. Length-1 (broadcast) arguments are shared across
+/// chunks unsliced. This implements the paper's "parallel processing
+/// opportunities" claim for UDFs that are row-wise pure (predict-style
+/// functions; train-style table UDFs need the whole input and are not
+/// chunkable).
+Result<ColumnPtr> ParallelCallScalar(const UdfRegistry& registry,
+                                     const std::string& name,
+                                     const std::vector<ColumnPtr>& args,
+                                     size_t num_rows,
+                                     const ParallelOptions& options = {});
+
+}  // namespace mlcs::udf
+
+#endif  // MLCS_UDF_PARALLEL_H_

@@ -1,0 +1,71 @@
+#ifndef MLCS_VSCRIPT_VS_AST_H_
+#define MLCS_VSCRIPT_VS_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/kernels.h"
+#include "types/value.h"
+
+namespace mlcs::vscript {
+
+/// VectorScript AST. The language is deliberately small — assignments,
+/// arithmetic/comparisons over scalars and vectors, `if`/`while`, dotted
+/// builtin calls (ml.*, pickle.*, vec.*) and `return` — enough to express
+/// the paper's Listing 1/2 UDF bodies one-to-one.
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,     // number / string / bool / null
+  kVariable,    // identifier
+  kBinary,      // a op b
+  kUnary,       // -a, not a
+  kCall,        // dotted.name(args)
+  kDict,        // {name: expr, ...}
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 1;
+
+  // kLiteral
+  Value literal;
+  // kVariable / kCall (dotted name joined with '.')
+  std::string name;
+  // kBinary / kUnary
+  exec::BinOpKind bin_op = exec::BinOpKind::kAdd;
+  exec::UnOpKind un_op = exec::UnOpKind::kNeg;
+  ExprPtr left;
+  ExprPtr right;
+  // kCall arguments
+  std::vector<ExprPtr> args;
+  // kDict entries (insertion order preserved → output column order)
+  std::vector<std::pair<std::string, ExprPtr>> entries;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind { kAssign, kExpr, kReturn, kIf, kWhile };
+
+struct Stmt {
+  StmtKind kind;
+  int line = 1;
+
+  std::string target;          // kAssign
+  ExprPtr expr;                // kAssign value / kExpr / kReturn / condition
+  std::vector<StmtPtr> body;   // kIf then / kWhile body
+  std::vector<StmtPtr> orelse; // kIf else
+};
+
+struct Program {
+  std::vector<StmtPtr> statements;
+};
+
+}  // namespace mlcs::vscript
+
+#endif  // MLCS_VSCRIPT_VS_AST_H_

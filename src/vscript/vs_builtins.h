@@ -1,0 +1,46 @@
+#ifndef MLCS_VSCRIPT_VS_BUILTINS_H_
+#define MLCS_VSCRIPT_VS_BUILTINS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "vscript/vs_value.h"
+
+namespace mlcs::vscript {
+
+/// Dispatches a dotted builtin call. The builtin surface mirrors what the
+/// paper's UDF bodies import from Python:
+///
+///   ml.random_forest(n_estimators [, max_depth [, seed]]) → model
+///   ml.decision_tree([max_depth])                         → model
+///   ml.logistic_regression([epochs [, learning_rate]])    → model
+///   ml.naive_bayes()                                      → model
+///   ml.knn([k])                                           → model
+///   ml.fit(model, feat..., labels)                        → null
+///   ml.predict(model, feat...)                            → INT column
+///   ml.predict_proba(model, cls, feat...)                 → DOUBLE column
+///   ml.confidence(model, feat...)                         → DOUBLE column
+///   ml.accuracy(y_true, y_pred)                           → DOUBLE
+///   pickle.dumps(model)                                   → BLOB scalar
+///   pickle.loads(blob)                                    → model
+///   vec.len(x) / vec.sum(x) / vec.avg(x) / vec.min(x) / vec.max(x)
+///   vec.fill(value, n)                                    → column
+///   vec.random(n [, seed])                                → DOUBLE column
+///   vec.abs/log/exp/sqrt/round/floor/ceil(x)              → DOUBLE column
+///   vec.where(cond, a, b)   (numpy.where)                 → column
+///   vec.clip(x, lo, hi)                                   → DOUBLE column
+///   vec.fillna(x, value)    (NULL/NaN → value)            → DOUBLE column
+///   print(x)                                              → null (logs)
+///
+/// Unknown names report kNotFound so the interpreter can produce a good
+/// error message with the script line.
+Result<ScriptValue> CallBuiltin(const std::string& name,
+                                const std::vector<ScriptValue>& args);
+
+/// True if `name` is a known builtin (used for better error messages).
+bool IsBuiltin(const std::string& name);
+
+}  // namespace mlcs::vscript
+
+#endif  // MLCS_VSCRIPT_VS_BUILTINS_H_

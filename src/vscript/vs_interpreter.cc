@@ -1,0 +1,174 @@
+#include "vscript/vs_interpreter.h"
+
+#include "vscript/vs_builtins.h"
+#include "vscript/vs_parser.h"
+
+namespace mlcs::vscript {
+
+namespace {
+
+Status AtLine(Status st, int line) {
+  if (st.ok()) return st;
+  return Status(st.code(),
+                st.message() + " (script line " + std::to_string(line) + ")");
+}
+
+class Interpreter {
+ public:
+  Interpreter(const Program& program, Environment env,
+              const InterpreterOptions& options)
+      : program_(program), env_(std::move(env)), options_(options) {}
+
+  Result<ScriptValue> Run() {
+    MLCS_ASSIGN_OR_RETURN(bool returned, RunBlock(program_.statements));
+    if (returned) return return_value_;
+    return ScriptValue();  // fell off the end → null
+  }
+
+ private:
+  /// Executes statements; true means a `return` fired.
+  Result<bool> RunBlock(const std::vector<StmtPtr>& body) {
+    for (const auto& stmt : body) {
+      if (++steps_ > options_.max_steps) {
+        return Status::Internal("script exceeded max step count (" +
+                                std::to_string(options_.max_steps) + ")");
+      }
+      switch (stmt->kind) {
+        case StmtKind::kAssign: {
+          auto value = EvalExpr(*stmt->expr);
+          if (!value.ok()) return AtLine(value.status(), stmt->line);
+          env_[stmt->target] = std::move(value).ValueOrDie();
+          break;
+        }
+        case StmtKind::kExpr: {
+          auto value = EvalExpr(*stmt->expr);
+          if (!value.ok()) return AtLine(value.status(), stmt->line);
+          break;
+        }
+        case StmtKind::kReturn: {
+          auto value = EvalExpr(*stmt->expr);
+          if (!value.ok()) return AtLine(value.status(), stmt->line);
+          return_value_ = std::move(value).ValueOrDie();
+          return true;
+        }
+        case StmtKind::kIf: {
+          auto cond = EvalExpr(*stmt->expr);
+          if (!cond.ok()) return AtLine(cond.status(), stmt->line);
+          auto truth = cond.ValueOrDie().AsBool();
+          if (!truth.ok()) return AtLine(truth.status(), stmt->line);
+          MLCS_ASSIGN_OR_RETURN(
+              bool returned,
+              RunBlock(truth.ValueOrDie() ? stmt->body : stmt->orelse));
+          if (returned) return true;
+          break;
+        }
+        case StmtKind::kWhile: {
+          while (true) {
+            if (++steps_ > options_.max_steps) {
+              return Status::Internal("script exceeded max step count");
+            }
+            auto cond = EvalExpr(*stmt->expr);
+            if (!cond.ok()) return AtLine(cond.status(), stmt->line);
+            auto truth = cond.ValueOrDie().AsBool();
+            if (!truth.ok()) return AtLine(truth.status(), stmt->line);
+            if (!truth.ValueOrDie()) break;
+            MLCS_ASSIGN_OR_RETURN(bool returned, RunBlock(stmt->body));
+            if (returned) return true;
+          }
+          break;
+        }
+      }
+    }
+    return false;
+  }
+
+  Result<ScriptValue> EvalExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kLiteral:
+        return ScriptValue(expr.literal);
+      case ExprKind::kVariable: {
+        auto it = env_.find(expr.name);
+        if (it == env_.end()) {
+          return Status::NotFound("undefined variable '" + expr.name + "'");
+        }
+        return it->second;
+      }
+      case ExprKind::kBinary: {
+        MLCS_ASSIGN_OR_RETURN(ScriptValue left, EvalExpr(*expr.left));
+        MLCS_ASSIGN_OR_RETURN(ScriptValue right, EvalExpr(*expr.right));
+        return ApplyBinary(expr.bin_op, left, right);
+      }
+      case ExprKind::kUnary: {
+        MLCS_ASSIGN_OR_RETURN(ScriptValue operand, EvalExpr(*expr.left));
+        MLCS_ASSIGN_OR_RETURN(ColumnPtr col, operand.AsColumn());
+        MLCS_ASSIGN_OR_RETURN(ColumnPtr out,
+                              exec::UnaryKernel(expr.un_op, *col));
+        return Collapse(std::move(out), operand.is_scalar());
+      }
+      case ExprKind::kCall: {
+        std::vector<ScriptValue> args;
+        args.reserve(expr.args.size());
+        for (const auto& arg : expr.args) {
+          MLCS_ASSIGN_OR_RETURN(ScriptValue v, EvalExpr(*arg));
+          args.push_back(std::move(v));
+        }
+        auto r = CallBuiltin(expr.name, args);
+        if (!r.ok()) return AtLine(r.status(), expr.line);
+        return r;
+      }
+      case ExprKind::kDict: {
+        ScriptDict dict;
+        for (const auto& [key, value_expr] : expr.entries) {
+          MLCS_ASSIGN_OR_RETURN(ScriptValue v, EvalExpr(*value_expr));
+          dict[key] = std::move(v);
+        }
+        return ScriptValue(std::move(dict));
+      }
+    }
+    return Status::Internal("unreachable expression kind");
+  }
+
+  /// Binary ops via the vectorized kernels. Two scalars collapse back to
+  /// a scalar; anything involving a column stays a column.
+  Result<ScriptValue> ApplyBinary(exec::BinOpKind op, const ScriptValue& l,
+                                  const ScriptValue& r) {
+    if (l.is_model() || r.is_model() || l.is_dict() || r.is_dict()) {
+      return Status::TypeMismatch(
+          "models/dicts do not support arithmetic operators");
+    }
+    MLCS_ASSIGN_OR_RETURN(ColumnPtr lc, l.AsColumn());
+    MLCS_ASSIGN_OR_RETURN(ColumnPtr rc, r.AsColumn());
+    MLCS_ASSIGN_OR_RETURN(ColumnPtr out, exec::BinaryKernel(op, *lc, *rc));
+    return Collapse(std::move(out), l.is_scalar() && r.is_scalar());
+  }
+
+  static Result<ScriptValue> Collapse(ColumnPtr column, bool to_scalar) {
+    if (to_scalar && column->size() == 1) {
+      MLCS_ASSIGN_OR_RETURN(Value v, column->GetValue(0));
+      return ScriptValue(std::move(v));
+    }
+    return ScriptValue(std::move(column));
+  }
+
+  const Program& program_;
+  Environment env_;
+  InterpreterOptions options_;
+  ScriptValue return_value_;
+  size_t steps_ = 0;
+};
+
+}  // namespace
+
+Result<ScriptValue> Execute(const Program& program, Environment env,
+                            const InterpreterOptions& options) {
+  Interpreter interp(program, std::move(env), options);
+  return interp.Run();
+}
+
+Result<ScriptValue> ExecuteSource(const std::string& source, Environment env,
+                                  const InterpreterOptions& options) {
+  MLCS_ASSIGN_OR_RETURN(Program program, Parse(source));
+  return Execute(program, std::move(env), options);
+}
+
+}  // namespace mlcs::vscript

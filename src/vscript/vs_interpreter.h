@@ -1,0 +1,34 @@
+#ifndef MLCS_VSCRIPT_VS_INTERPRETER_H_
+#define MLCS_VSCRIPT_VS_INTERPRETER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "vscript/vs_ast.h"
+#include "vscript/vs_value.h"
+
+namespace mlcs::vscript {
+
+/// Variable bindings (UDF parameters become the initial environment, with
+/// columns bound by parameter name — exactly how MonetDB/Python exposes
+/// input columns to the Python body).
+using Environment = std::map<std::string, ScriptValue>;
+
+struct InterpreterOptions {
+  /// Hard cap on executed statements (defends against `while(true)`).
+  size_t max_steps = 50'000'000;
+};
+
+/// Executes a parsed VectorScript program. The value of the first `return`
+/// is the UDF result; running off the end returns null.
+Result<ScriptValue> Execute(const Program& program, Environment env,
+                            const InterpreterOptions& options = {});
+
+/// Convenience: parse + execute.
+Result<ScriptValue> ExecuteSource(const std::string& source, Environment env,
+                                  const InterpreterOptions& options = {});
+
+}  // namespace mlcs::vscript
+
+#endif  // MLCS_VSCRIPT_VS_INTERPRETER_H_

@@ -1,0 +1,300 @@
+#include "vscript/vs_lexer.h"
+
+#include <cctype>
+
+namespace mlcs::vscript {
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kInt:
+      return "integer";
+    case TokenType::kFloat:
+      return "float";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kReturn:
+      return "return";
+    case TokenType::kIf:
+      return "if";
+    case TokenType::kElse:
+      return "else";
+    case TokenType::kWhile:
+      return "while";
+    case TokenType::kAnd:
+      return "and";
+    case TokenType::kOr:
+      return "or";
+    case TokenType::kNot:
+      return "not";
+    case TokenType::kTrue:
+      return "true";
+    case TokenType::kFalse:
+      return "false";
+    case TokenType::kNull:
+      return "null";
+    case TokenType::kAssign:
+      return "=";
+    case TokenType::kEq:
+      return "==";
+    case TokenType::kNe:
+      return "!=";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLe:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGe:
+      return ">=";
+    case TokenType::kPlus:
+      return "+";
+    case TokenType::kMinus:
+      return "-";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kSlash:
+      return "/";
+    case TokenType::kPercent:
+      return "%";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kLBrace:
+      return "{";
+    case TokenType::kRBrace:
+      return "}";
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kSemicolon:
+      return ";";
+    case TokenType::kColon:
+      return ":";
+    case TokenType::kDot:
+      return ".";
+    case TokenType::kEof:
+      return "<eof>";
+  }
+  return "?";
+}
+
+namespace {
+
+TokenType KeywordOrIdent(const std::string& word) {
+  if (word == "return") return TokenType::kReturn;
+  if (word == "if") return TokenType::kIf;
+  if (word == "else") return TokenType::kElse;
+  if (word == "while") return TokenType::kWhile;
+  if (word == "and") return TokenType::kAnd;
+  if (word == "or") return TokenType::kOr;
+  if (word == "not") return TokenType::kNot;
+  if (word == "true") return TokenType::kTrue;
+  if (word == "false") return TokenType::kFalse;
+  if (word == "null" || word == "None") return TokenType::kNull;
+  return TokenType::kIdent;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  auto push = [&](TokenType type, std::string text) {
+    tokens.push_back(Token{type, std::move(text), line});
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // line comment
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        ++i;
+      }
+      std::string word = source.substr(start, i - start);
+      push(KeywordOrIdent(word), word);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[i])) ||
+              source[i] == '.' || source[i] == 'e' || source[i] == 'E' ||
+              ((source[i] == '+' || source[i] == '-') && i > start &&
+               (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+        if (source[i] == '.' || source[i] == 'e' || source[i] == 'E') {
+          is_float = true;
+        }
+        ++i;
+      }
+      push(is_float ? TokenType::kFloat : TokenType::kInt,
+           source.substr(start, i - start));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          char esc = source[i + 1];
+          switch (esc) {
+            case 'n':
+              text.push_back('\n');
+              break;
+            case 't':
+              text.push_back('\t');
+              break;
+            case '\\':
+              text.push_back('\\');
+              break;
+            case '\'':
+              text.push_back('\'');
+              break;
+            case '"':
+              text.push_back('"');
+              break;
+            default:
+              text.push_back(esc);
+              break;
+          }
+          i += 2;
+          continue;
+        }
+        if (source[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (source[i] == '\n') ++line;
+        text.push_back(source[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(line));
+      }
+      push(TokenType::kString, std::move(text));
+      continue;
+    }
+    // Operators & punctuation.
+    auto two = [&](char next) {
+      return i + 1 < source.size() && source[i + 1] == next;
+    };
+    switch (c) {
+      case '=':
+        if (two('=')) {
+          push(TokenType::kEq, "==");
+          i += 2;
+        } else {
+          push(TokenType::kAssign, "=");
+          ++i;
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenType::kNe, "!=");
+          i += 2;
+        } else {
+          push(TokenType::kNot, "!");
+          ++i;
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenType::kLe, "<=");
+          i += 2;
+        } else {
+          push(TokenType::kLt, "<");
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenType::kGe, ">=");
+          i += 2;
+        } else {
+          push(TokenType::kGt, ">");
+          ++i;
+        }
+        break;
+      case '+':
+        push(TokenType::kPlus, "+");
+        ++i;
+        break;
+      case '-':
+        push(TokenType::kMinus, "-");
+        ++i;
+        break;
+      case '*':
+        push(TokenType::kStar, "*");
+        ++i;
+        break;
+      case '/':
+        push(TokenType::kSlash, "/");
+        ++i;
+        break;
+      case '%':
+        push(TokenType::kPercent, "%");
+        ++i;
+        break;
+      case '(':
+        push(TokenType::kLParen, "(");
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, ")");
+        ++i;
+        break;
+      case '{':
+        push(TokenType::kLBrace, "{");
+        ++i;
+        break;
+      case '}':
+        push(TokenType::kRBrace, "}");
+        ++i;
+        break;
+      case ',':
+        push(TokenType::kComma, ",");
+        ++i;
+        break;
+      case ';':
+        push(TokenType::kSemicolon, ";");
+        ++i;
+        break;
+      case ':':
+        push(TokenType::kColon, ":");
+        ++i;
+        break;
+      case '.':
+        push(TokenType::kDot, ".");
+        ++i;
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at line " + std::to_string(line));
+    }
+  }
+  tokens.push_back(Token{TokenType::kEof, "", line});
+  return tokens;
+}
+
+}  // namespace mlcs::vscript

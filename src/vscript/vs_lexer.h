@@ -1,0 +1,65 @@
+#ifndef MLCS_VSCRIPT_VS_LEXER_H_
+#define MLCS_VSCRIPT_VS_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlcs::vscript {
+
+enum class TokenType {
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  // keywords
+  kReturn,
+  kIf,
+  kElse,
+  kWhile,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  kNull,
+  // punctuation / operators
+  kAssign,   // =
+  kEq,       // ==
+  kNe,       // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kColon,
+  kDot,
+  kEof,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;
+  int line = 1;
+};
+
+/// Tokenizes a VectorScript body. `#` starts a line comment (Python
+/// flavor, matching the paper's UDF bodies).
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+const char* TokenTypeToString(TokenType type);
+
+}  // namespace mlcs::vscript
+
+#endif  // MLCS_VSCRIPT_VS_LEXER_H_

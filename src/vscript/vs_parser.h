@@ -1,0 +1,16 @@
+#ifndef MLCS_VSCRIPT_VS_PARSER_H_
+#define MLCS_VSCRIPT_VS_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "vscript/vs_ast.h"
+
+namespace mlcs::vscript {
+
+/// Parses a VectorScript program (a UDF body). Errors carry line numbers.
+Result<Program> Parse(const std::string& source);
+
+}  // namespace mlcs::vscript
+
+#endif  // MLCS_VSCRIPT_VS_PARSER_H_

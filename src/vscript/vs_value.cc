@@ -1,0 +1,49 @@
+#include "vscript/vs_value.h"
+
+namespace mlcs::vscript {
+
+Result<Value> ScriptValue::AsScalar() const {
+  if (is_scalar()) return scalar();
+  if (is_column()) {
+    if (column()->size() == 1) return column()->GetValue(0);
+    return Status::TypeMismatch("column of length " +
+                                std::to_string(column()->size()) +
+                                " is not a scalar");
+  }
+  return Status::TypeMismatch("value is not a scalar");
+}
+
+Result<ColumnPtr> ScriptValue::AsColumn() const {
+  if (is_column()) return column();
+  if (is_scalar()) return Column::Constant(scalar(), 1);
+  return Status::TypeMismatch(is_model() ? "model handle is not a column"
+                                         : "dict is not a column");
+}
+
+Result<bool> ScriptValue::AsBool() const {
+  MLCS_ASSIGN_OR_RETURN(Value v, AsScalar());
+  return v.AsBool();
+}
+
+std::string ScriptValue::ToString() const {
+  if (is_scalar()) return scalar().ToString();
+  if (is_column()) {
+    return std::string("<column ") + TypeIdToString(column()->type()) + "[" +
+           std::to_string(column()->size()) + "]>";
+  }
+  if (is_model()) {
+    return std::string("<model ") +
+           (model() ? ml::ModelTypeToString(model()->type()) : "null") + ">";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : dict()) {
+    if (!first) out += ", ";
+    first = false;
+    out += key + ": " + value.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mlcs::vscript

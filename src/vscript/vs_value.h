@@ -1,0 +1,77 @@
+#ifndef MLCS_VSCRIPT_VS_VALUE_H_
+#define MLCS_VSCRIPT_VS_VALUE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "ml/model.h"
+#include "storage/column.h"
+#include "types/value.h"
+
+namespace mlcs::vscript {
+
+class ScriptValue;
+using ScriptDict = std::map<std::string, ScriptValue>;
+
+/// A VectorScript runtime value. The language is vector-first: whole
+/// columns are ordinary values (like NumPy arrays in MonetDB/Python), and
+/// ML models are first-class handles so `clf = ml.random_forest(8);
+/// ml.fit(clf, data, classes);` works without serialization round-trips.
+class ScriptValue {
+ public:
+  /// Null.
+  ScriptValue() : payload_(Value::MakeNull(TypeId::kInt32)) {}
+  /// Scalar (wraps an engine Value: bool/int/double/varchar/blob/null).
+  explicit ScriptValue(Value v) : payload_(std::move(v)) {}
+  /// Vector.
+  explicit ScriptValue(ColumnPtr column) : payload_(std::move(column)) {}
+  /// Model handle.
+  explicit ScriptValue(ml::ModelPtr model) : payload_(std::move(model)) {}
+  /// Dict (the `return {name: value}` table-building form of Listing 1).
+  explicit ScriptValue(ScriptDict dict)
+      : payload_(std::make_shared<ScriptDict>(std::move(dict))) {}
+
+  bool is_scalar() const {
+    return std::holds_alternative<Value>(payload_);
+  }
+  bool is_column() const {
+    return std::holds_alternative<ColumnPtr>(payload_);
+  }
+  bool is_model() const {
+    return std::holds_alternative<ml::ModelPtr>(payload_);
+  }
+  bool is_dict() const {
+    return std::holds_alternative<std::shared_ptr<ScriptDict>>(payload_);
+  }
+  bool is_null() const { return is_scalar() && scalar().is_null(); }
+
+  const Value& scalar() const { return std::get<Value>(payload_); }
+  const ColumnPtr& column() const { return std::get<ColumnPtr>(payload_); }
+  const ml::ModelPtr& model() const {
+    return std::get<ml::ModelPtr>(payload_);
+  }
+  const ScriptDict& dict() const {
+    return *std::get<std::shared_ptr<ScriptDict>>(payload_);
+  }
+
+  /// Scalar or length-1 column → Value; otherwise error.
+  Result<Value> AsScalar() const;
+  /// Column, or scalar broadcast to a length-1 column; models/dicts error.
+  Result<ColumnPtr> AsColumn() const;
+  /// Scalar truthiness for `if`/`while` conditions.
+  Result<bool> AsBool() const;
+
+  /// Debug rendering ("<column INT32[5]>", "<model random_forest>", ...).
+  std::string ToString() const;
+
+ private:
+  std::variant<Value, ColumnPtr, ml::ModelPtr, std::shared_ptr<ScriptDict>>
+      payload_;
+};
+
+}  // namespace mlcs::vscript
+
+#endif  // MLCS_VSCRIPT_VS_VALUE_H_

@@ -1,0 +1,170 @@
+#include "exec/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "exec/sort.h"
+
+namespace mlcs::exec {
+namespace {
+
+TablePtr VotesTable() {
+  Schema s;
+  s.AddField("precinct", TypeId::kInt32);
+  s.AddField("party", TypeId::kVarchar);
+  s.AddField("votes", TypeId::kInt32);
+  auto t = Table::Make(std::move(s));
+  EXPECT_TRUE(
+      t->AppendRow({Value::Int32(1), Value::Varchar("D"), Value::Int32(10)})
+          .ok());
+  EXPECT_TRUE(
+      t->AppendRow({Value::Int32(1), Value::Varchar("R"), Value::Int32(5)})
+          .ok());
+  EXPECT_TRUE(
+      t->AppendRow({Value::Int32(2), Value::Varchar("D"), Value::Int32(7)})
+          .ok());
+  EXPECT_TRUE(
+      t->AppendRow({Value::Int32(1), Value::Varchar("D"), Value::Int32(3)})
+          .ok());
+  return t;
+}
+
+TEST(AggregateTest, GlobalAggregates) {
+  auto t = VotesTable();
+  auto out = HashGroupBy(*t, {},
+                         {{AggOp::kCountStar, "", "n"},
+                          {AggOp::kSum, "votes", "total"},
+                          {AggOp::kAvg, "votes", "mean"},
+                          {AggOp::kMin, "votes", "lo"},
+                          {AggOp::kMax, "votes", "hi"}})
+                 .ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->GetValue(0, 0).ValueOrDie(), Value::Int64(4));
+  EXPECT_EQ(out->GetValue(0, 1).ValueOrDie(), Value::Int64(25));
+  EXPECT_DOUBLE_EQ(out->GetValue(0, 2).ValueOrDie().double_value(), 6.25);
+  EXPECT_EQ(out->GetValue(0, 3).ValueOrDie(), Value::Int32(3));
+  EXPECT_EQ(out->GetValue(0, 4).ValueOrDie(), Value::Int32(10));
+}
+
+TEST(AggregateTest, GroupBySingleKey) {
+  auto t = VotesTable();
+  auto out = HashGroupBy(*t, {"precinct"},
+                         {{AggOp::kSum, "votes", "total"}})
+                 .ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 2u);
+  std::map<int32_t, int64_t> got;
+  for (size_t i = 0; i < 2; ++i) {
+    got[out->column(0)->i32_data()[i]] = out->column(1)->i64_data()[i];
+  }
+  EXPECT_EQ(got[1], 18);
+  EXPECT_EQ(got[2], 7);
+}
+
+TEST(AggregateTest, GroupByMultiKey) {
+  auto t = VotesTable();
+  auto out = HashGroupBy(*t, {"precinct", "party"},
+                         {{AggOp::kCountStar, "", "n"}})
+                 .ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 3u);  // (1,D), (1,R), (2,D)
+}
+
+TEST(AggregateTest, FirstSeenGroupOrder) {
+  auto t = VotesTable();
+  auto out =
+      HashGroupBy(*t, {"precinct"}, {{AggOp::kCountStar, "", "n"}})
+          .ValueOrDie();
+  EXPECT_EQ(out->column(0)->i32_data()[0], 1);
+  EXPECT_EQ(out->column(0)->i32_data()[1], 2);
+}
+
+TEST(AggregateTest, CountSkipsNullsCountStarDoesNot) {
+  Schema s;
+  s.AddField("x", TypeId::kInt32);
+  auto t = Table::Make(std::move(s));
+  ASSERT_TRUE(t->AppendRow({Value::Int32(1)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::MakeNull(TypeId::kInt32)}).ok());
+  auto out = HashGroupBy(*t, {},
+                         {{AggOp::kCountStar, "", "all"},
+                          {AggOp::kCount, "x", "nonnull"}})
+                 .ValueOrDie();
+  EXPECT_EQ(out->GetValue(0, 0).ValueOrDie(), Value::Int64(2));
+  EXPECT_EQ(out->GetValue(0, 1).ValueOrDie(), Value::Int64(1));
+}
+
+TEST(AggregateTest, AllNullGroupYieldsNullSum) {
+  Schema s;
+  s.AddField("g", TypeId::kInt32);
+  s.AddField("x", TypeId::kInt32);
+  auto t = Table::Make(std::move(s));
+  ASSERT_TRUE(t->AppendRow({Value::Int32(1), Value::MakeNull(TypeId::kInt32)})
+                  .ok());
+  auto out =
+      HashGroupBy(*t, {"g"}, {{AggOp::kSum, "x", "s"}}).ValueOrDie();
+  EXPECT_TRUE(out->GetValue(0, 1).ValueOrDie().is_null());
+}
+
+TEST(AggregateTest, VarcharMinMax) {
+  auto t = VotesTable();
+  auto out = HashGroupBy(*t, {},
+                         {{AggOp::kMin, "party", "lo"},
+                          {AggOp::kMax, "party", "hi"}})
+                 .ValueOrDie();
+  EXPECT_EQ(out->GetValue(0, 0).ValueOrDie(), Value::Varchar("D"));
+  EXPECT_EQ(out->GetValue(0, 1).ValueOrDie(), Value::Varchar("R"));
+}
+
+TEST(AggregateTest, DoubleSumStaysDouble) {
+  Schema s;
+  s.AddField("x", TypeId::kDouble);
+  auto t = Table::Make(std::move(s));
+  ASSERT_TRUE(t->AppendRow({Value::Double(0.5)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::Double(0.25)}).ok());
+  auto out = HashGroupBy(*t, {}, {{AggOp::kSum, "x", "s"}}).ValueOrDie();
+  EXPECT_EQ(out->schema().field(0).type, TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(out->GetValue(0, 0).ValueOrDie().double_value(), 0.75);
+}
+
+TEST(AggregateTest, SumOnVarcharRejected) {
+  auto t = VotesTable();
+  EXPECT_FALSE(HashGroupBy(*t, {}, {{AggOp::kSum, "party", "s"}}).ok());
+}
+
+TEST(AggregateTest, AggOpFromName) {
+  EXPECT_EQ(AggOpFromName("COUNT", true).ValueOrDie(), AggOp::kCountStar);
+  EXPECT_EQ(AggOpFromName("count", false).ValueOrDie(), AggOp::kCount);
+  EXPECT_EQ(AggOpFromName("Sum", false).ValueOrDie(), AggOp::kSum);
+  EXPECT_FALSE(AggOpFromName("sum", true).ok());
+  EXPECT_FALSE(AggOpFromName("median", false).ok());
+}
+
+/// Property: group-by sums match a std::map oracle on random data.
+TEST(AggregateTest, RandomizedAgainstMapOracle) {
+  Rng rng(31);
+  Schema s;
+  s.AddField("g", TypeId::kInt32);
+  s.AddField("x", TypeId::kInt64);
+  auto t = Table::Make(std::move(s));
+  std::map<int32_t, std::pair<int64_t, int64_t>> oracle;  // g -> (count,sum)
+  for (int i = 0; i < 5000; ++i) {
+    int32_t g = static_cast<int32_t>(rng.NextBounded(97));
+    int64_t x = rng.NextInt(-100, 100);
+    ASSERT_TRUE(t->AppendRow({Value::Int32(g), Value::Int64(x)}).ok());
+    oracle[g].first += 1;
+    oracle[g].second += x;
+  }
+  auto out = HashGroupBy(*t, {"g"},
+                         {{AggOp::kCountStar, "", "n"},
+                          {AggOp::kSum, "x", "s"}})
+                 .ValueOrDie();
+  ASSERT_EQ(out->num_rows(), oracle.size());
+  for (size_t i = 0; i < out->num_rows(); ++i) {
+    int32_t g = out->column(0)->i32_data()[i];
+    EXPECT_EQ(out->column(1)->i64_data()[i], oracle[g].first);
+    EXPECT_EQ(out->column(2)->i64_data()[i], oracle[g].second);
+  }
+}
+
+}  // namespace
+}  // namespace mlcs::exec

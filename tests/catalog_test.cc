@@ -1,0 +1,68 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace mlcs {
+namespace {
+
+TablePtr TinyTable() {
+  Schema s;
+  s.AddField("x", TypeId::kInt32);
+  return Table::Make(std::move(s));
+}
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("voters", TinyTable()).ok());
+  EXPECT_TRUE(cat.HasTable("voters"));
+  EXPECT_TRUE(cat.GetTable("voters").ok());
+}
+
+TEST(CatalogTest, NamesAreCaseInsensitive) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("Voters", TinyTable()).ok());
+  EXPECT_TRUE(cat.HasTable("VOTERS"));
+  EXPECT_TRUE(cat.GetTable("voters").ok());
+}
+
+TEST(CatalogTest, DuplicateCreateFails) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("t", TinyTable()).ok());
+  auto st = cat.CreateTable("t", TinyTable());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(cat.CreateTable("t", TinyTable(), /*or_replace=*/true).ok());
+}
+
+TEST(CatalogTest, GetMissingFails) {
+  Catalog cat;
+  auto r = cat.GetTable("ghost");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("t", TinyTable()).ok());
+  EXPECT_TRUE(cat.DropTable("t").ok());
+  EXPECT_FALSE(cat.HasTable("t"));
+  EXPECT_FALSE(cat.DropTable("t").ok());
+  EXPECT_TRUE(cat.DropTable("t", /*if_exists=*/true).ok());
+}
+
+TEST(CatalogTest, ListTablesSorted) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("b", TinyTable()).ok());
+  ASSERT_TRUE(cat.CreateTable("a", TinyTable()).ok());
+  auto names = cat.ListTables();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(CatalogTest, NullTableRejected) {
+  Catalog cat;
+  EXPECT_FALSE(cat.CreateTable("t", nullptr).ok());
+}
+
+}  // namespace
+}  // namespace mlcs

@@ -1,0 +1,121 @@
+#include "modelstore/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+
+namespace mlcs::modelstore {
+namespace {
+
+/// Two specialists: model A is trained only on region x<0, model B only on
+/// x>0. Individually each is weak on the other half; highest-confidence
+/// selection should recover most of the combined signal (paper §3.3).
+class EnsembleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(21);
+    x_ = ml::Matrix(800, 2);
+    y_.resize(800);
+    for (size_t i = 0; i < 800; ++i) {
+      double a = rng.NextDouble() * 10 - 5;
+      double b = rng.NextDouble() * 10 - 5;
+      x_.Set(i, 0, a);
+      x_.Set(i, 1, b);
+      // Different rule per half-space.
+      y_[i] = a < 0 ? (b > 1 ? 1 : 0) : (b < -1 ? 1 : 0);
+    }
+  }
+
+  ml::Matrix x_;
+  ml::Labels y_;
+};
+
+TEST_F(EnsembleTest, MajorityVoteAggregates) {
+  std::vector<ml::ModelPtr> models;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    ml::DecisionTreeOptions opt;
+    opt.seed = seed;
+    opt.max_features = 1;
+    auto tree = std::make_shared<ml::DecisionTree>(opt);
+    ASSERT_TRUE(tree->Fit(x_, y_).ok());
+    models.push_back(tree);
+  }
+  auto vote = PredictMajorityVote(models, x_).ValueOrDie();
+  EXPECT_GT(ml::Accuracy(y_, vote).ValueOrDie(), 0.8);
+}
+
+TEST_F(EnsembleTest, HighestConfidenceBeatsWeakSpecialists) {
+  // Train one specialist per half-space. Each specialist also sees a thin
+  // sample of the foreign half so its (depth-limited) leaves are impure
+  // there — i.e. its confidence is calibrated: high at home, low abroad.
+  // That's the paper's §3.3 setting: pick the model that is most
+  // confident for each row.
+  std::vector<uint32_t> left_rows, right_rows;
+  Rng rng(4);
+  for (size_t i = 0; i < x_.rows(); ++i) {
+    bool left = x_.At(i, 0) < 0;
+    if (left || rng.NextDouble() < 0.15) {
+      left_rows.push_back(static_cast<uint32_t>(i));
+    }
+    if (!left || rng.NextDouble() < 0.15) {
+      right_rows.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  ml::Matrix xl = x_.SelectRows(left_rows), xr = x_.SelectRows(right_rows);
+  ml::Labels yl, yr;
+  for (auto i : left_rows) yl.push_back(y_[i]);
+  for (auto i : right_rows) yr.push_back(y_[i]);
+
+  ml::DecisionTreeOptions depth_limited;
+  depth_limited.max_depth = 4;
+  auto left_model = std::make_shared<ml::DecisionTree>(depth_limited);
+  auto right_model = std::make_shared<ml::DecisionTree>(depth_limited);
+  ASSERT_TRUE(left_model->Fit(xl, yl).ok());
+  ASSERT_TRUE(right_model->Fit(xr, yr).ok());
+  std::vector<ml::ModelPtr> models = {left_model, right_model};
+
+  auto combined = PredictHighestConfidence(models, x_).ValueOrDie();
+  double acc_combined = ml::Accuracy(y_, combined).ValueOrDie();
+  double acc_left =
+      ml::Accuracy(y_, left_model->Predict(x_).ValueOrDie()).ValueOrDie();
+  double acc_right =
+      ml::Accuracy(y_, right_model->Predict(x_).ValueOrDie()).ValueOrDie();
+  EXPECT_GT(acc_combined, 0.7);
+  // The ensemble should not be worse than the better single specialist by
+  // more than noise.
+  EXPECT_GE(acc_combined + 0.05, std::max(acc_left, acc_right));
+}
+
+TEST_F(EnsembleTest, WinningModelPerRowIndexesValid) {
+  auto a = std::make_shared<ml::NaiveBayes>();
+  auto b = std::make_shared<ml::LogisticRegression>();
+  ASSERT_TRUE(a->Fit(x_, y_).ok());
+  ASSERT_TRUE(b->Fit(x_, y_).ok());
+  auto winners =
+      WinningModelPerRow({a, b}, x_).ValueOrDie();
+  ASSERT_EQ(winners.size(), x_.rows());
+  for (size_t w : winners) EXPECT_LT(w, 2u);
+}
+
+TEST_F(EnsembleTest, ValidationErrors) {
+  EXPECT_FALSE(PredictMajorityVote({}, x_).ok());
+  auto unfitted = std::make_shared<ml::NaiveBayes>();
+  EXPECT_FALSE(PredictHighestConfidence({unfitted}, x_).ok());
+  std::vector<ml::ModelPtr> with_null = {nullptr};
+  EXPECT_FALSE(PredictMajorityVote(with_null, x_).ok());
+}
+
+TEST_F(EnsembleTest, SingleModelEnsembleEqualsModel) {
+  auto tree = std::make_shared<ml::DecisionTree>();
+  ASSERT_TRUE(tree->Fit(x_, y_).ok());
+  auto direct = tree->Predict(x_).ValueOrDie();
+  EXPECT_EQ(PredictMajorityVote({tree}, x_).ValueOrDie(), direct);
+  EXPECT_EQ(PredictHighestConfidence({tree}, x_).ValueOrDie(), direct);
+}
+
+}  // namespace
+}  // namespace mlcs::modelstore

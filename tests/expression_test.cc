@@ -1,0 +1,129 @@
+#include "exec/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace mlcs::exec {
+namespace {
+
+TablePtr TestTable() {
+  Schema s;
+  s.AddField("a", TypeId::kInt32);
+  s.AddField("b", TypeId::kDouble);
+  s.AddField("name", TypeId::kVarchar);
+  auto t = Table::Make(std::move(s));
+  EXPECT_TRUE(
+      t->AppendRow({Value::Int32(1), Value::Double(0.5), Value::Varchar("x")})
+          .ok());
+  EXPECT_TRUE(
+      t->AppendRow({Value::Int32(2), Value::Double(1.5), Value::Varchar("y")})
+          .ok());
+  return t;
+}
+
+TEST(ExpressionTest, ColumnRef) {
+  auto t = TestTable();
+  EvalContext ctx{t.get(), nullptr};
+  ColumnRefExpr e("a");
+  auto col = e.Evaluate(ctx).ValueOrDie();
+  EXPECT_EQ(col->i32_data(), (std::vector<int32_t>{1, 2}));
+  ColumnRefExpr bad("zzz");
+  EXPECT_FALSE(bad.Evaluate(ctx).ok());
+}
+
+TEST(ExpressionTest, LiteralBroadcast) {
+  auto t = TestTable();
+  EvalContext ctx{t.get(), nullptr};
+  // a + 10 — literal is length-1, broadcasts.
+  BinaryExpr e(BinOpKind::kAdd, std::make_shared<ColumnRefExpr>("a"),
+               std::make_shared<LiteralExpr>(Value::Int32(10)));
+  auto col = e.Evaluate(ctx).ValueOrDie();
+  EXPECT_EQ(col->i32_data(), (std::vector<int32_t>{11, 12}));
+}
+
+TEST(ExpressionTest, NestedArithmetic) {
+  auto t = TestTable();
+  EvalContext ctx{t.get(), nullptr};
+  // (a + b) * 2
+  auto sum = std::make_shared<BinaryExpr>(
+      BinOpKind::kAdd, std::make_shared<ColumnRefExpr>("a"),
+      std::make_shared<ColumnRefExpr>("b"));
+  BinaryExpr e(BinOpKind::kMul, sum,
+               std::make_shared<LiteralExpr>(Value::Double(2.0)));
+  auto col = e.Evaluate(ctx).ValueOrDie();
+  EXPECT_DOUBLE_EQ(col->f64_data()[0], 3.0);
+  EXPECT_DOUBLE_EQ(col->f64_data()[1], 7.0);
+}
+
+TEST(ExpressionTest, ComparisonAndLogic) {
+  auto t = TestTable();
+  EvalContext ctx{t.get(), nullptr};
+  // a > 1 AND b < 2.0
+  auto gt = std::make_shared<BinaryExpr>(
+      BinOpKind::kGt, std::make_shared<ColumnRefExpr>("a"),
+      std::make_shared<LiteralExpr>(Value::Int32(1)));
+  auto lt = std::make_shared<BinaryExpr>(
+      BinOpKind::kLt, std::make_shared<ColumnRefExpr>("b"),
+      std::make_shared<LiteralExpr>(Value::Double(2.0)));
+  BinaryExpr e(BinOpKind::kAnd, gt, lt);
+  auto col = e.Evaluate(ctx).ValueOrDie();
+  EXPECT_EQ(col->bool_data(), (std::vector<uint8_t>{0, 1}));
+}
+
+TEST(ExpressionTest, Cast) {
+  auto t = TestTable();
+  EvalContext ctx{t.get(), nullptr};
+  CastExpr e(std::make_shared<ColumnRefExpr>("a"), TypeId::kDouble);
+  auto col = e.Evaluate(ctx).ValueOrDie();
+  EXPECT_EQ(col->type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(col->f64_data()[1], 2.0);
+}
+
+TEST(ExpressionTest, IsNull) {
+  Schema s;
+  s.AddField("x", TypeId::kInt32);
+  auto t = Table::Make(std::move(s));
+  ASSERT_TRUE(t->AppendRow({Value::Int32(1)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::MakeNull(TypeId::kInt32)}).ok());
+  EvalContext ctx{t.get(), nullptr};
+  IsNullExpr is_null(std::make_shared<ColumnRefExpr>("x"), false);
+  auto col = is_null.Evaluate(ctx).ValueOrDie();
+  EXPECT_EQ(col->bool_data(), (std::vector<uint8_t>{0, 1}));
+  IsNullExpr not_null(std::make_shared<ColumnRefExpr>("x"), true);
+  auto col2 = not_null.Evaluate(ctx).ValueOrDie();
+  EXPECT_EQ(col2->bool_data(), (std::vector<uint8_t>{1, 0}));
+}
+
+TEST(ExpressionTest, FunctionCallDispatchesThroughContext) {
+  auto t = TestTable();
+  EvalContext ctx{t.get(), nullptr};
+  ctx.call_function = [](const std::string& name,
+                         const std::vector<ColumnPtr>& args,
+                         size_t num_rows) -> Result<ColumnPtr> {
+    EXPECT_EQ(name, "double_it");
+    EXPECT_EQ(args.size(), 1u);
+    return BinaryKernel(BinOpKind::kMul, *args[0],
+                        *Column::Constant(Value::Int32(2), 1));
+  };
+  FunctionCallExpr e("double_it",
+                     {std::make_shared<ColumnRefExpr>("a")});
+  auto col = e.Evaluate(ctx).ValueOrDie();
+  EXPECT_EQ(col->i32_data(), (std::vector<int32_t>{2, 4}));
+}
+
+TEST(ExpressionTest, FunctionCallWithoutDispatcherFails) {
+  auto t = TestTable();
+  EvalContext ctx{t.get(), nullptr};
+  FunctionCallExpr e("f", {});
+  EXPECT_FALSE(e.Evaluate(ctx).ok());
+}
+
+TEST(ExpressionTest, ToStringRendering) {
+  BinaryExpr e(BinOpKind::kAdd, std::make_shared<ColumnRefExpr>("a"),
+               std::make_shared<LiteralExpr>(Value::Int32(1)));
+  EXPECT_EQ(e.ToString(), "(a + 1)");
+  FunctionCallExpr f("predict", {std::make_shared<ColumnRefExpr>("x")});
+  EXPECT_EQ(f.ToString(), "predict(x)");
+}
+
+}  // namespace
+}  // namespace mlcs::exec

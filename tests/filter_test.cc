@@ -1,0 +1,70 @@
+#include "exec/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace mlcs::exec {
+namespace {
+
+TablePtr Numbers() {
+  Schema s;
+  s.AddField("x", TypeId::kInt32);
+  auto t = Table::Make(std::move(s));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(t->AppendRow({Value::Int32(i)}).ok());
+  }
+  return t;
+}
+
+TEST(FilterTest, KeepsTrueRows) {
+  auto t = Numbers();
+  std::vector<uint8_t> pred(10, 0);
+  pred[2] = pred[5] = 1;
+  auto out = FilterTable(*t, *Column::FromBool(std::move(pred))).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 2u);
+  EXPECT_EQ(out->GetValue(0, 0).ValueOrDie(), Value::Int32(2));
+  EXPECT_EQ(out->GetValue(1, 0).ValueOrDie(), Value::Int32(5));
+}
+
+TEST(FilterTest, NullPredicateRowsDropped) {
+  auto t = Numbers();
+  Column pred(TypeId::kBool);
+  for (int i = 0; i < 10; ++i) {
+    if (i % 3 == 0) {
+      pred.AppendNull();
+    } else {
+      pred.AppendBool(true);
+    }
+  }
+  auto out = FilterTable(*t, pred).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 6u);  // rows 0,3,6,9 dropped
+}
+
+TEST(FilterTest, BroadcastScalarPredicate) {
+  auto t = Numbers();
+  auto all = FilterTable(*t, *Column::FromBool({1})).ValueOrDie();
+  EXPECT_EQ(all->num_rows(), 10u);
+  auto none = FilterTable(*t, *Column::FromBool({0})).ValueOrDie();
+  EXPECT_EQ(none->num_rows(), 0u);
+}
+
+TEST(FilterTest, NonBoolPredicateRejected) {
+  auto t = Numbers();
+  EXPECT_FALSE(FilterTable(*t, *Column::FromInt32({1})).ok());
+}
+
+TEST(FilterTest, LengthMismatchRejected) {
+  auto t = Numbers();
+  EXPECT_FALSE(FilterTable(*t, *Column::FromBool({1, 0})).ok());
+}
+
+TEST(FilterTest, EmptyInput) {
+  Schema s;
+  s.AddField("x", TypeId::kInt32);
+  Table t(std::move(s));
+  Column pred(TypeId::kBool);
+  auto out = FilterTable(t, pred).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace mlcs::exec

@@ -1,0 +1,208 @@
+#include "exec/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace mlcs::exec {
+namespace {
+
+TEST(KernelsTest, Int32Addition) {
+  auto l = Column::FromInt32({1, 2, 3});
+  auto r = Column::FromInt32({10, 20, 30});
+  auto out = BinaryKernel(BinOpKind::kAdd, *l, *r).ValueOrDie();
+  EXPECT_EQ(out->type(), TypeId::kInt32);
+  EXPECT_EQ(out->i32_data(), (std::vector<int32_t>{11, 22, 33}));
+}
+
+TEST(KernelsTest, MixedTypesPromote) {
+  auto l = Column::FromInt32({1, 2});
+  auto r = Column::FromInt64({10, 20});
+  auto out = BinaryKernel(BinOpKind::kMul, *l, *r).ValueOrDie();
+  EXPECT_EQ(out->type(), TypeId::kInt64);
+  EXPECT_EQ(out->i64_data(), (std::vector<int64_t>{10, 40}));
+
+  auto d = Column::FromDouble({0.5, 0.5});
+  auto out2 = BinaryKernel(BinOpKind::kAdd, *l, *d).ValueOrDie();
+  EXPECT_EQ(out2->type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(out2->f64_data()[0], 1.5);
+}
+
+TEST(KernelsTest, ScalarBroadcastBothSides) {
+  auto vec = Column::FromInt32({1, 2, 3});
+  auto scalar = Column::FromInt32({10});
+  auto out = BinaryKernel(BinOpKind::kAdd, *vec, *scalar).ValueOrDie();
+  EXPECT_EQ(out->i32_data(), (std::vector<int32_t>{11, 12, 13}));
+  auto out2 = BinaryKernel(BinOpKind::kSub, *scalar, *vec).ValueOrDie();
+  EXPECT_EQ(out2->i32_data(), (std::vector<int32_t>{9, 8, 7}));
+}
+
+TEST(KernelsTest, IncompatibleLengthsRejected) {
+  auto a = Column::FromInt32({1, 2});
+  auto b = Column::FromInt32({1, 2, 3});
+  EXPECT_FALSE(BinaryKernel(BinOpKind::kAdd, *a, *b).ok());
+}
+
+TEST(KernelsTest, DivisionByZeroYieldsNull) {
+  auto l = Column::FromInt32({6, 7});
+  auto r = Column::FromInt32({3, 0});
+  auto out = BinaryKernel(BinOpKind::kDiv, *l, *r).ValueOrDie();
+  EXPECT_EQ(out->i32_data()[0], 2);
+  EXPECT_TRUE(out->IsNull(1));
+  auto mod = BinaryKernel(BinOpKind::kMod, *l, *r).ValueOrDie();
+  EXPECT_EQ(mod->i32_data()[0], 0);
+  EXPECT_TRUE(mod->IsNull(1));
+}
+
+TEST(KernelsTest, DoubleDivision) {
+  auto l = Column::FromDouble({1.0});
+  auto r = Column::FromDouble({4.0});
+  auto out = BinaryKernel(BinOpKind::kDiv, *l, *r).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out->f64_data()[0], 0.25);
+}
+
+TEST(KernelsTest, NullPropagation) {
+  Column l(TypeId::kInt32);
+  l.AppendInt32(1);
+  l.AppendNull();
+  auto r = Column::FromInt32({5, 5});
+  auto out = BinaryKernel(BinOpKind::kAdd, l, *r).ValueOrDie();
+  EXPECT_FALSE(out->IsNull(0));
+  EXPECT_TRUE(out->IsNull(1));
+}
+
+TEST(KernelsTest, Comparisons) {
+  auto l = Column::FromInt32({1, 2, 3});
+  auto r = Column::FromInt32({2, 2, 2});
+  auto lt = BinaryKernel(BinOpKind::kLt, *l, *r).ValueOrDie();
+  EXPECT_EQ(lt->bool_data(), (std::vector<uint8_t>{1, 0, 0}));
+  auto eq = BinaryKernel(BinOpKind::kEq, *l, *r).ValueOrDie();
+  EXPECT_EQ(eq->bool_data(), (std::vector<uint8_t>{0, 1, 0}));
+  auto ge = BinaryKernel(BinOpKind::kGe, *l, *r).ValueOrDie();
+  EXPECT_EQ(ge->bool_data(), (std::vector<uint8_t>{0, 1, 1}));
+  auto ne = BinaryKernel(BinOpKind::kNe, *l, *r).ValueOrDie();
+  EXPECT_EQ(ne->bool_data(), (std::vector<uint8_t>{1, 0, 1}));
+}
+
+TEST(KernelsTest, StringComparison) {
+  auto l = Column::FromStrings({"apple", "pear"});
+  auto r = Column::FromStrings({"banana", "pear"});
+  auto lt = BinaryKernel(BinOpKind::kLt, *l, *r).ValueOrDie();
+  EXPECT_EQ(lt->bool_data(), (std::vector<uint8_t>{1, 0}));
+  auto eq = BinaryKernel(BinOpKind::kEq, *l, *r).ValueOrDie();
+  EXPECT_EQ(eq->bool_data(), (std::vector<uint8_t>{0, 1}));
+}
+
+TEST(KernelsTest, StringArithmeticRejected) {
+  auto l = Column::FromStrings({"a"});
+  auto r = Column::FromStrings({"b"});
+  EXPECT_FALSE(BinaryKernel(BinOpKind::kAdd, *l, *r).ok());
+}
+
+TEST(KernelsTest, LogicalAndOr) {
+  auto l = Column::FromBool({1, 1, 0, 0});
+  auto r = Column::FromBool({1, 0, 1, 0});
+  auto a = BinaryKernel(BinOpKind::kAnd, *l, *r).ValueOrDie();
+  EXPECT_EQ(a->bool_data(), (std::vector<uint8_t>{1, 0, 0, 0}));
+  auto o = BinaryKernel(BinOpKind::kOr, *l, *r).ValueOrDie();
+  EXPECT_EQ(o->bool_data(), (std::vector<uint8_t>{1, 1, 1, 0}));
+  auto i = Column::FromInt32({1, 2, 3, 4});
+  EXPECT_FALSE(BinaryKernel(BinOpKind::kAnd, *l, *i).ok());
+}
+
+TEST(KernelsTest, UnaryNegateAndNot) {
+  auto i = Column::FromInt32({1, -2});
+  auto neg = UnaryKernel(UnOpKind::kNeg, *i).ValueOrDie();
+  EXPECT_EQ(neg->i32_data(), (std::vector<int32_t>{-1, 2}));
+  auto d = Column::FromDouble({1.5});
+  EXPECT_DOUBLE_EQ(
+      UnaryKernel(UnOpKind::kNeg, *d).ValueOrDie()->f64_data()[0], -1.5);
+  auto b = Column::FromBool({1, 0});
+  auto n = UnaryKernel(UnOpKind::kNot, *b).ValueOrDie();
+  EXPECT_EQ(n->bool_data(), (std::vector<uint8_t>{0, 1}));
+  EXPECT_FALSE(UnaryKernel(UnOpKind::kNot, *i).ok());
+  auto s = Column::FromStrings({"x"});
+  EXPECT_FALSE(UnaryKernel(UnOpKind::kNeg, *s).ok());
+}
+
+TEST(KernelsTest, HashDistinguishesValuesAndTypes) {
+  auto a = Column::FromInt32({1, 2, 1});
+  std::vector<uint64_t> h(3, kHashSeed);
+  HashCombineColumn(*a, &h);
+  EXPECT_EQ(h[0], h[2]);
+  EXPECT_NE(h[0], h[1]);
+}
+
+TEST(KernelsTest, HashNullsDifferFromZero) {
+  Column a(TypeId::kInt32);
+  a.AppendInt32(0);
+  a.AppendNull();
+  std::vector<uint64_t> h(2, kHashSeed);
+  HashCombineColumn(a, &h);
+  EXPECT_NE(h[0], h[1]);
+}
+
+TEST(KernelsTest, MultiColumnHashComposes) {
+  auto a = Column::FromInt32({1, 1});
+  auto b = Column::FromInt32({2, 3});
+  std::vector<uint64_t> h(2, kHashSeed);
+  HashCombineColumn(*a, &h);
+  HashCombineColumn(*b, &h);
+  EXPECT_NE(h[0], h[1]);
+}
+
+TEST(KernelsTest, CellEqualsAndCompare) {
+  auto a = Column::FromStrings({"a", "b"});
+  EXPECT_TRUE(CellEquals(*a, 0, *a, 0));
+  EXPECT_FALSE(CellEquals(*a, 0, *a, 1));
+  EXPECT_LT(CellCompare(*a, 0, *a, 1), 0);
+  EXPECT_GT(CellCompare(*a, 1, *a, 0), 0);
+  EXPECT_EQ(CellCompare(*a, 1, *a, 1), 0);
+  Column n(TypeId::kInt32);
+  n.AppendNull();
+  n.AppendInt32(1);
+  EXPECT_LT(CellCompare(n, 0, n, 1), 0);  // NULL first
+  EXPECT_TRUE(CellEquals(n, 0, n, 0));
+  EXPECT_FALSE(CellEquals(n, 0, n, 1));
+}
+
+TEST(KernelsTest, TakeOrNullPadsMinusOne) {
+  auto a = Column::FromInt32({10, 20});
+  auto out = TakeOrNull(*a, {1, -1, 0});
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ(out->i32_data()[0], 20);
+  EXPECT_TRUE(out->IsNull(1));
+  EXPECT_EQ(out->i32_data()[2], 10);
+}
+
+/// Property: for random int vectors, kernel results match a scalar oracle.
+TEST(KernelsTest, RandomizedArithmeticMatchesOracle) {
+  Rng rng(77);
+  std::vector<int64_t> lv(200), rv(200);
+  for (size_t i = 0; i < lv.size(); ++i) {
+    lv[i] = rng.NextInt(-1000, 1000);
+    rv[i] = rng.NextInt(-10, 10);
+  }
+  auto l = Column::FromInt64(std::vector<int64_t>(lv));
+  auto r = Column::FromInt64(std::vector<int64_t>(rv));
+  for (BinOpKind op : {BinOpKind::kAdd, BinOpKind::kSub, BinOpKind::kMul}) {
+    auto out = BinaryKernel(op, *l, *r).ValueOrDie();
+    for (size_t i = 0; i < lv.size(); ++i) {
+      int64_t expect = op == BinOpKind::kAdd   ? lv[i] + rv[i]
+                       : op == BinOpKind::kSub ? lv[i] - rv[i]
+                                               : lv[i] * rv[i];
+      EXPECT_EQ(out->i64_data()[i], expect);
+    }
+  }
+  auto div = BinaryKernel(BinOpKind::kDiv, *l, *r).ValueOrDie();
+  for (size_t i = 0; i < lv.size(); ++i) {
+    if (rv[i] == 0) {
+      EXPECT_TRUE(div->IsNull(i));
+    } else {
+      EXPECT_EQ(div->i64_data()[i], lv[i] / rv[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlcs::exec

@@ -1,0 +1,116 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace mlcs::ml {
+namespace {
+
+/// Three well-separated clusters in 2-D.
+Matrix ThreeBlobs(size_t per_cluster, uint64_t seed = 1) {
+  Rng rng(seed);
+  Matrix x(per_cluster * 3, 2);
+  const double cx[3] = {0.0, 10.0, 0.0};
+  const double cy[3] = {0.0, 0.0, 10.0};
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      size_t r = c * per_cluster + i;
+      x.Set(r, 0, cx[c] + rng.NextGaussian() * 0.5);
+      x.Set(r, 1, cy[c] + rng.NextGaussian() * 0.5);
+    }
+  }
+  return x;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Matrix x = ThreeBlobs(200);
+  KMeansOptions opt;
+  opt.k = 3;
+  KMeans km(opt);
+  ASSERT_TRUE(km.Fit(x).ok());
+  auto assign = km.Assign(x).ValueOrDie();
+  // Points within a true blob must share an assignment, blobs must differ.
+  std::set<int32_t> blob_labels;
+  for (size_t c = 0; c < 3; ++c) {
+    int32_t label = assign[c * 200];
+    blob_labels.insert(label);
+    size_t agree = 0;
+    for (size_t i = 0; i < 200; ++i) {
+      if (assign[c * 200 + i] == label) ++agree;
+    }
+    EXPECT_GT(agree, 195u);
+  }
+  EXPECT_EQ(blob_labels.size(), 3u);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Matrix x = ThreeBlobs(100, 2);
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t k : {1u, 2u, 3u}) {
+    KMeansOptions opt;
+    opt.k = k;
+    KMeans km(opt);
+    ASSERT_TRUE(km.Fit(x).ok());
+    EXPECT_LT(km.inertia(), prev);
+    prev = km.inertia();
+  }
+}
+
+TEST(KMeansTest, Deterministic) {
+  Matrix x = ThreeBlobs(50, 3);
+  KMeansOptions opt;
+  opt.k = 3;
+  KMeans a(opt), b(opt);
+  ASSERT_TRUE(a.Fit(x).ok());
+  ASSERT_TRUE(b.Fit(x).ok());
+  EXPECT_EQ(a.centroids(), b.centroids());
+  EXPECT_DOUBLE_EQ(a.inertia(), b.inertia());
+}
+
+TEST(KMeansTest, KEqualsRowsIsPerfect) {
+  Matrix x(4, 1);
+  for (size_t i = 0; i < 4; ++i) x.Set(i, 0, static_cast<double>(i * 10));
+  KMeansOptions opt;
+  opt.k = 4;
+  KMeans km(opt);
+  ASSERT_TRUE(km.Fit(x).ok());
+  EXPECT_NEAR(km.inertia(), 0.0, 1e-12);
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  Matrix x(10, 2);  // all zeros
+  KMeansOptions opt;
+  opt.k = 3;
+  KMeans km(opt);
+  ASSERT_TRUE(km.Fit(x).ok());
+  EXPECT_NEAR(km.inertia(), 0.0, 1e-12);
+}
+
+TEST(KMeansTest, Validation) {
+  KMeans unfitted;
+  Matrix x(5, 1);
+  EXPECT_FALSE(unfitted.Assign(x).ok());
+  KMeansOptions opt;
+  opt.k = 10;
+  KMeans too_many(opt);
+  EXPECT_FALSE(too_many.Fit(x).ok());  // k > rows
+  opt.k = 0;
+  KMeans zero(opt);
+  EXPECT_FALSE(zero.Fit(x).ok());
+  Matrix empty;
+  KMeans km;
+  EXPECT_FALSE(km.Fit(empty).ok());
+  // Assign with wrong width.
+  KMeansOptions ok;
+  ok.k = 2;
+  KMeans fitted(ok);
+  ASSERT_TRUE(fitted.Fit(x).ok());
+  Matrix wide(3, 2);
+  EXPECT_FALSE(fitted.Assign(wide).ok());
+}
+
+}  // namespace
+}  // namespace mlcs::ml

@@ -1,0 +1,104 @@
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/metrics.h"
+#include "ml/pickle.h"
+
+namespace mlcs::ml {
+namespace {
+
+void MakeBlobs(size_t n, Matrix* x, Labels* y, uint64_t seed = 1) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int32_t cls = static_cast<int32_t>(rng.NextBounded(2));
+    x->Set(i, 0, cls * 4.0 + rng.NextGaussian());
+    x->Set(i, 1, cls * 4.0 + rng.NextGaussian());
+    (*y)[i] = cls;
+  }
+}
+
+TEST(KnnTest, LearnsSeparableBlobs) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(400, &x, &y);
+  Knn knn;
+  ASSERT_TRUE(knn.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, knn.Predict(x).ValueOrDie()).ValueOrDie(), 0.95);
+}
+
+TEST(KnnTest, KEqualsOneMemorizesTrainingSet) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(200, &x, &y, 3);
+  KnnOptions opt;
+  opt.k = 1;
+  Knn knn(opt);
+  ASSERT_TRUE(knn.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(Accuracy(y, knn.Predict(x).ValueOrDie()).ValueOrDie(),
+                   1.0);
+}
+
+TEST(KnnTest, VotesFormDistribution) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(200, &x, &y, 5);
+  Knn knn;
+  ASSERT_TRUE(knn.Fit(x, y).ok());
+  auto p0 = knn.PredictProba(x, 0).ValueOrDie();
+  auto p1 = knn.PredictProba(x, 1).ValueOrDie();
+  auto conf = knn.PredictConfidence(x).ValueOrDie();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_NEAR(p0[i] + p1[i], 1.0, 1e-9);
+    EXPECT_NEAR(conf[i], std::max(p0[i], p1[i]), 1e-9);
+  }
+}
+
+TEST(KnnTest, KLargerThanTrainingSetClamped) {
+  Matrix x(3, 1);
+  x.Set(0, 0, 0.0);
+  x.Set(1, 0, 1.0);
+  x.Set(2, 0, 10.0);
+  Labels y = {0, 0, 1};
+  KnnOptions opt;
+  opt.k = 100;
+  Knn knn(opt);
+  ASSERT_TRUE(knn.Fit(x, y).ok());
+  // All 3 points vote → majority class 0 everywhere.
+  EXPECT_EQ(knn.Predict(x).ValueOrDie(), (Labels{0, 0, 0}));
+}
+
+TEST(KnnTest, ZeroKRejected) {
+  KnnOptions opt;
+  opt.k = 0;
+  Knn knn(opt);
+  Matrix x(2, 1);
+  Labels y = {0, 1};
+  EXPECT_FALSE(knn.Fit(x, y).ok());
+}
+
+TEST(KnnTest, PickleRoundTrip) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(150, &x, &y, 8);
+  Knn knn;
+  ASSERT_TRUE(knn.Fit(x, y).ok());
+  std::string blob = pickle::Dumps(knn);
+  auto back = pickle::Loads(blob).ValueOrDie();
+  EXPECT_EQ(back->type(), ModelType::kKnn);
+  EXPECT_EQ(back->Predict(x).ValueOrDie(), knn.Predict(x).ValueOrDie());
+  // kNN blobs scale with training size (it ships the data).
+  EXPECT_GT(blob.size(), 150u * 2u * sizeof(double));
+}
+
+TEST(KnnTest, ValidationErrors) {
+  Knn knn;
+  Matrix x(2, 1);
+  EXPECT_FALSE(knn.Predict(x).ok());  // unfitted
+}
+
+}  // namespace
+}  // namespace mlcs::ml

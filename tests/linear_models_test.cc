@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+
+namespace mlcs::ml {
+namespace {
+
+void MakeBlobs(size_t n, Matrix* x, Labels* y, uint64_t seed = 1,
+               double sep = 4.0) {
+  Rng rng(seed);
+  *x = Matrix(n, 3);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int32_t cls = static_cast<int32_t>(rng.NextBounded(2));
+    double c = cls == 0 ? 0.0 : sep;
+    for (size_t f = 0; f < 3; ++f) x->Set(i, f, c + rng.NextGaussian());
+    (*y)[i] = cls;
+  }
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableBlobs) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(600, &x, &y);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, lr.Predict(x).ValueOrDie()).ValueOrDie(), 0.95);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesFormDistribution) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(200, &x, &y);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  auto p0 = lr.PredictProba(x, 0).ValueOrDie();
+  auto p1 = lr.PredictProba(x, 1).ValueOrDie();
+  auto conf = lr.PredictConfidence(x).ValueOrDie();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_NEAR(p0[i] + p1[i], 1.0, 1e-9);
+    EXPECT_NEAR(conf[i], std::max(p0[i], p1[i]), 1e-9);
+  }
+}
+
+TEST(LogisticRegressionTest, MulticlassOneVsRest) {
+  Rng rng(4);
+  Matrix x(900, 2);
+  Labels y(900);
+  // Non-collinear class centers (one-vs-rest needs each class linearly
+  // separable from the rest).
+  const double cx[3] = {0.0, 6.0, 3.0};
+  const double cy[3] = {0.0, 0.0, 5.2};
+  for (size_t i = 0; i < 900; ++i) {
+    int32_t cls = static_cast<int32_t>(rng.NextBounded(3));
+    x.Set(i, 0, cx[cls] + rng.NextGaussian());
+    x.Set(i, 1, cy[cls] + rng.NextGaussian());
+    y[i] = cls;
+  }
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, lr.Predict(x).ValueOrDie()).ValueOrDie(), 0.9);
+}
+
+TEST(LogisticRegressionTest, SerializationRoundTrip) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(300, &x, &y, 6);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  ByteWriter w;
+  lr.Serialize(&w);
+  ByteReader r(w.data());
+  auto back = LogisticRegression::DeserializeBody(&r).ValueOrDie();
+  EXPECT_EQ(lr.Predict(x).ValueOrDie(), back->Predict(x).ValueOrDie());
+  auto pa = lr.PredictProba(x, 1).ValueOrDie();
+  auto pb = back->PredictProba(x, 1).ValueOrDie();
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(LogisticRegressionTest, ValidationErrors) {
+  LogisticRegression lr;
+  Matrix x(2, 1);
+  EXPECT_FALSE(lr.Predict(x).ok());  // not fitted
+  Labels y = {0};
+  EXPECT_FALSE(lr.Fit(x, y).ok());  // length mismatch
+}
+
+TEST(NaiveBayesTest, LearnsSeparableBlobs) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(600, &x, &y, 2);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, nb.Predict(x).ValueOrDie()).ValueOrDie(), 0.95);
+}
+
+TEST(NaiveBayesTest, PosteriorsFormDistribution) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(200, &x, &y, 5);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, y).ok());
+  auto p0 = nb.PredictProba(x, 0).ValueOrDie();
+  auto p1 = nb.PredictProba(x, 1).ValueOrDie();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_NEAR(p0[i] + p1[i], 1.0, 1e-9);
+    EXPECT_GE(p0[i], 0.0);
+    EXPECT_LE(p0[i], 1.0);
+  }
+}
+
+TEST(NaiveBayesTest, PriorsInfluencePredictionOnAmbiguousInput) {
+  // 90/10 class imbalance with identical feature distributions: the
+  // posterior should favour the majority class.
+  Rng rng(10);
+  Matrix x(1000, 1);
+  Labels y(1000);
+  for (size_t i = 0; i < 1000; ++i) {
+    x.Set(i, 0, rng.NextGaussian());
+    y[i] = i < 900 ? 0 : 1;
+  }
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, y).ok());
+  Matrix probe(1, 1);
+  probe.Set(0, 0, 0.0);
+  EXPECT_EQ(nb.Predict(probe).ValueOrDie()[0], 0);
+}
+
+TEST(NaiveBayesTest, SerializationRoundTrip) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(300, &x, &y, 12);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, y).ok());
+  ByteWriter w;
+  nb.Serialize(&w);
+  ByteReader r(w.data());
+  auto back = NaiveBayes::DeserializeBody(&r).ValueOrDie();
+  EXPECT_EQ(nb.Predict(x).ValueOrDie(), back->Predict(x).ValueOrDie());
+}
+
+TEST(NaiveBayesTest, ConstantFeatureDoesNotDivideByZero) {
+  Matrix x(10, 2);
+  Labels y(10);
+  for (size_t i = 0; i < 10; ++i) {
+    x.Set(i, 0, 1.0);  // constant feature
+    x.Set(i, 1, static_cast<double>(i));
+    y[i] = i < 5 ? 0 : 1;
+  }
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, y).ok());
+  auto pred = nb.Predict(x).ValueOrDie();
+  EXPECT_GT(Accuracy(y, pred).ValueOrDie(), 0.8);
+}
+
+}  // namespace
+}  // namespace mlcs::ml

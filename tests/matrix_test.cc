@@ -1,0 +1,75 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mlcs::ml {
+namespace {
+
+TEST(MatrixTest, ConstructAndAccess) {
+  Matrix m(3, 2);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  m.Set(1, 0, 5.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(MatrixTest, FromColumnsConvertsNumericTypes) {
+  std::vector<ColumnPtr> cols = {Column::FromInt32({1, 2, 3}),
+                                 Column::FromDouble({0.5, 1.5, 2.5}),
+                                 Column::FromBool({1, 0, 1})};
+  Matrix m = Matrix::FromColumns(cols).ValueOrDie();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 1.5);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 0.0);
+}
+
+TEST(MatrixTest, FromColumnsRejectsStrings) {
+  std::vector<ColumnPtr> cols = {Column::FromStrings({"a"})};
+  EXPECT_FALSE(Matrix::FromColumns(cols).ok());
+}
+
+TEST(MatrixTest, NullsBecomeNaN) {
+  Column col(TypeId::kInt32);
+  col.AppendInt32(1);
+  col.AppendNull();
+  Matrix m = Matrix::FromColumns({std::make_shared<Column>(col)})
+                 .ValueOrDie();
+  EXPECT_TRUE(std::isnan(m.At(1, 0)));
+}
+
+TEST(MatrixTest, FromTableByFeatureNames) {
+  Schema s;
+  s.AddField("a", TypeId::kInt32);
+  s.AddField("b", TypeId::kDouble);
+  auto t = Table::Make(std::move(s));
+  ASSERT_TRUE(t->AppendRow({Value::Int32(1), Value::Double(9.0)}).ok());
+  Matrix m = Matrix::FromTable(*t, {"b"}).ValueOrDie();
+  EXPECT_EQ(m.cols(), 1u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 9.0);
+  EXPECT_FALSE(Matrix::FromTable(*t, {"zzz"}).ok());
+}
+
+TEST(MatrixTest, AddColumnLengthChecked) {
+  Matrix m;
+  ASSERT_TRUE(m.AddColumn({1.0, 2.0}).ok());
+  EXPECT_FALSE(m.AddColumn({1.0}).ok());
+  ASSERT_TRUE(m.AddColumn({3.0, 4.0}).ok());
+  EXPECT_EQ(m.cols(), 2u);
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix m(4, 1);
+  for (size_t r = 0; r < 4; ++r) m.Set(r, 0, static_cast<double>(r));
+  Matrix sel = m.SelectRows({3, 1});
+  EXPECT_EQ(sel.rows(), 2u);
+  EXPECT_DOUBLE_EQ(sel.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sel.At(1, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace mlcs::ml

@@ -1,0 +1,109 @@
+#include "modelstore/model_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace mlcs::modelstore {
+namespace {
+
+void MakeBlobs(size_t n, ml::Matrix* x, ml::Labels* y) {
+  Rng rng(11);
+  *x = ml::Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int32_t cls = static_cast<int32_t>(rng.NextBounded(2));
+    x->Set(i, 0, cls * 4.0 + rng.NextGaussian());
+    x->Set(i, 1, cls * 4.0 + rng.NextGaussian());
+    (*y)[i] = cls;
+  }
+}
+
+class ModelStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<ModelStore>(&db_);
+    ASSERT_TRUE(store_->Init().ok());
+    MakeBlobs(200, &x_, &y_);
+  }
+
+  ml::ModelPtr FittedForest(int trees) {
+    ml::RandomForestOptions opt;
+    opt.n_estimators = trees;
+    auto m = std::make_shared<ml::RandomForest>(opt);
+    EXPECT_TRUE(m->Fit(x_, y_).ok());
+    return m;
+  }
+
+  Database db_;
+  std::unique_ptr<ModelStore> store_;
+  ml::Matrix x_;
+  ml::Labels y_;
+};
+
+TEST_F(ModelStoreTest, SaveLoadRoundTrip) {
+  auto model = FittedForest(4);
+  ASSERT_TRUE(store_->SaveModel("rf", *model, 0.93, 200).ok());
+  auto back = store_->LoadModel("rf").ValueOrDie();
+  EXPECT_EQ(back->type(), ml::ModelType::kRandomForest);
+  EXPECT_EQ(back->Predict(x_).ValueOrDie(), model->Predict(x_).ValueOrDie());
+}
+
+TEST_F(ModelStoreTest, MetadataRecorded) {
+  ASSERT_TRUE(store_->SaveModel("rf", *FittedForest(4), 0.93, 200).ok());
+  auto info = store_->GetInfo("rf").ValueOrDie();
+  EXPECT_EQ(info.algorithm, "random_forest");
+  EXPECT_DOUBLE_EQ(info.accuracy, 0.93);
+  EXPECT_EQ(info.trained_rows, 200);
+  EXPECT_NE(info.params.find("n_estimators=4"), std::string::npos);
+}
+
+TEST_F(ModelStoreTest, SaveReplacesExisting) {
+  ASSERT_TRUE(store_->SaveModel("m", *FittedForest(2), 0.8, 100).ok());
+  ASSERT_TRUE(store_->SaveModel("m", *FittedForest(6), 0.9, 150).ok());
+  EXPECT_EQ(store_->ListModels().ValueOrDie().size(), 1u);
+  EXPECT_DOUBLE_EQ(store_->GetInfo("m").ValueOrDie().accuracy, 0.9);
+}
+
+TEST_F(ModelStoreTest, BestModelByAccuracy) {
+  ASSERT_TRUE(store_->SaveModel("weak", *FittedForest(1), 0.7, 100).ok());
+  ASSERT_TRUE(store_->SaveModel("strong", *FittedForest(8), 0.95, 100).ok());
+  ml::NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x_, y_).ok());
+  ASSERT_TRUE(store_->SaveModel("nb", nb, 0.85, 100).ok());
+  EXPECT_EQ(store_->BestModelName().ValueOrDie(), "strong");
+  EXPECT_EQ(store_->ListModels().ValueOrDie().size(), 3u);
+}
+
+TEST_F(ModelStoreTest, DeleteModel) {
+  ASSERT_TRUE(store_->SaveModel("m", *FittedForest(2), 0.8, 100).ok());
+  ASSERT_TRUE(store_->DeleteModel("m").ok());
+  EXPECT_FALSE(store_->LoadModel("m").ok());
+  EXPECT_FALSE(store_->DeleteModel("m").ok());
+}
+
+TEST_F(ModelStoreTest, UnfittedModelRejected) {
+  ml::NaiveBayes unfitted;
+  EXPECT_FALSE(store_->SaveModel("u", unfitted, 0, 0).ok());
+}
+
+TEST_F(ModelStoreTest, MissingModelReported) {
+  EXPECT_FALSE(store_->LoadModel("ghost").ok());
+  EXPECT_FALSE(store_->GetInfo("ghost").ok());
+  EXPECT_FALSE(store_->BestModelName().ok());
+}
+
+TEST_F(ModelStoreTest, QueryableViaSql) {
+  // The whole point of §3.3: stored models are relational data.
+  ASSERT_TRUE(store_->SaveModel("a", *FittedForest(2), 0.8, 100).ok());
+  ASSERT_TRUE(store_->SaveModel("b", *FittedForest(4), 0.9, 100).ok());
+  auto t = db_.Query("SELECT name FROM models WHERE accuracy > 0.85")
+               .ValueOrDie();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Varchar("b"));
+}
+
+}  // namespace
+}  // namespace mlcs::modelstore

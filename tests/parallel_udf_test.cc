@@ -1,0 +1,115 @@
+#include "udf/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "exec/kernels.h"
+
+namespace mlcs::udf {
+namespace {
+
+/// Registry with an "x * 2 + scalar" UDF that counts invocations.
+class ParallelUdfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScalarUdfEntry entry;
+    entry.name = "affine";
+    entry.fn = [this](const std::vector<ColumnPtr>& args,
+                      size_t num_rows) -> Result<ColumnPtr> {
+      calls_.fetch_add(1);
+      MLCS_ASSIGN_OR_RETURN(
+          ColumnPtr doubled,
+          exec::BinaryKernel(exec::BinOpKind::kMul, *args[0],
+                             *Column::Constant(Value::Int64(2), 1)));
+      return exec::BinaryKernel(exec::BinOpKind::kAdd, *doubled, *args[1]);
+    };
+    ASSERT_TRUE(registry_.RegisterScalar(std::move(entry)).ok());
+  }
+
+  UdfRegistry registry_;
+  std::atomic<int> calls_{0};
+};
+
+TEST_F(ParallelUdfTest, MatchesSerialResult) {
+  size_t n = 100000;
+  std::vector<int64_t> data(n);
+  for (size_t i = 0; i < n; ++i) data[i] = static_cast<int64_t>(i);
+  std::vector<ColumnPtr> args = {Column::FromInt64(std::move(data)),
+                                 Column::Constant(Value::Int64(5), 1)};
+
+  auto serial = registry_.CallScalar("affine", args, n).ValueOrDie();
+  ParallelOptions opt;
+  opt.num_chunks = 4;
+  opt.min_rows_per_chunk = 1;
+  auto parallel =
+      ParallelCallScalar(registry_, "affine", args, n, opt).ValueOrDie();
+  ASSERT_EQ(parallel->size(), n);
+  EXPECT_TRUE(serial->Equals(*parallel));
+}
+
+TEST_F(ParallelUdfTest, ChunksActuallySplit) {
+  size_t n = 10000;
+  std::vector<int64_t> data(n, 1);
+  std::vector<ColumnPtr> args = {Column::FromInt64(std::move(data)),
+                                 Column::Constant(Value::Int64(0), 1)};
+  ParallelOptions opt;
+  opt.num_chunks = 4;
+  opt.min_rows_per_chunk = 1;
+  ASSERT_TRUE(ParallelCallScalar(registry_, "affine", args, n, opt).ok());
+  EXPECT_EQ(calls_.load(), 4);
+}
+
+TEST_F(ParallelUdfTest, SmallInputStaysSingleChunk) {
+  std::vector<ColumnPtr> args = {Column::FromInt64({1, 2, 3}),
+                                 Column::Constant(Value::Int64(0), 1)};
+  ParallelOptions opt;
+  opt.num_chunks = 8;
+  opt.min_rows_per_chunk = 4096;
+  ASSERT_TRUE(ParallelCallScalar(registry_, "affine", args, 3, opt).ok());
+  EXPECT_EQ(calls_.load(), 1);
+}
+
+TEST_F(ParallelUdfTest, ErrorsPropagate) {
+  ScalarUdfEntry bad;
+  bad.name = "boom";
+  bad.fn = [](const std::vector<ColumnPtr>&, size_t) -> Result<ColumnPtr> {
+    return Status::Internal("kaboom");
+  };
+  ASSERT_TRUE(registry_.RegisterScalar(std::move(bad)).ok());
+  std::vector<ColumnPtr> args = {Column::FromInt64({1, 2, 3, 4})};
+  ParallelOptions opt;
+  opt.num_chunks = 2;
+  opt.min_rows_per_chunk = 1;
+  auto r = ParallelCallScalar(registry_, "boom", args, 4, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(ParallelUdfTest, BroadcastOnlyOutputExpands) {
+  ScalarUdfEntry constant;
+  constant.name = "always_nine";
+  constant.fn = [](const std::vector<ColumnPtr>&,
+                   size_t) -> Result<ColumnPtr> {
+    return Column::Constant(Value::Int32(9), 1);  // length-1 broadcast
+  };
+  ASSERT_TRUE(registry_.RegisterScalar(std::move(constant)).ok());
+  std::vector<ColumnPtr> args = {Column::FromInt64({1, 2, 3, 4, 5, 6})};
+  ParallelOptions opt;
+  opt.num_chunks = 3;
+  opt.min_rows_per_chunk = 1;
+  auto out =
+      ParallelCallScalar(registry_, "always_nine", args, 6, opt).ValueOrDie();
+  ASSERT_EQ(out->size(), 6u);
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(out->i32_data()[i], 9);
+}
+
+TEST_F(ParallelUdfTest, ZeroRowsIsFine) {
+  std::vector<ColumnPtr> args = {Column::FromInt64({}),
+                                 Column::Constant(Value::Int64(0), 1)};
+  auto out = ParallelCallScalar(registry_, "affine", args, 0).ValueOrDie();
+  EXPECT_EQ(out->size(), 0u);
+}
+
+}  // namespace
+}  // namespace mlcs::udf

@@ -1,0 +1,106 @@
+/// Database persistence: SaveTo/LoadFrom round-trips the catalog —
+/// including stored-model BLOBs, which is how trained models survive a
+/// restart (paper §3.1 model storage).
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include "ml/naive_bayes.h"
+#include "ml/pickle.h"
+#include "modelstore/model_store.h"
+#include "sql/database.h"
+
+namespace mlcs {
+namespace {
+
+std::string TempDirFor(const std::string& name) {
+  std::string dir = testing::TempDir() + "/" + name;
+  mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+TEST(PersistenceTest, TablesRoundTrip) {
+  std::string dir = TempDirFor("db_roundtrip");
+  Database db;
+  ASSERT_TRUE(db.Run("CREATE TABLE a (x INTEGER, s VARCHAR);"
+                     "INSERT INTO a VALUES (1, 'one'), (2, NULL);"
+                     "CREATE TABLE b (y DOUBLE);"
+                     "INSERT INTO b VALUES (0.5);")
+                  .ok());
+  ASSERT_TRUE(db.SaveTo(dir).ok());
+
+  Database restored;
+  ASSERT_TRUE(restored.LoadFrom(dir).ok());
+  auto a = restored.Query("SELECT * FROM a ORDER BY x").ValueOrDie();
+  EXPECT_EQ(a->num_rows(), 2u);
+  EXPECT_EQ(a->GetValue(0, 1).ValueOrDie(), Value::Varchar("one"));
+  EXPECT_TRUE(a->GetValue(1, 1).ValueOrDie().is_null());
+  auto b = restored.Query("SELECT y FROM b").ValueOrDie();
+  EXPECT_DOUBLE_EQ(b->GetValue(0, 0).ValueOrDie().double_value(), 0.5);
+}
+
+TEST(PersistenceTest, StoredModelsSurviveRestart) {
+  std::string dir = TempDirFor("db_models");
+  ml::Matrix x(20, 1);
+  ml::Labels y(20);
+  for (size_t i = 0; i < 20; ++i) {
+    x.Set(i, 0, static_cast<double>(i));
+    y[i] = i < 10 ? 0 : 1;
+  }
+  {
+    Database db;
+    modelstore::ModelStore store(&db);
+    ASSERT_TRUE(store.Init().ok());
+    ml::NaiveBayes nb;
+    ASSERT_TRUE(nb.Fit(x, y).ok());
+    ASSERT_TRUE(store.SaveModel("survivor", nb, 0.99, 20).ok());
+    ASSERT_TRUE(db.SaveTo(dir).ok());
+  }
+  Database restored;
+  ASSERT_TRUE(restored.LoadFrom(dir).ok());
+  modelstore::ModelStore store(&restored);
+  ASSERT_TRUE(store.Init().ok());  // table already present → no-op
+  auto model = store.LoadModel("survivor").ValueOrDie();
+  EXPECT_EQ(model->type(), ml::ModelType::kNaiveBayes);
+  auto pred = model->Predict(x).ValueOrDie();
+  EXPECT_EQ(pred.size(), 20u);
+  EXPECT_DOUBLE_EQ(store.GetInfo("survivor").ValueOrDie().accuracy, 0.99);
+}
+
+TEST(PersistenceTest, LoadReplacesExistingTables) {
+  std::string dir = TempDirFor("db_replace");
+  Database source;
+  ASSERT_TRUE(source.Run("CREATE TABLE t (x INTEGER);"
+                         "INSERT INTO t VALUES (42);")
+                  .ok());
+  ASSERT_TRUE(source.SaveTo(dir).ok());
+  Database target;
+  ASSERT_TRUE(target.Run("CREATE TABLE t (x INTEGER);"
+                         "INSERT INTO t VALUES (7);")
+                  .ok());
+  ASSERT_TRUE(target.LoadFrom(dir).ok());
+  EXPECT_EQ(target.Query("SELECT x FROM t")
+                .ValueOrDie()
+                ->GetValue(0, 0)
+                .ValueOrDie(),
+            Value::Int32(42));
+}
+
+TEST(PersistenceTest, MissingDirReported) {
+  Database db;
+  EXPECT_FALSE(db.LoadFrom("/no/such/dir").ok());
+  EXPECT_TRUE(db.Query("CREATE TABLE t (x INTEGER)").ok());
+  EXPECT_FALSE(db.SaveTo("/no/such/dir").ok());
+}
+
+TEST(PersistenceTest, EmptyDatabaseSavesCleanly) {
+  std::string dir = TempDirFor("db_empty");
+  Database db;
+  ASSERT_TRUE(db.SaveTo(dir).ok());
+  Database restored;
+  ASSERT_TRUE(restored.LoadFrom(dir).ok());
+  EXPECT_TRUE(restored.catalog().ListTables().empty());
+}
+
+}  // namespace
+}  // namespace mlcs

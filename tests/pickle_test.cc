@@ -1,0 +1,109 @@
+#include "ml/pickle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace mlcs::ml {
+namespace {
+
+void MakeBlobs(size_t n, Matrix* x, Labels* y) {
+  Rng rng(17);
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int32_t cls = static_cast<int32_t>(rng.NextBounded(2));
+    x->Set(i, 0, cls * 4.0 + rng.NextGaussian());
+    x->Set(i, 1, cls * 4.0 + rng.NextGaussian());
+    (*y)[i] = cls;
+  }
+}
+
+class PickleRoundTripTest : public ::testing::TestWithParam<ModelType> {};
+
+/// Property: dumps → loads preserves type, classes and all predictions,
+/// for every model family — the paper's model-BLOB storage invariant.
+TEST_P(PickleRoundTripTest, DumpsLoadsPreservesPredictions) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(300, &x, &y);
+  ModelPtr model;
+  switch (GetParam()) {
+    case ModelType::kDecisionTree:
+      model = std::make_shared<DecisionTree>();
+      break;
+    case ModelType::kRandomForest: {
+      RandomForestOptions opt;
+      opt.n_estimators = 4;
+      model = std::make_shared<RandomForest>(opt);
+      break;
+    }
+    case ModelType::kLogisticRegression:
+      model = std::make_shared<LogisticRegression>();
+      break;
+    case ModelType::kNaiveBayes:
+      model = std::make_shared<NaiveBayes>();
+      break;
+  }
+  ASSERT_TRUE(model->Fit(x, y).ok());
+
+  std::string blob = pickle::Dumps(*model);
+  EXPECT_GT(blob.size(), 8u);
+  ModelPtr back = pickle::Loads(blob).ValueOrDie();
+  EXPECT_EQ(back->type(), model->type());
+  EXPECT_EQ(back->classes(), model->classes());
+  EXPECT_EQ(back->Predict(x).ValueOrDie(), model->Predict(x).ValueOrDie());
+  auto pa = model->PredictConfidence(x).ValueOrDie();
+  auto pb = back->PredictConfidence(x).ValueOrDie();
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_NEAR(pa[i], pb[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PickleRoundTripTest,
+                         ::testing::Values(ModelType::kDecisionTree,
+                                           ModelType::kRandomForest,
+                                           ModelType::kLogisticRegression,
+                                           ModelType::kNaiveBayes));
+
+TEST(PickleTest, RejectsGarbage) {
+  EXPECT_FALSE(pickle::Loads("not a model").ok());
+  EXPECT_FALSE(pickle::Loads("").ok());
+}
+
+TEST(PickleTest, RejectsUnknownTypeTag) {
+  ByteWriter w;
+  w.WriteU32(0x4D4C504B);
+  w.WriteU8(0x7E);
+  auto r = pickle::Loads(std::string(
+      reinterpret_cast<const char*>(w.data().data()), w.size()));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PickleTest, RejectsTruncatedPayload) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(100, &x, &y);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  std::string blob = pickle::Dumps(tree);
+  std::string truncated = blob.substr(0, blob.size() / 2);
+  EXPECT_FALSE(pickle::Loads(truncated).ok());
+}
+
+TEST(PickleTest, DoubleRoundTripIsStable) {
+  Matrix x;
+  Labels y;
+  MakeBlobs(100, &x, &y);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, y).ok());
+  std::string once = pickle::Dumps(nb);
+  ModelPtr back = pickle::Loads(once).ValueOrDie();
+  std::string twice = pickle::Dumps(*back);
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace mlcs::ml

@@ -1,0 +1,153 @@
+#include "ml/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/metrics.h"
+#include "ml/split.h"
+
+namespace mlcs::ml {
+namespace {
+
+/// Noisy XOR-ish problem a single stump cannot solve but a forest can.
+void MakeXor(size_t n, Matrix* x, Labels* y, uint64_t seed = 3) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.NextDouble() * 2 - 1;
+    double b = rng.NextDouble() * 2 - 1;
+    x->Set(i, 0, a);
+    x->Set(i, 1, b);
+    (*y)[i] = (a * b > 0) ? 1 : 0;
+  }
+}
+
+TEST(RandomForestTest, LearnsXor) {
+  Matrix x;
+  Labels y;
+  MakeXor(1000, &x, &y);
+  RandomForestOptions opt;
+  opt.n_estimators = 12;
+  RandomForest forest(opt);
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  EXPECT_EQ(forest.num_trees(), 12u);
+  double acc = Accuracy(y, forest.Predict(x).ValueOrDie()).ValueOrDie();
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(RandomForestTest, GeneralizesToHeldOutData) {
+  Matrix x;
+  Labels y;
+  MakeXor(2000, &x, &y, 11);
+  auto split = TrainTestSplit(2000, 0.3, 5).ValueOrDie();
+  Matrix xtr = x.SelectRows(split.train);
+  Matrix xte = x.SelectRows(split.test);
+  Labels ytr, yte;
+  for (auto i : split.train) ytr.push_back(y[i]);
+  for (auto i : split.test) yte.push_back(y[i]);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(xtr, ytr).ok());
+  double acc = Accuracy(yte, forest.Predict(xte).ValueOrDie()).ValueOrDie();
+  EXPECT_GT(acc, 0.85);
+}
+
+TEST(RandomForestTest, DeterministicAcrossParallelAndSerialFit) {
+  Matrix x;
+  Labels y;
+  MakeXor(500, &x, &y, 7);
+  RandomForestOptions serial;
+  serial.parallel_fit = false;
+  serial.n_estimators = 6;
+  RandomForestOptions parallel = serial;
+  parallel.parallel_fit = true;
+  RandomForest a(serial), b(parallel);
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  EXPECT_EQ(a.Predict(x).ValueOrDie(), b.Predict(x).ValueOrDie());
+  auto pa = a.PredictProba(x, 1).ValueOrDie();
+  auto pb = b.PredictProba(x, 1).ValueOrDie();
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(RandomForestTest, ProbaSumsToOne) {
+  Matrix x;
+  Labels y;
+  MakeXor(300, &x, &y);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  auto p0 = forest.PredictProba(x, 0).ValueOrDie();
+  auto p1 = forest.PredictProba(x, 1).ValueOrDie();
+  auto conf = forest.PredictConfidence(x).ValueOrDie();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    // Tree leaf distributions are floats; allow float accumulation error.
+    EXPECT_NEAR(p0[i] + p1[i], 1.0, 1e-6);
+    EXPECT_NEAR(conf[i], std::max(p0[i], p1[i]), 1e-6);
+  }
+}
+
+TEST(RandomForestTest, MulticlassSupport) {
+  Rng rng(8);
+  Matrix x(600, 2);
+  Labels y(600);
+  for (size_t i = 0; i < 600; ++i) {
+    int32_t cls = static_cast<int32_t>(rng.NextBounded(3));
+    x.Set(i, 0, cls * 4.0 + rng.NextGaussian());
+    x.Set(i, 1, cls * 4.0 + rng.NextGaussian());
+    y[i] = cls * 10;  // labels 0, 10, 20
+  }
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  EXPECT_EQ(forest.classes(), (std::vector<int32_t>{0, 10, 20}));
+  EXPECT_GT(Accuracy(y, forest.Predict(x).ValueOrDie()).ValueOrDie(), 0.9);
+}
+
+TEST(RandomForestTest, InvalidOptionsRejected) {
+  Matrix x(3, 1);
+  Labels y = {0, 1, 0};
+  RandomForestOptions opt;
+  opt.n_estimators = 0;
+  RandomForest forest(opt);
+  EXPECT_FALSE(forest.Fit(x, y).ok());
+}
+
+TEST(RandomForestTest, SerializationRoundTripPreservesEverything) {
+  Matrix x;
+  Labels y;
+  MakeXor(400, &x, &y, 13);
+  RandomForestOptions opt;
+  opt.n_estimators = 5;
+  RandomForest forest(opt);
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  ByteWriter w;
+  forest.Serialize(&w);
+  ByteReader r(w.data());
+  auto back = RandomForest::DeserializeBody(&r).ValueOrDie();
+  EXPECT_EQ(back->num_trees(), 5u);
+  EXPECT_EQ(back->classes(), forest.classes());
+  EXPECT_EQ(forest.Predict(x).ValueOrDie(), back->Predict(x).ValueOrDie());
+  auto pa = forest.PredictConfidence(x).ValueOrDie();
+  auto pb = back->PredictConfidence(x).ValueOrDie();
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_NEAR(pa[i], pb[i], 1e-12);
+}
+
+/// n_estimators sweep: more trees should not reduce training accuracy
+/// dramatically, and all sweeps stay above a floor.
+class ForestSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForestSweepTest, AccuracyFloorAcrossForestSizes) {
+  Matrix x;
+  Labels y;
+  MakeXor(600, &x, &y, 21);
+  RandomForestOptions opt;
+  opt.n_estimators = GetParam();
+  RandomForest forest(opt);
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, forest.Predict(x).ValueOrDie()).ValueOrDie(), 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(Estimators, ForestSweepTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace mlcs::ml

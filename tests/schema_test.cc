@@ -1,0 +1,72 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace mlcs {
+namespace {
+
+Schema VoterishSchema() {
+  Schema s;
+  s.AddField("voter_id", TypeId::kInt64);
+  s.AddField("precinct", TypeId::kInt32);
+  s.AddField("name", TypeId::kVarchar);
+  s.AddField("score", TypeId::kDouble);
+  return s;
+}
+
+TEST(SchemaTest, FieldAccess) {
+  Schema s = VoterishSchema();
+  EXPECT_EQ(s.num_fields(), 4u);
+  EXPECT_EQ(s.field(0).name, "voter_id");
+  EXPECT_EQ(s.field(3).type, TypeId::kDouble);
+}
+
+TEST(SchemaTest, FieldIndexIsCaseInsensitive) {
+  Schema s = VoterishSchema();
+  EXPECT_EQ(s.FieldIndex("PRECINCT").value(), 1u);
+  EXPECT_EQ(s.FieldIndex("Name").value(), 2u);
+  EXPECT_FALSE(s.FieldIndex("nope").has_value());
+}
+
+TEST(SchemaTest, RequireFieldIndexErrorListsColumns) {
+  Schema s = VoterishSchema();
+  auto r = s.RequireFieldIndex("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find("voter_id"), std::string::npos);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(VoterishSchema(), VoterishSchema());
+  Schema other = VoterishSchema();
+  other.AddField("extra", TypeId::kBool);
+  EXPECT_FALSE(VoterishSchema() == other);
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s;
+  s.AddField("a", TypeId::kInt32);
+  s.AddField("b", TypeId::kBlob);
+  EXPECT_EQ(s.ToString(), "(a INTEGER, b BLOB)");
+}
+
+TEST(SchemaTest, SerializationRoundTrip) {
+  Schema s = VoterishSchema();
+  ByteWriter w;
+  s.Serialize(&w);
+  ByteReader r(w.data());
+  Schema back = Schema::Deserialize(&r).ValueOrDie();
+  EXPECT_EQ(s, back);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SchemaTest, EmptySchemaRoundTrip) {
+  Schema s;
+  ByteWriter w;
+  s.Serialize(&w);
+  ByteReader r(w.data());
+  EXPECT_EQ(Schema::Deserialize(&r).ValueOrDie().num_fields(), 0u);
+}
+
+}  // namespace
+}  // namespace mlcs

@@ -1,0 +1,78 @@
+#include "exec/sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace mlcs::exec {
+namespace {
+
+TablePtr People() {
+  Schema s;
+  s.AddField("age", TypeId::kInt32);
+  s.AddField("name", TypeId::kVarchar);
+  auto t = Table::Make(std::move(s));
+  EXPECT_TRUE(t->AppendRow({Value::Int32(30), Value::Varchar("carol")}).ok());
+  EXPECT_TRUE(t->AppendRow({Value::Int32(25), Value::Varchar("alice")}).ok());
+  EXPECT_TRUE(t->AppendRow({Value::Int32(30), Value::Varchar("bob")}).ok());
+  return t;
+}
+
+TEST(SortTest, AscendingSingleKey) {
+  auto out = SortTable(*People(), {{"age", false}}).ValueOrDie();
+  EXPECT_EQ(out->column(0)->i32_data(), (std::vector<int32_t>{25, 30, 30}));
+  // Stability: carol (row 0) before bob (row 2) among equal ages.
+  EXPECT_EQ(out->GetValue(1, 1).ValueOrDie(), Value::Varchar("carol"));
+  EXPECT_EQ(out->GetValue(2, 1).ValueOrDie(), Value::Varchar("bob"));
+}
+
+TEST(SortTest, DescendingKey) {
+  auto out = SortTable(*People(), {{"age", true}}).ValueOrDie();
+  EXPECT_EQ(out->column(0)->i32_data(), (std::vector<int32_t>{30, 30, 25}));
+}
+
+TEST(SortTest, MultiKey) {
+  auto out =
+      SortTable(*People(), {{"age", false}, {"name", false}}).ValueOrDie();
+  EXPECT_EQ(out->GetValue(0, 1).ValueOrDie(), Value::Varchar("alice"));
+  EXPECT_EQ(out->GetValue(1, 1).ValueOrDie(), Value::Varchar("bob"));
+  EXPECT_EQ(out->GetValue(2, 1).ValueOrDie(), Value::Varchar("carol"));
+}
+
+TEST(SortTest, NullsSortFirstAscending) {
+  Schema s;
+  s.AddField("x", TypeId::kInt32);
+  auto t = Table::Make(std::move(s));
+  ASSERT_TRUE(t->AppendRow({Value::Int32(1)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::MakeNull(TypeId::kInt32)}).ok());
+  auto out = SortTable(*t, {{"x", false}}).ValueOrDie();
+  EXPECT_TRUE(out->GetValue(0, 0).ValueOrDie().is_null());
+  auto desc = SortTable(*t, {{"x", true}}).ValueOrDie();
+  EXPECT_TRUE(desc->GetValue(1, 0).ValueOrDie().is_null());
+}
+
+TEST(SortTest, MissingColumnRejected) {
+  EXPECT_FALSE(SortTable(*People(), {{"zzz", false}}).ok());
+  EXPECT_FALSE(SortTable(*People(), {}).ok());
+}
+
+TEST(SortTest, RandomizedMatchesStdSort) {
+  Rng rng(5);
+  Schema s;
+  s.AddField("x", TypeId::kDouble);
+  auto t = Table::Make(std::move(s));
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    double v = rng.NextGaussian();
+    values.push_back(v);
+    ASSERT_TRUE(t->AppendRow({Value::Double(v)}).ok());
+  }
+  auto out = SortTable(*t, {{"x", false}}).ValueOrDie();
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(out->column(0)->f64_data(), values);
+}
+
+}  // namespace
+}  // namespace mlcs::exec

@@ -1,0 +1,192 @@
+/// Tests for the extended SQL surface: DISTINCT, HAVING, IN, BETWEEN,
+/// CASE WHEN, DELETE.
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+
+namespace mlcs {
+namespace {
+
+class SqlExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Run(R"(
+      CREATE TABLE v (id INTEGER, precinct INTEGER, age INTEGER);
+      INSERT INTO v VALUES
+        (1, 10, 25), (2, 10, 35), (3, 20, 45), (4, 20, 55),
+        (5, 30, 65), (6, 30, 65), (7, 30, 18);
+    )")
+                    .ok());
+  }
+
+  TablePtr Q(const std::string& sql) {
+    auto r = db_.Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? r.ValueOrDie() : nullptr;
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlExtensionsTest, Distinct) {
+  auto t = Q("SELECT DISTINCT precinct FROM v ORDER BY precinct");
+  ASSERT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->column(0)->i32_data(), (std::vector<int32_t>{10, 20, 30}));
+  // Multi-column distinct.
+  auto t2 = Q("SELECT DISTINCT precinct, age FROM v");
+  EXPECT_EQ(t2->num_rows(), 6u);  // (30,65) collapses
+}
+
+TEST_F(SqlExtensionsTest, Having) {
+  auto t = Q("SELECT precinct, COUNT(*) AS n FROM v GROUP BY precinct "
+             "HAVING n >= 3 ORDER BY precinct");
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Int32(30));
+  // HAVING without aggregates is rejected.
+  EXPECT_FALSE(db_.Query("SELECT id FROM v HAVING id > 1").ok());
+}
+
+TEST_F(SqlExtensionsTest, HavingOnAggregateAlias) {
+  auto t = Q("SELECT precinct, AVG(age) AS mean FROM v GROUP BY precinct "
+             "HAVING mean > 40 ORDER BY precinct");
+  EXPECT_EQ(t->num_rows(), 2u);  // 20 (50) and 30 (49.3)
+}
+
+TEST_F(SqlExtensionsTest, InList) {
+  auto t = Q("SELECT id FROM v WHERE precinct IN (10, 30) ORDER BY id");
+  EXPECT_EQ(t->num_rows(), 5u);
+  auto none = Q("SELECT id FROM v WHERE precinct IN (99)");
+  EXPECT_EQ(none->num_rows(), 0u);
+}
+
+TEST_F(SqlExtensionsTest, NotIn) {
+  auto t = Q("SELECT id FROM v WHERE precinct NOT IN (10, 20)");
+  EXPECT_EQ(t->num_rows(), 3u);
+}
+
+TEST_F(SqlExtensionsTest, InWithExpressions) {
+  auto t = Q("SELECT id FROM v WHERE age IN (20 + 5, 40 + 5)");
+  EXPECT_EQ(t->num_rows(), 2u);  // ages 25, 45
+}
+
+TEST_F(SqlExtensionsTest, Between) {
+  auto t = Q("SELECT id FROM v WHERE age BETWEEN 35 AND 55 ORDER BY id");
+  EXPECT_EQ(t->num_rows(), 3u);  // 35, 45, 55 inclusive
+  auto n = Q("SELECT id FROM v WHERE age NOT BETWEEN 20 AND 60");
+  EXPECT_EQ(n->num_rows(), 3u);  // 65, 65, 18
+}
+
+TEST_F(SqlExtensionsTest, CaseWhen) {
+  auto t = Q("SELECT id, CASE WHEN age < 30 THEN 'young' "
+             "WHEN age < 60 THEN 'mid' ELSE 'senior' END AS bucket "
+             "FROM v ORDER BY id");
+  EXPECT_EQ(t->GetValue(0, 1).ValueOrDie(), Value::Varchar("young"));
+  EXPECT_EQ(t->GetValue(2, 1).ValueOrDie(), Value::Varchar("mid"));
+  EXPECT_EQ(t->GetValue(4, 1).ValueOrDie(), Value::Varchar("senior"));
+}
+
+TEST_F(SqlExtensionsTest, CaseWithoutElseYieldsNull) {
+  auto t = Q("SELECT CASE WHEN age > 60 THEN 1 END AS old FROM v "
+             "ORDER BY id");
+  EXPECT_TRUE(t->GetValue(0, 0).ValueOrDie().is_null());
+  EXPECT_EQ(t->GetValue(4, 0).ValueOrDie(), Value::Int32(1));
+}
+
+TEST_F(SqlExtensionsTest, CaseNumericPromotion) {
+  auto t = Q("SELECT CASE WHEN age > 40 THEN 1 ELSE 0.5 END AS w FROM v "
+             "ORDER BY id");
+  EXPECT_EQ(t->schema().field(0).type, TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(t->GetValue(0, 0).ValueOrDie().double_value(), 0.5);
+  EXPECT_DOUBLE_EQ(t->GetValue(2, 0).ValueOrDie().double_value(), 1.0);
+}
+
+TEST_F(SqlExtensionsTest, CaseInAggregate) {
+  // Conditional aggregation — a common meta-analysis idiom.
+  auto t = Q("SELECT SUM(CASE WHEN age >= 30 THEN 1 ELSE 0 END) AS adults "
+             "FROM v");
+  EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Int64(5));
+}
+
+TEST_F(SqlExtensionsTest, CaseMismatchedTypesRejected) {
+  EXPECT_FALSE(
+      db_.Query("SELECT CASE WHEN age > 1 THEN 'a' ELSE 2 END FROM v")
+          .ok());
+}
+
+TEST_F(SqlExtensionsTest, DeleteWithWhere) {
+  auto status = Q("DELETE FROM v WHERE age > 60");
+  EXPECT_EQ(status->GetValue(0, 0).ValueOrDie(), Value::Varchar("DELETE 2"));
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM v")->GetValue(0, 0).ValueOrDie(),
+            Value::Int64(5));
+}
+
+TEST_F(SqlExtensionsTest, DeleteAll) {
+  ASSERT_TRUE(db_.Query("DELETE FROM v").ok());
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM v")->GetValue(0, 0).ValueOrDie(),
+            Value::Int64(0));
+  // Schema survives.
+  EXPECT_TRUE(db_.Query("INSERT INTO v VALUES (1, 1, 1)").ok());
+}
+
+TEST_F(SqlExtensionsTest, DeleteMissingTableFails) {
+  EXPECT_FALSE(db_.Query("DELETE FROM ghost").ok());
+}
+
+TEST_F(SqlExtensionsTest, UpdateWithWhere) {
+  auto status = Q("UPDATE v SET age = age + 1 WHERE precinct = 10");
+  EXPECT_EQ(status->GetValue(0, 0).ValueOrDie(), Value::Varchar("UPDATE 2"));
+  auto t = Q("SELECT age FROM v WHERE precinct = 10 ORDER BY id");
+  EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Int32(26));
+  EXPECT_EQ(t->GetValue(1, 0).ValueOrDie(), Value::Int32(36));
+  // Untouched rows keep their values.
+  EXPECT_EQ(Q("SELECT age FROM v WHERE id = 3")
+                ->GetValue(0, 0)
+                .ValueOrDie(),
+            Value::Int32(45));
+}
+
+TEST_F(SqlExtensionsTest, UpdateAllRowsMultipleColumns) {
+  ASSERT_TRUE(db_.Query("UPDATE v SET age = 0, precinct = 99").ok());
+  EXPECT_EQ(Q("SELECT SUM(age), MIN(precinct) FROM v")
+                ->GetValue(0, 0)
+                .ValueOrDie(),
+            Value::Int64(0));
+}
+
+TEST_F(SqlExtensionsTest, UpdateRhsSeesPreUpdateValues) {
+  // Swap-style update: both right-hand sides read the old values.
+  ASSERT_TRUE(db_.Run("CREATE TABLE p (a INTEGER, b INTEGER);"
+                      "INSERT INTO p VALUES (1, 2);")
+                  .ok());
+  ASSERT_TRUE(db_.Query("UPDATE p SET a = b, b = a").ok());
+  auto t = Q("SELECT a, b FROM p");
+  EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Int32(2));
+  EXPECT_EQ(t->GetValue(0, 1).ValueOrDie(), Value::Int32(1));
+}
+
+TEST_F(SqlExtensionsTest, UpdateValidation) {
+  EXPECT_FALSE(db_.Query("UPDATE v SET ghost = 1").ok());
+  EXPECT_FALSE(db_.Query("UPDATE ghost SET x = 1").ok());
+  EXPECT_FALSE(db_.Query("UPDATE v SET age = 1, age = 2").ok());
+  EXPECT_FALSE(db_.Query("UPDATE v SET age = 'not a number'").ok());
+}
+
+TEST_F(SqlExtensionsTest, UpdateDoesNotMutatePriorResults) {
+  auto before = Q("SELECT age FROM v WHERE id = 1");
+  ASSERT_TRUE(db_.Query("UPDATE v SET age = 99").ok());
+  // The previously returned result set still shows the old value
+  // (copy-on-write).
+  EXPECT_EQ(before->GetValue(0, 0).ValueOrDie(), Value::Int32(25));
+}
+
+TEST_F(SqlExtensionsTest, DistinctWithAggregatesComposes) {
+  auto t = Q("SELECT DISTINCT COUNT(*) AS n FROM v GROUP BY precinct "
+             "ORDER BY n");
+  // Counts per precinct are 2, 2, 3 → distinct {2, 3}.
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Int64(2));
+  EXPECT_EQ(t->GetValue(1, 0).ValueOrDie(), Value::Int64(3));
+}
+
+}  // namespace
+}  // namespace mlcs

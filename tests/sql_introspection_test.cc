@@ -1,0 +1,116 @@
+/// SHOW TABLES / SHOW FUNCTIONS / DESCRIBE / EXPLAIN and the STDDEV
+/// aggregate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sql/database.h"
+
+namespace mlcs {
+namespace {
+
+class SqlIntrospectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Run(R"(
+      CREATE TABLE voters (id INTEGER, precinct INTEGER, age INTEGER);
+      INSERT INTO voters VALUES (1, 10, 20), (2, 10, 40), (3, 20, 60);
+      CREATE TABLE precincts (precinct INTEGER, dem INTEGER);
+      INSERT INTO precincts VALUES (10, 60), (20, 30);
+    )")
+                    .ok());
+  }
+
+  TablePtr Q(const std::string& sql) {
+    auto r = db_.Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? r.ValueOrDie() : nullptr;
+  }
+
+  std::string PlanOf(const std::string& sql) {
+    auto t = Q("EXPLAIN " + sql);
+    std::string out;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      out += t->GetValue(r, 0).ValueOrDie().string_value() + "\n";
+    }
+    return out;
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlIntrospectionTest, ShowTables) {
+  auto t = Q("SHOW TABLES");
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Varchar("precincts"));
+  EXPECT_EQ(t->GetValue(1, 0).ValueOrDie(), Value::Varchar("voters"));
+}
+
+TEST_F(SqlIntrospectionTest, ShowFunctionsListsBuiltinsAndUdfs) {
+  ASSERT_TRUE(db_.Query("CREATE FUNCTION f(x INTEGER) RETURNS INTEGER "
+                        "LANGUAGE VSCRIPT { return x; }")
+                  .ok());
+  auto t = Q("SHOW FUNCTIONS");
+  bool found = false;
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    if (t->GetValue(r, 0).ValueOrDie().string_value() == "f") found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GT(t->num_rows(), 5u);  // abs/sqrt/... builtins included
+}
+
+TEST_F(SqlIntrospectionTest, Describe) {
+  auto t = Q("DESCRIBE voters");
+  ASSERT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Varchar("id"));
+  EXPECT_EQ(t->GetValue(0, 1).ValueOrDie(), Value::Varchar("INTEGER"));
+  EXPECT_FALSE(db_.Query("DESCRIBE ghost").ok());
+}
+
+TEST_F(SqlIntrospectionTest, ExplainSelectShowsOperators) {
+  std::string plan = PlanOf(
+      "SELECT precinct, COUNT(*) AS n FROM voters v JOIN precincts p "
+      "ON precinct = precinct WHERE age > 30 GROUP BY precinct "
+      "HAVING n > 0 ORDER BY n DESC LIMIT 5");
+  EXPECT_NE(plan.find("LIMIT 5"), std::string::npos);
+  EXPECT_NE(plan.find("SORT"), std::string::npos);
+  EXPECT_NE(plan.find("HAVING"), std::string::npos);
+  EXPECT_NE(plan.find("AGGREGATE"), std::string::npos);
+  EXPECT_NE(plan.find("FILTER"), std::string::npos);
+  EXPECT_NE(plan.find("HASH JOIN"), std::string::npos);
+  EXPECT_NE(plan.find("SCAN voters"), std::string::npos);
+  EXPECT_NE(plan.find("SCAN precincts"), std::string::npos);
+}
+
+TEST_F(SqlIntrospectionTest, ExplainDoesNotExecute) {
+  ASSERT_TRUE(db_.Query("EXPLAIN DELETE FROM voters").ok());
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM voters")->GetValue(0, 0).ValueOrDie(),
+            Value::Int64(3));
+}
+
+TEST_F(SqlIntrospectionTest, ExplainTableFunction) {
+  std::string plan = PlanOf(
+      "SELECT * FROM train((SELECT id FROM voters), 4)");
+  EXPECT_NE(plan.find("TABLE FUNCTION train"), std::string::npos);
+  EXPECT_NE(plan.find("SCAN voters"), std::string::npos);
+}
+
+TEST_F(SqlIntrospectionTest, StdDevAggregate) {
+  // ages 20, 40, 60 → mean 40, population stddev sqrt(800/3).
+  auto t = Q("SELECT STDDEV(age) AS s FROM voters");
+  EXPECT_NEAR(t->GetValue(0, 0).ValueOrDie().double_value(),
+              std::sqrt(800.0 / 3.0), 1e-9);
+  // Grouped stddev; single-row group → 0.
+  auto g = Q("SELECT precinct, STDDEV(age) AS s FROM voters "
+             "GROUP BY precinct ORDER BY precinct");
+  EXPECT_NEAR(g->GetValue(0, 1).ValueOrDie().double_value(), 10.0, 1e-9);
+  EXPECT_NEAR(g->GetValue(1, 1).ValueOrDie().double_value(), 0.0, 1e-9);
+  // Non-numeric rejected.
+  ASSERT_TRUE(db_.Run("CREATE TABLE s (v VARCHAR); "
+                      "INSERT INTO s VALUES ('a');")
+                  .ok());
+  EXPECT_FALSE(db_.Query("SELECT STDDEV(v) FROM s").ok());
+}
+
+}  // namespace
+}  // namespace mlcs

@@ -1,0 +1,73 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace mlcs::sql {
+namespace {
+
+TEST(SqlLexerTest, BasicSelect) {
+  auto tokens =
+      TokenizeSql("SELECT a, b FROM t WHERE a >= 10;").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[0].type, SqlTokenType::kIdent);
+  EXPECT_EQ(tokens[1].text, "a");
+  EXPECT_EQ(tokens[2].type, SqlTokenType::kComma);
+  EXPECT_EQ(tokens[8].text, ">=");
+  EXPECT_EQ(tokens[8].type, SqlTokenType::kOperator);
+  EXPECT_EQ(tokens.back().type, SqlTokenType::kEof);
+}
+
+TEST(SqlLexerTest, CommentsSkipped) {
+  auto tokens = TokenizeSql("-- header\nSELECT 1 -- trailing\n").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[0].line, 2);
+}
+
+TEST(SqlLexerTest, StringWithQuoteEscape) {
+  auto tokens = TokenizeSql("SELECT 'it''s'").ValueOrDie();
+  EXPECT_EQ(tokens[1].type, SqlTokenType::kString);
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(SqlLexerTest, UnterminatedStringRejected) {
+  EXPECT_FALSE(TokenizeSql("SELECT 'oops").ok());
+}
+
+TEST(SqlLexerTest, NumbersAndOperators) {
+  auto tokens = TokenizeSql("1 2.5 1e-3 <> != a.b").ValueOrDie();
+  EXPECT_EQ(tokens[0].type, SqlTokenType::kInt);
+  EXPECT_EQ(tokens[1].type, SqlTokenType::kFloat);
+  EXPECT_EQ(tokens[2].type, SqlTokenType::kFloat);
+  EXPECT_EQ(tokens[3].text, "<>");
+  EXPECT_EQ(tokens[4].text, "!=");
+  EXPECT_EQ(tokens[6].type, SqlTokenType::kDot);
+}
+
+TEST(SqlLexerTest, BodyCapturedRaw) {
+  const char* sql = "LANGUAGE VSCRIPT { x = {a: 1}; # note } in comment\n"
+                    "s = '}'; return x; }";
+  auto tokens = TokenizeSql(sql).ValueOrDie();
+  ASSERT_EQ(tokens[2].type, SqlTokenType::kBody);
+  // The nested dict brace, the brace in the comment and the brace in the
+  // string must all be swallowed into the body.
+  EXPECT_NE(tokens[2].text.find("{a: 1}"), std::string::npos);
+  EXPECT_NE(tokens[2].text.find("return x;"), std::string::npos);
+  EXPECT_EQ(tokens[3].type, SqlTokenType::kEof);
+}
+
+TEST(SqlLexerTest, UnterminatedBodyRejected) {
+  EXPECT_FALSE(TokenizeSql("LANGUAGE V { x = 1;").ok());
+}
+
+TEST(SqlLexerTest, UnmatchedCloseBraceRejected) {
+  EXPECT_FALSE(TokenizeSql("SELECT 1 }").ok());
+}
+
+TEST(SqlLexerTest, OffsetsPointIntoSource) {
+  std::string sql = "SELECT abc";
+  auto tokens = TokenizeSql(sql).ValueOrDie();
+  EXPECT_EQ(sql.substr(tokens[1].offset, 3), "abc");
+}
+
+}  // namespace
+}  // namespace mlcs::sql

@@ -1,0 +1,151 @@
+/// Integration test: the paper's Listing 1 (train) and Listing 2 (predict)
+/// run as SQL against the engine, with the model stored in a BLOB column
+/// and applied through a scalar-subquery argument — the full §3 workflow.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sql/database.h"
+
+namespace mlcs {
+namespace {
+
+class SqlListingsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Annotated data: class = data > 50, 400 rows.
+    ASSERT_TRUE(
+        db_.Query("CREATE TABLE train_set (data INTEGER, classes INTEGER)")
+            .ok());
+    auto table = db_.catalog().GetTable("train_set").ValueOrDie();
+    Rng rng(99);
+    for (int i = 0; i < 400; ++i) {
+      int32_t v = static_cast<int32_t>(rng.NextBounded(100));
+      ASSERT_TRUE(
+          table->AppendRow({Value::Int32(v), Value::Int32(v > 50 ? 1 : 0)})
+              .ok());
+    }
+    ASSERT_TRUE(db_.Run("CREATE TABLE test_set (data INTEGER);"
+                        "INSERT INTO test_set VALUES (5), (95), (20), (80);")
+                    .ok());
+  }
+
+  Database db_;
+};
+
+constexpr const char* kListing1 = R"(
+  CREATE FUNCTION train(data INTEGER, classes INTEGER,
+                        n_estimators INTEGER)
+  RETURNS TABLE(classifier BLOB, estimators INTEGER)
+  LANGUAGE PYTHON
+  {
+    clf = ml.random_forest(n_estimators);
+    ml.fit(clf, data, classes);
+    return { classifier: pickle.dumps(clf), estimators: n_estimators };
+  }
+)";
+
+constexpr const char* kListing2 = R"(
+  CREATE FUNCTION predict(data INTEGER, classifier BLOB)
+  RETURNS INTEGER
+  LANGUAGE PYTHON
+  {
+    classifier = pickle.loads(classifier);
+    return ml.predict(classifier, data);
+  }
+)";
+
+TEST_F(SqlListingsTest, FullPaperWorkflow) {
+  // §3.1 — create and run the training UDF, storing the model.
+  ASSERT_TRUE(db_.Query(kListing1).ok());
+  ASSERT_TRUE(db_.Query(kListing2).ok());
+  auto create = db_.Query(
+      "CREATE TABLE models AS SELECT * FROM "
+      "train((SELECT data, classes FROM train_set), 8)");
+  ASSERT_TRUE(create.ok()) << create.status().ToString();
+
+  // The models table holds one BLOB row plus metadata.
+  auto models = db_.Query("SELECT * FROM models").ValueOrDie();
+  ASSERT_EQ(models->num_rows(), 1u);
+  EXPECT_EQ(models->schema().field(0).type, TypeId::kBlob);
+  EXPECT_EQ(models->GetValue(0, 1).ValueOrDie(), Value::Int32(8));
+  EXPECT_GT(models->GetValue(0, 0).ValueOrDie().blob_value().size(), 100u);
+
+  // §3.2 — classify the test set using the stored model.
+  auto pred = db_.Query(
+      "SELECT data, predict(data, "
+      "(SELECT classifier FROM models)) AS label FROM test_set");
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  auto t = pred.ValueOrDie();
+  ASSERT_EQ(t->num_rows(), 4u);
+  // data = 5, 95, 20, 80 → labels 0, 1, 0, 1.
+  EXPECT_EQ(t->GetValue(0, 1).ValueOrDie(), Value::Int32(0));
+  EXPECT_EQ(t->GetValue(1, 1).ValueOrDie(), Value::Int32(1));
+  EXPECT_EQ(t->GetValue(2, 1).ValueOrDie(), Value::Int32(0));
+  EXPECT_EQ(t->GetValue(3, 1).ValueOrDie(), Value::Int32(1));
+}
+
+TEST_F(SqlListingsTest, TrainDirectlyFeedsPredictWithoutStorage) {
+  // The paper notes the trained model can be used "directly as input to
+  // another function ... if no persistent storage is necessary".
+  ASSERT_TRUE(db_.Query(kListing1).ok());
+  ASSERT_TRUE(db_.Query(kListing2).ok());
+  auto pred = db_.Query(
+      "SELECT predict(data, (SELECT classifier FROM "
+      "train((SELECT data, classes FROM train_set), 4))) AS label "
+      "FROM test_set");
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  EXPECT_EQ(pred.ValueOrDie()->num_rows(), 4u);
+}
+
+TEST_F(SqlListingsTest, VscriptSyntaxErrorSurfacesAtCreateTime) {
+  auto r = db_.Query(
+      "CREATE FUNCTION broken(x INTEGER) RETURNS INTEGER "
+      "LANGUAGE VSCRIPT { return x + ; }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(SqlListingsTest, UnsupportedLanguageRejected) {
+  auto r = db_.Query(
+      "CREATE FUNCTION nope(x INTEGER) RETURNS INTEGER "
+      "LANGUAGE COBOL { return x; }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST_F(SqlListingsTest, DuplicateFunctionNeedsOrReplace) {
+  ASSERT_TRUE(db_.Query(kListing2).ok());
+  EXPECT_FALSE(db_.Query(kListing2).ok());
+  ASSERT_TRUE(db_.Query(
+                    "CREATE OR REPLACE FUNCTION predict(data INTEGER, "
+                    "classifier BLOB) RETURNS INTEGER LANGUAGE VSCRIPT "
+                    "{ return data; }")
+                  .ok());
+}
+
+TEST_F(SqlListingsTest, ScalarVscriptUdfOverColumns) {
+  ASSERT_TRUE(db_.Query(
+                    "CREATE FUNCTION norm(x INTEGER) RETURNS DOUBLE "
+                    "LANGUAGE VSCRIPT { return x / 100.0; }")
+                  .ok());
+  auto t = db_.Query("SELECT norm(data) AS d FROM test_set").ValueOrDie();
+  EXPECT_DOUBLE_EQ(t->GetValue(0, 0).ValueOrDie().double_value(), 0.05);
+  EXPECT_DOUBLE_EQ(t->GetValue(1, 0).ValueOrDie().double_value(), 0.95);
+}
+
+TEST_F(SqlListingsTest, TableFunctionWithAggregatedMetadata) {
+  // Train, then meta-analyze via plain SQL (paper §3.3 motivation).
+  ASSERT_TRUE(db_.Query(kListing1).ok());
+  ASSERT_TRUE(db_.Query(
+                    "CREATE TABLE models AS SELECT * FROM "
+                    "train((SELECT data, classes FROM train_set), 16)")
+                  .ok());
+  auto t = db_.Query("SELECT COUNT(*) AS n, MAX(estimators) AS max_est "
+                     "FROM models")
+               .ValueOrDie();
+  EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Int64(1));
+  EXPECT_EQ(t->GetValue(0, 1).ValueOrDie(), Value::Int32(16));
+}
+
+}  // namespace
+}  // namespace mlcs

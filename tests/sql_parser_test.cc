@@ -1,0 +1,213 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace mlcs::sql {
+namespace {
+
+Result<SelectStatement> ParseSelectStmt(const std::string& sql) {
+  MLCS_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  auto* select = std::get_if<SelectStatement>(&stmt);
+  if (select == nullptr) return Status::Internal("not a select");
+  return std::move(*select);
+}
+
+TEST(SqlParserTest, SimpleSelect) {
+  auto select = ParseSelectStmt("SELECT a, b + 1 AS c FROM t").ValueOrDie();
+  ASSERT_EQ(select.items.size(), 2u);
+  EXPECT_EQ(select.items[0].expr->name, "a");
+  EXPECT_EQ(select.items[1].alias, "c");
+  ASSERT_NE(select.from, nullptr);
+  EXPECT_EQ(select.from->name, "t");
+}
+
+TEST(SqlParserTest, SelectStar) {
+  auto select = ParseSelectStmt("SELECT * FROM t").ValueOrDie();
+  EXPECT_TRUE(select.items[0].star);
+}
+
+TEST(SqlParserTest, WhereGroupOrderLimit) {
+  auto select = ParseSelectStmt(
+                    "SELECT precinct, COUNT(*) AS n FROM votes "
+                    "WHERE votes > 0 GROUP BY precinct "
+                    "ORDER BY n DESC, precinct LIMIT 10")
+                    .ValueOrDie();
+  ASSERT_NE(select.where, nullptr);
+  ASSERT_EQ(select.group_by.size(), 1u);
+  EXPECT_EQ(select.group_by[0], "precinct");
+  ASSERT_EQ(select.order_by.size(), 2u);
+  EXPECT_TRUE(select.order_by[0].descending);
+  EXPECT_FALSE(select.order_by[1].descending);
+  EXPECT_EQ(select.limit, 10);
+}
+
+TEST(SqlParserTest, JoinWithQualifiedKeys) {
+  auto select = ParseSelectStmt(
+                    "SELECT * FROM voters v JOIN precincts p "
+                    "ON v.precinct_id = p.precinct_id AND v.county = "
+                    "p.county")
+                    .ValueOrDie();
+  ASSERT_NE(select.from, nullptr);
+  EXPECT_EQ(select.from->kind, TableRef::Kind::kJoin);
+  ASSERT_EQ(select.from->join_keys.size(), 2u);
+  EXPECT_EQ(select.from->join_keys[0].first, "precinct_id");
+  EXPECT_EQ(select.from->left->alias, "v");
+  EXPECT_EQ(select.from->right->alias, "p");
+}
+
+TEST(SqlParserTest, LeftJoin) {
+  auto select =
+      ParseSelectStmt("SELECT * FROM a LEFT JOIN b ON x = y").ValueOrDie();
+  EXPECT_EQ(select.from->join_type, exec::JoinType::kLeft);
+}
+
+TEST(SqlParserTest, TableFunctionWithSubqueryArg) {
+  auto select = ParseSelectStmt(
+                    "SELECT * FROM train((SELECT data, classes FROM t), 16)")
+                    .ValueOrDie();
+  ASSERT_NE(select.from, nullptr);
+  EXPECT_EQ(select.from->kind, TableRef::Kind::kFunction);
+  EXPECT_EQ(select.from->name, "train");
+  ASSERT_EQ(select.from->fn_args.size(), 2u);
+  EXPECT_NE(select.from->fn_args[0].table, nullptr);
+  EXPECT_NE(select.from->fn_args[1].scalar, nullptr);
+}
+
+TEST(SqlParserTest, SubqueryInFrom) {
+  auto select =
+      ParseSelectStmt("SELECT * FROM (SELECT a FROM t) sub").ValueOrDie();
+  EXPECT_EQ(select.from->kind, TableRef::Kind::kSubquery);
+  EXPECT_EQ(select.from->alias, "sub");
+}
+
+TEST(SqlParserTest, ScalarSubqueryInExpression) {
+  auto select = ParseSelectStmt(
+                    "SELECT predict(x, (SELECT m FROM models)) FROM t")
+                    .ValueOrDie();
+  const SqlExpr& call = *select.items[0].expr;
+  EXPECT_EQ(call.kind, SqlExprKind::kCall);
+  ASSERT_EQ(call.args.size(), 2u);
+  EXPECT_EQ(call.args[1]->kind, SqlExprKind::kSubquery);
+}
+
+TEST(SqlParserTest, CountStar) {
+  auto select = ParseSelectStmt("SELECT COUNT(*) FROM t").ValueOrDie();
+  const SqlExpr& call = *select.items[0].expr;
+  ASSERT_EQ(call.args.size(), 1u);
+  EXPECT_EQ(call.args[0]->kind, SqlExprKind::kStar);
+}
+
+TEST(SqlParserTest, CastAndIsNull) {
+  auto select = ParseSelectStmt(
+                    "SELECT CAST(a AS DOUBLE) FROM t WHERE b IS NOT NULL")
+                    .ValueOrDie();
+  EXPECT_EQ(select.items[0].expr->kind, SqlExprKind::kCast);
+  EXPECT_EQ(select.items[0].expr->cast_type, TypeId::kDouble);
+  EXPECT_EQ(select.where->kind, SqlExprKind::kIsNull);
+  EXPECT_TRUE(select.where->is_not_null);
+}
+
+TEST(SqlParserTest, OperatorPrecedence) {
+  auto select = ParseSelectStmt("SELECT 1 + 2 * 3").ValueOrDie();
+  // (1 + (2 * 3))
+  EXPECT_EQ(select.items[0].expr->ToString(), "(1 + (2 * 3))");
+}
+
+TEST(SqlParserTest, CreateTable) {
+  auto stmt = ParseStatement(
+                  "CREATE TABLE voters (id BIGINT, name VARCHAR, age "
+                  "INTEGER)")
+                  .ValueOrDie();
+  const auto& create = std::get<CreateTableStmt>(stmt);
+  EXPECT_EQ(create.name, "voters");
+  ASSERT_EQ(create.schema.num_fields(), 3u);
+  EXPECT_EQ(create.schema.field(1).type, TypeId::kVarchar);
+}
+
+TEST(SqlParserTest, CreateTableAsSelect) {
+  auto stmt =
+      ParseStatement("CREATE OR REPLACE TABLE t2 AS SELECT * FROM t")
+          .ValueOrDie();
+  const auto& create = std::get<CreateTableStmt>(stmt);
+  EXPECT_TRUE(create.or_replace);
+  EXPECT_NE(create.as_select, nullptr);
+}
+
+TEST(SqlParserTest, InsertValues) {
+  auto stmt = ParseStatement(
+                  "INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+                  .ValueOrDie();
+  const auto& insert = std::get<InsertStmt>(stmt);
+  EXPECT_EQ(insert.table, "t");
+  ASSERT_EQ(insert.rows.size(), 2u);
+  EXPECT_EQ(insert.rows[0].size(), 2u);
+}
+
+TEST(SqlParserTest, InsertSelect) {
+  auto stmt =
+      ParseStatement("INSERT INTO t SELECT * FROM s").ValueOrDie();
+  const auto& insert = std::get<InsertStmt>(stmt);
+  EXPECT_NE(insert.select, nullptr);
+}
+
+TEST(SqlParserTest, DropVariants) {
+  auto t = ParseStatement("DROP TABLE IF EXISTS t").ValueOrDie();
+  EXPECT_TRUE(std::get<DropStmt>(t).if_exists);
+  EXPECT_FALSE(std::get<DropStmt>(t).is_function);
+  auto f = ParseStatement("DROP FUNCTION train").ValueOrDie();
+  EXPECT_TRUE(std::get<DropStmt>(f).is_function);
+}
+
+TEST(SqlParserTest, CreateFunctionListing1) {
+  // Verbatim structure of the paper's Listing 1.
+  const char* sql = R"(
+    CREATE FUNCTION train(data INTEGER, classes INTEGER,
+                          n_estimators INTEGER)
+    RETURNS TABLE(classifier BLOB, estimators INTEGER)
+    LANGUAGE PYTHON
+    {
+      clf = ml.random_forest(n_estimators);
+      ml.fit(clf, data, classes);
+      return { classifier: pickle.dumps(clf), estimators: n_estimators };
+    }
+  )";
+  auto stmt = ParseStatement(sql).ValueOrDie();
+  const auto& fn = std::get<CreateFunctionStmt>(stmt);
+  EXPECT_EQ(fn.name, "train");
+  ASSERT_EQ(fn.params.size(), 3u);
+  EXPECT_EQ(fn.params[2].name, "n_estimators");
+  EXPECT_TRUE(fn.returns_table);
+  ASSERT_EQ(fn.table_schema.num_fields(), 2u);
+  EXPECT_EQ(fn.table_schema.field(0).type, TypeId::kBlob);
+  EXPECT_EQ(fn.language, "PYTHON");
+  EXPECT_NE(fn.body.find("ml.fit"), std::string::npos);
+}
+
+TEST(SqlParserTest, CreateFunctionScalarReturn) {
+  const char* sql =
+      "CREATE FUNCTION predict(data INTEGER, classifier BLOB) "
+      "RETURNS INTEGER LANGUAGE VSCRIPT { return data; }";
+  auto stmt = ParseStatement(sql).ValueOrDie();
+  const auto& fn = std::get<CreateFunctionStmt>(stmt);
+  EXPECT_FALSE(fn.returns_table);
+  EXPECT_EQ(fn.scalar_type, TypeId::kInt32);
+}
+
+TEST(SqlParserTest, ScriptSplitsStatements) {
+  auto statements =
+      ParseScript("SELECT 1; SELECT 2; -- done\n").ValueOrDie();
+  EXPECT_EQ(statements.size(), 2u);
+}
+
+TEST(SqlParserTest, SyntaxErrorsReported) {
+  EXPECT_FALSE(ParseStatement("SELEC 1").ok());
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1 2").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO t").ok());
+  EXPECT_FALSE(ParseStatement("").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1; SELECT 2").ok());  // two stmts
+}
+
+}  // namespace
+}  // namespace mlcs::sql

@@ -1,0 +1,187 @@
+/// Property-based SQL tests: randomly generated expressions evaluated
+/// through the full SQL path must match a direct C++ oracle, and
+/// relational identities must hold on random tables.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/random.h"
+#include "sql/database.h"
+
+namespace mlcs {
+namespace {
+
+/// Random integer arithmetic/comparison expression with its oracle value.
+/// Division/modulo are excluded (NULL-on-zero semantics differ from C++).
+struct RandomExpr {
+  std::string sql;
+  int64_t value = 0;
+  bool is_bool = false;
+  bool bool_value = false;
+};
+
+RandomExpr GenExpr(Rng& rng, int depth) {
+  if (depth == 0 || rng.NextDouble() < 0.3) {
+    RandomExpr leaf;
+    leaf.value = rng.NextInt(-100, 100);
+    // Leaves are cast to BIGINT so the engine computes in 64-bit like the
+    // oracle (bare small literals would type as INTEGER and wrap at 2^31).
+    leaf.sql = "CAST(" +
+               (leaf.value < 0 ? "(0 - " + std::to_string(-leaf.value) + ")"
+                               : std::to_string(leaf.value)) +
+               " AS BIGINT)";
+    return leaf;
+  }
+  RandomExpr left = GenExpr(rng, depth - 1);
+  RandomExpr right = GenExpr(rng, depth - 1);
+  // Comparisons only at the top to keep types simple.
+  RandomExpr out;
+  switch (rng.NextBounded(3)) {
+    case 0:
+      out.value = left.value + right.value;
+      out.sql = "(" + left.sql + " + " + right.sql + ")";
+      break;
+    case 1:
+      out.value = left.value - right.value;
+      out.sql = "(" + left.sql + " - " + right.sql + ")";
+      break;
+    default:
+      out.value = left.value * right.value;
+      out.sql = "(" + left.sql + " * " + right.sql + ")";
+      break;
+  }
+  return out;
+}
+
+TEST(SqlPropertyTest, RandomArithmeticMatchesOracle) {
+  Database db;
+  Rng rng(404);
+  for (int i = 0; i < 200; ++i) {
+    RandomExpr e = GenExpr(rng, 4);
+    auto r = db.Query("SELECT CAST(" + e.sql + " AS BIGINT)");
+    ASSERT_TRUE(r.ok()) << e.sql;
+    EXPECT_EQ(r.ValueOrDie()->GetValue(0, 0).ValueOrDie(),
+              Value::Int64(e.value))
+        << e.sql;
+  }
+}
+
+TEST(SqlPropertyTest, RandomComparisonsMatchOracle) {
+  Database db;
+  Rng rng(405);
+  for (int i = 0; i < 200; ++i) {
+    RandomExpr a = GenExpr(rng, 3);
+    RandomExpr b = GenExpr(rng, 3);
+    const char* ops[] = {"=", "<>", "<", "<=", ">", ">="};
+    size_t op = rng.NextBounded(6);
+    bool expect;
+    switch (op) {
+      case 0: expect = a.value == b.value; break;
+      case 1: expect = a.value != b.value; break;
+      case 2: expect = a.value < b.value; break;
+      case 3: expect = a.value <= b.value; break;
+      case 4: expect = a.value > b.value; break;
+      default: expect = a.value >= b.value; break;
+    }
+    std::string sql =
+        "SELECT " + a.sql + " " + ops[op] + " " + b.sql;
+    auto r = db.Query(sql);
+    ASSERT_TRUE(r.ok()) << sql;
+    EXPECT_EQ(r.ValueOrDie()->GetValue(0, 0).ValueOrDie(),
+              Value::Bool(expect))
+        << sql;
+  }
+}
+
+class SqlRelationalPropertyTest : public ::testing::TestWithParam<int> {};
+
+/// Relational identities on a random table:
+///   COUNT(*) = COUNT(WHERE p) + COUNT(WHERE NOT p or NULL-p rows)
+///   SUM over groups = global SUM
+///   DISTINCT count = GROUP BY group count
+TEST_P(SqlRelationalPropertyTest, IdentitiesHold) {
+  Database db;
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  ASSERT_TRUE(db.Query("CREATE TABLE t (g INTEGER, x INTEGER)").ok());
+  auto table = db.catalog().GetTable("t").ValueOrDie();
+  size_t rows = 200 + rng.NextBounded(800);
+  for (size_t i = 0; i < rows; ++i) {
+    Value x = rng.NextDouble() < 0.05
+                  ? Value::MakeNull(TypeId::kInt32)
+                  : Value::Int32(static_cast<int32_t>(rng.NextInt(-50, 50)));
+    ASSERT_TRUE(
+        table
+            ->AppendRow({Value::Int32(static_cast<int32_t>(
+                             rng.NextBounded(13))),
+                         x})
+            .ok());
+  }
+
+  auto scalar = [&](const std::string& sql) {
+    auto r = db.Query(sql);
+    EXPECT_TRUE(r.ok()) << sql;
+    return r.ValueOrDie()->GetValue(0, 0).ValueOrDie();
+  };
+
+  // Partition identity (NULL x rows match neither predicate).
+  int64_t total = scalar("SELECT COUNT(*) FROM t").int64_value();
+  int64_t pos = scalar("SELECT COUNT(*) FROM t WHERE x >= 0").int64_value();
+  int64_t neg = scalar("SELECT COUNT(*) FROM t WHERE x < 0").int64_value();
+  int64_t nulls =
+      scalar("SELECT COUNT(*) FROM t WHERE x IS NULL").int64_value();
+  EXPECT_EQ(total, pos + neg + nulls);
+
+  // Group sums fold to the global sum.
+  int64_t global_sum = scalar("SELECT SUM(x) FROM t").int64_value();
+  auto groups =
+      db.Query("SELECT g, SUM(x) AS s FROM t GROUP BY g").ValueOrDie();
+  int64_t folded = 0;
+  for (size_t r = 0; r < groups->num_rows(); ++r) {
+    Value v = groups->GetValue(r, 1).ValueOrDie();
+    if (!v.is_null()) folded += v.int64_value();
+  }
+  EXPECT_EQ(global_sum, folded);
+
+  // DISTINCT row count equals GROUP BY group count.
+  auto distinct = db.Query("SELECT DISTINCT g FROM t").ValueOrDie();
+  EXPECT_EQ(distinct->num_rows(), groups->num_rows());
+
+  // ORDER BY is a permutation: sorted sum equals unsorted sum.
+  int64_t sorted_sum = 0;
+  auto sorted = db.Query("SELECT x FROM t ORDER BY x").ValueOrDie();
+  for (size_t r = 0; r < sorted->num_rows(); ++r) {
+    Value v = sorted->GetValue(r, 0).ValueOrDie();
+    if (!v.is_null()) sorted_sum += v.int64_value();
+  }
+  EXPECT_EQ(sorted_sum, global_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlRelationalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SqlPropertyTest, ConcurrentReadersAreSafe) {
+  Database db;
+  ASSERT_TRUE(db.Run("CREATE TABLE t (x INTEGER);"
+                     "INSERT INTO t VALUES (1), (2), (3), (4);")
+                  .ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&db, &failures] {
+      for (int i = 0; i < 200; ++i) {
+        auto r = db.Query("SELECT SUM(x) FROM t WHERE x > 1");
+        if (!r.ok() ||
+            !(r.ValueOrDie()->GetValue(0, 0).ValueOrDie() ==
+              Value::Int64(9))) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace mlcs

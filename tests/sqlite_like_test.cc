@@ -1,0 +1,72 @@
+#include "client/sqlite_like.h"
+
+#include <gtest/gtest.h>
+
+namespace mlcs::client {
+namespace {
+
+class SqliteLikeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Run("CREATE TABLE t (x INTEGER, d DOUBLE, s VARCHAR);"
+                        "INSERT INTO t VALUES (1, 0.5, 'a'), "
+                        "(2, 1.5, 'b'), (3, NULL, 'c');")
+                    .ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(SqliteLikeTest, StepThroughRows) {
+  RowCursor cursor;
+  ASSERT_TRUE(cursor.Prepare(&db_, "SELECT * FROM t ORDER BY x").ok());
+  EXPECT_EQ(cursor.num_columns(), 3u);
+  int rows = 0;
+  while (cursor.Step()) {
+    ++rows;
+    EXPECT_EQ(cursor.ColumnInt(0).ValueOrDie(), rows);
+  }
+  EXPECT_EQ(rows, 3);
+  EXPECT_FALSE(cursor.Step());  // stays exhausted
+}
+
+TEST_F(SqliteLikeTest, TypedAccessors) {
+  RowCursor cursor;
+  ASSERT_TRUE(cursor.Prepare(&db_, "SELECT * FROM t ORDER BY x").ok());
+  ASSERT_TRUE(cursor.Step());
+  EXPECT_EQ(cursor.ColumnInt(0).ValueOrDie(), 1);
+  EXPECT_DOUBLE_EQ(cursor.ColumnDouble(1).ValueOrDie(), 0.5);
+  EXPECT_EQ(cursor.ColumnText(2).ValueOrDie(), "a");
+  EXPECT_FALSE(cursor.ColumnIsNull(1).ValueOrDie());
+  ASSERT_TRUE(cursor.Step());
+  ASSERT_TRUE(cursor.Step());
+  EXPECT_TRUE(cursor.ColumnIsNull(1).ValueOrDie());
+  EXPECT_FALSE(cursor.ColumnDouble(1).ok());  // NULL has no double
+}
+
+TEST_F(SqliteLikeTest, AccessBeforeStepRejected) {
+  RowCursor cursor;
+  ASSERT_TRUE(cursor.Prepare(&db_, "SELECT * FROM t").ok());
+  EXPECT_FALSE(cursor.ColumnInt(0).ok());
+}
+
+TEST_F(SqliteLikeTest, PrepareErrorsSurface) {
+  RowCursor cursor;
+  EXPECT_FALSE(cursor.Prepare(&db_, "SELECT * FROM missing").ok());
+}
+
+TEST_F(SqliteLikeTest, EmptyResult) {
+  RowCursor cursor;
+  ASSERT_TRUE(cursor.Prepare(&db_, "SELECT * FROM t WHERE x > 99").ok());
+  EXPECT_FALSE(cursor.Step());
+}
+
+TEST_F(SqliteLikeTest, FetchAllMatchesDirectQuery) {
+  auto direct = db_.Query("SELECT * FROM t ORDER BY x").ValueOrDie();
+  auto fetched =
+      FetchAllRowAtATime(&db_, "SELECT * FROM t ORDER BY x").ValueOrDie();
+  EXPECT_TRUE(direct->Equals(*fetched));
+}
+
+}  // namespace
+}  // namespace mlcs::client

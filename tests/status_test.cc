@@ -1,0 +1,95 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace mlcs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table 'foo'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table 'foo'");
+  EXPECT_EQ(s.ToString(), "Not found: table 'foo'");
+}
+
+TEST(StatusTest, AllFactoryFunctionsProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::ParseError("").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::TypeMismatch("").code(), StatusCode::kTypeMismatch);
+  EXPECT_EQ(Status::NotImplemented("").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NetworkError("").code(), StatusCode::kNetworkError);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UseReturnIfError(int v) {
+  MLCS_RETURN_IF_ERROR(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_TRUE(UseReturnIfError(1).ok());
+  EXPECT_EQ(UseReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> HalfOfEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterOfMultipleOfFour(int v) {
+  MLCS_ASSIGN_OR_RETURN(int half, HalfOfEven(v));
+  MLCS_ASSIGN_OR_RETURN(int quarter, HalfOfEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  auto r = QuarterOfMultipleOfFour(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 2);
+
+  auto bad = QuarterOfMultipleOfFour(6);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  Result<int> good = 7;
+  Result<int> bad = Status::Internal("boom");
+  EXPECT_EQ(good.ValueOr(0), 7);
+  EXPECT_EQ(bad.ValueOr(0), 0);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+}  // namespace
+}  // namespace mlcs

@@ -1,0 +1,78 @@
+#include "storage/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace mlcs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TablePtr MixedTable() {
+  Schema s;
+  s.AddField("id", TypeId::kInt64);
+  s.AddField("label", TypeId::kVarchar);
+  s.AddField("score", TypeId::kDouble);
+  s.AddField("model", TypeId::kBlob);
+  s.AddField("flag", TypeId::kBool);
+  auto t = Table::Make(std::move(s));
+  EXPECT_TRUE(t->AppendRow({Value::Int64(1), Value::Varchar("a"),
+                            Value::Double(0.5),
+                            Value::Blob(std::string("\x00\x01", 2)),
+                            Value::Bool(true)})
+                  .ok());
+  EXPECT_TRUE(t->AppendRow({Value::Int64(2), Value::MakeNull(TypeId::kVarchar),
+                            Value::MakeNull(TypeId::kDouble),
+                            Value::Blob(""), Value::Bool(false)})
+                  .ok());
+  return t;
+}
+
+TEST(TableIoTest, RoundTrip) {
+  std::string path = TempPath("roundtrip.mlt");
+  auto t = MixedTable();
+  ASSERT_TRUE(SaveTable(*t, path).ok());
+  auto back = LoadTable(path).ValueOrDie();
+  EXPECT_TRUE(t->Equals(*back));
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, EmptyTableRoundTrip) {
+  std::string path = TempPath("empty.mlt");
+  Schema s;
+  s.AddField("x", TypeId::kInt32);
+  Table t(std::move(s));
+  ASSERT_TRUE(SaveTable(t, path).ok());
+  auto back = LoadTable(path).ValueOrDie();
+  EXPECT_EQ(back->num_rows(), 0u);
+  EXPECT_EQ(back->schema().field(0).name, "x");
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, MissingFileReportsIoError) {
+  auto r = LoadTable("/nonexistent/dir/file.mlt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(TableIoTest, GarbageFileRejected) {
+  std::string path = TempPath("garbage.mlt");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a table", f);
+  std::fclose(f);
+  auto r = LoadTable(path);
+  ASSERT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, UnwritablePathReportsIoError) {
+  auto t = MixedTable();
+  EXPECT_FALSE(SaveTable(*t, "/nonexistent/dir/file.mlt").ok());
+}
+
+}  // namespace
+}  // namespace mlcs

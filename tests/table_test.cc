@@ -1,0 +1,119 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mlcs {
+namespace {
+
+Schema TwoColSchema() {
+  Schema s;
+  s.AddField("id", TypeId::kInt32);
+  s.AddField("name", TypeId::kVarchar);
+  return s;
+}
+
+TablePtr SampleTable() {
+  auto t = Table::Make(TwoColSchema());
+  EXPECT_TRUE(t->AppendRow({Value::Int32(1), Value::Varchar("alice")}).ok());
+  EXPECT_TRUE(t->AppendRow({Value::Int32(2), Value::Varchar("bob")}).ok());
+  EXPECT_TRUE(t->AppendRow({Value::Int32(3), Value::Varchar("carol")}).ok());
+  return t;
+}
+
+TEST(TableTest, EmptyTableHasSchemaColumns) {
+  Table t(TwoColSchema());
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TableTest, AppendRowAndRead) {
+  auto t = SampleTable();
+  EXPECT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->GetValue(1, 1).ValueOrDie(), Value::Varchar("bob"));
+  EXPECT_EQ(t->GetValue(2, 0).ValueOrDie(), Value::Int32(3));
+}
+
+TEST(TableTest, AppendRowWrongArityFails) {
+  auto t = Table::Make(TwoColSchema());
+  EXPECT_FALSE(t->AppendRow({Value::Int32(1)}).ok());
+}
+
+TEST(TableTest, AppendRowCasts) {
+  auto t = Table::Make(TwoColSchema());
+  ASSERT_TRUE(t->AppendRow({Value::Int64(5), Value::Varchar("x")}).ok());
+  EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Int32(5));
+}
+
+TEST(TableTest, ColumnByName) {
+  auto t = SampleTable();
+  EXPECT_EQ(t->ColumnByName("NAME").ValueOrDie()->size(), 3u);
+  EXPECT_FALSE(t->ColumnByName("missing").ok());
+}
+
+TEST(TableTest, ValidateCatchesTypeDrift) {
+  Schema s = TwoColSchema();
+  std::vector<ColumnPtr> cols = {Column::FromDouble({1.0}),
+                                 Column::FromStrings({"a"})};
+  Table t(std::move(s), std::move(cols));
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TableTest, ValidateCatchesLengthMismatch) {
+  Schema s = TwoColSchema();
+  std::vector<ColumnPtr> cols = {Column::FromInt32({1, 2}),
+                                 Column::FromStrings({"a"})};
+  Table t(std::move(s), std::move(cols));
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TableTest, AppendTable) {
+  auto a = SampleTable();
+  auto b = SampleTable();
+  ASSERT_TRUE(a->AppendTable(*b).ok());
+  EXPECT_EQ(a->num_rows(), 6u);
+  EXPECT_EQ(a->GetValue(4, 1).ValueOrDie(), Value::Varchar("bob"));
+}
+
+TEST(TableTest, AddColumn) {
+  auto t = SampleTable();
+  ASSERT_TRUE(t->AddColumn("score", Column::FromDouble({1.0, 2.0, 3.0})).ok());
+  EXPECT_EQ(t->num_columns(), 3u);
+  EXPECT_EQ(t->schema().field(2).name, "score");
+  EXPECT_FALSE(t->AddColumn("bad", Column::FromDouble({1.0})).ok());
+}
+
+TEST(TableTest, ProjectSharesColumns) {
+  auto t = SampleTable();
+  auto p = t->Project({1});
+  EXPECT_EQ(p->num_columns(), 1u);
+  EXPECT_EQ(p->schema().field(0).name, "name");
+  EXPECT_EQ(p->column(0).get(), t->column(1).get());  // shared buffer
+}
+
+TEST(TableTest, TakeRowsAndSlice) {
+  auto t = SampleTable();
+  auto taken = t->TakeRows({2, 0});
+  EXPECT_EQ(taken->GetValue(0, 1).ValueOrDie(), Value::Varchar("carol"));
+  EXPECT_EQ(taken->GetValue(1, 0).ValueOrDie(), Value::Int32(1));
+  auto slice = t->SliceRows(1, 2);
+  EXPECT_EQ(slice->num_rows(), 2u);
+  EXPECT_EQ(slice->GetValue(0, 1).ValueOrDie(), Value::Varchar("bob"));
+}
+
+TEST(TableTest, Equals) {
+  EXPECT_TRUE(SampleTable()->Equals(*SampleTable()));
+  auto other = SampleTable();
+  ASSERT_TRUE(other->AppendRow({Value::Int32(9), Value::Varchar("z")}).ok());
+  EXPECT_FALSE(SampleTable()->Equals(*other));
+}
+
+TEST(TableTest, ToStringShowsHeaderAndRows) {
+  auto t = SampleTable();
+  std::string s = t->ToString();
+  EXPECT_NE(s.find("id | name"), std::string::npos);
+  EXPECT_NE(s.find("alice"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlcs

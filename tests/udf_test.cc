@@ -1,0 +1,170 @@
+#include "udf/udf.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/kernels.h"
+
+namespace mlcs::udf {
+namespace {
+
+ScalarUdfEntry DoubleItUdf() {
+  ScalarUdfEntry entry;
+  entry.name = "double_it";
+  entry.param_types = {TypeId::kInt32};
+  entry.typed = true;
+  entry.return_type = TypeId::kInt32;
+  entry.has_return_type = true;
+  entry.fn = [](const std::vector<ColumnPtr>& args,
+                size_t num_rows) -> Result<ColumnPtr> {
+    return exec::BinaryKernel(exec::BinOpKind::kMul, *args[0],
+                              *Column::Constant(Value::Int32(2), 1));
+  };
+  return entry;
+}
+
+TEST(UdfRegistryTest, RegisterAndCallScalar) {
+  UdfRegistry reg;
+  ASSERT_TRUE(reg.RegisterScalar(DoubleItUdf()).ok());
+  EXPECT_TRUE(reg.HasScalar("DOUBLE_IT"));  // case-insensitive
+  auto out = reg.CallScalar("double_it", {Column::FromInt32({1, 2, 3})}, 3)
+                 .ValueOrDie();
+  EXPECT_EQ(out->i32_data(), (std::vector<int32_t>{2, 4, 6}));
+}
+
+TEST(UdfRegistryTest, DuplicateRejectedUnlessReplace) {
+  UdfRegistry reg;
+  ASSERT_TRUE(reg.RegisterScalar(DoubleItUdf()).ok());
+  EXPECT_EQ(reg.RegisterScalar(DoubleItUdf()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(reg.RegisterScalar(DoubleItUdf(), /*or_replace=*/true).ok());
+}
+
+TEST(UdfRegistryTest, ArityChecked) {
+  UdfRegistry reg;
+  ASSERT_TRUE(reg.RegisterScalar(DoubleItUdf()).ok());
+  EXPECT_FALSE(reg.CallScalar("double_it", {}, 0).ok());
+  EXPECT_FALSE(reg.CallScalar("double_it",
+                              {Column::FromInt32({1}),
+                               Column::FromInt32({1})},
+                              1)
+                   .ok());
+}
+
+TEST(UdfRegistryTest, ArgumentsCoercedToDeclaredTypes) {
+  UdfRegistry reg;
+  ASSERT_TRUE(reg.RegisterScalar(DoubleItUdf()).ok());
+  // int64 input is cast to the declared INT32 parameter.
+  auto out = reg.CallScalar("double_it", {Column::FromInt64({5})}, 1)
+                 .ValueOrDie();
+  EXPECT_EQ(out->type(), TypeId::kInt32);
+  EXPECT_EQ(out->i32_data()[0], 10);
+  // Uncastable input fails.
+  EXPECT_FALSE(
+      reg.CallScalar("double_it", {Column::FromStrings({"x"})}, 1).ok());
+}
+
+TEST(UdfRegistryTest, ResultLengthValidated) {
+  UdfRegistry reg;
+  ScalarUdfEntry bad;
+  bad.name = "wrong_len";
+  bad.fn = [](const std::vector<ColumnPtr>&, size_t) -> Result<ColumnPtr> {
+    return Column::FromInt32({1, 2});  // always 2 rows
+  };
+  ASSERT_TRUE(reg.RegisterScalar(std::move(bad)).ok());
+  EXPECT_FALSE(reg.CallScalar("wrong_len", {}, 5).ok());
+  EXPECT_TRUE(reg.CallScalar("wrong_len", {}, 2).ok());
+}
+
+TEST(UdfRegistryTest, ReturnTypeCast) {
+  UdfRegistry reg;
+  ScalarUdfEntry entry;
+  entry.name = "as_double";
+  entry.return_type = TypeId::kDouble;
+  entry.has_return_type = true;
+  entry.fn = [](const std::vector<ColumnPtr>&, size_t n) -> Result<ColumnPtr> {
+    return Column::Constant(Value::Int32(7), n);
+  };
+  ASSERT_TRUE(reg.RegisterScalar(std::move(entry)).ok());
+  auto out = reg.CallScalar("as_double", {}, 3).ValueOrDie();
+  EXPECT_EQ(out->type(), TypeId::kDouble);
+}
+
+TEST(UdfRegistryTest, RowAtATimeAdapter) {
+  UdfRegistry reg;
+  ASSERT_TRUE(reg.RegisterScalarRowAtATime(
+                     "add_row", {TypeId::kInt32, TypeId::kInt32},
+                     TypeId::kInt32,
+                     [](const std::vector<Value>& args) -> Result<Value> {
+                       return Value::Int32(args[0].int32_value() +
+                                           args[1].int32_value());
+                     })
+                  .ok());
+  auto entry = reg.GetScalar("add_row").ValueOrDie();
+  EXPECT_TRUE(entry->row_at_a_time);
+  auto out = reg.CallScalar("add_row",
+                            {Column::FromInt32({1, 2, 3}),
+                             Column::FromInt32({10})},  // broadcast
+                            3)
+                 .ValueOrDie();
+  EXPECT_EQ(out->i32_data(), (std::vector<int32_t>{11, 12, 13}));
+}
+
+TEST(UdfRegistryTest, TableUdfSchemaAlignment) {
+  UdfRegistry reg;
+  TableUdfEntry entry;
+  entry.name = "make_table";
+  Schema declared;
+  declared.AddField("a", TypeId::kInt64);
+  declared.AddField("b", TypeId::kVarchar);
+  entry.return_schema = declared;
+  entry.fn = [](const std::vector<ColumnPtr>&) -> Result<TablePtr> {
+    Schema s;
+    s.AddField("x", TypeId::kInt32);  // type + name differ from declared
+    s.AddField("y", TypeId::kVarchar);
+    auto t = Table::Make(std::move(s));
+    MLCS_RETURN_IF_ERROR(
+        t->AppendRow({Value::Int32(1), Value::Varchar("z")}));
+    return t;
+  };
+  ASSERT_TRUE(reg.RegisterTable(std::move(entry)).ok());
+  auto out = reg.CallTable("make_table", {}).ValueOrDie();
+  EXPECT_EQ(out->schema().field(0).name, "a");
+  EXPECT_EQ(out->schema().field(0).type, TypeId::kInt64);
+  EXPECT_EQ(out->GetValue(0, 0).ValueOrDie(), Value::Int64(1));
+}
+
+TEST(UdfRegistryTest, TableUdfColumnCountMismatchRejected) {
+  UdfRegistry reg;
+  TableUdfEntry entry;
+  entry.name = "bad_table";
+  entry.return_schema.AddField("a", TypeId::kInt32);
+  entry.return_schema.AddField("b", TypeId::kInt32);
+  entry.fn = [](const std::vector<ColumnPtr>&) -> Result<TablePtr> {
+    Schema s;
+    s.AddField("only_one", TypeId::kInt32);
+    return Table::Make(std::move(s));
+  };
+  ASSERT_TRUE(reg.RegisterTable(std::move(entry)).ok());
+  EXPECT_FALSE(reg.CallTable("bad_table", {}).ok());
+}
+
+TEST(UdfRegistryTest, DropAndList) {
+  UdfRegistry reg;
+  ASSERT_TRUE(reg.RegisterScalar(DoubleItUdf()).ok());
+  EXPECT_EQ(reg.ListScalar(), std::vector<std::string>{"double_it"});
+  EXPECT_TRUE(reg.Drop("double_it").ok());
+  EXPECT_FALSE(reg.HasScalar("double_it"));
+  EXPECT_FALSE(reg.Drop("double_it").ok());
+  EXPECT_TRUE(reg.Drop("double_it", /*if_exists=*/true).ok());
+}
+
+TEST(UdfRegistryTest, MissingFunctionReported) {
+  UdfRegistry reg;
+  auto r = reg.CallScalar("ghost", {}, 1);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  auto t = reg.CallTable("ghost", {});
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mlcs::udf

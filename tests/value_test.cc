@@ -1,0 +1,131 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace mlcs {
+namespace {
+
+TEST(ValueTest, FactoriesSetTypeAndPayload) {
+  EXPECT_EQ(Value::Bool(true).type(), TypeId::kBool);
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int32(-5).int32_value(), -5);
+  EXPECT_EQ(Value::Int64(1LL << 40).int64_value(), 1LL << 40);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::Varchar("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Blob("\x01\x02").blob_value(), "\x01\x02");
+}
+
+TEST(ValueTest, NullHandling) {
+  Value v = Value::MakeNull(TypeId::kDouble);
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), TypeId::kDouble);
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_FALSE(v.AsDouble().ok());
+}
+
+TEST(ValueTest, NumericCoercions) {
+  EXPECT_EQ(Value::Int32(7).AsInt64().ValueOrDie(), 7);
+  EXPECT_DOUBLE_EQ(Value::Int64(3).AsDouble().ValueOrDie(), 3.0);
+  EXPECT_EQ(Value::Double(2.9).AsInt64().ValueOrDie(), 2);
+  EXPECT_TRUE(Value::Int32(1).AsBool().ValueOrDie());
+  EXPECT_FALSE(Value::Int32(0).AsBool().ValueOrDie());
+  EXPECT_EQ(Value::Varchar("12").AsInt64().ValueOrDie(), 12);
+  EXPECT_FALSE(Value::Blob("x").AsInt64().ok());
+}
+
+TEST(ValueTest, CastPreservesNull) {
+  Value v = Value::MakeNull(TypeId::kInt32);
+  Value cast = v.CastTo(TypeId::kDouble).ValueOrDie();
+  EXPECT_TRUE(cast.is_null());
+  EXPECT_EQ(cast.type(), TypeId::kDouble);
+}
+
+TEST(ValueTest, CastInt32OverflowDetected) {
+  Value v = Value::Int64(1LL << 40);
+  auto r = v.CastTo(TypeId::kInt32);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ValueTest, CastStringToNumber) {
+  Value v = Value::Varchar("3.5");
+  EXPECT_DOUBLE_EQ(v.CastTo(TypeId::kDouble).ValueOrDie().double_value(),
+                   3.5);
+  EXPECT_FALSE(Value::Varchar("zzz").CastTo(TypeId::kDouble).ok());
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int32(42).ToString(), "42");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Varchar("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Blob(std::string("\x00\xff", 2)).ToString(), "\\x00ff");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int32(1), Value::Int32(1));
+  EXPECT_NE(Value::Int32(1), Value::Int32(2));
+  EXPECT_NE(Value::Int32(1), Value::Int64(1));  // type-sensitive
+  EXPECT_EQ(Value::MakeNull(TypeId::kInt32), Value::MakeNull(TypeId::kInt32));
+  EXPECT_NE(Value::MakeNull(TypeId::kInt32), Value::Int32(0));
+}
+
+class ValueSerializationTest : public ::testing::TestWithParam<Value> {};
+
+TEST_P(ValueSerializationTest, RoundTrips) {
+  const Value& v = GetParam();
+  ByteWriter w;
+  v.Serialize(&w);
+  ByteReader r(w.data());
+  Value back = Value::Deserialize(&r).ValueOrDie();
+  EXPECT_EQ(v, back);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, ValueSerializationTest,
+    ::testing::Values(
+        Value::Bool(true), Value::Bool(false), Value::Int32(-123),
+        Value::Int64(1LL << 50), Value::Double(-0.75),
+        Value::Varchar(""), Value::Varchar("hello world"),
+        Value::Blob(std::string("\x00\x01\x02", 3)),
+        Value::MakeNull(TypeId::kBool), Value::MakeNull(TypeId::kInt32),
+        Value::MakeNull(TypeId::kInt64), Value::MakeNull(TypeId::kDouble),
+        Value::MakeNull(TypeId::kVarchar), Value::MakeNull(TypeId::kBlob)));
+
+TEST(ValueTest, DeserializeRejectsBadTypeTag) {
+  ByteWriter w;
+  w.WriteU8(0x7F);
+  w.WriteBool(false);
+  ByteReader r(w.data());
+  EXPECT_FALSE(Value::Deserialize(&r).ok());
+}
+
+TEST(DataTypeTest, NamesRoundTrip) {
+  for (TypeId t : {TypeId::kBool, TypeId::kInt32, TypeId::kInt64,
+                   TypeId::kDouble, TypeId::kVarchar, TypeId::kBlob}) {
+    EXPECT_EQ(TypeIdFromString(TypeIdToString(t)).ValueOrDie(), t);
+  }
+}
+
+TEST(DataTypeTest, Aliases) {
+  EXPECT_EQ(TypeIdFromString("int").ValueOrDie(), TypeId::kInt32);
+  EXPECT_EQ(TypeIdFromString("TEXT").ValueOrDie(), TypeId::kVarchar);
+  EXPECT_EQ(TypeIdFromString("real").ValueOrDie(), TypeId::kDouble);
+  EXPECT_EQ(TypeIdFromString("bytea").ValueOrDie(), TypeId::kBlob);
+  EXPECT_FALSE(TypeIdFromString("frobnicator").ok());
+}
+
+TEST(DataTypeTest, NumericPromotion) {
+  EXPECT_EQ(CommonNumericType(TypeId::kInt32, TypeId::kInt32).ValueOrDie(),
+            TypeId::kInt32);
+  EXPECT_EQ(CommonNumericType(TypeId::kInt32, TypeId::kInt64).ValueOrDie(),
+            TypeId::kInt64);
+  EXPECT_EQ(CommonNumericType(TypeId::kInt64, TypeId::kDouble).ValueOrDie(),
+            TypeId::kDouble);
+  EXPECT_EQ(CommonNumericType(TypeId::kBool, TypeId::kBool).ValueOrDie(),
+            TypeId::kBool);
+  EXPECT_FALSE(CommonNumericType(TypeId::kVarchar, TypeId::kInt32).ok());
+}
+
+}  // namespace
+}  // namespace mlcs

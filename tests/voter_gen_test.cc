@@ -1,0 +1,115 @@
+#include "io/voter_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mlcs::io {
+namespace {
+
+VoterDataOptions SmallOptions() {
+  VoterDataOptions opt;
+  opt.num_voters = 5000;
+  opt.num_precincts = 50;
+  opt.seed = 7;
+  return opt;
+}
+
+TEST(VoterGenTest, PrecinctTableShape) {
+  auto t = GeneratePrecincts(SmallOptions()).ValueOrDie();
+  EXPECT_EQ(t->num_rows(), 50u);
+  EXPECT_EQ(t->num_columns(), 3u);
+  EXPECT_EQ(t->schema().field(0).name, "precinct_id");
+  // Vote counts positive, ids dense 0..n-1.
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    EXPECT_EQ(t->column(0)->i32_data()[r], static_cast<int32_t>(r));
+    EXPECT_GT(t->column(1)->i32_data()[r] + t->column(2)->i32_data()[r], 0);
+    EXPECT_GE(t->column(1)->i32_data()[r], 0);
+    EXPECT_GE(t->column(2)->i32_data()[r], 0);
+  }
+}
+
+TEST(VoterGenTest, VoterTableShape) {
+  auto t = GenerateVoters(SmallOptions()).ValueOrDie();
+  EXPECT_EQ(t->num_rows(), 5000u);
+  EXPECT_EQ(t->num_columns(), 96u);  // the paper's column count
+  for (size_t c = 0; c < t->num_columns(); ++c) {
+    EXPECT_EQ(t->schema().field(c).type, TypeId::kInt32);
+  }
+  EXPECT_EQ(t->schema().field(0).name, "voter_id");
+  // Every precinct id is within range.
+  const auto& precincts =
+      t->ColumnByName("precinct_id").ValueOrDie()->i32_data();
+  for (int32_t p : precincts) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 50);
+  }
+  // Ages are plausible.
+  const auto& ages = t->ColumnByName("age").ValueOrDie()->i32_data();
+  for (int32_t a : ages) {
+    EXPECT_GE(a, 18);
+    EXPECT_LE(a, 100);
+  }
+}
+
+TEST(VoterGenTest, Deterministic) {
+  auto a = GenerateVoters(SmallOptions()).ValueOrDie();
+  auto b = GenerateVoters(SmallOptions()).ValueOrDie();
+  EXPECT_TRUE(a->Equals(*b));
+  VoterDataOptions other = SmallOptions();
+  other.seed = 8;
+  auto c = GenerateVoters(other).ValueOrDie();
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(VoterGenTest, DemShareInRangeAndVaried) {
+  std::set<int64_t> distinct;
+  for (size_t p = 0; p < 100; ++p) {
+    double share = PrecinctDemShare(7, p, 100);
+    EXPECT_GE(share, 0.05);
+    EXPECT_LE(share, 0.95);
+    distinct.insert(static_cast<int64_t>(share * 1e6));
+  }
+  EXPECT_GT(distinct.size(), 50u);  // not collapsed to a constant
+}
+
+TEST(VoterGenTest, FeaturesCorrelateWithLean) {
+  // urban_score should be clearly higher in dem-leaning precincts —
+  // that's what makes the classification task learnable.
+  VoterDataOptions opt = SmallOptions();
+  opt.num_voters = 20000;
+  auto voters = GenerateVoters(opt).ValueOrDie();
+  const auto& precinct =
+      voters->ColumnByName("precinct_id").ValueOrDie()->i32_data();
+  const auto& urban =
+      voters->ColumnByName("urban_score").ValueOrDie()->i32_data();
+  double dem_sum = 0, dem_n = 0, rep_sum = 0, rep_n = 0;
+  for (size_t i = 0; i < precinct.size(); ++i) {
+    double share = PrecinctDemShare(opt.seed, precinct[i], 50);
+    if (share > 0.6) {
+      dem_sum += urban[i];
+      ++dem_n;
+    } else if (share < 0.4) {
+      rep_sum += urban[i];
+      ++rep_n;
+    }
+  }
+  ASSERT_GT(dem_n, 100);
+  ASSERT_GT(rep_n, 100);
+  EXPECT_GT(dem_sum / dem_n, rep_sum / rep_n + 1.0);
+}
+
+TEST(VoterGenTest, ValidationErrors) {
+  VoterDataOptions opt = SmallOptions();
+  opt.num_columns = 5;
+  EXPECT_FALSE(GenerateVoters(opt).ok());
+  opt = SmallOptions();
+  opt.num_voters = 0;
+  EXPECT_FALSE(GenerateVoters(opt).ok());
+  opt = SmallOptions();
+  opt.num_precincts = 0;
+  EXPECT_FALSE(GeneratePrecincts(opt).ok());
+}
+
+}  // namespace
+}  // namespace mlcs::io

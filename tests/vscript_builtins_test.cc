@@ -1,0 +1,130 @@
+/// Tests for the extended VectorScript builtin surface (elementwise math,
+/// vec.where / clip / fillna) used by preprocessing UDFs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vscript/vs_builtins.h"
+#include "vscript/vs_interpreter.h"
+
+namespace mlcs::vscript {
+namespace {
+
+ScriptValue Col(std::vector<double> data) {
+  return ScriptValue(Column::FromDouble(std::move(data)));
+}
+
+Result<ColumnPtr> RunOn(const std::string& body, Environment env) {
+  MLCS_ASSIGN_OR_RETURN(ScriptValue result, ExecuteSource(body, env));
+  return result.AsColumn();
+}
+
+TEST(VsBuiltinsTest, ElementwiseMath) {
+  Environment env;
+  env["v"] = Col({-1.5, 4.0, 9.0});
+  auto abs = RunOn("return vec.abs(v);", env).ValueOrDie();
+  EXPECT_DOUBLE_EQ(abs->f64_data()[0], 1.5);
+  auto sqrt = RunOn("return vec.sqrt(v);", env).ValueOrDie();
+  EXPECT_DOUBLE_EQ(sqrt->f64_data()[2], 3.0);
+  auto rounded = RunOn("return vec.round(v);", env).ValueOrDie();
+  EXPECT_DOUBLE_EQ(rounded->f64_data()[0], -2.0);
+  auto floor = RunOn("return vec.floor(v);", env).ValueOrDie();
+  EXPECT_DOUBLE_EQ(floor->f64_data()[0], -2.0);
+  auto ceil = RunOn("return vec.ceil(v);", env).ValueOrDie();
+  EXPECT_DOUBLE_EQ(ceil->f64_data()[0], -1.0);
+}
+
+TEST(VsBuiltinsTest, LogExpInverse) {
+  Environment env;
+  env["v"] = Col({0.5, 1.0, 2.0});
+  auto roundtrip = RunOn("return vec.exp(vec.log(v));", env).ValueOrDie();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(roundtrip->f64_data()[i],
+                env["v"].column()->f64_data()[i], 1e-12);
+  }
+}
+
+TEST(VsBuiltinsTest, ElementwiseOnScalarStaysScalar) {
+  auto result = ExecuteSource("return vec.abs(-3.5);", {}).ValueOrDie();
+  ASSERT_TRUE(result.is_scalar());
+  EXPECT_DOUBLE_EQ(result.scalar().double_value(), 3.5);
+}
+
+TEST(VsBuiltinsTest, Where) {
+  Environment env;
+  env["v"] = Col({1.0, 5.0, 2.0, 9.0});
+  auto out =
+      RunOn("return vec.where(v > 3.0, 1, 0);", env).ValueOrDie();
+  EXPECT_EQ(out->i32_data(), (std::vector<int32_t>{0, 1, 0, 1}));
+}
+
+TEST(VsBuiltinsTest, WhereWithVectorBranches) {
+  Environment env;
+  env["v"] = Col({1.0, 5.0});
+  env["a"] = Col({10.0, 20.0});
+  env["b"] = Col({-10.0, -20.0});
+  auto out = RunOn("return vec.where(v > 3.0, a, b);", env).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out->f64_data()[0], -10.0);
+  EXPECT_DOUBLE_EQ(out->f64_data()[1], 20.0);
+}
+
+TEST(VsBuiltinsTest, Clip) {
+  Environment env;
+  env["v"] = Col({-5.0, 0.5, 99.0});
+  auto out = RunOn("return vec.clip(v, 0.0, 1.0);", env).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out->f64_data()[0], 0.0);
+  EXPECT_DOUBLE_EQ(out->f64_data()[1], 0.5);
+  EXPECT_DOUBLE_EQ(out->f64_data()[2], 1.0);
+  EXPECT_FALSE(RunOn("return vec.clip(v, 2.0, 1.0);", env).ok());
+}
+
+TEST(VsBuiltinsTest, FillnaReplacesNulls) {
+  Column col(TypeId::kDouble);
+  col.AppendDouble(1.0);
+  col.AppendNull();
+  col.AppendDouble(3.0);
+  Environment env;
+  env["v"] = ScriptValue(std::make_shared<Column>(col));
+  auto out = RunOn("return vec.fillna(v, -1.0);", env).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out->f64_data()[1], -1.0);
+  EXPECT_FALSE(out->has_nulls());
+}
+
+TEST(VsBuiltinsTest, PreprocessingPipelineComposes) {
+  // A realistic preprocessing body: impute, clip outliers, normalize.
+  Column col(TypeId::kDouble);
+  col.AppendDouble(10.0);
+  col.AppendNull();
+  col.AppendDouble(1000.0);
+  col.AppendDouble(20.0);
+  Environment env;
+  env["raw"] = ScriptValue(std::make_shared<Column>(col));
+  const char* body = R"(
+    x = vec.fillna(raw, 0.0);
+    x = vec.clip(x, 0.0, 100.0);
+    return x / vec.max(x);
+  )";
+  auto out = RunOn(body, env).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out->f64_data()[0], 0.1);
+  EXPECT_DOUBLE_EQ(out->f64_data()[1], 0.0);
+  EXPECT_DOUBLE_EQ(out->f64_data()[2], 1.0);
+  EXPECT_DOUBLE_EQ(out->f64_data()[3], 0.2);
+}
+
+TEST(VsBuiltinsTest, IsBuiltinKnowsNewNames) {
+  EXPECT_TRUE(IsBuiltin("vec.where"));
+  EXPECT_TRUE(IsBuiltin("vec.fillna"));
+  EXPECT_TRUE(IsBuiltin("vec.clip"));
+  EXPECT_FALSE(IsBuiltin("vec.zzz"));
+}
+
+TEST(VsBuiltinsTest, ArityErrors) {
+  Environment env;
+  env["v"] = Col({1.0});
+  EXPECT_FALSE(RunOn("return vec.abs();", env).ok());
+  EXPECT_FALSE(RunOn("return vec.where(v > 0.5);", env).ok());
+  EXPECT_FALSE(RunOn("return vec.clip(v, 1.0);", env).ok());
+}
+
+}  // namespace
+}  // namespace mlcs::vscript
