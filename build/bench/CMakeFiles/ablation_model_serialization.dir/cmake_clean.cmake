@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_serialization.dir/ablation_model_serialization.cc.o"
+  "CMakeFiles/ablation_model_serialization.dir/ablation_model_serialization.cc.o.d"
+  "ablation_model_serialization"
+  "ablation_model_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

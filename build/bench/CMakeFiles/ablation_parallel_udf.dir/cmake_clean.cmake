@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallel_udf.dir/ablation_parallel_udf.cc.o"
+  "CMakeFiles/ablation_parallel_udf.dir/ablation_parallel_udf.cc.o.d"
+  "ablation_parallel_udf"
+  "ablation_parallel_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_splitter.dir/ablation_tree_splitter.cc.o"
+  "CMakeFiles/ablation_tree_splitter.dir/ablation_tree_splitter.cc.o.d"
+  "ablation_tree_splitter"
+  "ablation_tree_splitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_splitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

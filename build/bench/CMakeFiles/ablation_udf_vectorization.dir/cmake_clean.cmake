@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_udf_vectorization.dir/ablation_udf_vectorization.cc.o"
+  "CMakeFiles/ablation_udf_vectorization.dir/ablation_udf_vectorization.cc.o.d"
+  "ablation_udf_vectorization"
+  "ablation_udf_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_udf_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_voter_classification.dir/fig1_voter_classification.cc.o"
+  "CMakeFiles/fig1_voter_classification.dir/fig1_voter_classification.cc.o.d"
+  "fig1_voter_classification"
+  "fig1_voter_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_voter_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_learning.dir/ensemble_learning.cpp.o"
+  "CMakeFiles/ensemble_learning.dir/ensemble_learning.cpp.o.d"
+  "ensemble_learning"
+  "ensemble_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

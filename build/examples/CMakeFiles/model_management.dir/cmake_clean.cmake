@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_management.dir/model_management.cpp.o"
+  "CMakeFiles/model_management.dir/model_management.cpp.o.d"
+  "model_management"
+  "model_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_prediction.dir/out_of_core_prediction.cpp.o"
+  "CMakeFiles/out_of_core_prediction.dir/out_of_core_prediction.cpp.o.d"
+  "out_of_core_prediction"
+  "out_of_core_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

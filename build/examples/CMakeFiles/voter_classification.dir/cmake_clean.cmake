@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voter_classification.dir/voter_classification.cpp.o"
+  "CMakeFiles/voter_classification.dir/voter_classification.cpp.o.d"
+  "voter_classification"
+  "voter_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voter_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

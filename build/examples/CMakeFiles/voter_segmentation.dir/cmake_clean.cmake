@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voter_segmentation.dir/voter_segmentation.cpp.o"
+  "CMakeFiles/voter_segmentation.dir/voter_segmentation.cpp.o.d"
+  "voter_segmentation"
+  "voter_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voter_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

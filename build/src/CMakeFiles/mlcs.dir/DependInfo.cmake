@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/client.cc" "src/CMakeFiles/mlcs.dir/client/client.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/client/client.cc.o.d"
+  "/root/repo/src/client/net_util.cc" "src/CMakeFiles/mlcs.dir/client/net_util.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/client/net_util.cc.o.d"
+  "/root/repo/src/client/protocol.cc" "src/CMakeFiles/mlcs.dir/client/protocol.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/client/protocol.cc.o.d"
+  "/root/repo/src/client/server.cc" "src/CMakeFiles/mlcs.dir/client/server.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/client/server.cc.o.d"
+  "/root/repo/src/client/sqlite_like.cc" "src/CMakeFiles/mlcs.dir/client/sqlite_like.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/client/sqlite_like.cc.o.d"
+  "/root/repo/src/common/byte_buffer.cc" "src/CMakeFiles/mlcs.dir/common/byte_buffer.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/common/byte_buffer.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/mlcs.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mlcs.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/mlcs.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/mlcs.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/dataframe/dataframe.cc" "src/CMakeFiles/mlcs.dir/dataframe/dataframe.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/dataframe/dataframe.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/mlcs.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/mlcs.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/filter.cc" "src/CMakeFiles/mlcs.dir/exec/filter.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/exec/filter.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/mlcs.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/kernels.cc" "src/CMakeFiles/mlcs.dir/exec/kernels.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/exec/kernels.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/mlcs.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/exec/sort.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/mlcs.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/h5b.cc" "src/CMakeFiles/mlcs.dir/io/h5b.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/io/h5b.cc.o.d"
+  "/root/repo/src/io/npy.cc" "src/CMakeFiles/mlcs.dir/io/npy.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/io/npy.cc.o.d"
+  "/root/repo/src/io/voter_gen.cc" "src/CMakeFiles/mlcs.dir/io/voter_gen.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/io/voter_gen.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/mlcs.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/CMakeFiles/mlcs.dir/ml/kmeans.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/ml/kmeans.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/CMakeFiles/mlcs.dir/ml/knn.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/ml/knn.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/mlcs.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/CMakeFiles/mlcs.dir/ml/matrix.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/ml/matrix.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/mlcs.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/model_common.cc" "src/CMakeFiles/mlcs.dir/ml/model_common.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/ml/model_common.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/mlcs.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/pickle.cc" "src/CMakeFiles/mlcs.dir/ml/pickle.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/ml/pickle.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/mlcs.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/split.cc" "src/CMakeFiles/mlcs.dir/ml/split.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/ml/split.cc.o.d"
+  "/root/repo/src/modelstore/ensemble.cc" "src/CMakeFiles/mlcs.dir/modelstore/ensemble.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/modelstore/ensemble.cc.o.d"
+  "/root/repo/src/modelstore/model_cache.cc" "src/CMakeFiles/mlcs.dir/modelstore/model_cache.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/modelstore/model_cache.cc.o.d"
+  "/root/repo/src/modelstore/model_store.cc" "src/CMakeFiles/mlcs.dir/modelstore/model_store.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/modelstore/model_store.cc.o.d"
+  "/root/repo/src/pipeline/voter_pipeline.cc" "src/CMakeFiles/mlcs.dir/pipeline/voter_pipeline.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/pipeline/voter_pipeline.cc.o.d"
+  "/root/repo/src/sql/database.cc" "src/CMakeFiles/mlcs.dir/sql/database.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/sql/database.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/CMakeFiles/mlcs.dir/sql/executor.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/sql/executor.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/mlcs.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/mlcs.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/mlcs.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/mlcs.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/mlcs.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/table_io.cc" "src/CMakeFiles/mlcs.dir/storage/table_io.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/storage/table_io.cc.o.d"
+  "/root/repo/src/types/data_type.cc" "src/CMakeFiles/mlcs.dir/types/data_type.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/types/data_type.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/mlcs.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/mlcs.dir/types/value.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/types/value.cc.o.d"
+  "/root/repo/src/udf/parallel.cc" "src/CMakeFiles/mlcs.dir/udf/parallel.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/udf/parallel.cc.o.d"
+  "/root/repo/src/udf/udf.cc" "src/CMakeFiles/mlcs.dir/udf/udf.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/udf/udf.cc.o.d"
+  "/root/repo/src/vscript/vs_builtins.cc" "src/CMakeFiles/mlcs.dir/vscript/vs_builtins.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/vscript/vs_builtins.cc.o.d"
+  "/root/repo/src/vscript/vs_interpreter.cc" "src/CMakeFiles/mlcs.dir/vscript/vs_interpreter.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/vscript/vs_interpreter.cc.o.d"
+  "/root/repo/src/vscript/vs_lexer.cc" "src/CMakeFiles/mlcs.dir/vscript/vs_lexer.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/vscript/vs_lexer.cc.o.d"
+  "/root/repo/src/vscript/vs_parser.cc" "src/CMakeFiles/mlcs.dir/vscript/vs_parser.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/vscript/vs_parser.cc.o.d"
+  "/root/repo/src/vscript/vs_value.cc" "src/CMakeFiles/mlcs.dir/vscript/vs_value.cc.o" "gcc" "src/CMakeFiles/mlcs.dir/vscript/vs_value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

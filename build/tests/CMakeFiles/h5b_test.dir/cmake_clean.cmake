@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h5b_test.dir/h5b_test.cc.o"
+  "CMakeFiles/h5b_test.dir/h5b_test.cc.o.d"
+  "h5b_test"
+  "h5b_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h5b_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

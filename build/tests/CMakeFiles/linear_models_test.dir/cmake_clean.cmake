@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_models_test.dir/linear_models_test.cc.o"
+  "CMakeFiles/linear_models_test.dir/linear_models_test.cc.o.d"
+  "linear_models_test"
+  "linear_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

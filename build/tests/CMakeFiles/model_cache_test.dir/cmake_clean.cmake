@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_cache_test.dir/model_cache_test.cc.o"
+  "CMakeFiles/model_cache_test.dir/model_cache_test.cc.o.d"
+  "model_cache_test"
+  "model_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npy_test.dir/npy_test.cc.o"
+  "CMakeFiles/npy_test.dir/npy_test.cc.o.d"
+  "npy_test"
+  "npy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_udf_test.dir/parallel_udf_test.cc.o"
+  "CMakeFiles/parallel_udf_test.dir/parallel_udf_test.cc.o.d"
+  "parallel_udf_test"
+  "parallel_udf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_udf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pickle_test.dir/pickle_test.cc.o"
+  "CMakeFiles/pickle_test.dir/pickle_test.cc.o.d"
+  "pickle_test"
+  "pickle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pickle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

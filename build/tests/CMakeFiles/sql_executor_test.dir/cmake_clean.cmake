@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_executor_test.dir/sql_executor_test.cc.o"
+  "CMakeFiles/sql_executor_test.dir/sql_executor_test.cc.o.d"
+  "sql_executor_test"
+  "sql_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

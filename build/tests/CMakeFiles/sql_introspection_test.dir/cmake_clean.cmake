@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_introspection_test.dir/sql_introspection_test.cc.o"
+  "CMakeFiles/sql_introspection_test.dir/sql_introspection_test.cc.o.d"
+  "sql_introspection_test"
+  "sql_introspection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_introspection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_listings_test.dir/sql_listings_test.cc.o"
+  "CMakeFiles/sql_listings_test.dir/sql_listings_test.cc.o.d"
+  "sql_listings_test"
+  "sql_listings_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_listings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlite_like_test.dir/sqlite_like_test.cc.o"
+  "CMakeFiles/sqlite_like_test.dir/sqlite_like_test.cc.o.d"
+  "sqlite_like_test"
+  "sqlite_like_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlite_like_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

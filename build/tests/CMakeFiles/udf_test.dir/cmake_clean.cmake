@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udf_test.dir/udf_test.cc.o"
+  "CMakeFiles/udf_test.dir/udf_test.cc.o.d"
+  "udf_test"
+  "udf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

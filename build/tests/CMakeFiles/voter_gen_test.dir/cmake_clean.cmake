@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voter_gen_test.dir/voter_gen_test.cc.o"
+  "CMakeFiles/voter_gen_test.dir/voter_gen_test.cc.o.d"
+  "voter_gen_test"
+  "voter_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voter_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vscript_builtins_test.dir/vscript_builtins_test.cc.o"
+  "CMakeFiles/vscript_builtins_test.dir/vscript_builtins_test.cc.o.d"
+  "vscript_builtins_test"
+  "vscript_builtins_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vscript_builtins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vscript_test.dir/vscript_test.cc.o"
+  "CMakeFiles/vscript_test.dir/vscript_test.cc.o.d"
+  "vscript_test"
+  "vscript_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vscript_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
