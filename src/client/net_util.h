@@ -6,10 +6,10 @@
 namespace mlcs::client::net {
 
 /// Reads exactly `size` bytes; false on EOF/error.
-bool ReadExact(int fd, void* buffer, size_t size);
+[[nodiscard]] bool ReadExact(int fd, void* buffer, size_t size);
 
 /// Writes all `size` bytes; false on error.
-bool WriteAll(int fd, const void* buffer, size_t size);
+[[nodiscard]] bool WriteAll(int fd, const void* buffer, size_t size);
 
 }  // namespace mlcs::client::net
 

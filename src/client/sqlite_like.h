@@ -21,7 +21,7 @@ class RowCursor {
   Status Prepare(Database* db, const std::string& sql);
 
   /// Advances; false once past the last row.
-  bool Step();
+  [[nodiscard]] bool Step();
 
   size_t num_columns() const;
   const Schema& schema() const { return result_->schema(); }

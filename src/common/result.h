@@ -12,8 +12,12 @@ namespace mlcs {
 /// Result<T> holds either a value of type T or an error Status.
 /// The usual access pattern is via MLCS_ASSIGN_OR_RETURN, or explicit
 /// `if (!r.ok()) ...; use(r.ValueOrDie());`.
+///
+/// Like Status, the class is [[nodiscard]]: ignoring a returned Result<T>
+/// silently drops both the value and any error, so it is a compile error
+/// under -Werror.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value: `return my_table;`.
   Result(T value) : value_(std::move(value)) {}
@@ -26,25 +30,25 @@ class Result {
     }
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Returns the contained value. Must only be called when ok().
-  const T& ValueOrDie() const& {
+  [[nodiscard]] const T& ValueOrDie() const& {
     if (!ok()) std::abort();
     return *value_;
   }
-  T& ValueOrDie() & {
+  [[nodiscard]] T& ValueOrDie() & {
     if (!ok()) std::abort();
     return *value_;
   }
-  T&& ValueOrDie() && {
+  [[nodiscard]] T&& ValueOrDie() && {
     if (!ok()) std::abort();
     return std::move(*value_);
   }
 
   /// Returns the value or `fallback` when this holds an error.
-  T ValueOr(T fallback) const {
+  [[nodiscard]] T ValueOr(T fallback) const {
     return ok() ? *value_ : std::move(fallback);
   }
 

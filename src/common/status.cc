@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace mlcs {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -39,5 +42,17 @@ std::string Status::ToString() const {
   }
   return out;
 }
+
+namespace internal {
+
+void AbortOnBadStatus(const Status& status, const char* expr,
+                      const char* file, int line) {
+  std::fprintf(stderr, "%s:%d: MLCS_CHECK_OK(%s) failed: %s\n", file, line,
+               expr, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 }  // namespace mlcs

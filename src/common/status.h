@@ -28,7 +28,11 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A Status carries either success (ok) or an error code plus message.
 /// Cheap to copy in the OK case (empty message string).
-class Status {
+///
+/// The class itself is [[nodiscard]]: any function returning a Status by
+/// value must have its result checked (or explicitly handled) at every
+/// call site — dropping an error is a compile error under -Werror.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -66,14 +70,14 @@ class Status {
     return Status(StatusCode::kNetworkError, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "<code name>: <message>", or "OK".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
-  bool operator==(const Status& other) const {
+  [[nodiscard]] bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
   }
 
@@ -82,7 +86,25 @@ class Status {
   std::string message_;
 };
 
+namespace internal {
+/// Prints `status` with the failing expression and location, then aborts.
+/// Out-of-line so the macro below stays cheap at every call site.
+[[noreturn]] void AbortOnBadStatus(const Status& status, const char* expr,
+                                   const char* file, int line);
+}  // namespace internal
+
 }  // namespace mlcs
+
+/// Asserts that `expr` yields an OK Status, aborting with the error text
+/// otherwise. For call sites (main(), tests, benchmarks) where propagation
+/// is impossible and failure is a programming error.
+#define MLCS_CHECK_OK(expr)                                                 \
+  do {                                                                      \
+    ::mlcs::Status _st = (expr);                                            \
+    if (!_st.ok()) {                                                        \
+      ::mlcs::internal::AbortOnBadStatus(_st, #expr, __FILE__, __LINE__);   \
+    }                                                                       \
+  } while (0)
 
 /// Propagates a non-OK Status to the caller.
 #define MLCS_RETURN_IF_ERROR(expr)                \

@@ -25,10 +25,10 @@ std::string JoinStrings(const std::vector<std::string>& parts,
                         std::string_view sep);
 
 /// Case-insensitive ASCII equality (SQL keywords, type names).
-bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+[[nodiscard]] bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
-bool StartsWith(std::string_view s, std::string_view prefix);
-bool EndsWith(std::string_view s, std::string_view suffix);
+[[nodiscard]] bool StartsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool EndsWith(std::string_view s, std::string_view suffix);
 
 /// Strict numeric parsing built on std::from_chars: the whole (trimmed)
 /// string must be consumed, otherwise kParseError.

@@ -52,14 +52,16 @@ inline constexpr uint64_t kHashSeed = 0x9E3779B97F4A7C15ULL;
 
 /// Compares the same logical cell across two columns (used to resolve hash
 /// collisions in join/group-by). Types must match physically.
-bool CellEquals(const Column& a, size_t ai, const Column& b, size_t bi);
+[[nodiscard]] bool CellEquals(const Column& a, size_t ai, const Column& b,
+                              size_t bi);
 
 /// Three-way comparison of two cells in columns of the same type.
 /// NULLs sort first; returns <0, 0, >0.
 int CellCompare(const Column& a, size_t ai, const Column& b, size_t bi);
 
 /// Gather allowing -1 indices, which become NULL rows (left-join padding).
-ColumnPtr TakeOrNull(const Column& column, const std::vector<int64_t>& idx);
+[[nodiscard]] ColumnPtr TakeOrNull(const Column& column,
+                                   const std::vector<int64_t>& idx);
 
 }  // namespace mlcs::exec
 

@@ -59,7 +59,7 @@ class H5bChunkReader {
   const Schema& schema() const { return schema_; }
   uint64_t total_rows() const { return total_rows_; }
   uint64_t rows_read() const { return rows_read_; }
-  bool HasNext() const { return rows_read_ < total_rows_; }
+  [[nodiscard]] bool HasNext() const { return rows_read_ < total_rows_; }
 
   /// Reads and materializes the next chunk. Calling past the end errors.
   Result<TablePtr> NextChunk();

@@ -44,12 +44,13 @@ struct PipelineResult {
 
 /// Weighted-random "true" class label per voter: P(dem) = precinct dem
 /// share; deterministic in (voter_id, seed).
-ColumnPtr GenerateLabelColumn(const Column& voter_id, const Column& dem,
-                              const Column& rep, uint64_t seed);
+[[nodiscard]] ColumnPtr GenerateLabelColumn(const Column& voter_id,
+                                            const Column& dem,
+                                            const Column& rep, uint64_t seed);
 
 /// Train/test split mask, deterministic in (voter_id, seed).
-ColumnPtr SplitMaskColumn(const Column& voter_id, uint64_t seed,
-                          double train_fraction);
+[[nodiscard]] ColumnPtr SplitMaskColumn(const Column& voter_id, uint64_t seed,
+                                        double train_fraction);
 
 /// Registers the pipeline's native vectorized UDFs on a database:
 ///   gen_label(voter_id, dem, rep, seed)              → INTEGER

@@ -23,7 +23,7 @@ class Catalog {
                      bool or_replace = false);
   Result<TablePtr> GetTable(const std::string& name) const;
   Status DropTable(const std::string& name, bool if_exists = false);
-  bool HasTable(const std::string& name) const;
+  [[nodiscard]] bool HasTable(const std::string& name) const;
   std::vector<std::string> ListTables() const;
 
  private:

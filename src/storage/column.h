@@ -54,7 +54,7 @@ class Column {
   /// it empty so the common all-valid path costs nothing.
   bool has_nulls() const { return null_count_ > 0; }
   size_t null_count() const { return null_count_; }
-  bool IsNull(size_t row) const {
+  [[nodiscard]] bool IsNull(size_t row) const {
     return !validity_.empty() && validity_[row] == 0;
   }
   void SetNull(size_t row);
@@ -116,13 +116,13 @@ class Column {
   /// Element-wise cast; NULLs are preserved.
   Result<ColumnPtr> CastTo(TypeId target) const;
   /// Gather: out[i] = this[indices[i]].
-  ColumnPtr Take(const std::vector<uint32_t>& indices) const;
+  [[nodiscard]] ColumnPtr Take(const std::vector<uint32_t>& indices) const;
   /// Contiguous sub-range copy.
-  ColumnPtr Slice(size_t offset, size_t length) const;
+  [[nodiscard]] ColumnPtr Slice(size_t offset, size_t length) const;
   /// Numeric column as doubles (ML ingestion). NULLs become NaN.
   Result<std::vector<double>> ToDoubleVector() const;
 
-  bool Equals(const Column& other) const;
+  [[nodiscard]] bool Equals(const Column& other) const;
 
   void Serialize(ByteWriter* writer) const;
   static Result<ColumnPtr> Deserialize(ByteReader* reader);

@@ -54,13 +54,13 @@ class Table {
   Result<Value> GetValue(size_t row, size_t col) const;
 
   /// New table with only the given column indices (shares column buffers).
-  TablePtr Project(const std::vector<size_t>& column_indices) const;
+  [[nodiscard]] TablePtr Project(const std::vector<size_t>& column_indices) const;
   /// New table with rows gathered by index (applies Take per column).
-  TablePtr TakeRows(const std::vector<uint32_t>& indices) const;
+  [[nodiscard]] TablePtr TakeRows(const std::vector<uint32_t>& indices) const;
   /// Contiguous row range copy.
-  TablePtr SliceRows(size_t offset, size_t length) const;
+  [[nodiscard]] TablePtr SliceRows(size_t offset, size_t length) const;
 
-  bool Equals(const Table& other) const;
+  [[nodiscard]] bool Equals(const Table& other) const;
 
   /// Pretty-printer for tests/examples: header + up to `max_rows` rows.
   std::string ToString(size_t max_rows = 20) const;

@@ -29,7 +29,7 @@ const char* TypeIdToString(TypeId type);
 Result<TypeId> TypeIdFromString(std::string_view name);
 
 /// True for BOOL/INT32/INT64/DOUBLE.
-bool IsNumericType(TypeId type);
+[[nodiscard]] bool IsNumericType(TypeId type);
 
 /// Width in bytes of the fixed-size physical representation; 0 for
 /// variable-length types (VARCHAR, BLOB).

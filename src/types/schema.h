@@ -36,7 +36,7 @@ class Schema {
   }
 
   /// Case-insensitive lookup; nullopt if absent.
-  std::optional<size_t> FieldIndex(std::string_view name) const;
+  [[nodiscard]] std::optional<size_t> FieldIndex(std::string_view name) const;
   /// Lookup that errors with the available field names on a miss.
   Result<size_t> RequireFieldIndex(std::string_view name) const;
 

@@ -75,8 +75,8 @@ class UdfRegistry {
       const std::string& name) const;
   Result<std::shared_ptr<const TableUdfEntry>> GetTable(
       const std::string& name) const;
-  bool HasScalar(const std::string& name) const;
-  bool HasTable(const std::string& name) const;
+  [[nodiscard]] bool HasScalar(const std::string& name) const;
+  [[nodiscard]] bool HasTable(const std::string& name) const;
   std::vector<std::string> ListScalar() const;
   std::vector<std::string> ListTable() const;
   Status Drop(const std::string& name, bool if_exists = false);

@@ -39,7 +39,7 @@ Result<ScriptValue> CallBuiltin(const std::string& name,
                                 const std::vector<ScriptValue>& args);
 
 /// True if `name` is a known builtin (used for better error messages).
-bool IsBuiltin(const std::string& name);
+[[nodiscard]] bool IsBuiltin(const std::string& name);
 
 }  // namespace mlcs::vscript
 
