@@ -20,7 +20,9 @@ TablePtr& Fixture() {
   static TablePtr table = [] {
     Schema s;
     for (int c = 0; c < 8; ++c) {
-      s.AddField("c" + std::to_string(c), TypeId::kInt32);
+      std::string name = "c";
+      name += std::to_string(c);
+      s.AddField(std::move(name), TypeId::kInt32);
     }
     auto t = Table::Make(std::move(s));
     Rng rng(15);

@@ -61,7 +61,7 @@ Status EncodeRows(const Table& table, WireProtocol protocol, size_t begin,
         std::string text;
         switch (col.type()) {
           case TypeId::kBool:
-            text = col.bool_data()[r] != 0 ? "t" : "f";
+            text.assign(1, col.bool_data()[r] != 0 ? 't' : 'f');
             break;
           case TypeId::kInt32:
             text = std::to_string(col.i32_data()[r]);

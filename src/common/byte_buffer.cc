@@ -20,37 +20,37 @@ Result<uint8_t> ByteReader::ReadU8() {
 }
 
 Result<uint16_t> ByteReader::ReadU16() {
-  uint16_t v;
+  uint16_t v = 0;
   MLCS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
   return v;
 }
 
 Result<uint32_t> ByteReader::ReadU32() {
-  uint32_t v;
+  uint32_t v = 0;
   MLCS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
   return v;
 }
 
 Result<uint64_t> ByteReader::ReadU64() {
-  uint64_t v;
+  uint64_t v = 0;
   MLCS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
   return v;
 }
 
 Result<int32_t> ByteReader::ReadI32() {
-  int32_t v;
+  int32_t v = 0;
   MLCS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
   return v;
 }
 
 Result<int64_t> ByteReader::ReadI64() {
-  int64_t v;
+  int64_t v = 0;
   MLCS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
   return v;
 }
 
 Result<double> ByteReader::ReadDouble() {
-  double v;
+  double v = 0;
   MLCS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
   return v;
 }

@@ -36,8 +36,10 @@ class ByteWriter {
 
   /// Raw bytes with no length prefix.
   void WriteRaw(const void* data, size_t size) {
-    const uint8_t* p = static_cast<const uint8_t*>(data);
-    buffer_.insert(buffer_.end(), p, p + size);
+    if (size == 0) return;
+    size_t old_size = buffer_.size();
+    buffer_.resize(old_size + size);
+    std::memcpy(buffer_.data() + old_size, data, size);
   }
 
   /// Variable-length unsigned integer (LEB128); compact counts in formats.
@@ -77,7 +79,7 @@ class ByteReader {
 
   size_t position() const { return pos_; }
   size_t remaining() const { return size_ - pos_; }
-  bool AtEnd() const { return pos_ == size_; }
+  [[nodiscard]] bool AtEnd() const { return pos_ == size_; }
 
   Result<uint8_t> ReadU8();
   Result<uint16_t> ReadU16();

@@ -10,7 +10,7 @@ Result<ColumnPtr> ColumnRefExpr::Evaluate(const EvalContext& ctx) const {
   return ctx.input->ColumnByName(name_);
 }
 
-Result<ColumnPtr> LiteralExpr::Evaluate(const EvalContext& ctx) const {
+Result<ColumnPtr> LiteralExpr::Evaluate(const EvalContext& /*ctx*/) const {
   // Length-1 column; kernels broadcast it against full-length operands.
   return Column::Constant(value_, 1);
 }
@@ -22,8 +22,14 @@ Result<ColumnPtr> BinaryExpr::Evaluate(const EvalContext& ctx) const {
 }
 
 std::string BinaryExpr::ToString() const {
-  return "(" + left_->ToString() + " " + BinOpKindToString(op_) + " " +
-         right_->ToString() + ")";
+  std::string out = "(";
+  out += left_->ToString();
+  out += ' ';
+  out += BinOpKindToString(op_);
+  out += ' ';
+  out += right_->ToString();
+  out += ')';
+  return out;
 }
 
 Result<ColumnPtr> UnaryExpr::Evaluate(const EvalContext& ctx) const {

@@ -8,7 +8,7 @@
 namespace mlcs::io {
 
 double PrecinctDemShare(uint64_t seed, size_t precinct,
-                        size_t num_precincts) {
+                        size_t /*num_precincts*/) {
   // One gaussian draw per precinct, deterministic in (seed, precinct).
   Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (precinct + 1)));
   double share = 0.5 + 0.18 * rng.NextGaussian();

@@ -244,7 +244,7 @@ Status RegisterVoterUdfs(Database* db) {
   gen_label.return_type = TypeId::kInt32;
   gen_label.has_return_type = true;
   gen_label.fn = [](const std::vector<ColumnPtr>& args,
-                    size_t num_rows) -> Result<ColumnPtr> {
+                    size_t /*num_rows*/) -> Result<ColumnPtr> {
     if (args.size() != 4) {
       return Status::InvalidArgument("gen_label(voter_id, dem, rep, seed)");
     }
@@ -262,7 +262,7 @@ Status RegisterVoterUdfs(Database* db) {
   split_mask.return_type = TypeId::kBool;
   split_mask.has_return_type = true;
   split_mask.fn = [](const std::vector<ColumnPtr>& args,
-                     size_t num_rows) -> Result<ColumnPtr> {
+                     size_t /*num_rows*/) -> Result<ColumnPtr> {
     if (args.size() != 3) {
       return Status::InvalidArgument("split_mask(voter_id, seed, fraction)");
     }
@@ -318,7 +318,7 @@ Status RegisterVoterUdfs(Database* db) {
   predict.return_type = TypeId::kInt32;
   predict.has_return_type = true;
   predict.fn = [](const std::vector<ColumnPtr>& args,
-                  size_t num_rows) -> Result<ColumnPtr> {
+                  size_t /*num_rows*/) -> Result<ColumnPtr> {
     if (args.size() < 2) {
       return Status::InvalidArgument(
           "predict_voter_rf(classifier, features...)");
@@ -347,7 +347,7 @@ Status RegisterVoterUdfs(Database* db) {
   predict_cached.return_type = TypeId::kInt32;
   predict_cached.has_return_type = true;
   predict_cached.fn = [](const std::vector<ColumnPtr>& args,
-                         size_t num_rows) -> Result<ColumnPtr> {
+                         size_t /*num_rows*/) -> Result<ColumnPtr> {
     if (args.size() < 2) {
       return Status::InvalidArgument(
           "predict_voter_rf_cached(classifier, features...)");

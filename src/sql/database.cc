@@ -20,7 +20,7 @@ void RegisterNumericFn(udf::UdfRegistry* registry, const char* name,
   entry.has_return_type = true;
   entry.fn = [fn, name = std::string(name)](
                  const std::vector<ColumnPtr>& args,
-                 size_t num_rows) -> Result<ColumnPtr> {
+                 size_t /*num_rows*/) -> Result<ColumnPtr> {
     if (args.size() != 1) {
       return Status::InvalidArgument(name + " takes exactly one argument");
     }
@@ -47,7 +47,7 @@ void RegisterStringFn(udf::UdfRegistry* registry, const char* name,
   entry.has_return_type = true;
   entry.fn = [fn, out_type, name = std::string(name)](
                  const std::vector<ColumnPtr>& args,
-                 size_t num_rows) -> Result<ColumnPtr> {
+                 size_t /*num_rows*/) -> Result<ColumnPtr> {
     if (args.size() != 1) {
       return Status::InvalidArgument(name + " takes exactly one argument");
     }

@@ -942,7 +942,7 @@ Result<TablePtr> Executor::ExecuteCreateFunction(
     entry.return_type = stmt.scalar_type;
     entry.has_return_type = true;
     entry.fn = [program, params](const std::vector<ColumnPtr>& args,
-                                 size_t num_rows) -> Result<ColumnPtr> {
+                                 size_t /*num_rows*/) -> Result<ColumnPtr> {
       MLCS_ASSIGN_OR_RETURN(
           vscript::ScriptValue result,
           vscript::Execute(*program, BindArgs(*params, args)));

@@ -67,7 +67,7 @@ Result<ml::Matrix> FeaturesArg(const std::string& name,
   return ml::Matrix::FromColumns(cols);
 }
 
-Result<ml::Labels> LabelsArg(const std::string& name,
+Result<ml::Labels> LabelsArg(const std::string& /*name*/,
                              const std::vector<ScriptValue>& args,
                              size_t i) {
   MLCS_ASSIGN_OR_RETURN(ColumnPtr col, args[i].AsColumn());

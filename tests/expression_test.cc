@@ -98,7 +98,7 @@ TEST(ExpressionTest, FunctionCallDispatchesThroughContext) {
   EvalContext ctx{t.get(), nullptr};
   ctx.call_function = [](const std::string& name,
                          const std::vector<ColumnPtr>& args,
-                         size_t num_rows) -> Result<ColumnPtr> {
+                         size_t /*num_rows*/) -> Result<ColumnPtr> {
     EXPECT_EQ(name, "double_it");
     EXPECT_EQ(args.size(), 1u);
     return BinaryKernel(BinOpKind::kMul, *args[0],

@@ -44,8 +44,12 @@ TEST(HashJoinTest, InnerJoinMatchesAndDropsUnmatched) {
   for (size_t i = 0; i < out->num_rows(); ++i) {
     int32_t v = vid->i32_data()[i];
     int32_t d = dem->i32_data()[i];
-    if (v == 1 || v == 3) EXPECT_EQ(d, 100);
-    if (v == 2) EXPECT_EQ(d, 200);
+    if (v == 1 || v == 3) {
+      EXPECT_EQ(d, 100);
+    }
+    if (v == 2) {
+      EXPECT_EQ(d, 200);
+    }
   }
 }
 
@@ -57,7 +61,9 @@ TEST(HashJoinTest, LeftJoinPadsWithNulls) {
   auto vid = out->ColumnByName("voter_id").ValueOrDie();
   auto dem = out->ColumnByName("dem_votes").ValueOrDie();
   for (size_t i = 0; i < out->num_rows(); ++i) {
-    if (vid->i32_data()[i] == 4) EXPECT_TRUE(dem->IsNull(i));
+    if (vid->i32_data()[i] == 4) {
+      EXPECT_TRUE(dem->IsNull(i));
+    }
   }
 }
 

@@ -16,7 +16,7 @@ class ParallelUdfTest : public ::testing::Test {
     ScalarUdfEntry entry;
     entry.name = "affine";
     entry.fn = [this](const std::vector<ColumnPtr>& args,
-                      size_t num_rows) -> Result<ColumnPtr> {
+                      size_t /*num_rows*/) -> Result<ColumnPtr> {
       calls_.fetch_add(1);
       MLCS_ASSIGN_OR_RETURN(
           ColumnPtr doubled,

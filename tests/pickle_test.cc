@@ -4,6 +4,7 @@
 
 #include "common/random.h"
 #include "ml/decision_tree.h"
+#include "ml/knn.h"
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
 #include "ml/random_forest.h"
@@ -48,6 +49,9 @@ TEST_P(PickleRoundTripTest, DumpsLoadsPreservesPredictions) {
     case ModelType::kNaiveBayes:
       model = std::make_shared<NaiveBayes>();
       break;
+    case ModelType::kKnn:
+      model = std::make_shared<Knn>();
+      break;
   }
   ASSERT_TRUE(model->Fit(x, y).ok());
 
@@ -66,7 +70,8 @@ INSTANTIATE_TEST_SUITE_P(AllModels, PickleRoundTripTest,
                          ::testing::Values(ModelType::kDecisionTree,
                                            ModelType::kRandomForest,
                                            ModelType::kLogisticRegression,
-                                           ModelType::kNaiveBayes));
+                                           ModelType::kNaiveBayes,
+                                           ModelType::kKnn));
 
 TEST(PickleTest, RejectsGarbage) {
   EXPECT_FALSE(pickle::Loads("not a model").ok());

@@ -15,7 +15,7 @@ ScalarUdfEntry DoubleItUdf() {
   entry.return_type = TypeId::kInt32;
   entry.has_return_type = true;
   entry.fn = [](const std::vector<ColumnPtr>& args,
-                size_t num_rows) -> Result<ColumnPtr> {
+                size_t /*num_rows*/) -> Result<ColumnPtr> {
     return exec::BinaryKernel(exec::BinOpKind::kMul, *args[0],
                               *Column::Constant(Value::Int32(2), 1));
   };
