@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that clang-tidy cannot express.
+
+Usage: tools/lint.py [PATH ...]
+  PATH defaults to `src/ tests/`. Directories are walked for .h/.cc files.
+
+Rules
+-----
+  naked-valueordie      `x.ValueOrDie()` must be dominated by an `x.ok()`
+                        (or `!x.ok()`) check in the same function, or come
+                        from MLCS_ASSIGN_OR_RETURN.
+  naked-mutex-lock      Direct `.lock()` / `.unlock()` / `.try_lock()` on a
+                        mutex member — use std::lock_guard / std::unique_lock
+                        (RAII) so an early return or exception cannot leave
+                        the mutex held.
+  include-guard         Headers under src/ use `#ifndef MLCS_<PATH>_H_`
+                        guards derived from their path (Google style), with
+                        a matching `#define` and trailing `#endif` comment.
+  include-hygiene       Repo headers are included as "subdir/file.h" —
+                        no "../" relative paths, no <angle> form for repo
+                        files, no <bits/...> internals.
+  using-namespace-std   `using namespace std;` is forbidden in headers.
+
+Exit status is 0 when clean, 1 when any violation is found.
+A line can opt out with a trailing `// lint:allow(<rule>)` comment.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+VALUEORDIE_RE = re.compile(
+    r"(?:std::move\(\s*(?P<m>[A-Za-z_]\w*)\s*\)|(?P<v>[A-Za-z_]\w*))"
+    r"\s*\.\s*ValueOrDie\s*\(")
+MUTEX_CALL_RE = re.compile(
+    r"\b(?P<recv>[A-Za-z_]\w*(?:mutex|mtx|Mutex)\w*)\s*\.\s*"
+    r"(?P<op>lock|unlock|try_lock)\s*\(")
+FUNC_TOP_RE = re.compile(r"^\}")  # closing brace at column 0 ends a function
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(?P<form>["<])(?P<path>[^">]+)[">]')
+ALLOW_RE = re.compile(r"//\s*lint:allow\((?P<rules>[\w,\- ]+)\)")
+
+violations = []
+
+
+def report(path, lineno, rule, msg):
+    violations.append(f"{path}:{lineno}: [{rule}] {msg}")
+
+
+def allowed(line, rule):
+    m = ALLOW_RE.search(line)
+    if not m:
+        return False
+    rules = {r.strip() for r in m.group("rules").split(",")}
+    return rule in rules
+
+
+def strip_comments_and_strings(line):
+    """Best-effort removal of string literals and // comments."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//")[0]
+
+
+def check_valueordie(path, lines):
+    """Each ValueOrDie() needs a dominating ok() check on the same variable
+    earlier in the same function (function boundary ~= closing brace at
+    column 0, or a `}` line at the receiver's declaration depth)."""
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        for m in VALUEORDIE_RE.finditer(line):
+            var = m.group("m") or m.group("v")
+            if allowed(raw, "naked-valueordie"):
+                continue
+            # MLCS_ASSIGN_OR_RETURN expands to a checked ValueOrDie; the
+            # macro body in status.h is the one legitimate naked use.
+            if "MLCS_CONCAT" in line or "#define" in line:
+                continue
+            ok_re = re.compile(r"\b" + re.escape(var) + r"\s*(?:\.|->)\s*ok\s*\(")
+            status_re = re.compile(
+                r"\b(?:MLCS_CHECK_OK|ASSERT_TRUE|EXPECT_TRUE|MLCS_RETURN_IF_ERROR)\s*\(\s*"
+                + re.escape(var))
+            found = False
+            for j in range(i, max(-1, i - 200), -1):
+                prev = strip_comments_and_strings(lines[j])
+                if j < i and FUNC_TOP_RE.match(lines[j]):
+                    break  # left the enclosing function
+                if ok_re.search(prev) or status_re.search(prev):
+                    found = True
+                    break
+            if not found:
+                report(path, i + 1, "naked-valueordie",
+                       f"`{var}.ValueOrDie()` without a dominating "
+                       f"`{var}.ok()` check in the same function")
+
+
+def check_mutex_calls(path, lines):
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        m = MUTEX_CALL_RE.search(line)
+        if not m:
+            continue
+        if allowed(raw, "naked-mutex-lock"):
+            continue
+        report(path, i + 1, "naked-mutex-lock",
+               f"direct `.{m.group('op')}()` on `{m.group('recv')}`; use "
+               "std::lock_guard or std::unique_lock instead")
+
+
+def expected_guard(relpath):
+    # src/common/status.h -> MLCS_COMMON_STATUS_H_
+    parts = relpath.split(os.sep)
+    if parts[0] == "src":
+        parts = parts[1:]
+    token = "_".join(p.upper().replace(".", "_").replace("-", "_")
+                     for p in parts)
+    return f"MLCS_{token}_"
+
+
+def check_include_guard(path, relpath, lines):
+    if not relpath.startswith("src") or not relpath.endswith(".h"):
+        return
+    guard = expected_guard(relpath)
+    text = "".join(lines)
+    ifndef_m = re.search(r"^#ifndef\s+(\S+)", text, re.M)
+    if not ifndef_m:
+        report(path, 1, "include-guard", f"missing `#ifndef {guard}` guard")
+        return
+    if ifndef_m.group(1) != guard:
+        report(path, 1, "include-guard",
+               f"guard `{ifndef_m.group(1)}` should be `{guard}`")
+        return
+    if not re.search(r"^#define\s+" + re.escape(guard) + r"\s*$", text, re.M):
+        report(path, 1, "include-guard", f"missing `#define {guard}`")
+    if not re.search(r"^#endif\s*//\s*" + re.escape(guard), text, re.M):
+        report(path, len(lines), "include-guard",
+               f"missing `#endif  // {guard}` trailer")
+
+
+def repo_headers():
+    out = set()
+    src = os.path.join(REPO_ROOT, "src")
+    for dirpath, _dirs, files in os.walk(src):
+        for f in files:
+            if f.endswith(".h"):
+                rel = os.path.relpath(os.path.join(dirpath, f), src)
+                out.add(rel.replace(os.sep, "/"))
+    return out
+
+
+def check_includes(path, lines, headers):
+    for i, raw in enumerate(lines):
+        m = INCLUDE_RE.match(raw)
+        if not m:
+            continue
+        if allowed(raw, "include-hygiene"):
+            continue
+        inc = m.group("path")
+        if inc.startswith("bits/"):
+            report(path, i + 1, "include-hygiene",
+                   f"<{inc}> is a libstdc++ internal; include the public "
+                   "header instead")
+            continue
+        if "../" in inc:
+            report(path, i + 1, "include-hygiene",
+                   f'"{inc}" uses a relative path; include repo headers as '
+                   '"subdir/file.h" from the src/ root')
+            continue
+        if m.group("form") == "<" and inc in headers:
+            report(path, i + 1, "include-hygiene",
+                   f"repo header <{inc}> must use the quoted form")
+        elif m.group("form") == '"' and inc not in headers:
+            report(path, i + 1, "include-hygiene",
+                   f'"{inc}" does not resolve from the src/ root '
+                   "(quoted includes are reserved for repo headers)")
+
+
+def check_using_namespace(path, relpath, lines):
+    if not relpath.endswith(".h"):
+        return
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        if re.search(r"\busing\s+namespace\s+std\b", line):
+            if allowed(raw, "using-namespace-std"):
+                continue
+            report(path, i + 1, "using-namespace-std",
+                   "`using namespace std;` in a header pollutes every "
+                   "includer")
+
+
+def lint_file(path, headers):
+    relpath = os.path.relpath(path, REPO_ROOT)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.readlines()
+    except OSError as e:
+        report(path, 0, "io", str(e))
+        return
+    check_valueordie(path, lines)
+    check_mutex_calls(path, lines)
+    check_include_guard(path, relpath, lines)
+    check_includes(path, lines, headers)
+    check_using_namespace(path, relpath, lines)
+
+
+def collect(paths):
+    for p in paths:
+        if os.path.isdir(p):
+            for dirpath, dirs, files in os.walk(p):
+                dirs[:] = [d for d in dirs
+                           if not d.startswith("build") and d != ".git"]
+                for f in sorted(files):
+                    if f.endswith((".h", ".cc", ".cpp")):
+                        yield os.path.join(dirpath, f)
+        elif os.path.isfile(p):
+            yield p
+        else:
+            print(f"lint.py: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+
+
+def main(argv):
+    paths = argv[1:] or [os.path.join(REPO_ROOT, "src"),
+                         os.path.join(REPO_ROOT, "tests")]
+    headers = repo_headers()
+    count = 0
+    for path in collect(paths):
+        lint_file(path, headers)
+        count += 1
+    if violations:
+        print("\n".join(violations))
+        print(f"\nlint.py: {len(violations)} violation(s) in {count} files")
+        return 1
+    print(f"lint.py: OK ({count} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
