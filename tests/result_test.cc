@@ -1,0 +1,125 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlcs {
+namespace {
+
+Result<std::string> MakeString(bool ok) {
+  if (!ok) return Status::NotFound("no string for you");
+  return std::string("payload");
+}
+
+TEST(ResultTest, OkCarriesValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, ErrorCarriesStatus) {
+  Result<int> r = Status::IoError("disk on fire");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(r.status().message(), "disk on fire");
+}
+
+TEST(ResultTest, CopyPreservesValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  Result<std::vector<int>> copy = r;
+  ASSERT_TRUE(copy.ok());
+  ASSERT_TRUE(r.ok());  // source untouched by the copy
+  EXPECT_EQ(copy.ValueOrDie(), r.ValueOrDie());
+}
+
+TEST(ResultTest, CopyPreservesError) {
+  Result<int> r = Status::Internal("boom");
+  Result<int> copy = r;
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.status(), r.status());
+}
+
+TEST(ResultTest, MoveTransfersValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  Result<std::unique_ptr<int>> moved = std::move(r);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved.ValueOrDie(), 9);
+}
+
+TEST(ResultTest, RvalueValueOrDieMovesOut) {
+  auto r = MakeString(true);
+  ASSERT_TRUE(r.ok());
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, MutableValueOrDieAllowsInPlaceEdit) {
+  Result<std::string> r = std::string("abc");
+  ASSERT_TRUE(r.ok());
+  r.ValueOrDie() += "def";
+  EXPECT_EQ(r.ValueOrDie(), "abcdef");
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  EXPECT_EQ(MakeString(true).ValueOr("fallback"), "payload");
+  EXPECT_EQ(MakeString(false).ValueOr("fallback"), "fallback");
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_DEATH((void)r.ValueOrDie(), "");  // lint:allow(naked-valueordie)
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  // A Result without a value must carry an error; OK is a programming bug.
+  EXPECT_DEATH(Result<int>{Status::OK()}, "");
+}
+
+TEST(ResultDeathTest, CheckOkAbortsWithLocationAndMessage) {
+  EXPECT_DEATH(MLCS_CHECK_OK(Status::IoError("flaky disk")),
+               "MLCS_CHECK_OK.*IO error: flaky disk");
+}
+
+TEST(ResultTest, CheckOkPassesThroughOk) {
+  MLCS_CHECK_OK(Status::OK());  // must not abort
+}
+
+Result<int> Double(Result<int> in) {
+  MLCS_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto bad = Double(Status::ParseError("not a number"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+  auto good = Double(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.ValueOrDie(), 42);
+}
+
+Status FailWhen(bool fail) {
+  if (fail) return Status::OutOfRange("past the end");
+  return Status::OK();
+}
+
+Status Propagate(bool fail) {
+  MLCS_RETURN_IF_ERROR(FailWhen(fail));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Propagate(false).ok());
+  EXPECT_EQ(Propagate(true).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace mlcs
