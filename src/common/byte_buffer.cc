@@ -83,8 +83,12 @@ Result<uint64_t> ByteReader::ReadVarint() {
 
 Status ByteReader::ReadRaw(void* out, size_t size) {
   if (remaining() < size) return Truncated("raw bytes");
-  std::memcpy(out, data_ + pos_, size);
-  pos_ += size;
+  // `out` may be null for a zero-length read (e.g. an empty column's
+  // data pointer); memcpy's arguments must be non-null even then.
+  if (size > 0) {
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
   return Status::OK();
 }
 
