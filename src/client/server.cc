@@ -52,11 +52,13 @@ Status TableServer::Start(uint16_t port) {
 
 void TableServer::Stop() {
   if (!running_.exchange(false)) return;
+  // Claim the fd atomically: AcceptLoop reads listen_fd_ concurrently, so
+  // the swap (not a plain write) is what makes the close race-free.
   // Closing the listen socket unblocks accept().
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   for (auto& t : connection_threads_) {

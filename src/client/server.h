@@ -37,7 +37,7 @@ class TableServer {
   void ServeConnection(int fd);
 
   Database* db_;
-  int listen_fd_ = -1;
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
