@@ -3,6 +3,8 @@
 /// shape scaled down), and hash group-by.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "common/random.h"
 #include "exec/aggregate.h"
 #include "exec/filter.h"
@@ -107,4 +109,4 @@ BENCHMARK(BM_HashGroupBy);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MLCS_BENCH_MAIN(ablation_kernels)

@@ -11,6 +11,8 @@
 /// grows with model size and shrinks with batch size.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "common/random.h"
 #include "ml/pickle.h"
 #include "ml/random_forest.h"
@@ -170,4 +172,4 @@ BENCHMARK(BM_SqlPredictCached);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MLCS_BENCH_MAIN(ablation_model_serialization)

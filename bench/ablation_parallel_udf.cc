@@ -8,6 +8,8 @@
 /// multi-core host the same binary shows near-linear scaling.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <cmath>
 
 #include "udf/parallel.h"
@@ -60,4 +62,4 @@ BENCHMARK(BM_ParallelUdfChunks)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MLCS_BENCH_MAIN(ablation_parallel_udf)

@@ -7,6 +7,8 @@
 /// in-database path pays instead (sharing column pointers).
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "client/protocol.h"
 #include "client/sqlite_like.h"
 #include "common/random.h"
@@ -83,6 +85,32 @@ void BM_TransferMyBinary(benchmark::State& state) {
   state.counters["wire_bytes"] = static_cast<double>(bytes);
 }
 
+/// The columnar block protocol: contiguous per-column runs, memcpy fast
+/// path on both ends for this all-valid fixed-width table.
+void BM_TransferColumnar(benchmark::State& state) {
+  auto& t = Fixture();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    ByteWriter out;
+    client::EncodeHeader(t->schema(), &out);
+    if (!client::EncodeRows(*t, client::WireProtocol::kColumnar, 0,
+                            t->num_rows(), &out)
+             .ok()) {
+      state.SkipWithError("encode failed");
+    }
+    client::EncodeEnd(&out);
+    bytes = out.size();
+    ByteReader in(out.data());
+    auto back =
+        client::DecodeResultSet(&in, client::WireProtocol::kColumnar);
+    if (!back.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t->num_rows()));
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+
 /// SQLite-style per-cell boxing, no serialization.
 void BM_TransferRowCursor(benchmark::State& state) {
   static Database* db = [] {
@@ -116,9 +144,10 @@ void BM_TransferZeroCopyColumns(benchmark::State& state) {
 
 BENCHMARK(BM_TransferPgText);
 BENCHMARK(BM_TransferMyBinary);
+BENCHMARK(BM_TransferColumnar);
 BENCHMARK(BM_TransferRowCursor);
 BENCHMARK(BM_TransferZeroCopyColumns);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MLCS_BENCH_MAIN(ablation_protocols)

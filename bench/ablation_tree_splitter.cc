@@ -5,6 +5,8 @@
 /// speed/quality trade is visible in one table.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "common/random.h"
 #include "ml/decision_tree.h"
 #include "ml/metrics.h"
@@ -74,4 +76,4 @@ BENCHMARK(BM_ExactSplitter);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MLCS_BENCH_MAIN(ablation_tree_splitter)

@@ -7,6 +7,8 @@
 /// against). The gap is the per-row boundary-crossing cost.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "exec/kernels.h"
 #include "udf/udf.h"
 #include "vscript/vs_interpreter.h"
@@ -145,4 +147,4 @@ BENCHMARK(BM_VScriptPerRow)->Range(1 << 10, 1 << 18);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MLCS_BENCH_MAIN(ablation_udf_vectorization)

@@ -1,0 +1,64 @@
+#ifndef MLCS_BENCH_BENCH_MAIN_H_
+#define MLCS_BENCH_BENCH_MAIN_H_
+
+// Shared main() for the google-benchmark ablation binaries. Replaces
+// BENCHMARK_MAIN() so every bench:
+//
+//  - writes machine-readable results to BENCH_<name>.json in the working
+//    directory (google-benchmark's own JSONReporter format) alongside the
+//    usual human-readable console table, and
+//  - honors MLCS_BENCH_MIN_TIME (seconds, e.g. "0.01"), letting
+//    scripts/check.sh --bench-smoke run every binary at tiny scale without
+//    per-binary flag plumbing.
+//
+// Usage, at the bottom of the bench .cc file:
+//   MLCS_BENCH_MAIN(ablation_protocols)
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace mlcs::bench {
+
+inline int RunBenchmarks(const char* bench_name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  // Inject env/default flags unless the caller passed their own.
+  bool has_min_time = false;
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string a(argv[i]);
+    if (a.rfind("--benchmark_min_time", 0) == 0) has_min_time = true;
+    if (a.rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string min_time_flag;
+  const char* env_min_time = std::getenv("MLCS_BENCH_MIN_TIME");
+  if (env_min_time != nullptr && !has_min_time) {
+    min_time_flag = std::string("--benchmark_min_time=") + env_min_time;
+    args.push_back(min_time_flag.data());
+  }
+  std::string json_path = std::string("BENCH_") + bench_name + ".json";
+  std::string out_flag = "--benchmark_out=" + json_path;
+  std::string out_format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(out_format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::cout << "wrote " << json_path << "\n";
+  return ran == 0 ? 1 : 0;
+}
+
+}  // namespace mlcs::bench
+
+#define MLCS_BENCH_MAIN(name)                                       \
+  int main(int argc, char** argv) {                                 \
+    return ::mlcs::bench::RunBenchmarks(#name, argc, argv);         \
+  }
+
+#endif  // MLCS_BENCH_BENCH_MAIN_H_

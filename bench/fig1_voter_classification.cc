@@ -21,12 +21,14 @@
 #include <cstdlib>
 #include <string>
 #include <sys/stat.h>
+#include <vector>
 
 #include "client/server.h"
 #include "common/timer.h"
 #include "io/csv.h"
 #include "io/h5b.h"
 #include "io/npy.h"
+#include "json_util.h"
 #include "pipeline/voter_pipeline.h"
 
 namespace {
@@ -38,6 +40,7 @@ size_t EnvSize(const char* name, size_t fallback) {
 }
 
 size_t g_reps = 1;
+std::vector<mlcs::pipeline::PipelineResult> g_results;
 
 /// Runs a channel g_reps times and keeps the fastest run (min total) —
 /// standard practice to suppress scheduler noise on a busy host.
@@ -60,6 +63,38 @@ void PrintRow(const mlcs::pipeline::PipelineResult& r) {
               r.method.c_str(), r.load_wrangle_seconds, r.train_seconds,
               r.predict_seconds, r.total_seconds, r.precinct_share_mae);
   std::fflush(stdout);
+  g_results.push_back(r);
+}
+
+/// Machine-readable twin of the printed table, same schema for every
+/// bench binary: BENCH_<name>.json in the working directory.
+bool WriteJson(const mlcs::pipeline::PipelineConfig& config) {
+  mlcs::bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", "fig1_voter_classification");
+  json.Key("workload");
+  json.BeginObject();
+  json.Field("rows", config.data.num_voters);
+  json.Field("cols", config.data.num_columns);
+  json.Field("precincts", config.data.num_precincts);
+  json.Field("n_estimators", config.n_estimators);
+  json.Field("reps", g_reps);
+  json.EndObject();
+  json.Key("channels");
+  json.BeginArray();
+  for (const auto& r : g_results) {
+    json.BeginObject();
+    json.Field("method", r.method);
+    json.Field("load_wrangle_seconds", r.load_wrangle_seconds);
+    json.Field("train_seconds", r.train_seconds);
+    json.Field("predict_seconds", r.predict_seconds);
+    json.Field("total_seconds", r.total_seconds);
+    json.Field("precinct_share_mae", r.precinct_share_mae);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.WriteTo("BENCH_fig1_voter_classification.json");
 }
 
 bool Check(const mlcs::Status& st, const char* what) {
@@ -164,7 +199,8 @@ int main() {
     client::TableServer server(&server_db);
     if (!Check(server.Start(0), "server start")) return 1;
     for (auto protocol :
-         {client::WireProtocol::kPgText, client::WireProtocol::kMyBinary}) {
+         {client::WireProtocol::kPgText, client::WireProtocol::kMyBinary,
+          client::WireProtocol::kColumnar}) {
       auto r = Repeated([&] {
         return pipeline::RunFromSocket("127.0.0.1", server.port(), protocol,
                                        config);
@@ -187,5 +223,10 @@ int main() {
       "\nshape check (paper): in-database fastest, wrangle share ~an order "
       "of magnitude below the socket channels; binary files fast to load; "
       "csv comparable to sockets.\n");
+  if (!WriteJson(config)) {
+    std::fprintf(stderr, "failed to write BENCH json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_fig1_voter_classification.json\n");
   return 0;
 }

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Correctness gate for every change.
 #
-#   scripts/check.sh --quick   Release build + ctest + lint.py + clang-tidy
-#                              (tier-1; the default)
-#   scripts/check.sh --full    --quick, then ASan+UBSan and TSan builds each
-#                              running the full test suite (tier-2)
+#   scripts/check.sh --quick        Release build + ctest + lint.py +
+#                                   clang-tidy (tier-1; the default)
+#   scripts/check.sh --bench-smoke  --quick, then every bench binary at tiny
+#                                   scale; each must exit 0 and write valid
+#                                   BENCH_<name>.json
+#   scripts/check.sh --full         --quick + bench smoke, then ASan+UBSan
+#                                   and TSan builds each running the full
+#                                   test suite (tier-2)
 #
 # clang-tidy is skipped with a notice when not installed (the custom rules
 # in tools/lint.py always run). Build trees: build/ (plain), build-asan/,
@@ -15,9 +19,10 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 MODE="quick"
 case "${1:---quick}" in
-  --quick) MODE="quick" ;;
-  --full)  MODE="full" ;;
-  *) echo "usage: $0 [--quick|--full]" >&2; exit 2 ;;
+  --quick)       MODE="quick" ;;
+  --bench-smoke) MODE="bench-smoke" ;;
+  --full)        MODE="full" ;;
+  *) echo "usage: $0 [--quick|--bench-smoke|--full]" >&2; exit 2 ;;
 esac
 
 step() { printf '\n== %s ==\n' "$*"; }
@@ -43,6 +48,38 @@ if command -v clang-tidy >/dev/null 2>&1; then
     src/common/*.cc src/udf/*.cc src/modelstore/*.cc
 else
   echo "clang-tidy not installed; skipped (tools/lint.py covers the custom rules)"
+fi
+
+bench_smoke() {
+  # Run every bench binary at tiny scale from a scratch directory; each
+  # must exit 0 and leave a parseable BENCH_<name>.json behind. Catches
+  # bit-rot in the bench layer without paying full benchmark runtimes.
+  local root scratch
+  root="$(pwd)"
+  scratch="$(mktemp -d /tmp/mlcs-bench-smoke.XXXXXX)"
+  trap 'rm -rf "$scratch"' RETURN
+  pushd "$scratch" >/dev/null
+  local b
+  for b in "$root"/build/bench/ablation_*; do
+    [[ -x "$b" ]] || continue
+    echo "-- $(basename "$b")"
+    MLCS_BENCH_MIN_TIME=0.01 \
+    MLCS_SERVE_BENCH_REQUESTS=400 MLCS_SERVE_BENCH_CLIENTS=2 \
+    MLCS_SERVE_BENCH_STRICT=0 \
+      "$b" >/dev/null
+    python3 -m json.tool "BENCH_$(basename "$b").json" >/dev/null
+  done
+  echo "-- fig1_voter_classification"
+  MLCS_FIG1_ROWS=2000 MLCS_FIG1_COLS=16 MLCS_FIG1_PRECINCTS=50 \
+  MLCS_FIG1_TREES=2 MLCS_FIG1_REPS=1 \
+    "$root"/build/bench/fig1_voter_classification >/dev/null
+  python3 -m json.tool BENCH_fig1_voter_classification.json >/dev/null
+  popd >/dev/null
+}
+
+if [[ "$MODE" == "bench-smoke" || "$MODE" == "full" ]]; then
+  step "bench smoke (tiny scale, JSON validated)"
+  bench_smoke
 fi
 
 if [[ "$MODE" == "full" ]]; then

@@ -7,6 +7,162 @@ namespace mlcs::client {
 namespace {
 constexpr uint8_t kRowMarker = 'D';
 constexpr uint8_t kEndMarker = 'C';
+constexpr uint8_t kBlockMarker = 'B';
+/// Allocation guard for columnar block decode: a block declaring more rows
+/// than this is rejected before any buffer is sized from the wire value.
+constexpr uint32_t kMaxBlockRows = 1u << 26;
+
+/// Encodes rows [begin, end) of one column as a contiguous run: u8
+/// has-nulls flag, then either packed non-null values behind a null bitmap
+/// (bit set = NULL, same convention as the mysql-binary row bitmap) or the
+/// raw value run. Fixed-width no-null columns go out as one WriteRaw.
+void EncodeColumnRun(const Column& col, size_t begin, size_t end,
+                     ByteWriter* out) {
+  size_t count = end - begin;
+  bool any_null = false;
+  if (col.has_nulls()) {
+    for (size_t r = begin; r < end && !any_null; ++r) {
+      any_null = col.IsNull(r);
+    }
+  }
+  out->WriteU8(any_null ? 1 : 0);
+  if (any_null) {
+    std::vector<uint8_t> bitmap((count + 7) / 8, 0);
+    for (size_t r = begin; r < end; ++r) {
+      size_t i = r - begin;
+      if (col.IsNull(r)) bitmap[i / 8] |= (1u << (i % 8));
+    }
+    out->WriteRaw(bitmap.data(), bitmap.size());
+  }
+  switch (col.type()) {
+    case TypeId::kBool:
+      if (!any_null) {
+        out->WriteRaw(col.bool_data().data() + begin, count);
+      } else {
+        for (size_t r = begin; r < end; ++r) {
+          if (!col.IsNull(r)) out->WriteU8(col.bool_data()[r]);
+        }
+      }
+      break;
+    case TypeId::kInt32:
+      if (!any_null) {
+        out->WriteRaw(col.i32_data().data() + begin,
+                      count * sizeof(int32_t));
+      } else {
+        for (size_t r = begin; r < end; ++r) {
+          if (!col.IsNull(r)) out->WriteI32(col.i32_data()[r]);
+        }
+      }
+      break;
+    case TypeId::kInt64:
+      if (!any_null) {
+        out->WriteRaw(col.i64_data().data() + begin,
+                      count * sizeof(int64_t));
+      } else {
+        for (size_t r = begin; r < end; ++r) {
+          if (!col.IsNull(r)) out->WriteI64(col.i64_data()[r]);
+        }
+      }
+      break;
+    case TypeId::kDouble:
+      if (!any_null) {
+        out->WriteRaw(col.f64_data().data() + begin,
+                      count * sizeof(double));
+      } else {
+        for (size_t r = begin; r < end; ++r) {
+          if (!col.IsNull(r)) out->WriteDouble(col.f64_data()[r]);
+        }
+      }
+      break;
+    case TypeId::kVarchar:
+    case TypeId::kBlob:
+      for (size_t r = begin; r < end; ++r) {
+        if (!col.IsNull(r)) out->WriteString(col.str_data()[r]);
+      }
+      break;
+  }
+}
+
+/// Bulk-reads `count` fixed-width values straight into the column's
+/// backing vector. Only valid when the column has no validity vector yet
+/// (all prior rows valid) — appending raw values keeps it all-valid.
+template <typename V>
+Status BulkReadInto(std::vector<V>& data, size_t count, ByteReader* in) {
+  if (in->remaining() < count * sizeof(V)) {
+    return Status::OutOfRange("truncated columnar value run");
+  }
+  size_t old = data.size();
+  data.resize(old + count);
+  return in->ReadRaw(data.data() + old, count * sizeof(V));
+}
+
+/// Per-value decode of one column run (bitmap form, or a column that
+/// already carries nulls from an earlier block).
+Status DecodeColumnRun(Column* col, size_t count, bool any_null,
+                       ByteReader* in) {
+  std::vector<uint8_t> bitmap;
+  if (any_null) {
+    bitmap.resize((count + 7) / 8);
+    MLCS_RETURN_IF_ERROR(in->ReadRaw(bitmap.data(), bitmap.size()));
+  }
+  // Fast path: no nulls on the wire and none accumulated in the column —
+  // fixed-width values land with a single ReadRaw.
+  if (!any_null && !col->has_nulls()) {
+    switch (col->type()) {
+      case TypeId::kBool:
+        return BulkReadInto(col->bool_data(), count, in);
+      case TypeId::kInt32:
+        return BulkReadInto(col->i32_data(), count, in);
+      case TypeId::kInt64:
+        return BulkReadInto(col->i64_data(), count, in);
+      case TypeId::kDouble:
+        return BulkReadInto(col->f64_data(), count, in);
+      case TypeId::kVarchar:
+      case TypeId::kBlob:
+        for (size_t i = 0; i < count; ++i) {
+          MLCS_ASSIGN_OR_RETURN(std::string s, in->ReadString());
+          col->AppendString(std::move(s));
+        }
+        return Status::OK();
+    }
+    return Status::ParseError("bad column type in columnar block");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (any_null && (bitmap[i / 8] & (1u << (i % 8)))) {
+      col->AppendNull();
+      continue;
+    }
+    switch (col->type()) {
+      case TypeId::kBool: {
+        MLCS_ASSIGN_OR_RETURN(uint8_t v, in->ReadU8());
+        col->AppendBool(v != 0);
+        break;
+      }
+      case TypeId::kInt32: {
+        MLCS_ASSIGN_OR_RETURN(int32_t v, in->ReadI32());
+        col->AppendInt32(v);
+        break;
+      }
+      case TypeId::kInt64: {
+        MLCS_ASSIGN_OR_RETURN(int64_t v, in->ReadI64());
+        col->AppendInt64(v);
+        break;
+      }
+      case TypeId::kDouble: {
+        MLCS_ASSIGN_OR_RETURN(double v, in->ReadDouble());
+        col->AppendDouble(v);
+        break;
+      }
+      case TypeId::kVarchar:
+      case TypeId::kBlob: {
+        MLCS_ASSIGN_OR_RETURN(std::string s, in->ReadString());
+        col->AppendString(std::move(s));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
 }  // namespace
 
 const char* WireProtocolToString(WireProtocol protocol) {
@@ -15,6 +171,8 @@ const char* WireProtocolToString(WireProtocol protocol) {
       return "pg-text";
     case WireProtocol::kMyBinary:
       return "mysql-binary";
+    case WireProtocol::kColumnar:
+      return "columnar";
   }
   return "?";
 }
@@ -48,6 +206,16 @@ Status EncodeRows(const Table& table, WireProtocol protocol, size_t begin,
     return Status::OutOfRange("row range exceeds table");
   }
   size_t ncols = table.num_columns();
+  if (protocol == WireProtocol::kColumnar) {
+    // The whole range goes out as one column-major block: no per-row
+    // marker, no per-row bitmap, values of each column contiguous.
+    out->WriteU8(kBlockMarker);
+    out->WriteU32(static_cast<uint32_t>(count));
+    for (size_t c = 0; c < ncols; ++c) {
+      EncodeColumnRun(*table.column(c), begin, end, out);
+    }
+    return Status::OK();
+  }
   for (size_t r = begin; r < end; ++r) {
     out->WriteU8(kRowMarker);
     if (protocol == WireProtocol::kPgText) {
@@ -124,6 +292,27 @@ Result<TablePtr> DecodeResultSet(ByteReader* in, WireProtocol protocol) {
   while (true) {
     MLCS_ASSIGN_OR_RETURN(uint8_t marker, in->ReadU8());
     if (marker == kEndMarker) break;
+    if (protocol == WireProtocol::kColumnar) {
+      if (marker != kBlockMarker) {
+        return Status::ParseError("unexpected message marker " +
+                                  std::to_string(marker));
+      }
+      MLCS_ASSIGN_OR_RETURN(uint32_t count, in->ReadU32());
+      if (count > kMaxBlockRows) {
+        return Status::ParseError("columnar block declares " +
+                                  std::to_string(count) +
+                                  " rows, above the block cap");
+      }
+      for (size_t c = 0; c < ncols; ++c) {
+        MLCS_ASSIGN_OR_RETURN(uint8_t any_null, in->ReadU8());
+        if (any_null > 1) {
+          return Status::ParseError("bad null flag in columnar block");
+        }
+        MLCS_RETURN_IF_ERROR(DecodeColumnRun(table->column(c).get(), count,
+                                             any_null != 0, in));
+      }
+      continue;
+    }
     if (marker != kRowMarker) {
       return Status::ParseError("unexpected message marker " +
                                 std::to_string(marker));

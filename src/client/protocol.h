@@ -17,10 +17,17 @@ namespace mlcs::client {
 ///                width little-endian values / length-prefixed strings.
 ///                Cheaper per cell but still row-major: the client must
 ///                transpose rows back into columns.
+///  - kColumnar:  one block per result set; within it every column's
+///                values are contiguous, so fixed-width no-null columns
+///                encode and decode as a single memcpy. This is the wire
+///                form of the column store itself — the protocol the
+///                serving path (src/serve/) speaks.
 ///
-/// The contrast with the in-database path (zero-copy column handoff to the
-/// UDF) is exactly Figure 1's "socket" bars.
-enum class WireProtocol : uint8_t { kPgText = 0, kMyBinary = 1 };
+/// The contrast between the row-major pair and the in-database path
+/// (zero-copy column handoff to the UDF) is exactly Figure 1's "socket"
+/// bars; kColumnar shows how close a socket protocol can get when it
+/// stops fighting the storage layout.
+enum class WireProtocol : uint8_t { kPgText = 0, kMyBinary = 1, kColumnar = 2 };
 
 const char* WireProtocolToString(WireProtocol protocol);
 

@@ -61,10 +61,35 @@ void TableServer::Stop() {
     ::close(fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  for (auto& t : connection_threads_) {
-    if (t.joinable()) t.join();
+  // Join every connection thread. An active thread's list node must stay
+  // in place until the thread itself moves it to finished_threads_ (it
+  // holds an iterator to it), so only the handle is taken here; joining an
+  // active handle also guarantees its node reached finished_threads_,
+  // where the next iteration discards it.
+  while (true) {
+    std::thread victim;
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      if (!finished_threads_.empty()) {
+        victim = std::move(finished_threads_.front());
+        finished_threads_.pop_front();
+      } else if (!active_threads_.empty()) {
+        victim = std::move(active_threads_.front());
+      } else {
+        break;
+      }
+    }
+    if (victim.joinable()) victim.join();
   }
-  connection_threads_.clear();
+}
+
+size_t TableServer::tracked_connection_threads() const {
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  return active_threads_.size() + finished_threads_.size();
+}
+
+void TableServer::ReapFinishedLocked(std::list<std::thread>* out) {
+  out->splice(out->end(), finished_threads_);
 }
 
 void TableServer::AcceptLoop() {
@@ -78,8 +103,33 @@ void TableServer::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    connection_threads_.emplace_back(
-        [this, fd] { ServeConnection(fd); });
+    std::list<std::thread> to_join;
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      ReapFinishedLocked(&to_join);
+      auto it = active_threads_.emplace(active_threads_.end());
+      // The assignment happens under the lock: the new thread's first act
+      // is to take the same lock, so it cannot touch its node before the
+      // handle has landed in it.
+      *it = std::thread([this, fd, it] {
+        ServeConnection(fd);
+        std::list<std::thread> finished;
+        {
+          std::lock_guard<std::mutex> inner(threads_mutex_);
+          ReapFinishedLocked(&finished);
+          finished_threads_.splice(finished_threads_.end(), active_threads_,
+                                   it);
+        }
+        // Join peers that finished before us — never ourselves; our own
+        // node was just moved to finished_threads_ for a later reaper.
+        for (auto& t : finished) {
+          if (t.joinable()) t.join();
+        }
+      });
+    }
+    for (auto& t : to_join) {
+      if (t.joinable()) t.join();
+    }
   }
 }
 
@@ -89,14 +139,27 @@ void TableServer::ServeConnection(int fd) {
     if (!net::ReadExact(fd, &protocol_byte, 1)) break;  // client gone
     uint32_t sql_len = 0;
     if (!net::ReadExact(fd, &sql_len, sizeof(sql_len))) break;
-    if (sql_len > (64u << 20)) break;  // refuse absurd frames
+    if (sql_len > (64u << 20)) {
+      // Refuse absurd frames, but tell the client why before hanging up
+      // instead of silently dropping the connection.
+      ByteWriter error;
+      error.WriteU8(1);
+      error.WriteString("query of " + std::to_string(sql_len) +
+                        " bytes exceeds the frame cap");
+      uint64_t frame_len = error.size();
+      if (net::WriteAll(fd, &frame_len, sizeof(frame_len))) {
+        bool sent = net::WriteAll(fd, error.data().data(), error.size());
+        (void)sent;
+      }
+      break;
+    }
     std::string sql(sql_len, '\0');
     if (!net::ReadExact(fd, sql.data(), sql.size())) break;
 
     ByteWriter response;
     auto result = db_->Query(sql);
     if (!result.ok() ||
-        protocol_byte > static_cast<uint8_t>(WireProtocol::kMyBinary)) {
+        protocol_byte > static_cast<uint8_t>(WireProtocol::kColumnar)) {
       response.WriteU8(1);
       response.WriteString(result.ok() ? "bad protocol"
                                        : result.status().ToString());

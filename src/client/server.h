@@ -2,9 +2,10 @@
 #define MLCS_CLIENT_SERVER_H_
 
 #include <atomic>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <thread>
-#include <vector>
 
 #include "client/protocol.h"
 #include "common/result.h"
@@ -32,16 +33,30 @@ class TableServer {
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(); }
 
+  /// Connection threads currently tracked (live + awaiting reap). Stays
+  /// bounded by the number of *concurrent* connections, not by the total
+  /// ever accepted — the regression test for the old unbounded growth.
+  size_t tracked_connection_threads() const;
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
+  /// Joins every thread that has finished serving (never the caller's own).
+  void ReapFinishedLocked(std::list<std::thread>* out);
 
   Database* db_;
   std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
-  std::vector<std::thread> connection_threads_;
+
+  /// Connection threads move from `active_threads_` to `finished_threads_`
+  /// as their connection closes; the next event (a new connection, another
+  /// connection closing, or Stop) joins them. At rest at most one finished
+  /// thread waits unreaped, instead of one zombie per connection ever made.
+  mutable std::mutex threads_mutex_;
+  std::list<std::thread> active_threads_;
+  std::list<std::thread> finished_threads_;
 };
 
 }  // namespace mlcs::client

@@ -8,6 +8,7 @@ ModelStore::ModelStore(Database* db, std::string table_name)
     : db_(db), table_name_(std::move(table_name)) {}
 
 Status ModelStore::Init() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (db_->catalog().HasTable(table_name_)) return Status::OK();
   Schema schema;
   schema.AddField("name", TypeId::kVarchar);
@@ -38,8 +39,9 @@ Status ModelStore::SaveModel(const std::string& name, const ml::Model& model,
   if (!model.fitted()) {
     return Status::InvalidArgument("refusing to store an unfitted model");
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   // Replace semantics: drop any previous entry with this name.
-  Status deleted = DeleteModel(name);
+  Status deleted = DeleteModelLocked(name);
   if (!deleted.ok() && deleted.code() != StatusCode::kNotFound) {
     return deleted;
   }
@@ -53,13 +55,25 @@ Status ModelStore::SaveModel(const std::string& name, const ml::Model& model,
 }
 
 Result<ml::ModelPtr> ModelStore::LoadModel(const std::string& name) const {
+  MLCS_ASSIGN_OR_RETURN(std::string blob, LoadModelBlob(name));
+  return ml::pickle::Loads(blob);
+}
+
+Result<std::string> ModelStore::LoadModelBlob(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   MLCS_ASSIGN_OR_RETURN(size_t row, RowOf(name));
   MLCS_ASSIGN_OR_RETURN(TablePtr table, Table());
   MLCS_ASSIGN_OR_RETURN(ColumnPtr blobs, table->ColumnByName("classifier"));
-  return ml::pickle::Loads(blobs->str_data()[row]);
+  return blobs->str_data()[row];
 }
 
 Result<ModelInfo> ModelStore::GetInfo(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetInfoLocked(name);
+}
+
+Result<ModelInfo> ModelStore::GetInfoLocked(const std::string& name) const {
   MLCS_ASSIGN_OR_RETURN(size_t row, RowOf(name));
   MLCS_ASSIGN_OR_RETURN(TablePtr table, Table());
   ModelInfo info;
@@ -77,18 +91,25 @@ Result<ModelInfo> ModelStore::GetInfo(const std::string& name) const {
 }
 
 Result<std::vector<ModelInfo>> ModelStore::ListModels() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ListModelsLocked();
+}
+
+Result<std::vector<ModelInfo>> ModelStore::ListModelsLocked() const {
   MLCS_ASSIGN_OR_RETURN(TablePtr table, Table());
   std::vector<ModelInfo> out;
   MLCS_ASSIGN_OR_RETURN(ColumnPtr names, table->ColumnByName("name"));
   for (size_t r = 0; r < table->num_rows(); ++r) {
-    MLCS_ASSIGN_OR_RETURN(ModelInfo info, GetInfo(names->str_data()[r]));
+    MLCS_ASSIGN_OR_RETURN(ModelInfo info,
+                          GetInfoLocked(names->str_data()[r]));
     out.push_back(std::move(info));
   }
   return out;
 }
 
 Result<std::string> ModelStore::BestModelName() const {
-  MLCS_ASSIGN_OR_RETURN(std::vector<ModelInfo> models, ListModels());
+  std::lock_guard<std::mutex> lock(mutex_);
+  MLCS_ASSIGN_OR_RETURN(std::vector<ModelInfo> models, ListModelsLocked());
   if (models.empty()) return Status::NotFound("no models stored");
   size_t best = 0;
   for (size_t i = 1; i < models.size(); ++i) {
@@ -98,6 +119,11 @@ Result<std::string> ModelStore::BestModelName() const {
 }
 
 Status ModelStore::DeleteModel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return DeleteModelLocked(name);
+}
+
+Status ModelStore::DeleteModelLocked(const std::string& name) {
   auto row = RowOf(name);
   if (!row.ok()) return row.status();
   MLCS_ASSIGN_OR_RETURN(TablePtr table, Table());

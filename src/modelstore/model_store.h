@@ -1,6 +1,7 @@
 #ifndef MLCS_MODELSTORE_MODEL_STORE_H_
 #define MLCS_MODELSTORE_MODEL_STORE_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,11 @@ struct ModelInfo {
 /// ModelDB-style management layer the paper contrasts with external model
 /// stores: because models live in ordinary tables, plain SQL performs the
 /// meta-analysis (best model, per-algorithm comparison, ...).
+///
+/// Thread-safe: every operation is a composite of catalog reads/writes
+/// (find row, rebuild table, append), serialized by an internal mutex so
+/// the serving path can LoadModelBlob concurrently with live retraining
+/// (SaveModel) on another thread.
 class ModelStore {
  public:
   /// Creates (if needed) the backing table `table_name`.
@@ -39,6 +45,11 @@ class ModelStore {
   /// Loads and unpickles the model stored under `name`.
   Result<ml::ModelPtr> LoadModel(const std::string& name) const;
 
+  /// Loads the serialized (pickled) bytes without unpickling — the serving
+  /// path feeds these to the content-addressed ModelCache, which only
+  /// unpickles on a hash miss.
+  Result<std::string> LoadModelBlob(const std::string& name) const;
+
   Result<ModelInfo> GetInfo(const std::string& name) const;
   Result<std::vector<ModelInfo>> ListModels() const;
 
@@ -50,11 +61,18 @@ class ModelStore {
   const std::string& table_name() const { return table_name_; }
 
  private:
+  // Unlocked implementations; public wrappers take `mutex_` exactly once,
+  // so composite call chains (SaveModel -> DeleteModel -> RowOf, ...)
+  // never re-enter the lock.
+  Status DeleteModelLocked(const std::string& name);
+  Result<ModelInfo> GetInfoLocked(const std::string& name) const;
+  Result<std::vector<ModelInfo>> ListModelsLocked() const;
   Result<TablePtr> Table() const;
   Result<size_t> RowOf(const std::string& name) const;
 
   Database* db_;
   std::string table_name_;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace mlcs::modelstore

@@ -1,0 +1,94 @@
+#ifndef MLCS_SERVE_BOUNDED_QUEUE_H_
+#define MLCS_SERVE_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mlcs::serve {
+
+/// Bounded multi-producer/multi-consumer queue — the admission-control
+/// primitive of the serving path. Producers never block: TryPush either
+/// accepts the item or reports the queue full/closed, so the caller can
+/// answer `overloaded` instead of queueing without bound. Consumers drain
+/// remaining items after Close() (drain-then-stop shutdown).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking enqueue; false when the queue is full or closed.
+  [[nodiscard]] bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained; nullopt only in the latter case.
+  std::optional<T> PopWait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return PopLocked();
+  }
+
+  /// Like PopWait but gives up at `deadline` (nullopt on timeout too) —
+  /// the micro-batcher's linger wait.
+  std::optional<T> PopUntil(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_until(lock, deadline,
+                   [this] { return closed_ || !items_.empty(); });
+    return PopLocked();
+  }
+
+  /// Rejects all future pushes and wakes every waiter. Already-queued
+  /// items remain poppable so consumers can drain.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<T> PopLocked() {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    return out;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mlcs::serve
+
+#endif  // MLCS_SERVE_BOUNDED_QUEUE_H_

@@ -1,0 +1,440 @@
+#include "serve/inference_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace mlcs::serve {
+
+namespace {
+
+void UpdateMax(std::atomic<uint64_t>& target, uint64_t value) {
+  uint64_t current = target.load();
+  while (value > current &&
+         !target.compare_exchange_weak(current, value)) {
+  }
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+InferenceServer::Conn::~Conn() { ::close(fd); }
+
+InferenceServer::InferenceServer(Database* db, modelstore::ModelStore* store,
+                                 InferenceServerOptions options)
+    : db_(db),
+      store_(store),
+      options_(std::move(options)),
+      pool_(options_.pool != nullptr ? options_.pool : &ThreadPool::Global()),
+      cache_(options_.model_cache != nullptr
+                 ? options_.model_cache
+                 : &modelstore::ModelCache::Global()) {
+  (void)db_;  // reserved for serving-side SQL (health/metadata queries)
+}
+
+InferenceServer::~InferenceServer() { Stop(); }
+
+Status InferenceServer::Start(uint16_t port) {
+  if (running_.load()) return Status::InvalidArgument("already running");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::NetworkError("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::NetworkError("bind() failed: " +
+                                std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Status::NetworkError("getsockname() failed");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::NetworkError("listen() failed");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(fd);
+    return Status::NetworkError("pipe() failed");
+  }
+  SetNonBlocking(fd);
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd);
+  queue_ = std::make_unique<BoundedQueue<Pending>>(
+      options_.max_queue_requests);
+  draining_.store(false);
+  io_stop_.store(false);
+  running_.store(true);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  batch_thread_ = std::thread([this] { BatchLoop(); });
+  return Status::OK();
+}
+
+void InferenceServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Phase 1: refuse new work. New connections stop at the closed listen
+  // socket; frames that still arrive on live connections are answered
+  // with kShuttingDown by the I/O thread.
+  draining_.store(true);
+  int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) ::close(lfd);
+  // Phase 2: drain. Closing the queue lets the batcher pop every admitted
+  // request, answer it, and exit — no accepted request goes unanswered.
+  queue_->Close();
+  if (batch_thread_.joinable()) batch_thread_.join();
+  // Phase 3: stop. All responses are on the wire; now the I/O thread can
+  // go, taking every connection (and its fd) with it.
+  io_stop_.store(true);
+  if (wake_pipe_[1] >= 0) {
+    uint8_t byte = 1;
+    ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+    (void)ignored;
+  }
+  if (io_thread_.joinable()) io_thread_.join();
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) ::close(wake_pipe_[i]);
+    wake_pipe_[i] = -1;
+  }
+}
+
+InferenceServerStats InferenceServer::stats() const {
+  InferenceServerStats out;
+  out.requests_accepted = stats_.requests_accepted.load();
+  out.responses_ok = stats_.responses_ok.load();
+  out.rejected_overload = stats_.rejected_overload.load();
+  out.rejected_bad_request = stats_.rejected_bad_request.load();
+  out.rejected_shutdown = stats_.rejected_shutdown.load();
+  out.expired_deadline = stats_.expired_deadline.load();
+  out.failed_internal = stats_.failed_internal.load();
+  out.batches_executed = stats_.batches_executed.load();
+  out.batched_requests = stats_.batched_requests.load();
+  out.batched_rows = stats_.batched_rows.load();
+  out.peak_queue_depth = stats_.peak_queue_depth.load();
+  out.peak_batch_requests = stats_.peak_batch_requests.load();
+  return out;
+}
+
+void InferenceServer::IoLoop() {
+  std::unordered_map<int, ConnPtr> conns;
+  std::vector<pollfd> pfds;
+  while (!io_stop_.load()) {
+    pfds.clear();
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    int lfd = listen_fd_.load();
+    if (lfd >= 0) pfds.push_back({lfd, POLLIN, 0});
+    for (const auto& [fd, conn] : conns) {
+      pfds.push_back({fd, POLLIN, 0});
+    }
+    int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      MLCS_LOG(kWarn) << "poll() failed: " << std::strerror(errno);
+      break;
+    }
+    for (const pollfd& p : pfds) {
+      if (p.revents == 0) continue;
+      if (p.fd == wake_pipe_[0]) {
+        uint8_t drain[64];
+        while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (lfd >= 0 && p.fd == lfd) {
+        while (true) {
+          int cfd = ::accept(lfd, nullptr, nullptr);
+          // EAGAIN when the backlog is drained; EBADF if Stop() closed the
+          // socket under us — both end the accept burst harmlessly.
+          if (cfd < 0) break;
+          int one = 1;
+          ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          conns.emplace(cfd, std::make_shared<Conn>(cfd));
+        }
+        continue;
+      }
+      auto it = conns.find(p.fd);
+      if (it == conns.end()) continue;
+      if (!ReadAndDispatch(it->second)) conns.erase(it);
+    }
+  }
+  // Dropping the map releases the I/O thread's references; each fd closes
+  // once any in-flight response holding the Conn finishes.
+  conns.clear();
+}
+
+bool InferenceServer::ReadAndDispatch(const ConnPtr& conn) {
+  bool peer_gone = false;
+  while (true) {
+    uint8_t buf[16384];
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      conn->inbuf.insert(conn->inbuf.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      peer_gone = true;  // orderly shutdown; flush what we have
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    peer_gone = true;
+    break;
+  }
+  if (!ProcessBufferedFrames(conn)) return false;
+  return !peer_gone;
+}
+
+bool InferenceServer::ProcessBufferedFrames(const ConnPtr& conn) {
+  std::vector<uint8_t>& buf = conn->inbuf;
+  size_t consumed = 0;
+  while (buf.size() - consumed >= sizeof(uint32_t)) {
+    uint32_t frame_len = 0;
+    std::memcpy(&frame_len, buf.data() + consumed, sizeof(frame_len));
+    if (frame_len > kMaxFrameBytes) {
+      stats_.rejected_bad_request.fetch_add(1);
+      RespondError(conn, 0, ServeCode::kBadRequest,
+                   "frame of " + std::to_string(frame_len) +
+                       " bytes exceeds the frame cap");
+      return false;  // cannot resynchronize a corrupt stream
+    }
+    if (buf.size() - consumed < sizeof(uint32_t) + frame_len) break;
+    HandleFrame(conn, buf.data() + consumed + sizeof(uint32_t), frame_len);
+    consumed += sizeof(uint32_t) + frame_len;
+  }
+  if (consumed > 0) {
+    buf.erase(buf.begin(),
+              buf.begin() + static_cast<std::ptrdiff_t>(consumed));
+  }
+  return true;
+}
+
+void InferenceServer::HandleFrame(const ConnPtr& conn, const uint8_t* body,
+                                  size_t size) {
+  ByteReader reader(body, size);
+  auto decoded = DecodePredictRequest(&reader);
+  if (!decoded.ok()) {
+    stats_.rejected_bad_request.fetch_add(1);
+    RespondError(conn, PeekRequestId(body, size), ServeCode::kBadRequest,
+                 decoded.status().ToString());
+    return;
+  }
+  Pending pending{conn, std::move(decoded).ValueOrDie(),
+                  std::chrono::steady_clock::now()};
+  uint64_t id = pending.request.request_id;
+  if (draining_.load()) {
+    stats_.rejected_shutdown.fetch_add(1);
+    RespondError(conn, id, ServeCode::kShuttingDown, "server is draining");
+    return;
+  }
+  if (!queue_->TryPush(std::move(pending))) {
+    // Graceful degradation: the bounded queue is full (or just closed by
+    // Stop), so answer immediately instead of queueing without bound.
+    if (draining_.load()) {
+      stats_.rejected_shutdown.fetch_add(1);
+      RespondError(conn, id, ServeCode::kShuttingDown, "server is draining");
+    } else {
+      stats_.rejected_overload.fetch_add(1);
+      RespondError(conn, id, ServeCode::kOverloaded,
+                   "admission queue full (" +
+                       std::to_string(queue_->capacity()) + " requests)");
+    }
+    return;
+  }
+  stats_.requests_accepted.fetch_add(1);
+  UpdateMax(stats_.peak_queue_depth, queue_->size());
+}
+
+void InferenceServer::BatchLoop() {
+  while (true) {
+    std::optional<Pending> first = queue_->PopWait();
+    if (!first.has_value()) break;  // closed and fully drained
+    std::vector<Pending> batch;
+    batch.push_back(std::move(*first));
+    if (options_.batching_enabled) {
+      size_t rows = batch.back().request.features.rows();
+      auto linger_until =
+          std::chrono::steady_clock::now() + options_.batch_linger;
+      while (rows < options_.max_batch_rows) {
+        std::optional<Pending> next = queue_->PopUntil(linger_until);
+        if (!next.has_value()) break;  // linger expired (or drained)
+        rows += next->request.features.rows();
+        batch.push_back(std::move(*next));
+      }
+    }
+    if (options_.test_batch_hook) options_.test_batch_hook();
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
+  // Group by (model, feature count): each group becomes one vectorized
+  // Predict. Mixed-model batches split here, not at admission, so the
+  // linger window coalesces across models too.
+  struct Group {
+    std::vector<Pending*> members;
+    size_t rows = 0;
+  };
+  std::vector<Group> groups;
+  for (Pending& p : batch) {
+    Group* target = nullptr;
+    for (Group& g : groups) {
+      if (g.members[0]->request.model_name == p.request.model_name &&
+          g.members[0]->request.features.cols() == p.request.features.cols()) {
+        target = &g;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      groups.emplace_back();
+      target = &groups.back();
+    }
+    target->members.push_back(&p);
+    target->rows += p.request.features.rows();
+  }
+  // Inference runs as tasks on the shared pool — the batch thread only
+  // plans; no thread is pinned to a connection or a model.
+  std::vector<std::future<void>> futures;
+  futures.reserve(groups.size());
+  for (Group& g : groups) {
+    futures.push_back(
+        pool_->Submit([this, &g] { RunGroup(g.members, g.rows); }));
+  }
+  for (auto& f : futures) f.wait();
+}
+
+void InferenceServer::RunGroup(std::vector<Pending*>& members,
+                               size_t total_rows) {
+  auto now = std::chrono::steady_clock::now();
+  std::vector<Pending*> live;
+  live.reserve(members.size());
+  for (Pending* p : members) {
+    if (p->request.deadline_ms > 0 &&
+        now - p->arrival >
+            std::chrono::milliseconds(p->request.deadline_ms)) {
+      stats_.expired_deadline.fetch_add(1);
+      RespondError(p->conn, p->request.request_id,
+                   ServeCode::kDeadlineExceeded,
+                   "deadline of " + std::to_string(p->request.deadline_ms) +
+                       "ms expired before execution");
+      total_rows -= p->request.features.rows();
+    } else {
+      live.push_back(p);
+    }
+  }
+  if (live.empty()) return;
+  const std::string& model_name = live[0]->request.model_name;
+  auto blob = store_->LoadModelBlob(model_name);
+  if (!blob.ok()) {
+    ServeCode code = blob.status().code() == StatusCode::kNotFound
+                         ? ServeCode::kModelNotFound
+                         : ServeCode::kInternalError;
+    for (Pending* p : live) {
+      stats_.failed_internal.fetch_add(1);
+      RespondError(p->conn, p->request.request_id, code,
+                   blob.status().ToString());
+    }
+    return;
+  }
+  // Content-addressed snapshot cache: a retrained model has different
+  // bytes, so a stale snapshot can never be served (paper §5.1).
+  auto model = cache_->Get(blob.ValueOrDie());
+  if (!model.ok()) {
+    for (Pending* p : live) {
+      stats_.failed_internal.fetch_add(1);
+      RespondError(p->conn, p->request.request_id,
+                   ServeCode::kInternalError, model.status().ToString());
+    }
+    return;
+  }
+  // One column-major matrix for the whole group; single-request groups
+  // predict in place with no copy at all.
+  size_t cols = live[0]->request.features.cols();
+  const ml::Matrix* x = &live[0]->request.features;
+  ml::Matrix concat;
+  if (live.size() > 1) {
+    concat = ml::Matrix(total_rows, cols);
+    for (size_t c = 0; c < cols; ++c) {
+      double* out = concat.column(c).data();
+      size_t offset = 0;
+      for (Pending* p : live) {
+        const std::vector<double>& src = p->request.features.column(c);
+        std::memcpy(out + offset, src.data(), src.size() * sizeof(double));
+        offset += src.size();
+      }
+    }
+    x = &concat;
+  }
+  auto labels = model.ValueOrDie()->Predict(*x);
+  if (!labels.ok()) {
+    // Typically a feature-count mismatch against the fitted model: the
+    // request is malformed, not the server.
+    for (Pending* p : live) {
+      stats_.rejected_bad_request.fetch_add(1);
+      RespondError(p->conn, p->request.request_id, ServeCode::kBadRequest,
+                   labels.status().ToString());
+    }
+    return;
+  }
+  // Count the batch before writing any response: a client that has seen
+  // its answer must be able to observe the matching counters via stats().
+  stats_.batches_executed.fetch_add(1);
+  stats_.batched_requests.fetch_add(live.size());
+  stats_.batched_rows.fetch_add(total_rows);
+  UpdateMax(stats_.peak_batch_requests, live.size());
+  const ml::Labels& all = labels.ValueOrDie();
+  size_t offset = 0;
+  for (Pending* p : live) {
+    size_t rows = p->request.features.rows();
+    PredictResponse response;
+    response.request_id = p->request.request_id;
+    response.code = ServeCode::kOk;
+    response.labels.assign(
+        all.begin() + static_cast<std::ptrdiff_t>(offset),
+        all.begin() + static_cast<std::ptrdiff_t>(offset + rows));
+    offset += rows;
+    stats_.responses_ok.fetch_add(1);
+    Respond(p->conn, response);
+  }
+}
+
+void InferenceServer::Respond(const ConnPtr& conn,
+                              const PredictResponse& response) {
+  ByteWriter body;
+  EncodePredictResponse(response, &body);
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  // A failed write means the peer vanished; the I/O thread notices the
+  // hangup independently, so the error is dropped on purpose.
+  Status ignored = WriteFrame(conn->fd, body);
+  (void)ignored;
+}
+
+void InferenceServer::RespondError(const ConnPtr& conn, uint64_t request_id,
+                                   ServeCode code, std::string message) {
+  PredictResponse response;
+  response.request_id = request_id;
+  response.code = code;
+  response.message = std::move(message);
+  Respond(conn, response);
+}
+
+}  // namespace mlcs::serve

@@ -1,0 +1,159 @@
+#ifndef MLCS_SERVE_INFERENCE_SERVER_H_
+#define MLCS_SERVE_INFERENCE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "modelstore/model_cache.h"
+#include "modelstore/model_store.h"
+#include "serve/bounded_queue.h"
+#include "serve/serve_protocol.h"
+#include "sql/database.h"
+
+namespace mlcs::serve {
+
+struct InferenceServerOptions {
+  /// When false every request is predicted individually (the row-at-a-time
+  /// ablation baseline); when true concurrently arriving requests coalesce
+  /// into one vectorized Predict per model.
+  bool batching_enabled = true;
+  /// Flush a forming batch once it holds this many feature rows.
+  size_t max_batch_rows = 4096;
+  /// Maximum time the batcher waits for more requests after the first.
+  std::chrono::microseconds batch_linger{250};
+  /// Admission bound: requests queued past this answer kOverloaded.
+  size_t max_queue_requests = 256;
+  /// Inference executes as tasks on this pool (default: the process-wide
+  /// shared pool) — no thread is ever dedicated to a single connection.
+  ThreadPool* pool = nullptr;
+  /// Model snapshot cache (default: ModelCache::Global()). Content
+  /// addressing keeps it correct while models are retrained live.
+  modelstore::ModelCache* model_cache = nullptr;
+  /// Test-only: run by the batch thread right before dispatching a batch;
+  /// lets tests hold execution to fill the queue deterministically.
+  std::function<void()> test_batch_hook;
+};
+
+/// Counters exposed for tests, benchmarks, and ops. Snapshot semantics.
+struct InferenceServerStats {
+  uint64_t requests_accepted = 0;   // admitted into the queue
+  uint64_t responses_ok = 0;
+  uint64_t rejected_overload = 0;   // answered kOverloaded at admission
+  uint64_t rejected_bad_request = 0;
+  uint64_t rejected_shutdown = 0;   // arrived while draining
+  uint64_t expired_deadline = 0;    // answered kDeadlineExceeded
+  uint64_t failed_internal = 0;     // model load / predict failures
+  uint64_t batches_executed = 0;    // vectorized Predict invocations
+  uint64_t batched_requests = 0;    // requests carried by those batches
+  uint64_t batched_rows = 0;        // feature rows predicted
+  uint64_t peak_queue_depth = 0;    // high-water mark, never > capacity
+  uint64_t peak_batch_requests = 0;
+};
+
+/// Micro-batching inference server — the serving path for the paper's
+/// in-database models (§5.1 snapshots + §2 vectorization, applied to the
+/// request path). Concurrently arriving predict requests coalesce into one
+/// vectorized Predict call per model, so per-request cost amortizes
+/// exactly like per-row UDF cost amortized in abl-vec.
+///
+/// Threading: one poll-based I/O thread owns every connection (no
+/// thread-per-connection), one batcher thread forms batches from a bounded
+/// admission queue, and inference itself runs as tasks on the shared
+/// ThreadPool. Responses may arrive out of request order; the request_id
+/// correlates them. Stop() drains: queued requests are answered, new ones
+/// get kShuttingDown, then threads join and sockets close.
+class InferenceServer {
+ public:
+  InferenceServer(Database* db, modelstore::ModelStore* store,
+                  InferenceServerOptions options = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 → ephemeral) and starts serving.
+  Status Start(uint16_t port = 0);
+  /// Drain-then-stop; idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+  InferenceServerStats stats() const;
+
+ private:
+  /// One client connection. The fd closes when the last reference drops,
+  /// so an in-flight response can never write into a recycled fd.
+  struct Conn {
+    explicit Conn(int fd) : fd(fd) {}
+    ~Conn();
+    const int fd;
+    std::mutex write_mutex;       // one response frame at a time
+    std::vector<uint8_t> inbuf;   // partial-frame accumulation
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  /// A request admitted into the queue, with its arrival time pinned so
+  /// deadlines measure true server-side latency (queue wait included).
+  struct Pending {
+    ConnPtr conn;
+    PredictRequest request;
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  void IoLoop();
+  void BatchLoop();
+  /// Drains readable bytes and dispatches complete frames; false when the
+  /// connection must close (peer gone or protocol violation).
+  [[nodiscard]] bool ReadAndDispatch(const ConnPtr& conn);
+  [[nodiscard]] bool ProcessBufferedFrames(const ConnPtr& conn);
+  void HandleFrame(const ConnPtr& conn, const uint8_t* body, size_t size);
+  void ExecuteBatch(std::vector<Pending> batch);
+  void RunGroup(std::vector<Pending*>& members, size_t total_rows);
+
+  void Respond(const ConnPtr& conn, const PredictResponse& response);
+  void RespondError(const ConnPtr& conn, uint64_t request_id, ServeCode code,
+                    std::string message);
+
+  Database* db_;
+  modelstore::ModelStore* store_;
+  InferenceServerOptions options_;
+  ThreadPool* pool_;
+  modelstore::ModelCache* cache_;
+
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe to interrupt poll()
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> io_stop_{false};
+  std::thread io_thread_;
+  std::thread batch_thread_;
+  std::unique_ptr<BoundedQueue<Pending>> queue_;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> requests_accepted{0};
+    std::atomic<uint64_t> responses_ok{0};
+    std::atomic<uint64_t> rejected_overload{0};
+    std::atomic<uint64_t> rejected_bad_request{0};
+    std::atomic<uint64_t> rejected_shutdown{0};
+    std::atomic<uint64_t> expired_deadline{0};
+    std::atomic<uint64_t> failed_internal{0};
+    std::atomic<uint64_t> batches_executed{0};
+    std::atomic<uint64_t> batched_requests{0};
+    std::atomic<uint64_t> batched_rows{0};
+    std::atomic<uint64_t> peak_queue_depth{0};
+    std::atomic<uint64_t> peak_batch_requests{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace mlcs::serve
+
+#endif  // MLCS_SERVE_INFERENCE_SERVER_H_

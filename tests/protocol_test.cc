@@ -1,7 +1,16 @@
 #include "client/protocol.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <thread>
+
+#include "client/client.h"
+#include "client/net_util.h"
+#include "client/server.h"
 #include "common/random.h"
 
 namespace mlcs::client {
@@ -80,7 +89,8 @@ TEST_P(ProtocolRoundTripTest, RandomizedNumericRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Protocols, ProtocolRoundTripTest,
                          ::testing::Values(WireProtocol::kPgText,
-                                           WireProtocol::kMyBinary));
+                                           WireProtocol::kMyBinary,
+                                           WireProtocol::kColumnar));
 
 TEST(ProtocolTest, TextIsLargerThanBinaryForWideInts) {
   Schema s;
@@ -95,6 +105,82 @@ TEST(ProtocolTest, TextIsLargerThanBinaryForWideInts) {
   ASSERT_TRUE(
       EncodeRows(*t, WireProtocol::kMyBinary, 0, 1000, &binary).ok());
   EXPECT_GT(text.size(), binary.size());
+}
+
+/// The columnar block drops the per-row marker and per-row NULL bitmap, so
+/// for all-valid fixed-width data it beats the mysql-style binary rows.
+TEST(ProtocolTest, ColumnarIsSmallerThanBinaryRows) {
+  Schema s;
+  s.AddField("x", TypeId::kInt64);
+  s.AddField("y", TypeId::kDouble);
+  auto t = Table::Make(std::move(s));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        t->AppendRow({Value::Int64(i), Value::Double(i * 0.5)}).ok());
+  }
+  ByteWriter binary, columnar;
+  ASSERT_TRUE(
+      EncodeRows(*t, WireProtocol::kMyBinary, 0, 1000, &binary).ok());
+  ASSERT_TRUE(
+      EncodeRows(*t, WireProtocol::kColumnar, 0, 1000, &columnar).ok());
+  EXPECT_LT(columnar.size(), binary.size());
+}
+
+TEST(ProtocolTest, ColumnarPartialRangeRoundTrips) {
+  auto t = MixedTable();
+  ByteWriter out;
+  EncodeHeader(t->schema(), &out);
+  ASSERT_TRUE(EncodeRows(*t, WireProtocol::kColumnar, 1, 1, &out).ok());
+  EncodeEnd(&out);
+  ByteReader in(out.data());
+  auto back = DecodeResultSet(&in, WireProtocol::kColumnar).ValueOrDie();
+  EXPECT_EQ(back->num_rows(), 1u);
+  EXPECT_TRUE(back->GetValue(0, 0).ValueOrDie().is_null());
+}
+
+/// Two columnar blocks appended to one result set decode correctly even
+/// when the first block introduces NULLs (the bulk fast path must detect
+/// the column already carries a validity vector).
+TEST(ProtocolTest, ColumnarMultipleBlocksWithNulls) {
+  auto t = MixedTable();
+  ByteWriter out;
+  EncodeHeader(t->schema(), &out);
+  ASSERT_TRUE(EncodeRows(*t, WireProtocol::kColumnar, 1, 1, &out).ok());
+  ASSERT_TRUE(EncodeRows(*t, WireProtocol::kColumnar, 0, 1, &out).ok());
+  EncodeEnd(&out);
+  ByteReader in(out.data());
+  auto back = DecodeResultSet(&in, WireProtocol::kColumnar).ValueOrDie();
+  ASSERT_EQ(back->num_rows(), 2u);
+  EXPECT_TRUE(back->GetValue(0, 0).ValueOrDie().is_null());
+  EXPECT_EQ(back->GetValue(1, 0).ValueOrDie(), Value::Int32(-1));
+}
+
+TEST(ProtocolTest, ColumnarTruncatedBlockRejected) {
+  Schema s;
+  s.AddField("x", TypeId::kInt64);
+  auto t = Table::Make(std::move(s));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t->AppendRow({Value::Int64(i)}).ok());
+  }
+  ByteWriter out;
+  EncodeHeader(t->schema(), &out);
+  ASSERT_TRUE(EncodeRows(*t, WireProtocol::kColumnar, 0, 100, &out).ok());
+  ByteReader in(out.data().data(), out.size() / 2);
+  EXPECT_FALSE(DecodeResultSet(&in, WireProtocol::kColumnar).ok());
+}
+
+/// A block header may declare an absurd row count; the decoder must reject
+/// it before sizing any buffer from the wire value.
+TEST(ProtocolTest, ColumnarOversizedBlockCountRejected) {
+  ByteWriter out;
+  out.WriteU16(1);
+  out.WriteString("x");
+  out.WriteU8(static_cast<uint8_t>(TypeId::kInt64));
+  out.WriteU8('B');
+  out.WriteU32(0xFFFFFFFFu);  // declared rows far beyond the payload
+  out.WriteU8(0);             // no nulls
+  ByteReader in(out.data());
+  EXPECT_FALSE(DecodeResultSet(&in, WireProtocol::kColumnar).ok());
 }
 
 TEST(ProtocolTest, PartialRangeEncoding) {
@@ -133,6 +219,136 @@ TEST(ProtocolTest, TruncatedStreamRejected) {
   // No end marker and half the bytes.
   ByteReader in(out.data().data(), out.size() / 2);
   EXPECT_FALSE(DecodeResultSet(&in, WireProtocol::kPgText).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Negative paths over a real socket: malformed frames must produce clean
+// Status errors on the peer that caused them — never a hang, crash, or a
+// poisoned server. Each test drives TableServer with raw bytes.
+// ---------------------------------------------------------------------------
+
+class MalformedFrameTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Run("CREATE TABLE t (x INTEGER);"
+                        "INSERT INTO t VALUES (1), (2);")
+                    .ok());
+    server_ = std::make_unique<TableServer>(&db_);
+    ASSERT_TRUE(server_->Start(0).ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  /// Raw client socket, no protocol smarts.
+  int RawConnect() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server_->port());
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  }
+
+  /// The server must still serve a well-formed client after whatever abuse
+  /// the test inflicted — proof one bad peer cannot poison it.
+  void ExpectServerStillHealthy() {
+    TableClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    auto r = client.Query("SELECT COUNT(*) FROM t", WireProtocol::kColumnar);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.ValueOrDie()->GetValue(0, 0).ValueOrDie(), Value::Int64(2));
+  }
+
+  Database db_;
+  std::unique_ptr<TableServer> server_;
+};
+
+TEST_F(MalformedFrameTest, TruncatedLengthPrefixDisconnect) {
+  int fd = RawConnect();
+  // Protocol byte plus only 2 of the 4 length bytes, then hang up.
+  const uint8_t partial[] = {0, 0x10, 0x00};
+  ASSERT_TRUE(net::WriteAll(fd, partial, sizeof(partial)));
+  ::close(fd);
+  ExpectServerStillHealthy();
+}
+
+TEST_F(MalformedFrameTest, OversizedDeclaredLengthAnswered) {
+  int fd = RawConnect();
+  uint8_t protocol_byte = 0;
+  uint32_t absurd_len = 0xF0000000u;  // ~4 GB claimed, nothing sent
+  ASSERT_TRUE(net::WriteAll(fd, &protocol_byte, 1));
+  ASSERT_TRUE(net::WriteAll(fd, &absurd_len, sizeof(absurd_len)));
+  // The server must answer with an error frame (not silently hang up, and
+  // certainly not allocate 4 GB).
+  uint64_t frame_len = 0;
+  ASSERT_TRUE(net::ReadExact(fd, &frame_len, sizeof(frame_len)));
+  std::vector<uint8_t> frame(frame_len);
+  ASSERT_TRUE(net::ReadExact(fd, frame.data(), frame.size()));
+  ByteReader reader(frame);
+  EXPECT_EQ(reader.ReadU8().ValueOrDie(), 1);  // error flag
+  std::string message = reader.ReadString().ValueOrDie();
+  EXPECT_NE(message.find("frame cap"), std::string::npos);
+  ::close(fd);
+  ExpectServerStillHealthy();
+}
+
+TEST_F(MalformedFrameTest, UnknownProtocolByteAnswered) {
+  int fd = RawConnect();
+  uint8_t protocol_byte = 0x7F;
+  std::string sql = "SELECT 1";
+  uint32_t sql_len = static_cast<uint32_t>(sql.size());
+  ASSERT_TRUE(net::WriteAll(fd, &protocol_byte, 1));
+  ASSERT_TRUE(net::WriteAll(fd, &sql_len, sizeof(sql_len)));
+  ASSERT_TRUE(net::WriteAll(fd, sql.data(), sql.size()));
+  uint64_t frame_len = 0;
+  ASSERT_TRUE(net::ReadExact(fd, &frame_len, sizeof(frame_len)));
+  std::vector<uint8_t> frame(frame_len);
+  ASSERT_TRUE(net::ReadExact(fd, frame.data(), frame.size()));
+  ByteReader reader(frame);
+  EXPECT_EQ(reader.ReadU8().ValueOrDie(), 1);
+  EXPECT_NE(reader.ReadString().ValueOrDie().find("bad protocol"),
+            std::string::npos);
+  ::close(fd);
+  ExpectServerStillHealthy();
+}
+
+TEST_F(MalformedFrameTest, MidFrameDisconnect) {
+  int fd = RawConnect();
+  uint8_t protocol_byte = 1;
+  uint32_t sql_len = 1000;  // promise 1000 bytes ...
+  ASSERT_TRUE(net::WriteAll(fd, &protocol_byte, 1));
+  ASSERT_TRUE(net::WriteAll(fd, &sql_len, sizeof(sql_len)));
+  ASSERT_TRUE(net::WriteAll(fd, "SELECT", 6));  // ... deliver 6, vanish
+  ::close(fd);
+  ExpectServerStillHealthy();
+}
+
+/// Regression for the unbounded connection_threads_ growth: after many
+/// sequential connections the tracked-thread count must stay O(concurrent
+/// connections), not O(total connections ever accepted).
+TEST_F(MalformedFrameTest, ConnectionThreadsAreReaped) {
+  for (int i = 0; i < 32; ++i) {
+    TableClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    ASSERT_TRUE(
+        client.Query("SELECT COUNT(*) FROM t", WireProtocol::kMyBinary)
+            .ok());
+    client.Disconnect();
+  }
+  // Each new connection reaps previously finished threads; give the last
+  // disconnect a moment to land, then connect once more to trigger a reap.
+  TableClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(
+      client.Query("SELECT COUNT(*) FROM t", WireProtocol::kMyBinary).ok());
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (server_->tracked_connection_threads() <= 4) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_LE(server_->tracked_connection_threads(), 4u);
 }
 
 }  // namespace

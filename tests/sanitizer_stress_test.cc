@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "client/inference_client.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "exec/kernels.h"
@@ -18,6 +19,9 @@
 #include "ml/naive_bayes.h"
 #include "ml/pickle.h"
 #include "modelstore/model_cache.h"
+#include "modelstore/model_store.h"
+#include "serve/inference_server.h"
+#include "sql/database.h"
 #include "udf/parallel.h"
 #include "udf/udf.h"
 
@@ -219,6 +223,106 @@ TEST(SanitizerStressTest, ModelCacheEvictionChurn) {
   EXPECT_LE(cache.size(), 2u);
   EXPECT_EQ(cache.hits() + cache.misses(),
             static_cast<uint64_t>(kThreads * kIters));
+}
+
+TEST(SanitizerStressTest, InferenceServerChurn) {
+  // The serving path end to end under every concurrent hazard at once:
+  // multiple clients hammering the micro-batcher (alternating wire
+  // layouts), a mutator retraining and re-saving the served model (so the
+  // content-addressed cache keeps missing) plus extra models to force LRU
+  // eviction, and finally Stop() while requests are still in flight.
+  Database db;
+  modelstore::ModelStore store(&db);
+  ASSERT_TRUE(store.Init().ok());
+  {
+    auto seeded = ml::pickle::Loads(FittedBlob(1)).ValueOrDie();
+    ASSERT_TRUE(store.SaveModel("m", *seeded, 0.9, 64).ok());
+  }
+  modelstore::ModelCache cache(2);  // tiny: eviction churn guaranteed
+  serve::InferenceServerOptions opts;
+  opts.max_queue_requests = 8;  // small: overload paths exercised too
+  opts.batch_linger = std::chrono::microseconds(100);
+  opts.model_cache = &cache;
+  serve::InferenceServer server(&db, &store, opts);
+  ASSERT_TRUE(server.Start(0).ok());
+  uint16_t port = server.port();
+
+  std::atomic<bool> stop_mutator{false};
+  std::atomic<int> unexpected{0};
+
+  std::thread mutator([&] {
+    uint64_t seed = 2;
+    while (!stop_mutator.load()) {
+      // Retrain/replace the served model and park other models to churn
+      // both the store's table and the cache's LRU.
+      auto retrained = ml::pickle::Loads(FittedBlob(seed++));
+      if (!retrained.ok()) {
+        unexpected.fetch_add(1);
+        continue;
+      }
+      if (!store.SaveModel("m", *retrained.ValueOrDie(), 0.9, 64).ok()) {
+        unexpected.fetch_add(1);
+      }
+      auto extra = ml::pickle::Loads(FittedBlob(seed + 1000));
+      if (extra.ok()) {
+        Status saved =
+            store.SaveModel("spare_" + std::to_string(seed % 3),
+                            *extra.ValueOrDie(), 0.5, 64);
+        if (!saved.ok()) unexpected.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      client::InferenceClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        unexpected.fetch_add(1);
+        return;
+      }
+      Rng rng(1000 + c);
+      ml::Matrix x(4, 2);
+      for (size_t r = 0; r < 4; ++r) {
+        x.Set(r, 0, rng.NextGaussian());
+        x.Set(r, 1, rng.NextGaussian());
+      }
+      for (int i = 0; i < kIters; ++i) {
+        client::InferenceCallOptions call;
+        call.layout = (i % 2 == 0) ? serve::Layout::kColumnar
+                                   : serve::Layout::kRowMajor;
+        auto response = client.Call("m", x, call);
+        if (!response.ok()) {
+          // Acceptable only once the server is being stopped under us.
+          break;
+        }
+        switch (response.ValueOrDie().code) {
+          case serve::ServeCode::kOk:
+            if (response.ValueOrDie().labels.size() != 4u) {
+              unexpected.fetch_add(1);
+            }
+            break;
+          case serve::ServeCode::kOverloaded:
+          case serve::ServeCode::kShuttingDown:
+            break;  // legitimate degradation outcomes
+          default:
+            unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Stop the server while clients are mid-flight — the drain must answer
+  // or cleanly refuse everything without a race or a leak.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.Stop();
+  for (auto& t : clients) t.join();
+  stop_mutator.store(true);
+  mutator.join();
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_FALSE(server.running());
 }
 
 }  // namespace
