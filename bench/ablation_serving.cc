@@ -359,6 +359,8 @@ int main() {
   bench::JsonWriter json;
   json.BeginObject();
   json.Field("benchmark", "ablation_serving");
+  json.Field("mlcs_threads",
+             static_cast<uint64_t>(ThreadPool::DefaultThreadCount()));
   json.Key("workload");
   json.BeginObject();
   json.Field("requests", config.requests);

@@ -9,7 +9,10 @@
 //    usual human-readable console table, and
 //  - honors MLCS_BENCH_MIN_TIME (seconds, e.g. "0.01"), letting
 //    scripts/check.sh --bench-smoke run every binary at tiny scale without
-//    per-binary flag plumbing.
+//    per-binary flag plumbing, and
+//  - records the effective thread-pool size ("mlcs_threads" in the JSON
+//    context block), so a result file always says what parallelism it was
+//    measured at (MLCS_THREADS env or hardware_concurrency).
 //
 // Usage, at the bottom of the bench .cc file:
 //   MLCS_BENCH_MAIN(ablation_protocols)
@@ -20,6 +23,8 @@
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 namespace mlcs::bench {
 
@@ -48,6 +53,8 @@ inline int RunBenchmarks(const char* bench_name, int argc, char** argv) {
   }
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
+  benchmark::AddCustomContext("mlcs_threads",
+                              std::to_string(ThreadPool::DefaultThreadCount()));
   size_t ran = benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!has_out) std::cout << "wrote " << json_path << "\n";

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "client/server.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "io/csv.h"
 #include "io/h5b.h"
@@ -72,6 +73,8 @@ bool WriteJson(const mlcs::pipeline::PipelineConfig& config) {
   mlcs::bench::JsonWriter json;
   json.BeginObject();
   json.Field("benchmark", "fig1_voter_classification");
+  json.Field("mlcs_threads",
+             static_cast<uint64_t>(mlcs::ThreadPool::DefaultThreadCount()));
   json.Key("workload");
   json.BeginObject();
   json.Field("rows", config.data.num_voters);

@@ -1,0 +1,110 @@
+#include "common/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace mlcs {
+
+namespace {
+
+size_t MorselWidth(const MorselPolicy& policy) {
+  return std::max<size_t>(1, policy.morsel_rows);
+}
+
+}  // namespace
+
+size_t NumMorsels(const MorselPolicy& policy, size_t count) {
+  if (count == 0) return 0;
+  size_t width = MorselWidth(policy);
+  return 1 + (count - 1) / width;  // overflow-safe ceil-div; count > 0 here
+}
+
+bool ShouldParallelize(const MorselPolicy& policy, size_t count) {
+  return NumMorsels(policy, count) > 1 && policy.threads() > 1;
+}
+
+Status ParallelMorsels(
+    const MorselPolicy& policy, size_t count,
+    const std::function<Status(size_t, size_t, size_t)>& fn) {
+  if (count == 0) return Status::OK();
+  const size_t width = MorselWidth(policy);
+  const size_t morsels = NumMorsels(policy, count);
+  ThreadPool& pool = policy.resolved_pool();
+
+  if (morsels == 1 || pool.num_threads() <= 1) {
+    // Serial fast path: identical morsel boundaries, zero handoff.
+    for (size_t m = 0; m < morsels; ++m) {
+      size_t begin = m * width;
+      MLCS_RETURN_IF_ERROR(fn(m, begin, std::min(count, begin + width)));
+    }
+    return Status::OK();
+  }
+
+  // Shared drain state. Heap-allocated and shared_ptr-held because helper
+  // tasks that lose every claim race may only get scheduled after the
+  // caller has already returned; they must still find live state.
+  struct State {
+    std::atomic<size_t> next{0};    // morsel handoff cursor
+    std::atomic<size_t> settled{0}; // morsels run or skipped
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    Status error = Status::OK();
+  };
+  auto state = std::make_shared<State>();
+
+  // Each runner claims morsels off the atomic cursor until none remain.
+  // The caller runs this loop too, so all morsels complete even if the
+  // pool never schedules a helper (saturated pool, nested parallelism).
+  const std::function<Status(size_t, size_t, size_t)>* fn_ptr = &fn;
+  auto drain = [state, fn_ptr, morsels, width, count] {
+    size_t m;
+    while ((m = state->next.fetch_add(1)) < morsels) {
+      if (!state->failed.load(std::memory_order_acquire)) {
+        size_t begin = m * width;
+        // fn_ptr stays valid: every morsel is claimed before the caller's
+        // own drain loop exits, and the caller blocks until all claimed
+        // morsels settle.
+        Status s = (*fn_ptr)(m, begin, std::min(count, begin + width));
+        if (!s.ok()) {
+          bool expected = false;
+          if (state->failed.compare_exchange_strong(expected, true)) {
+            std::lock_guard<std::mutex> lock(state->mu);
+            state->error = std::move(s);
+          }
+        }
+      }
+      if (state->settled.fetch_add(1) + 1 == morsels) {
+        std::lock_guard<std::mutex> lock(state->mu);  // pairs with the wait
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  size_t helpers = std::min(pool.num_threads(), morsels) - 1;
+  for (size_t i = 0; i < helpers; ++i) {
+    (void)pool.Submit(drain);
+  }
+  drain();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->settled.load() == morsels; });
+  // All writers of `error` finished before the last settle; reading under
+  // the same mutex the winner wrote under makes it visible here.
+  return state->failed.load() ? state->error : Status::OK();
+}
+
+Status ParallelItems(const MorselPolicy& policy, size_t count,
+                     const std::function<Status(size_t)>& fn) {
+  MorselPolicy item_policy = policy;
+  item_policy.morsel_rows = 1;  // one coarse item per handoff
+  return ParallelMorsels(item_policy, count,
+                         [&fn](size_t item, size_t, size_t) {
+                           return fn(item);
+                         });
+}
+
+}  // namespace mlcs

@@ -1,0 +1,72 @@
+#ifndef MLCS_COMMON_PARALLEL_FOR_H_
+#define MLCS_COMMON_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace mlcs {
+
+/// Morsel-driven scheduling policy for the relational operators (HyPer-style
+/// fixed-size morsels handed out over the shared ThreadPool).
+///
+/// The invariant the whole engine relies on: morsel boundaries are a pure
+/// function of (row count, morsel_rows) and never of the thread count, so
+/// any operator that accumulates per-morsel partial state and merges it in
+/// morsel order produces bit-identical results at every degree of
+/// parallelism — including nthreads == 1, which runs the same morsels
+/// inline on the caller thread with no task handoff at all.
+struct MorselPolicy {
+  /// Pool the morsels run on; nullptr means ThreadPool::Global() (whose
+  /// size the MLCS_THREADS environment variable controls).
+  ThreadPool* pool = nullptr;
+  /// Fixed morsel width in rows. Large enough that per-morsel dispatch is
+  /// noise, small enough that a typical column batch still splits into
+  /// several units of work per core.
+  size_t morsel_rows = 16 * 1024;
+
+  ThreadPool& resolved_pool() const {
+    return pool != nullptr ? *pool : ThreadPool::Global();
+  }
+  size_t threads() const { return resolved_pool().num_threads(); }
+};
+
+/// Number of fixed-width morsels [0, count) splits into under `policy`.
+/// Depends only on count and policy.morsel_rows (determinism invariant).
+size_t NumMorsels(const MorselPolicy& policy, size_t count);
+
+/// True when ParallelMorsels would actually fan out (more than one morsel
+/// and more than one pool thread). Operators whose serial form is cheaper
+/// than slice-and-splice (element-wise kernels) use this to keep the
+/// single-threaded path byte-for-byte the pre-morsel code.
+bool ShouldParallelize(const MorselPolicy& policy, size_t count);
+
+/// Runs fn(morsel_index, begin, end) for every fixed-width morsel of
+/// [0, count), fanning out over the policy's pool. Chunk handoff is a
+/// single atomic counter (no per-morsel queue round trip, no stealing);
+/// the caller thread participates, so progress never depends on pool
+/// capacity and nesting inside a pool worker cannot deadlock.
+///
+/// Error contract: the first non-OK Status wins and is returned; morsels
+/// not yet claimed when the failure lands are skipped (cancellation).
+/// Morsels already running complete. fn must be thread-safe across
+/// distinct morsels.
+///
+/// Serial fast path: with one pool thread or one morsel, fn runs inline on
+/// the caller for each morsel in order — same boundaries, no tasks, no
+/// synchronization.
+Status ParallelMorsels(const MorselPolicy& policy, size_t count,
+                       const std::function<Status(size_t, size_t, size_t)>& fn);
+
+/// Coarse-grained variant: runs fn(item) for each item in [0, count) with
+/// one item per handoff (columns, hash-join partitions, merge pairs —
+/// units that are already thread-sized). Same pool, participation, and
+/// first-error semantics as ParallelMorsels.
+Status ParallelItems(const MorselPolicy& policy, size_t count,
+                     const std::function<Status(size_t)>& fn);
+
+}  // namespace mlcs
+
+#endif  // MLCS_COMMON_PARALLEL_FOR_H_

@@ -2,12 +2,25 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 namespace mlcs {
 
+size_t ThreadPool::DefaultThreadCount() {
+  const char* env = std::getenv("MLCS_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
+    num_threads = DefaultThreadCount();
   }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {

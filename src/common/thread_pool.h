@@ -16,7 +16,7 @@ namespace mlcs {
 /// ParallelFor used by the chunked UDF driver and random-forest training.
 class ThreadPool {
  public:
-  /// `num_threads == 0` means hardware_concurrency (min 1).
+  /// `num_threads == 0` means DefaultThreadCount().
   explicit ThreadPool(size_t num_threads = 0);
   ~ThreadPool();
 
@@ -41,6 +41,13 @@ class ThreadPool {
   /// Process-wide shared pool (lazily constructed, never destroyed —
   /// avoids static destruction order issues per Google style).
   static ThreadPool& Global();
+
+  /// The one knob that governs the whole stack: MLCS_THREADS (positive
+  /// integer) when set, otherwise hardware_concurrency (min 1). Global()
+  /// is sized with this, so the SQL executor, the parallel relational
+  /// operators, UDF chunking, RF training, and the inference server all
+  /// follow it. Benches record it in their BENCH_<name>.json.
+  static size_t DefaultThreadCount();
 
  private:
   void WorkerLoop();

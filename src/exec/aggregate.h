@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel_for.h"
 #include "common/result.h"
 #include "storage/table.h"
 
@@ -29,9 +30,17 @@ struct AggSpec {
 /// all aggregates except COUNT(*). Groups with only NULL inputs produce
 /// NULL (COUNT produces 0). With `group_keys` empty the whole input is one
 /// group (global aggregation, emits exactly one row).
+///
+/// Runs morsel-parallel on the policy's pool: each morsel aggregates into
+/// its own local group table, and the locals merge serially in (morsel,
+/// local-group) order. Because morsel boundaries are fixed and every thread
+/// count — including one — goes through the same per-morsel partials,
+/// floating-point sums are bit-identical at every degree of parallelism,
+/// and group output order is the serial first-seen order.
 Result<TablePtr> HashGroupBy(const Table& input,
                              const std::vector<std::string>& group_keys,
-                             const std::vector<AggSpec>& aggregates);
+                             const std::vector<AggSpec>& aggregates,
+                             const MorselPolicy& policy = {});
 
 }  // namespace mlcs::exec
 

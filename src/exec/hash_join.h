@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/parallel_for.h"
 #include "common/result.h"
 #include "storage/table.h"
 
@@ -19,10 +20,18 @@ enum class JoinType { kInner, kLeft };
 /// column names that collide with a left name get a "_r" suffix. For
 /// kLeft, unmatched left rows appear once with NULL right columns.
 /// NULL keys never match (SQL semantics).
+///
+/// Parallel plan on the policy's pool: morsel-parallel key hashing, a
+/// hash-partitioned build (one task per partition, partition chosen by the
+/// hash's high bits), a morsel-parallel probe whose per-morsel match lists
+/// splice in morsel order, and per-column output materialization. Matches
+/// for one probe row are emitted in ascending right-row order, so output
+/// is bit-identical at every thread count.
 Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           const std::vector<std::string>& left_keys,
                           const std::vector<std::string>& right_keys,
-                          JoinType type = JoinType::kInner);
+                          JoinType type = JoinType::kInner,
+                          const MorselPolicy& policy = {});
 
 }  // namespace mlcs::exec
 

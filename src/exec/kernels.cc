@@ -1,5 +1,6 @@
 #include "exec/kernels.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -226,48 +227,11 @@ uint64_t HashBytes(const void* data, size_t len) {
 
 constexpr uint64_t kNullHash = 0x6E756C6C6E756C6CULL;  // "nullnull"
 
-}  // namespace
-
-const char* BinOpKindToString(BinOpKind op) {
-  switch (op) {
-    case BinOpKind::kAdd:
-      return "+";
-    case BinOpKind::kSub:
-      return "-";
-    case BinOpKind::kMul:
-      return "*";
-    case BinOpKind::kDiv:
-      return "/";
-    case BinOpKind::kMod:
-      return "%";
-    case BinOpKind::kEq:
-      return "=";
-    case BinOpKind::kNe:
-      return "<>";
-    case BinOpKind::kLt:
-      return "<";
-    case BinOpKind::kLe:
-      return "<=";
-    case BinOpKind::kGt:
-      return ">";
-    case BinOpKind::kGe:
-      return ">=";
-    case BinOpKind::kAnd:
-      return "AND";
-    case BinOpKind::kOr:
-      return "OR";
-  }
-  return "?";
-}
-
-Result<ColumnPtr> BinaryKernel(BinOpKind op, const Column& left,
-                               const Column& right) {
+/// Serial element-wise binary kernel over full columns — the pre-morsel
+/// code path, also the per-morsel worker body.
+Result<ColumnPtr> BinaryKernelSerial(BinOpKind op, const Column& left,
+                                     const Column& right) {
   size_t ln = left.size(), rn = right.size();
-  if (ln != rn && ln != 1 && rn != 1) {
-    return Status::InvalidArgument(
-        "operand lengths " + std::to_string(ln) + " and " +
-        std::to_string(rn) + " are incompatible (no broadcast)");
-  }
   // Broadcast rule: a length-1 operand adopts the other side's length —
   // including zero (scalar ⊕ empty column → empty column).
   size_t n = ln == rn ? ln : (ln == 1 ? rn : ln);
@@ -334,8 +298,98 @@ Result<ColumnPtr> BinaryKernel(BinOpKind op, const Column& left,
   return out;
 }
 
-Result<ColumnPtr> UnaryKernel(UnOpKind op, const Column& input) {
+/// Concatenates per-morsel result slices in morsel order.
+Result<ColumnPtr> SpliceParts(const std::vector<ColumnPtr>& parts,
+                              size_t total_rows) {
+  if (parts.size() == 1) return parts[0];
+  ColumnPtr out = Column::Make(parts[0]->type());
+  out->Reserve(total_rows);
+  for (const auto& part : parts) {
+    MLCS_RETURN_IF_ERROR(out->AppendColumn(*part));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* BinOpKindToString(BinOpKind op) {
+  switch (op) {
+    case BinOpKind::kAdd:
+      return "+";
+    case BinOpKind::kSub:
+      return "-";
+    case BinOpKind::kMul:
+      return "*";
+    case BinOpKind::kDiv:
+      return "/";
+    case BinOpKind::kMod:
+      return "%";
+    case BinOpKind::kEq:
+      return "=";
+    case BinOpKind::kNe:
+      return "<>";
+    case BinOpKind::kLt:
+      return "<";
+    case BinOpKind::kLe:
+      return "<=";
+    case BinOpKind::kGt:
+      return ">";
+    case BinOpKind::kGe:
+      return ">=";
+    case BinOpKind::kAnd:
+      return "AND";
+    case BinOpKind::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+Result<ColumnPtr> BinaryKernel(BinOpKind op, const Column& left,
+                               const Column& right,
+                               const MorselPolicy& policy) {
+  size_t ln = left.size(), rn = right.size();
+  if (ln != rn && ln != 1 && rn != 1) {
+    return Status::InvalidArgument(
+        "operand lengths " + std::to_string(ln) + " and " +
+        std::to_string(rn) + " are incompatible (no broadcast)");
+  }
+  size_t n = ln == rn ? ln : (ln == 1 ? rn : ln);
+
+  if (!ShouldParallelize(policy, n)) {
+    return BinaryKernelSerial(op, left, right);
+  }
+
+  // Morsel-parallel: each morsel runs the serial kernel over column slices
+  // (length-1 broadcast operands are shared unsliced), then the per-morsel
+  // outputs splice back in morsel order. Element-wise semantics make the
+  // result independent of the split.
+  std::vector<ColumnPtr> parts(NumMorsels(policy, n));
+  MLCS_RETURN_IF_ERROR(ParallelMorsels(
+      policy, n, [&](size_t m, size_t begin, size_t end) -> Status {
+        size_t rows = end - begin;
+        ColumnPtr lslice = ln == 1 ? nullptr : left.Slice(begin, rows);
+        ColumnPtr rslice = rn == 1 ? nullptr : right.Slice(begin, rows);
+        const Column& l = lslice != nullptr ? *lslice : left;
+        const Column& r = rslice != nullptr ? *rslice : right;
+        MLCS_ASSIGN_OR_RETURN(parts[m], BinaryKernelSerial(op, l, r));
+        return Status::OK();
+      }));
+  return SpliceParts(parts, n);
+}
+
+Result<ColumnPtr> UnaryKernel(UnOpKind op, const Column& input,
+                              const MorselPolicy& policy) {
   size_t n = input.size();
+  if (ShouldParallelize(policy, n)) {
+    std::vector<ColumnPtr> parts(NumMorsels(policy, n));
+    MLCS_RETURN_IF_ERROR(ParallelMorsels(
+        policy, n, [&](size_t m, size_t begin, size_t end) -> Status {
+          ColumnPtr slice = input.Slice(begin, end - begin);
+          MLCS_ASSIGN_OR_RETURN(parts[m], UnaryKernel(op, *slice));
+          return Status::OK();
+        }));
+    return SpliceParts(parts, n);
+  }
   ColumnPtr out;
   if (op == UnOpKind::kNot) {
     if (input.type() != TypeId::kBool) {
@@ -381,18 +435,22 @@ Result<ColumnPtr> UnaryKernel(UnOpKind op, const Column& input) {
 }
 
 void HashCombineColumn(const Column& column, std::vector<uint64_t>* hashes) {
-  size_t n = column.size();
+  HashCombineColumnRange(column, 0, column.size(), hashes);
+}
+
+void HashCombineColumnRange(const Column& column, size_t begin, size_t end,
+                            std::vector<uint64_t>* hashes) {
   switch (column.type()) {
     case TypeId::kBool: {
       const auto& src = column.bool_data();
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = begin; i < end; ++i) {
         (*hashes)[i] = MixHash((*hashes)[i], src[i]);
       }
       break;
     }
     case TypeId::kInt32: {
       const auto& src = column.i32_data();
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = begin; i < end; ++i) {
         (*hashes)[i] =
             MixHash((*hashes)[i], static_cast<uint64_t>(
                                       static_cast<int64_t>(src[i])));
@@ -401,14 +459,14 @@ void HashCombineColumn(const Column& column, std::vector<uint64_t>* hashes) {
     }
     case TypeId::kInt64: {
       const auto& src = column.i64_data();
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = begin; i < end; ++i) {
         (*hashes)[i] = MixHash((*hashes)[i], static_cast<uint64_t>(src[i]));
       }
       break;
     }
     case TypeId::kDouble: {
       const auto& src = column.f64_data();
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = begin; i < end; ++i) {
         uint64_t bits;
         std::memcpy(&bits, &src[i], sizeof(bits));
         (*hashes)[i] = MixHash((*hashes)[i], bits);
@@ -418,7 +476,7 @@ void HashCombineColumn(const Column& column, std::vector<uint64_t>* hashes) {
     case TypeId::kVarchar:
     case TypeId::kBlob: {
       const auto& src = column.str_data();
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = begin; i < end; ++i) {
         (*hashes)[i] =
             MixHash((*hashes)[i], HashBytes(src[i].data(), src[i].size()));
       }
@@ -426,7 +484,7 @@ void HashCombineColumn(const Column& column, std::vector<uint64_t>* hashes) {
     }
   }
   if (column.has_nulls()) {
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = begin; i < end; ++i) {
       if (column.IsNull(i)) (*hashes)[i] = MixHash((*hashes)[i], kNullHash);
     }
   }
@@ -476,7 +534,40 @@ int CellCompare(const Column& a, size_t ai, const Column& b, size_t bi) {
   return 0;
 }
 
+namespace {
+
+/// Typed bulk gather for the null-free / no-negative-index case: one branch
+/// per column instead of two per row.
+template <typename T>
+std::vector<T> GatherDense(const std::vector<T>& src,
+                           const std::vector<int64_t>& idx) {
+  std::vector<T> data;
+  data.reserve(idx.size());
+  for (int64_t i : idx) data.push_back(src[static_cast<size_t>(i)]);
+  return data;
+}
+
+}  // namespace
+
 ColumnPtr TakeOrNull(const Column& column, const std::vector<int64_t>& idx) {
+  if (!column.has_nulls() &&
+      std::none_of(idx.begin(), idx.end(),
+                   [](int64_t i) { return i < 0; })) {
+    switch (column.type()) {
+      case TypeId::kBool:
+        return Column::FromBool(GatherDense(column.bool_data(), idx));
+      case TypeId::kInt32:
+        return Column::FromInt32(GatherDense(column.i32_data(), idx));
+      case TypeId::kInt64:
+        return Column::FromInt64(GatherDense(column.i64_data(), idx));
+      case TypeId::kDouble:
+        return Column::FromDouble(GatherDense(column.f64_data(), idx));
+      case TypeId::kVarchar:
+      case TypeId::kBlob:
+        return Column::FromStrings(GatherDense(column.str_data(), idx),
+                                   column.type());
+    }
+  }
   ColumnPtr out = Column::Make(column.type());
   out->Reserve(idx.size());
   for (int64_t i : idx) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel_for.h"
 #include "common/result.h"
 #include "storage/column.h"
 
@@ -37,16 +38,29 @@ const char* BinOpKindToString(BinOpKind op);
 /// promotes numerically (int32+int32→int32, mixed→wider); comparisons also
 /// accept VARCHAR=VARCHAR (lexicographic); AND/OR require BOOL inputs.
 /// Integer division/modulo by zero produces NULL (SQL semantics).
+///
+/// Long inputs run morsel-parallel on the policy's pool (column slices
+/// through the serial kernel, spliced back in morsel order); results are
+/// identical at every thread count because the op is element-wise.
 Result<ColumnPtr> BinaryKernel(BinOpKind op, const Column& left,
-                               const Column& right);
+                               const Column& right,
+                               const MorselPolicy& policy = {});
 
-/// Unary minus (numeric) and NOT (bool); NULLs pass through.
-Result<ColumnPtr> UnaryKernel(UnOpKind op, const Column& input);
+/// Unary minus (numeric) and NOT (bool); NULLs pass through. Parallelizes
+/// like BinaryKernel.
+Result<ColumnPtr> UnaryKernel(UnOpKind op, const Column& input,
+                              const MorselPolicy& policy = {});
 
 /// Mixes each row's value into `hashes` (multiplicative combine), so calling
 /// it once per key column produces a composite row hash. `hashes` must
 /// already be sized to the column length (seed it with kHashSeed).
 void HashCombineColumn(const Column& column, std::vector<uint64_t>* hashes);
+
+/// Range-restricted form: combines rows [begin, end) only. Each output row
+/// depends only on its own input row, so disjoint ranges are safe to hash
+/// from different threads (the morsel-parallel join/group-by path).
+void HashCombineColumnRange(const Column& column, size_t begin, size_t end,
+                            std::vector<uint64_t>* hashes);
 
 inline constexpr uint64_t kHashSeed = 0x9E3779B97F4A7C15ULL;
 

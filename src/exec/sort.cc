@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <numeric>
 
+#include "exec/filter.h"
 #include "exec/kernels.h"
 
 namespace mlcs::exec {
 
 Result<std::vector<uint32_t>> SortIndices(const Table& input,
-                                          const std::vector<SortKey>& keys) {
+                                          const std::vector<SortKey>& keys,
+                                          const MorselPolicy& policy) {
   if (keys.empty()) {
     return Status::InvalidArgument("sort requires at least one key");
   }
@@ -18,24 +20,58 @@ Result<std::vector<uint32_t>> SortIndices(const Table& input,
     MLCS_ASSIGN_OR_RETURN(ColumnPtr col, input.ColumnByName(k.column));
     cols.push_back(std::move(col));
   }
-  std::vector<uint32_t> indices(input.num_rows());
+  size_t n = input.num_rows();
+  std::vector<uint32_t> indices(n);
   std::iota(indices.begin(), indices.end(), 0);
-  std::stable_sort(indices.begin(), indices.end(),
-                   [&](uint32_t a, uint32_t b) {
-                     for (size_t k = 0; k < cols.size(); ++k) {
-                       int c = CellCompare(*cols[k], a, *cols[k], b);
-                       if (c != 0) return keys[k].descending ? c > 0 : c < 0;
-                     }
-                     return false;
-                   });
+  auto less = [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < cols.size(); ++k) {
+      int c = CellCompare(*cols[k], a, *cols[k], b);
+      if (c != 0) return keys[k].descending ? c > 0 : c < 0;
+    }
+    return false;
+  };
+  if (!ShouldParallelize(policy, n)) {
+    std::stable_sort(indices.begin(), indices.end(), less);
+    return indices;
+  }
+  // Sort morsel-width runs in parallel, then combine adjacent runs with a
+  // stable binary merge tree (pairs within a pass merge in parallel, run
+  // width doubles per pass). Runs are position-ascending blocks and both
+  // stable_sort and inplace_merge break ties toward the earlier position,
+  // so the result is the unique stable-sort permutation — identical to the
+  // serial path no matter how the runs were split.
+  MLCS_RETURN_IF_ERROR(ParallelMorsels(
+      policy, n, [&](size_t, size_t begin, size_t end) -> Status {
+        std::stable_sort(indices.begin() + static_cast<ptrdiff_t>(begin),
+                         indices.begin() + static_cast<ptrdiff_t>(end), less);
+        return Status::OK();
+      }));
+  for (size_t width = std::max<size_t>(1, policy.morsel_rows); width < n;
+       width *= 2) {
+    size_t pairs = (n + 2 * width - 1) / (2 * width);
+    MLCS_RETURN_IF_ERROR(ParallelItems(
+        policy, pairs, [&](size_t p) -> Status {
+          size_t begin = p * 2 * width;
+          size_t mid = std::min(n, begin + width);
+          size_t end = std::min(n, begin + 2 * width);
+          if (mid < end) {
+            std::inplace_merge(indices.begin() + static_cast<ptrdiff_t>(begin),
+                               indices.begin() + static_cast<ptrdiff_t>(mid),
+                               indices.begin() + static_cast<ptrdiff_t>(end),
+                               less);
+          }
+          return Status::OK();
+        }));
+  }
   return indices;
 }
 
 Result<TablePtr> SortTable(const Table& input,
-                           const std::vector<SortKey>& keys) {
+                           const std::vector<SortKey>& keys,
+                           const MorselPolicy& policy) {
   MLCS_ASSIGN_OR_RETURN(std::vector<uint32_t> indices,
-                        SortIndices(input, keys));
-  return input.TakeRows(indices);
+                        SortIndices(input, keys, policy));
+  return GatherRows(input, indices, policy);
 }
 
 }  // namespace mlcs::exec

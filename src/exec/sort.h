@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel_for.h"
 #include "common/result.h"
 #include "storage/table.h"
 
@@ -15,14 +16,19 @@ struct SortKey {
 };
 
 /// Stable multi-key sort; NULLs sort first (before all values) on ascending
-/// keys, last on descending keys.
+/// keys, last on descending keys. Long inputs sort morsel-width runs in
+/// parallel and combine them with a stable binary merge tree; the stable
+/// sort permutation is unique (ties resolve by input position), so the
+/// result is bit-identical to the serial sort at every thread count.
 Result<TablePtr> SortTable(const Table& input,
-                           const std::vector<SortKey>& keys);
+                           const std::vector<SortKey>& keys,
+                           const MorselPolicy& policy = {});
 
 /// The permutation that SortTable applies (exposed for operators that sort
 /// auxiliary payloads alongside).
 Result<std::vector<uint32_t>> SortIndices(const Table& input,
-                                          const std::vector<SortKey>& keys);
+                                          const std::vector<SortKey>& keys,
+                                          const MorselPolicy& policy = {});
 
 }  // namespace mlcs::exec
 

@@ -86,8 +86,10 @@ Status InferenceServer::Start(uint16_t port) {
   draining_.store(false);
   io_stop_.store(false);
   running_.store(true);
-  io_thread_ = std::thread([this] { IoLoop(); });
-  batch_thread_ = std::thread([this] { BatchLoop(); });
+  // Dedicated long-lived loops, not units of work — they must not occupy
+  // (or deadlock behind) the shared pool's workers.
+  io_thread_ = std::thread([this] { IoLoop(); });      // lint:allow(naked-thread)
+  batch_thread_ = std::thread([this] { BatchLoop(); });  // lint:allow(naked-thread)
   return Status::OK();
 }
 

@@ -33,6 +33,14 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
   udf::UdfRegistry& udfs() { return udfs_; }
 
+  /// Morsel scheduling policy for this database's relational operators
+  /// (defaults to the global pool, sized by MLCS_THREADS). Embedders with
+  /// their own pool pass it here.
+  void set_exec_policy(const MorselPolicy& policy) {
+    executor_->set_policy(policy);
+  }
+  const MorselPolicy& exec_policy() const { return executor_->policy(); }
+
   /// Executes one SQL statement and returns its result table.
   Result<TablePtr> Query(const std::string& sql);
   /// Executes a semicolon-separated script; returns the last result.

@@ -565,7 +565,8 @@ Result<TablePtr> Executor::ExecuteJoin(const TableRef& ref) {
     return Status::NotFound("join condition " + a + " = " + b +
                             " does not match the joined tables' columns");
   }
-  return exec::HashJoin(*left, *right, left_keys, right_keys, ref.join_type);
+  return exec::HashJoin(*left, *right, left_keys, right_keys, ref.join_type,
+                        policy_);
 }
 
 Result<TablePtr> Executor::ExecuteSelect(const SelectStatement& select) {
@@ -583,7 +584,7 @@ Result<TablePtr> Executor::ExecuteSelect(const SelectStatement& select) {
     MLCS_ASSIGN_OR_RETURN(exec::ExprPtr pred, Lower(*select.where));
     exec::EvalContext ctx = MakeContext(input.get());
     MLCS_ASSIGN_OR_RETURN(ColumnPtr mask, pred->Evaluate(ctx));
-    MLCS_ASSIGN_OR_RETURN(input, exec::FilterTable(*input, *mask));
+    MLCS_ASSIGN_OR_RETURN(input, exec::FilterTable(*input, *mask, policy_));
   }
 
   // Projection (aggregate or plain).
@@ -610,7 +611,7 @@ Result<TablePtr> Executor::ExecuteSelect(const SelectStatement& select) {
     MLCS_ASSIGN_OR_RETURN(exec::ExprPtr pred, Lower(*select.having));
     exec::EvalContext ctx = MakeContext(output.get());
     MLCS_ASSIGN_OR_RETURN(ColumnPtr mask, pred->Evaluate(ctx));
-    MLCS_ASSIGN_OR_RETURN(output, exec::FilterTable(*output, *mask));
+    MLCS_ASSIGN_OR_RETURN(output, exec::FilterTable(*output, *mask, policy_));
   }
 
   // DISTINCT: hash-deduplicate full output rows (first-seen order).
@@ -620,7 +621,8 @@ Result<TablePtr> Executor::ExecuteSelect(const SelectStatement& select) {
     for (const auto& field : output->schema().fields()) {
       keys.push_back(field.name);
     }
-    MLCS_ASSIGN_OR_RETURN(output, exec::HashGroupBy(*output, keys, {}));
+    MLCS_ASSIGN_OR_RETURN(output,
+                          exec::HashGroupBy(*output, keys, {}, policy_));
     input = nullptr;  // row correspondence is gone
   }
 
@@ -746,7 +748,8 @@ Result<TablePtr> Executor::ProjectAggregate(const SelectStatement& select,
   }
 
   MLCS_ASSIGN_OR_RETURN(TablePtr aggregated,
-                        exec::HashGroupBy(*work, select.group_by, specs));
+                        exec::HashGroupBy(*work, select.group_by, specs,
+                                          policy_));
 
   // Final projection in select-list order with aliases.
   Schema schema;
@@ -808,7 +811,7 @@ Result<TablePtr> Executor::ApplyOrderByLimit(const SelectStatement& select,
       keys.push_back({temp, item.descending});
     }
     MLCS_ASSIGN_OR_RETURN(TablePtr sorted,
-                          exec::SortTable(*augmented, keys));
+                          exec::SortTable(*augmented, keys, policy_));
     std::vector<size_t> keep(original_columns);
     for (size_t i = 0; i < original_columns; ++i) keep[i] = i;
     table = sorted->Project(keep);

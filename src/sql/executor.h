@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/parallel_for.h"
 #include "common/result.h"
 #include "exec/expression.h"
 #include "sql/ast.h"
@@ -13,11 +14,18 @@ namespace mlcs::sql {
 
 /// Interprets bound SQL statements against a catalog + UDF registry using
 /// the column-at-a-time operators in exec/ (MonetDB-style operator-at-a-
-/// time execution: each operator materializes full columns).
+/// time execution: each operator materializes full columns). The relational
+/// operators run morsel-parallel under `policy()` — by default the global
+/// pool, whose size MLCS_THREADS controls.
 class Executor {
  public:
   Executor(Catalog* catalog, udf::UdfRegistry* udfs)
       : catalog_(catalog), udfs_(udfs) {}
+
+  /// Morsel scheduling policy handed to every relational operator this
+  /// executor invokes (filter, join, group-by, sort).
+  const MorselPolicy& policy() const { return policy_; }
+  void set_policy(const MorselPolicy& policy) { policy_ = policy; }
 
   /// Runs one statement; DDL/DML return a one-column status table.
   Result<TablePtr> Execute(const Statement& stmt);
@@ -67,6 +75,7 @@ class Executor {
 
   Catalog* catalog_;
   udf::UdfRegistry* udfs_;
+  MorselPolicy policy_;
 };
 
 }  // namespace mlcs::sql

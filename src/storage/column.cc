@@ -285,44 +285,48 @@ Result<ColumnPtr> Column::CastTo(TypeId target) const {
 }
 
 ColumnPtr Column::Take(const std::vector<uint32_t>& indices) const {
+  return Take(indices.data(), indices.size());
+}
+
+ColumnPtr Column::Take(const uint32_t* indices, size_t count) const {
   ColumnPtr out = Make(type_);
-  out->Reserve(indices.size());
+  out->Reserve(count);
   switch (data_.index()) {
     case kBoolIdx: {
       const auto& src = std::get<kBoolIdx>(data_);
       auto& dst = std::get<kBoolIdx>(out->data_);
-      for (uint32_t idx : indices) dst.push_back(src[idx]);
+      for (size_t i = 0; i < count; ++i) dst.push_back(src[indices[i]]);
       break;
     }
     case kI32Idx: {
       const auto& src = std::get<kI32Idx>(data_);
       auto& dst = std::get<kI32Idx>(out->data_);
-      for (uint32_t idx : indices) dst.push_back(src[idx]);
+      for (size_t i = 0; i < count; ++i) dst.push_back(src[indices[i]]);
       break;
     }
     case kI64Idx: {
       const auto& src = std::get<kI64Idx>(data_);
       auto& dst = std::get<kI64Idx>(out->data_);
-      for (uint32_t idx : indices) dst.push_back(src[idx]);
+      for (size_t i = 0; i < count; ++i) dst.push_back(src[indices[i]]);
       break;
     }
     case kF64Idx: {
       const auto& src = std::get<kF64Idx>(data_);
       auto& dst = std::get<kF64Idx>(out->data_);
-      for (uint32_t idx : indices) dst.push_back(src[idx]);
+      for (size_t i = 0; i < count; ++i) dst.push_back(src[indices[i]]);
       break;
     }
     case kStrIdx: {
       const auto& src = std::get<kStrIdx>(data_);
       auto& dst = std::get<kStrIdx>(out->data_);
-      for (uint32_t idx : indices) dst.push_back(src[idx]);
+      for (size_t i = 0; i < count; ++i) dst.push_back(src[indices[i]]);
       break;
     }
   }
   if (has_nulls()) {
-    out->validity_.reserve(indices.size());
-    for (uint32_t idx : indices) {
-      uint8_t valid = validity_[idx];
+    out->validity_.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      uint8_t valid = validity_[indices[i]];
       out->validity_.push_back(valid);
       if (valid == 0) ++out->null_count_;
     }
@@ -332,11 +336,50 @@ ColumnPtr Column::Take(const std::vector<uint32_t>& indices) const {
 }
 
 ColumnPtr Column::Slice(size_t offset, size_t length) const {
-  std::vector<uint32_t> indices(length);
-  for (size_t i = 0; i < length; ++i) {
-    indices[i] = static_cast<uint32_t>(offset + i);
+  // Contiguous range copy, not a gather: the morsel-parallel operators
+  // slice every input column once per morsel, so this is a hot path.
+  ColumnPtr out = Make(type_);
+  switch (data_.index()) {
+    case kBoolIdx: {
+      const auto& src = std::get<kBoolIdx>(data_);
+      std::get<kBoolIdx>(out->data_)
+          .assign(src.begin() + offset, src.begin() + offset + length);
+      break;
+    }
+    case kI32Idx: {
+      const auto& src = std::get<kI32Idx>(data_);
+      std::get<kI32Idx>(out->data_)
+          .assign(src.begin() + offset, src.begin() + offset + length);
+      break;
+    }
+    case kI64Idx: {
+      const auto& src = std::get<kI64Idx>(data_);
+      std::get<kI64Idx>(out->data_)
+          .assign(src.begin() + offset, src.begin() + offset + length);
+      break;
+    }
+    case kF64Idx: {
+      const auto& src = std::get<kF64Idx>(data_);
+      std::get<kF64Idx>(out->data_)
+          .assign(src.begin() + offset, src.begin() + offset + length);
+      break;
+    }
+    case kStrIdx: {
+      const auto& src = std::get<kStrIdx>(data_);
+      std::get<kStrIdx>(out->data_)
+          .assign(src.begin() + offset, src.begin() + offset + length);
+      break;
+    }
   }
-  return Take(indices);
+  if (has_nulls()) {
+    out->validity_.assign(validity_.begin() + offset,
+                          validity_.begin() + offset + length);
+    for (uint8_t v : out->validity_) {
+      if (v == 0) ++out->null_count_;
+    }
+    if (out->null_count_ == 0) out->validity_.clear();
+  }
+  return out;
 }
 
 Result<std::vector<double>> Column::ToDoubleVector() const {

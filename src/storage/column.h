@@ -117,6 +117,10 @@ class Column {
   Result<ColumnPtr> CastTo(TypeId target) const;
   /// Gather: out[i] = this[indices[i]].
   [[nodiscard]] ColumnPtr Take(const std::vector<uint32_t>& indices) const;
+  /// Pointer-range gather over indices[0, count). Lets morsel-parallel
+  /// operators gather disjoint pieces of one selection vector without
+  /// copying it per morsel.
+  [[nodiscard]] ColumnPtr Take(const uint32_t* indices, size_t count) const;
   /// Contiguous sub-range copy.
   [[nodiscard]] ColumnPtr Slice(size_t offset, size_t length) const;
   /// Numeric column as doubles (ML ingestion). NULLs become NaN.

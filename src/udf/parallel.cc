@@ -1,7 +1,9 @@
 #include "udf/parallel.h"
 
-#include <mutex>
+#include <algorithm>
+#include <vector>
 
+#include "common/parallel_for.h"
 #include "common/thread_pool.h"
 
 namespace mlcs::udf {
@@ -11,7 +13,8 @@ Result<ColumnPtr> ParallelCallScalar(const UdfRegistry& registry,
                                      const std::vector<ColumnPtr>& args,
                                      size_t num_rows,
                                      const ParallelOptions& options) {
-  ThreadPool& pool = ThreadPool::Global();
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Global();
   size_t num_chunks =
       options.num_chunks == 0 ? pool.num_threads() : options.num_chunks;
   if (options.min_rows_per_chunk > 0) {
@@ -23,16 +26,18 @@ Result<ColumnPtr> ParallelCallScalar(const UdfRegistry& registry,
     return registry.CallScalar(name, args, num_rows);
   }
 
+  // Chunks ride the morsel scheduler (one chunk per item): same atomic
+  // handoff, caller participation (so a UDF invoked from inside a
+  // morselized operator on the same pool cannot deadlock), and
+  // first-error-wins cancellation as the relational operators.
   size_t chunk_size = (num_rows + num_chunks - 1) / num_chunks;
-  struct ChunkResult {
-    Status status = Status::OK();
-    ColumnPtr column;
-  };
-  std::vector<ChunkResult> results(num_chunks);
-
-  pool.ParallelForChunks(
-      num_rows, num_chunks, [&](size_t chunk, size_t begin, size_t end) {
-        size_t rows = end - begin;
+  std::vector<ColumnPtr> pieces(num_chunks);
+  MorselPolicy policy;
+  policy.pool = &pool;
+  MLCS_RETURN_IF_ERROR(ParallelItems(
+      policy, num_chunks, [&](size_t chunk) -> Status {
+        size_t begin = chunk * chunk_size;
+        size_t rows = std::min(chunk_size, num_rows - begin);
         std::vector<ColumnPtr> sliced;
         sliced.reserve(args.size());
         for (const auto& arg : args) {
@@ -42,25 +47,20 @@ Result<ColumnPtr> ParallelCallScalar(const UdfRegistry& registry,
             sliced.push_back(arg->Slice(begin, rows));
           }
         }
-        auto r = registry.CallScalar(name, sliced, rows);
-        if (!r.ok()) {
-          results[chunk].status = r.status();
-        } else {
-          results[chunk].column = std::move(r).ValueOrDie();
+        MLCS_ASSIGN_OR_RETURN(pieces[chunk],
+                              registry.CallScalar(name, sliced, rows));
+        if (pieces[chunk] == nullptr) {
+          return Status::Internal("parallel UDF chunk produced no column");
         }
-      });
+        return Status::OK();
+      }));
 
   // Stitch in chunk order; broadcast (length-1) chunk outputs expand.
   ColumnPtr out;
-  size_t chunk_index = 0;
-  for (size_t begin = 0; begin < num_rows; begin += chunk_size) {
-    ChunkResult& cr = results[chunk_index];
-    MLCS_RETURN_IF_ERROR(cr.status);
-    if (cr.column == nullptr) {
-      return Status::Internal("parallel UDF chunk produced no column");
-    }
+  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    size_t begin = chunk * chunk_size;
     size_t rows = std::min(chunk_size, num_rows - begin);
-    ColumnPtr piece = cr.column;
+    ColumnPtr piece = pieces[chunk];
     if (piece->size() == 1 && rows != 1) {
       MLCS_ASSIGN_OR_RETURN(Value v, piece->GetValue(0));
       piece = Column::Constant(v, rows);
@@ -70,7 +70,6 @@ Result<ColumnPtr> ParallelCallScalar(const UdfRegistry& registry,
       out->Reserve(num_rows);
     }
     MLCS_RETURN_IF_ERROR(out->AppendColumn(*piece));
-    ++chunk_index;
   }
   return out;
 }

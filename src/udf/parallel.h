@@ -4,6 +4,10 @@
 #include "common/result.h"
 #include "udf/udf.h"
 
+namespace mlcs {
+class ThreadPool;
+}
+
 namespace mlcs::udf {
 
 struct ParallelOptions {
@@ -12,6 +16,10 @@ struct ParallelOptions {
   /// Minimum rows per chunk — below this the call stays single-chunk
   /// (splitting tiny inputs costs more than it saves).
   size_t min_rows_per_chunk = 4096;
+  /// Pool the chunks run on; nullptr = ThreadPool::Global() (the same
+  /// pool the relational operators' MorselPolicy defaults to, so one
+  /// MLCS_THREADS knob governs UDFs and operators alike).
+  mlcs::ThreadPool* pool = nullptr;
 };
 
 /// Runs a *vectorized scalar* UDF over the input in parallel: slices each

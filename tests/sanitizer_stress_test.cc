@@ -325,5 +325,114 @@ TEST(SanitizerStressTest, InferenceServerChurn) {
   EXPECT_FALSE(server.running());
 }
 
+TEST(SanitizerStressTest, MorselOperatorsShareServingPool) {
+  // PR 3's hazard surface: the relational operators fan morsels out over
+  // the same ThreadPool the inference server executes its batches on.
+  // Several threads run filter + group-by + join + sort queries while
+  // clients hammer predict, all multiplexed onto three shared workers.
+  // Two properties under test: no data race anywhere in the morsel
+  // scheduler / operator partials (TSan), and determinism — every query
+  // result under contention must equal the reference computed before the
+  // stress started. The pool is created explicitly (CI has one core, so
+  // Global() would give a single worker and hide the interleavings).
+  ThreadPool pool(3);
+
+  Database db;
+  {
+    std::string script =
+        "CREATE TABLE facts (k INTEGER, v DOUBLE);"
+        "CREATE TABLE dim (k INTEGER, name VARCHAR);";
+    ASSERT_TRUE(db.Run(script).ok());
+    Rng rng(7);
+    std::string insert = "INSERT INTO facts VALUES ";
+    for (int i = 0; i < 2048; ++i) {
+      if (i > 0) insert += ",";
+      insert += "(";
+      insert += std::to_string(rng.NextBounded(16));
+      insert += ",";
+      insert += std::to_string(rng.NextDouble());
+      insert += ")";
+    }
+    ASSERT_TRUE(db.Query(insert).ok());
+    std::string dims = "INSERT INTO dim VALUES ";
+    for (int k = 0; k < 16; ++k) {
+      if (k > 0) dims += ",";
+      dims += "(";
+      dims += std::to_string(k);
+      dims += ",'g";
+      dims += std::to_string(k);
+      dims += "')";
+    }
+    ASSERT_TRUE(db.Query(dims).ok());
+  }
+  // 64-row morsels: 32 morsels for element-wise work, 2 for the
+  // aggregate's 16x-widened grain — everything actually fans out.
+  MorselPolicy policy;
+  policy.pool = &pool;
+  policy.morsel_rows = 64;
+  db.set_exec_policy(policy);
+
+  const std::string kQuery =
+      "SELECT d.name, COUNT(*) AS n, SUM(f.v) AS total FROM facts f "
+      "JOIN dim d ON f.k = d.k WHERE f.v > 0.25 GROUP BY d.name "
+      "ORDER BY total DESC";
+  TablePtr reference = db.Query(kQuery).ValueOrDie();
+  ASSERT_GT(reference->num_rows(), 0u);
+
+  modelstore::ModelStore store(&db);
+  ASSERT_TRUE(store.Init().ok());
+  {
+    auto seeded = ml::pickle::Loads(FittedBlob(1)).ValueOrDie();
+    ASSERT_TRUE(store.SaveModel("m", *seeded, 0.9, 64).ok());
+  }
+  serve::InferenceServerOptions opts;
+  opts.pool = &pool;  // the whole point: serving shares the query pool
+  opts.batch_linger = std::chrono::microseconds(100);
+  serve::InferenceServer server(&db, &store, opts);
+  ASSERT_TRUE(server.Start(0).ok());
+  uint16_t port = server.port();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < kThreads; ++t) {
+    queriers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        auto r = db.Query(kQuery);
+        if (!r.ok() || !r.ValueOrDie()->Equals(*reference)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> predictors;
+  for (int c = 0; c < 2; ++c) {
+    predictors.emplace_back([&, c] {
+      client::InferenceClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      Rng rng(500 + c);
+      ml::Matrix x(4, 2);
+      for (size_t r = 0; r < 4; ++r) {
+        x.Set(r, 0, rng.NextGaussian());
+        x.Set(r, 1, rng.NextGaussian());
+      }
+      for (int i = 0; i < kIters; ++i) {
+        auto response = client.Call("m", x);
+        if (!response.ok() ||
+            response.ValueOrDie().code != serve::ServeCode::kOk ||
+            response.ValueOrDie().labels.size() != 4u) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : queriers) t.join();
+  for (auto& t : predictors) t.join();
+  server.Stop();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 }  // namespace
 }  // namespace mlcs

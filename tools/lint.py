@@ -20,6 +20,13 @@ Rules
                         no "../" relative paths, no <angle> form for repo
                         files, no <bits/...> internals.
   using-namespace-std   `using namespace std;` is forbidden in headers.
+  naked-thread          Constructing `std::thread` outside common/thread_pool
+                        and client/server (and tests/) — operators and
+                        library code must run work on the shared ThreadPool
+                        (ParallelMorsels / Submit) so MLCS_THREADS stays the
+                        one parallelism knob. Dedicated long-lived loops
+                        (e.g. a server's accept thread) opt out with
+                        `// lint:allow(naked-thread)`.
 
 Exit status is 0 when clean, 1 when any violation is found.
 A line can opt out with a trailing `// lint:allow(<rule>)` comment.
@@ -176,6 +183,27 @@ def check_includes(path, lines, headers):
                    "(quoted includes are reserved for repo headers)")
 
 
+NAKED_THREAD_RE = re.compile(r"\bstd\s*::\s*thread\s*[({]")
+NAKED_THREAD_ALLOWED_PATHS = ("common/thread_pool", "client/server")
+
+
+def check_naked_thread(path, relpath, lines):
+    rel = relpath.replace(os.sep, "/")
+    if rel.startswith("tests/"):
+        return
+    if any(p in rel for p in NAKED_THREAD_ALLOWED_PATHS):
+        return
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        if not NAKED_THREAD_RE.search(line):
+            continue
+        if allowed(raw, "naked-thread"):
+            continue
+        report(path, i + 1, "naked-thread",
+               "`std::thread` constructed outside common/thread_pool; run "
+               "work on the shared ThreadPool so MLCS_THREADS governs it")
+
+
 def check_using_namespace(path, relpath, lines):
     if not relpath.endswith(".h"):
         return
@@ -202,6 +230,7 @@ def lint_file(path, headers):
     check_include_guard(path, relpath, lines)
     check_includes(path, lines, headers)
     check_using_namespace(path, relpath, lines)
+    check_naked_thread(path, relpath, lines)
 
 
 def collect(paths):
