@@ -361,6 +361,10 @@ int main() {
   json.Field("benchmark", "ablation_serving");
   json.Field("mlcs_threads",
              static_cast<uint64_t>(ThreadPool::DefaultThreadCount()));
+  json.Field("plan_optimizer",
+             bench::PlanOptimizerEnabledByEnv() ? "on" : "off");
+  json.Field("plan_cache_hits", PlanCacheHitsTotal());
+  json.Field("plan_cache_misses", PlanCacheMissesTotal());
   json.Key("workload");
   json.BeginObject();
   json.Field("requests", config.requests);

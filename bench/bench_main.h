@@ -12,7 +12,11 @@
 //    per-binary flag plumbing, and
 //  - records the effective thread-pool size ("mlcs_threads" in the JSON
 //    context block), so a result file always says what parallelism it was
-//    measured at (MLCS_THREADS env or hardware_concurrency).
+//    measured at (MLCS_THREADS env or hardware_concurrency), and
+//  - records the planner configuration ("plan_optimizer" on/off, from
+//    MLCS_DISABLE_OPTIMIZER) plus the process-wide prepared-plan cache
+//    hit/miss totals, so serving-path results carry their cache
+//    effectiveness alongside the timings.
 //
 // Usage, at the bottom of the bench .cc file:
 //   MLCS_BENCH_MAIN(ablation_protocols)
@@ -20,13 +24,40 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "json_util.h"
+#include "sql/database.h"
 
 namespace mlcs::bench {
+
+/// Splices the plan-cache counters into an already-written benchmark JSON
+/// file (they are only final after RunSpecifiedBenchmarks returns, past
+/// the point where AddCustomContext can help). Best-effort: a file without
+/// a context block is left untouched.
+inline void InjectPlanCacheCounters(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string doc = buf.str();
+  in.close();
+  size_t ctx = doc.find("\"context\": {");
+  if (ctx == std::string::npos) return;
+  size_t brace = doc.find('{', ctx);
+  std::string fields =
+      "\n    \"plan_cache_hits\": \"" + std::to_string(PlanCacheHitsTotal()) +
+      "\",\n    \"plan_cache_misses\": \"" +
+      std::to_string(PlanCacheMissesTotal()) + "\",";
+  doc.insert(brace + 1, fields);
+  std::ofstream out(path);
+  if (out) out << doc;
+}
 
 inline int RunBenchmarks(const char* bench_name, int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
@@ -55,9 +86,14 @@ inline int RunBenchmarks(const char* bench_name, int argc, char** argv) {
   benchmark::Initialize(&args_count, args.data());
   benchmark::AddCustomContext("mlcs_threads",
                               std::to_string(ThreadPool::DefaultThreadCount()));
+  benchmark::AddCustomContext(
+      "plan_optimizer", PlanOptimizerEnabledByEnv() ? "on" : "off");
   size_t ran = benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!has_out) std::cout << "wrote " << json_path << "\n";
+  if (!has_out) {
+    InjectPlanCacheCounters(json_path);
+    std::cout << "wrote " << json_path << "\n";
+  }
   return ran == 0 ? 1 : 0;
 }
 

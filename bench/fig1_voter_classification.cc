@@ -31,6 +31,7 @@
 #include "io/npy.h"
 #include "json_util.h"
 #include "pipeline/voter_pipeline.h"
+#include "sql/database.h"
 
 namespace {
 
@@ -75,6 +76,10 @@ bool WriteJson(const mlcs::pipeline::PipelineConfig& config) {
   json.Field("benchmark", "fig1_voter_classification");
   json.Field("mlcs_threads",
              static_cast<uint64_t>(mlcs::ThreadPool::DefaultThreadCount()));
+  json.Field("plan_optimizer",
+             mlcs::bench::PlanOptimizerEnabledByEnv() ? "on" : "off");
+  json.Field("plan_cache_hits", mlcs::PlanCacheHitsTotal());
+  json.Field("plan_cache_misses", mlcs::PlanCacheMissesTotal());
   json.Key("workload");
   json.BeginObject();
   json.Field("rows", config.data.num_voters);

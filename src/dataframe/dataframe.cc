@@ -7,22 +7,29 @@ namespace mlcs::dataframe {
 
 Result<DataFrame> DataFrame::Merge(const DataFrame& other,
                                    const std::vector<std::string>& on) const {
-  MLCS_ASSIGN_OR_RETURN(TablePtr joined,
-                        exec::HashJoin(*table_, *other.table_, on, on));
+  // The DataFrame API embeds the operators by design (no SQL plan here).
+  MLCS_ASSIGN_OR_RETURN(
+      TablePtr joined,
+      exec::HashJoin(*table_, *other.table_,  // lint:allow(exec-operator-call)
+                     on, on));
   return DataFrame(std::move(joined));
 }
 
 Result<DataFrame> DataFrame::GroupBy(
     const std::vector<std::string>& keys,
     const std::vector<exec::AggSpec>& aggs) const {
-  MLCS_ASSIGN_OR_RETURN(TablePtr out,
-                        exec::HashGroupBy(*table_, keys, aggs));
+  MLCS_ASSIGN_OR_RETURN(
+      TablePtr out,
+      exec::HashGroupBy(*table_, keys,  // lint:allow(exec-operator-call)
+                        aggs));
   return DataFrame(std::move(out));
 }
 
 Result<DataFrame> DataFrame::Filter(const mlcs::Column& predicate) const {
-  MLCS_ASSIGN_OR_RETURN(TablePtr out,
-                        exec::FilterTable(*table_, predicate));
+  MLCS_ASSIGN_OR_RETURN(
+      TablePtr out,
+      exec::FilterTable(*table_,  // lint:allow(exec-operator-call)
+                        predicate));
   return DataFrame(std::move(out));
 }
 

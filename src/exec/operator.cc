@@ -1,0 +1,105 @@
+#include "exec/operator.h"
+
+#include "exec/aggregate.h"
+#include "exec/filter.h"
+
+namespace mlcs::exec {
+
+std::string RenderOperatorTree(const PhysicalOperator& root, int indent) {
+  std::string out(static_cast<size_t>(indent), ' ');
+  out += root.label();
+  out += "\n";
+  for (const PhysicalOpPtr& child : root.children()) {
+    out += RenderOperatorTree(*child, indent + 2);
+  }
+  return out;
+}
+
+Result<OpResult> ScanOperator::Execute() const {
+  MLCS_ASSIGN_OR_RETURN(TablePtr table,
+                        catalog_->ScanTable(table_, columns_));
+  return OpResult{std::move(table), nullptr};
+}
+
+std::string ScanOperator::label() const {
+  std::string out = "SCAN " + table_;
+  if (columns_.has_value()) {
+    out += " [";
+    for (size_t i = 0; i < columns_->size(); ++i) {
+      if (i > 0) out += ", ";
+      out += (*columns_)[i];
+    }
+    out += "]";
+  }
+  return out;
+}
+
+Result<OpResult> FilterOperator::Execute() const {
+  MLCS_ASSIGN_OR_RETURN(OpResult in, children_[0]->Execute());
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr mask, mask_(*in.table));
+  MLCS_ASSIGN_OR_RETURN(TablePtr out,
+                        FilterTable(*in.table, *mask, policy_));
+  return OpResult{std::move(out), nullptr};
+}
+
+Result<OpResult> HashJoinOperator::Execute() const {
+  MLCS_ASSIGN_OR_RETURN(OpResult left, children_[0]->Execute());
+  MLCS_ASSIGN_OR_RETURN(OpResult right, children_[1]->Execute());
+  // Orient each key pair by which schema actually holds the column.
+  std::vector<std::string> left_keys, right_keys;
+  for (const auto& [a, b] : keys_) {
+    bool a_left = left.table->schema().FieldIndex(a).has_value();
+    bool b_right = right.table->schema().FieldIndex(b).has_value();
+    if (a_left && b_right) {
+      left_keys.push_back(a);
+      right_keys.push_back(b);
+      continue;
+    }
+    bool b_left = left.table->schema().FieldIndex(b).has_value();
+    bool a_right = right.table->schema().FieldIndex(a).has_value();
+    if (b_left && a_right) {
+      left_keys.push_back(b);
+      right_keys.push_back(a);
+      continue;
+    }
+    return Status::NotFound("join condition " + a + " = " + b +
+                            " does not match the joined tables' columns");
+  }
+  MLCS_ASSIGN_OR_RETURN(
+      TablePtr out, HashJoin(*left.table, *right.table, left_keys,
+                             right_keys, type_, policy_));
+  return OpResult{std::move(out), nullptr};
+}
+
+std::string HashJoinOperator::label() const {
+  std::string out = type_ == JoinType::kLeft ? "LEFT JOIN" : "HASH JOIN";
+  out += " on ";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += keys_[i].first + " = " + keys_[i].second;
+  }
+  return out;
+}
+
+Result<OpResult> DistinctOperator::Execute() const {
+  MLCS_ASSIGN_OR_RETURN(OpResult in, children_[0]->Execute());
+  std::vector<std::string> keys;
+  keys.reserve(in.table->num_columns());
+  for (const auto& field : in.table->schema().fields()) {
+    keys.push_back(field.name);
+  }
+  MLCS_ASSIGN_OR_RETURN(TablePtr out,
+                        HashGroupBy(*in.table, keys, {}, policy_));
+  return OpResult{std::move(out), nullptr};
+}
+
+Result<OpResult> LimitOperator::Execute() const {
+  MLCS_ASSIGN_OR_RETURN(OpResult in, children_[0]->Execute());
+  TablePtr table = std::move(in.table);
+  if (limit_ >= 0 && static_cast<size_t>(limit_) < table->num_rows()) {
+    table = table->SliceRows(0, static_cast<size_t>(limit_));
+  }
+  return OpResult{std::move(table), nullptr};
+}
+
+}  // namespace mlcs::exec

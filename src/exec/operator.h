@@ -1,0 +1,156 @@
+#ifndef MLCS_EXEC_OPERATOR_H_
+#define MLCS_EXEC_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "common/result.h"
+#include "exec/hash_join.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace mlcs::exec {
+
+class PhysicalOperator;
+using PhysicalOpPtr = std::shared_ptr<const PhysicalOperator>;
+
+/// What an operator hands its parent.
+struct OpResult {
+  TablePtr table;
+  /// Pre-projection table whose rows are 1:1 with `table`'s rows, or null
+  /// when that correspondence is broken (aggregation, distinct, sort). The
+  /// SQL sort operator retries ORDER BY expressions that do not resolve
+  /// against the projection over this table, so `SELECT id ... ORDER BY
+  /// age` keeps working.
+  TablePtr row_source;
+};
+
+/// A node of an executable physical plan. Operators are materializing
+/// (MonetDB operator-at-a-time: each pulls its children's full result) and
+/// immutable once built — Execute() is const and carries no per-run state,
+/// so one prepared plan can serve concurrent queries.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+  virtual Result<OpResult> Execute() const = 0;
+  /// One EXPLAIN line describing this node (no children, no indent).
+  virtual std::string label() const = 0;
+  const std::vector<PhysicalOpPtr>& children() const { return children_; }
+
+ protected:
+  std::vector<PhysicalOpPtr> children_;
+};
+
+/// Renders the tree as EXPLAIN text: label per line, children indented two
+/// spaces under their parent.
+std::string RenderOperatorTree(const PhysicalOperator& root, int indent = 0);
+
+/// Leaf scan over a catalog table, optionally restricted to a column subset
+/// (the optimizer's projection pruning). The table is resolved by name at
+/// Execute() time so prepared plans always see current data.
+class ScanOperator : public PhysicalOperator {
+ public:
+  ScanOperator(const Catalog* catalog, std::string table,
+               std::optional<std::vector<std::string>> columns)
+      : catalog_(catalog),
+        table_(std::move(table)),
+        columns_(std::move(columns)) {}
+
+  Result<OpResult> Execute() const override;
+  std::string label() const override;
+  const std::optional<std::vector<std::string>>& columns() const {
+    return columns_;
+  }
+
+ private:
+  const Catalog* catalog_;
+  std::string table_;
+  std::optional<std::vector<std::string>> columns_;
+};
+
+/// Produces the boolean selection mask for a FilterOperator. Receives the
+/// child's table; the hook keeps exec/ free of SQL expression types.
+using MaskFn = std::function<Result<ColumnPtr>(const Table&)>;
+
+/// Filters child rows by a mask (three-valued logic: only TRUE survives).
+class FilterOperator : public PhysicalOperator {
+ public:
+  FilterOperator(PhysicalOpPtr child, MaskFn mask, std::string display,
+                 MorselPolicy policy)
+      : mask_(std::move(mask)),
+        display_(std::move(display)),
+        policy_(std::move(policy)) {
+    children_.push_back(std::move(child));
+  }
+
+  Result<OpResult> Execute() const override;
+  std::string label() const override { return display_; }
+
+ private:
+  MaskFn mask_;
+  std::string display_;
+  MorselPolicy policy_;
+};
+
+/// Hash join of two children. Key pairs arrive unoriented (the SQL parser
+/// strips qualifiers); each pair is oriented at Execute() time by which
+/// schema actually holds the column.
+class HashJoinOperator : public PhysicalOperator {
+ public:
+  HashJoinOperator(PhysicalOpPtr left, PhysicalOpPtr right,
+                   std::vector<std::pair<std::string, std::string>> keys,
+                   JoinType type, MorselPolicy policy)
+      : keys_(std::move(keys)), type_(type), policy_(std::move(policy)) {
+    children_.push_back(std::move(left));
+    children_.push_back(std::move(right));
+  }
+
+  Result<OpResult> Execute() const override;
+  std::string label() const override;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> keys_;
+  JoinType type_;
+  MorselPolicy policy_;
+};
+
+/// Deduplicates full child rows (hash group-by over every column,
+/// first-seen order).
+class DistinctOperator : public PhysicalOperator {
+ public:
+  DistinctOperator(PhysicalOpPtr child, MorselPolicy policy)
+      : policy_(std::move(policy)) {
+    children_.push_back(std::move(child));
+  }
+
+  Result<OpResult> Execute() const override;
+  std::string label() const override { return "DISTINCT"; }
+
+ private:
+  MorselPolicy policy_;
+};
+
+/// Keeps the first `limit` child rows.
+class LimitOperator : public PhysicalOperator {
+ public:
+  LimitOperator(PhysicalOpPtr child, int64_t limit) : limit_(limit) {
+    children_.push_back(std::move(child));
+  }
+
+  Result<OpResult> Execute() const override;
+  std::string label() const override {
+    return "LIMIT " + std::to_string(limit_);
+  }
+
+ private:
+  int64_t limit_;
+};
+
+}  // namespace mlcs::exec
+
+#endif  // MLCS_EXEC_OPERATOR_H_

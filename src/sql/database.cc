@@ -1,7 +1,9 @@
 #include "sql/database.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/string_util.h"
 #include "sql/parser.h"
@@ -10,6 +12,9 @@
 namespace mlcs {
 
 namespace {
+
+std::atomic<uint64_t> g_plan_cache_hits{0};
+std::atomic<uint64_t> g_plan_cache_misses{0};
 
 /// Registers a 1-argument numeric builtin computing fn over doubles.
 void RegisterNumericFn(udf::UdfRegistry* registry, const char* name,
@@ -76,8 +81,20 @@ void RegisterStringFn(udf::UdfRegistry* registry, const char* name,
 
 }  // namespace
 
+uint64_t PlanCacheHitsTotal() {
+  return g_plan_cache_hits.load(std::memory_order_relaxed);
+}
+
+uint64_t PlanCacheMissesTotal() {
+  return g_plan_cache_misses.load(std::memory_order_relaxed);
+}
+
 Database::Database() {
   executor_ = std::make_unique<sql::Executor>(&catalog_, &udfs_);
+  const char* disable = std::getenv("MLCS_DISABLE_OPTIMIZER");
+  if (disable != nullptr && disable[0] != '\0') {
+    executor_->set_optimizer_enabled(false);
+  }
   RegisterBuiltinFunctions();
 }
 
@@ -101,9 +118,90 @@ void Database::RegisterBuiltinFunctions() {
       TypeId::kInt64);
 }
 
+void Database::set_exec_policy(const MorselPolicy& policy) {
+  // Prepared plans capture the policy inside their operator closures, so a
+  // policy change invalidates everything cached.
+  ClearPlanCache();
+  executor_->set_policy(policy);
+}
+
+void Database::set_optimizer_enabled(bool enabled) {
+  ClearPlanCache();
+  executor_->set_optimizer_enabled(enabled);
+}
+
+void Database::ClearPlanCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  plan_cache_.clear();
+  lru_.clear();
+}
+
+PlanCacheStats Database::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  PlanCacheStats stats = cache_stats_;
+  stats.entries = plan_cache_.size();
+  return stats;
+}
+
 Result<TablePtr> Database::Query(const std::string& sql) {
+  // Fast path: a resident, still-current plan for this exact text. Take a
+  // strong reference under the lock, execute outside it (plans are const
+  // and thread-safe).
+  std::shared_ptr<const sql::PreparedSelect> cached;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = plan_cache_.find(sql);
+    if (it != plan_cache_.end()) {
+      if (it->second.plan->catalog_version == catalog_.schema_version()) {
+        ++cache_stats_.hits;
+        g_plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        cached = it->second.plan;
+      } else {
+        // DDL moved the schema since this was planned: discard, re-plan.
+        ++cache_stats_.stale;
+        lru_.erase(it->second.lru_pos);
+        plan_cache_.erase(it);
+      }
+    }
+  }
+  if (cached != nullptr) {
+    return sql::Executor::RunPrepared(*cached);
+  }
+
   MLCS_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
-  return executor_->Execute(stmt);
+  if (std::get_if<sql::SelectStatement>(&stmt) == nullptr) {
+    // Only SELECTs are cacheable — DDL/DML must re-execute every time.
+    return executor_->Execute(stmt);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    ++cache_stats_.misses;
+  }
+  g_plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  MLCS_ASSIGN_OR_RETURN(std::shared_ptr<const sql::PreparedSelect> plan,
+                        executor_->Prepare(std::move(stmt)));
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = plan_cache_.find(sql);
+    if (it == plan_cache_.end()) {
+      while (plan_cache_.size() >= kPlanCacheCapacity && !lru_.empty()) {
+        ++cache_stats_.evictions;
+        plan_cache_.erase(lru_.back());
+        lru_.pop_back();
+      }
+      lru_.push_front(sql);
+      plan_cache_.emplace(sql, CacheEntry{plan, lru_.begin()});
+    } else {
+      // A concurrent caller planned the same text; keep the fresher plan.
+      if (plan->catalog_version >= it->second.plan->catalog_version) {
+        it->second.plan = plan;
+      }
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    }
+  }
+  return sql::Executor::RunPrepared(*plan);
 }
 
 Result<TablePtr> Database::Run(const std::string& script) {

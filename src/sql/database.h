@@ -1,8 +1,12 @@
 #ifndef MLCS_SQL_DATABASE_H_
 #define MLCS_SQL_DATABASE_H_
 
+#include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "common/result.h"
 #include "sql/executor.h"
@@ -10,6 +14,21 @@
 #include "udf/udf.h"
 
 namespace mlcs {
+
+/// Counters summed across every Database in the process — the serving
+/// benches read these to report cache effectiveness without plumbing a
+/// Database pointer through the harness.
+uint64_t PlanCacheHitsTotal();
+uint64_t PlanCacheMissesTotal();
+
+/// Aggregate statistics for one Database's prepared-plan cache.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;      // includes uncacheable (non-SELECT) statements
+  uint64_t stale = 0;       // entries discarded because DDL moved the schema
+  uint64_t evictions = 0;   // capacity evictions (LRU)
+  size_t entries = 0;       // current resident plans
+};
 
 /// The embedded analytical database — the library's main entry point.
 ///
@@ -23,6 +42,11 @@ namespace mlcs {
 /// natively from C++ via udfs() or from SQL via
 /// `CREATE FUNCTION ... LANGUAGE VSCRIPT { ... }` (LANGUAGE PYTHON is an
 /// accepted alias so the paper's listings run verbatim).
+///
+/// SELECT statements are planned once and cached by SQL text: the serving
+/// path replays the same parameterless query per request, so repeat
+/// queries skip parse/bind/optimize entirely. Entries are validated
+/// against the catalog's schema version and re-planned after any DDL.
 class Database {
  public:
   Database();
@@ -35,16 +59,24 @@ class Database {
 
   /// Morsel scheduling policy for this database's relational operators
   /// (defaults to the global pool, sized by MLCS_THREADS). Embedders with
-  /// their own pool pass it here.
-  void set_exec_policy(const MorselPolicy& policy) {
-    executor_->set_policy(policy);
-  }
+  /// their own pool pass it here. Clears the plan cache: prepared plans
+  /// capture the policy at plan time.
+  void set_exec_policy(const MorselPolicy& policy);
   const MorselPolicy& exec_policy() const { return executor_->policy(); }
+
+  /// Toggles the plan rewrite rules (see sql/optimizer.h). Defaults on;
+  /// the MLCS_DISABLE_OPTIMIZER env var (any non-empty value) starts it
+  /// off. Clears the plan cache.
+  void set_optimizer_enabled(bool enabled);
+  bool optimizer_enabled() const { return executor_->optimizer_enabled(); }
 
   /// Executes one SQL statement and returns its result table.
   Result<TablePtr> Query(const std::string& sql);
   /// Executes a semicolon-separated script; returns the last result.
   Result<TablePtr> Run(const std::string& script);
+
+  PlanCacheStats plan_cache_stats() const;
+  void ClearPlanCache();
 
   /// Persists every catalog table into `dir` (one .mlt file per table plus
   /// a manifest) — "storing data inside a relational database" across
@@ -62,6 +94,18 @@ class Database {
   Catalog catalog_;
   udf::UdfRegistry udfs_;
   std::unique_ptr<sql::Executor> executor_;
+
+  /// LRU plan cache: SQL text → prepared plan. `lru_` is most-recent-first;
+  /// each map entry holds its list position for O(1) touch.
+  struct CacheEntry {
+    std::shared_ptr<const sql::PreparedSelect> plan;
+    std::list<std::string>::iterator lru_pos;
+  };
+  static constexpr size_t kPlanCacheCapacity = 128;
+  mutable std::mutex cache_mu_;
+  std::unordered_map<std::string, CacheEntry> plan_cache_;
+  std::list<std::string> lru_;
+  mutable PlanCacheStats cache_stats_;
 };
 
 /// A lightweight session handle. Connections share the database's catalog

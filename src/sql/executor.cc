@@ -3,35 +3,13 @@
 #include <map>
 
 #include "common/string_util.h"
-#include "exec/aggregate.h"
-#include "exec/filter.h"
-#include "exec/sort.h"
+#include "exec/operator.h"
+#include "sql/optimizer.h"
+#include "sql/plan.h"
 #include "vscript/vs_interpreter.h"
 #include "vscript/vs_parser.h"
 
 namespace mlcs::sql {
-
-namespace {
-
-bool IsAggregateName(const std::string& name) {
-  return EqualsIgnoreCase(name, "count") || EqualsIgnoreCase(name, "sum") ||
-         EqualsIgnoreCase(name, "avg") || EqualsIgnoreCase(name, "min") ||
-         EqualsIgnoreCase(name, "max") || EqualsIgnoreCase(name, "stddev") ||
-         EqualsIgnoreCase(name, "stddev_pop");
-}
-
-bool IsTopLevelAggregate(const SqlExpr& e) {
-  return e.kind == SqlExprKind::kCall && IsAggregateName(e.name);
-}
-
-/// Output column name for an unaliased select item.
-std::string DeriveName(const SqlExpr& e, size_t index) {
-  if (e.kind == SqlExprKind::kColumnRef) return e.name;
-  if (e.kind == SqlExprKind::kCall) return ToLower(e.name);
-  return "col" + std::to_string(index);
-}
-
-}  // namespace
 
 TablePtr Executor::StatusTable(const std::string& message) {
   Schema s;
@@ -41,139 +19,15 @@ TablePtr Executor::StatusTable(const std::string& message) {
   return t;
 }
 
-namespace {
-std::string Indent(int n) { return std::string(static_cast<size_t>(n), ' '); }
-}  // namespace
-
-std::string Executor::RenderTableRefPlan(const TableRef& ref, int indent) {
-  switch (ref.kind) {
-    case TableRef::Kind::kBase:
-      return Indent(indent) + "SCAN " + ref.name + "\n";
-    case TableRef::Kind::kJoin: {
-      std::string out =
-          Indent(indent) +
-          (ref.join_type == exec::JoinType::kLeft ? "LEFT JOIN"
-                                                  : "HASH JOIN");
-      out += " on ";
-      for (size_t i = 0; i < ref.join_keys.size(); ++i) {
-        if (i > 0) out += " AND ";
-        out += ref.join_keys[i].first + " = " + ref.join_keys[i].second;
-      }
-      out += "\n";
-      out += RenderTableRefPlan(*ref.left, indent + 2);
-      out += RenderTableRefPlan(*ref.right, indent + 2);
-      return out;
-    }
-    case TableRef::Kind::kFunction: {
-      std::string out =
-          Indent(indent) + "TABLE FUNCTION " + ref.name + "(...)\n";
-      for (const auto& arg : ref.fn_args) {
-        if (arg.table != nullptr) {
-          out += RenderSelectPlan(*arg.table, indent + 2);
-        }
-      }
-      return out;
-    }
-    case TableRef::Kind::kSubquery:
-      return Indent(indent) + "SUBQUERY\n" +
-             RenderSelectPlan(*ref.subquery, indent + 2);
-  }
-  return "";
-}
-
-std::string Executor::RenderSelectPlan(const SelectStatement& select,
-                                       int indent) {
-  // Rendered outermost-last-applied first (the conventional plan shape).
-  std::string out;
-  if (select.limit >= 0) {
-    out += Indent(indent) + "LIMIT " + std::to_string(select.limit) + "\n";
-    indent += 2;
-  }
-  if (!select.order_by.empty()) {
-    out += Indent(indent) + "SORT by ";
-    for (size_t i = 0; i < select.order_by.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += select.order_by[i].expr->ToString();
-      if (select.order_by[i].descending) out += " DESC";
-    }
-    out += "\n";
-    indent += 2;
-  }
-  if (select.distinct) {
-    out += Indent(indent) + "DISTINCT\n";
-    indent += 2;
-  }
-  if (select.having != nullptr) {
-    out += Indent(indent) + "HAVING " + select.having->ToString() + "\n";
-    indent += 2;
-  }
-  std::string projection;
-  for (size_t i = 0; i < select.items.size(); ++i) {
-    if (i > 0) projection += ", ";
-    projection += select.items[i].star ? "*" : select.items[i].expr->ToString();
-    if (!select.items[i].alias.empty()) {
-      projection += " AS " + select.items[i].alias;
-    }
-  }
-  bool has_aggregate = !select.group_by.empty();
-  for (const auto& item : select.items) {
-    if (!item.star && item.expr->kind == SqlExprKind::kCall) {
-      has_aggregate = true;  // conservative for plan display
-    }
-  }
-  if (!select.group_by.empty() || has_aggregate) {
-    out += Indent(indent) + "AGGREGATE [" + projection + "]";
-    if (!select.group_by.empty()) {
-      out += " group by ";
-      for (size_t i = 0; i < select.group_by.size(); ++i) {
-        if (i > 0) out += ", ";
-        out += select.group_by[i];
-      }
-    }
-    out += "\n";
-  } else {
-    out += Indent(indent) + "PROJECT [" + projection + "]\n";
-  }
-  indent += 2;
-  if (select.where != nullptr) {
-    out += Indent(indent) + "FILTER " + select.where->ToString() + "\n";
-    indent += 2;
-  }
-  if (select.from != nullptr) {
-    out += RenderTableRefPlan(*select.from, indent);
-  } else {
-    out += Indent(indent) + "DUAL (no FROM)\n";
-  }
-  return out;
-}
-
-std::string Executor::RenderPlan(const Statement& stmt) {
-  if (const auto* select = std::get_if<SelectStatement>(&stmt)) {
-    return RenderSelectPlan(*select, 0);
-  }
-  if (const auto* create = std::get_if<CreateTableStmt>(&stmt)) {
-    if (create->as_select != nullptr) {
-      return "CREATE TABLE " + create->name + " AS\n" +
-             RenderSelectPlan(*create->as_select, 2);
-    }
-    return "CREATE TABLE " + create->name + " " +
-           create->schema.ToString() + "\n";
-  }
-  if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
-    if (insert->select != nullptr) {
-      return "INSERT INTO " + insert->table + "\n" +
-             RenderSelectPlan(*insert->select, 2);
-    }
-    return "INSERT INTO " + insert->table + " (" +
-           std::to_string(insert->rows.size()) + " literal rows)\n";
-  }
-  if (const auto* del = std::get_if<DeleteStmt>(&stmt)) {
-    return "DELETE FROM " + del->table +
-           (del->where != nullptr ? " WHERE " + del->where->ToString()
-                                  : std::string(" (all rows)")) +
-           "\n";
-  }
-  return "(plan rendering not supported for this statement)\n";
+TablePtr Executor::DmlStatusTable(const std::string& verb, size_t rows) {
+  Schema s;
+  s.AddField("status", TypeId::kVarchar);
+  s.AddField("rows", TypeId::kInt64);
+  auto t = Table::Make(std::move(s));
+  (void)t->AppendRow(
+      {Value::Varchar(verb + " " + std::to_string(rows)),
+       Value::Int64(static_cast<int64_t>(rows))});
+  return t;
 }
 
 exec::EvalContext Executor::MakeContext(const Table* input) const {
@@ -244,8 +98,9 @@ Result<TablePtr> Executor::Execute(const Statement& stmt) {
     Schema schema;
     schema.AddField("plan", TypeId::kVarchar);
     auto out = Table::Make(std::move(schema));
-    for (const std::string& line :
-         SplitString(RenderPlan((*explain)->inner), '\n')) {
+    MLCS_ASSIGN_OR_RETURN(std::string plan,
+                          RenderPlan((*explain)->inner));
+    for (const std::string& line : SplitString(plan, '\n')) {
       if (!line.empty()) {
         MLCS_RETURN_IF_ERROR(out->AppendRow({Value::Varchar(line)}));
       }
@@ -254,6 +109,91 @@ Result<TablePtr> Executor::Execute(const Statement& stmt) {
   }
   return Status::Internal("unknown statement kind");
 }
+
+/// -- Planning & SELECT execution ------------------------------------------
+
+Result<PlannedSelect> Executor::PlanSelect(const SelectStatement& select) {
+  Planner planner(catalog_, this);
+  PlannedSelect planned;
+  MLCS_ASSIGN_OR_RETURN(planned.bound, planner.Bind(select));
+  if (optimizer_enabled_) {
+    OptimizerContext octx;
+    octx.catalog = catalog_;
+    octx.eval_constant = [this](const SqlExpr& e) {
+      return EvaluateConstant(e);
+    };
+    OptimizePlan(&planned.bound, octx);
+  }
+  MLCS_ASSIGN_OR_RETURN(planned.root,
+                        planner.BuildPhysical(*planned.bound.root));
+  return planned;
+}
+
+Result<TablePtr> Executor::ExecuteSelect(const SelectStatement& select) {
+  MLCS_ASSIGN_OR_RETURN(PlannedSelect planned, PlanSelect(select));
+  MLCS_ASSIGN_OR_RETURN(exec::OpResult out, planned.root->Execute());
+  return out.table;
+}
+
+Result<std::shared_ptr<const PreparedSelect>> Executor::Prepare(
+    Statement stmt) {
+  auto prepared = std::make_shared<PreparedSelect>();
+  // Move the AST into its final home *before* binding: plan nodes borrow
+  // pointers to the SelectStatement object itself.
+  prepared->stmt = std::move(stmt);
+  const auto* select = std::get_if<SelectStatement>(&prepared->stmt);
+  if (select == nullptr) {
+    return Status::InvalidArgument("Prepare expects a SELECT statement");
+  }
+  // Snapshot the version before planning so a concurrent DDL mid-plan can
+  // only make the entry look older (safe: it re-plans), never newer.
+  prepared->catalog_version = catalog_->schema_version();
+  MLCS_ASSIGN_OR_RETURN(PlannedSelect planned, PlanSelect(*select));
+  prepared->bound = std::move(planned.bound);
+  prepared->root = std::move(planned.root);
+  return std::shared_ptr<const PreparedSelect>(std::move(prepared));
+}
+
+Result<TablePtr> Executor::RunPrepared(const PreparedSelect& prepared) {
+  MLCS_ASSIGN_OR_RETURN(exec::OpResult out, prepared.root->Execute());
+  return out.table;
+}
+
+Result<std::string> Executor::RenderPlan(const Statement& stmt) {
+  if (const auto* select = std::get_if<SelectStatement>(&stmt)) {
+    MLCS_ASSIGN_OR_RETURN(PlannedSelect planned, PlanSelect(*select));
+    return exec::RenderOperatorTree(*planned.root);
+  }
+  if (const auto* create = std::get_if<CreateTableStmt>(&stmt)) {
+    if (create->as_select != nullptr) {
+      MLCS_ASSIGN_OR_RETURN(PlannedSelect planned,
+                            PlanSelect(*create->as_select));
+      return "CREATE TABLE " + create->name + " AS\n" +
+             exec::RenderOperatorTree(*planned.root, 2);
+    }
+    return "CREATE TABLE " + create->name + " " +
+           create->schema.ToString() + "\n";
+  }
+  if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
+    if (insert->select != nullptr) {
+      MLCS_ASSIGN_OR_RETURN(PlannedSelect planned,
+                            PlanSelect(*insert->select));
+      return "INSERT INTO " + insert->table + "\n" +
+             exec::RenderOperatorTree(*planned.root, 2);
+    }
+    return "INSERT INTO " + insert->table + " (" +
+           std::to_string(insert->rows.size()) + " literal rows)\n";
+  }
+  if (const auto* del = std::get_if<DeleteStmt>(&stmt)) {
+    return "DELETE FROM " + del->table +
+           (del->where != nullptr ? " WHERE " + del->where->ToString()
+                                  : std::string(" (all rows)")) +
+           "\n";
+  }
+  return std::string("(plan rendering not supported for this statement)\n");
+}
+
+/// -- DDL / DML -------------------------------------------------------------
 
 Result<TablePtr> Executor::ExecuteCreateTable(const CreateTableStmt& stmt) {
   TablePtr table;
@@ -310,7 +250,7 @@ Result<TablePtr> Executor::ExecuteInsert(const InsertStmt& stmt) {
       ++inserted;
     }
   }
-  return StatusTable("INSERT " + std::to_string(inserted));
+  return DmlStatusTable("INSERT", inserted);
 }
 
 Result<TablePtr> Executor::ExecuteDrop(const DropStmt& stmt) {
@@ -347,8 +287,7 @@ Result<TablePtr> Executor::ExecuteDelete(const DeleteStmt& stmt) {
   }
   MLCS_RETURN_IF_ERROR(catalog_->CreateTable(stmt.table, remaining,
                                              /*or_replace=*/true));
-  return StatusTable("DELETE " +
-                     std::to_string(before - remaining->num_rows()));
+  return DmlStatusTable("DELETE", before - remaining->num_rows());
 }
 
 Result<TablePtr> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
@@ -421,8 +360,10 @@ Result<TablePtr> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
   MLCS_RETURN_IF_ERROR(rebuilt->Validate());
   MLCS_RETURN_IF_ERROR(
       catalog_->CreateTable(stmt.table, rebuilt, /*or_replace=*/true));
-  return StatusTable("UPDATE " + std::to_string(updated));
+  return DmlStatusTable("UPDATE", updated);
 }
+
+/// -- Expression lowering ----------------------------------------------------
 
 Result<Value> Executor::EvaluateScalarSubquery(
     const SelectStatement& select) {
@@ -454,7 +395,7 @@ Result<exec::ExprPtr> Executor::Lower(const SqlExpr& e) {
           std::make_shared<exec::UnaryExpr>(e.un_op, std::move(operand)));
     }
     case SqlExprKind::kCall: {
-      if (IsAggregateName(e.name)) {
+      if (IsAggregateFunctionName(e.name)) {
         return Status::InvalidArgument(
             "aggregate function " + e.name +
             " is only allowed at the top level of a SELECT list");
@@ -512,316 +453,7 @@ Result<Value> Executor::EvaluateConstant(const SqlExpr& e) {
   return col->GetValue(0);
 }
 
-Result<TablePtr> Executor::ResolveTableRef(const TableRef& ref) {
-  switch (ref.kind) {
-    case TableRef::Kind::kBase:
-      return catalog_->GetTable(ref.name);
-    case TableRef::Kind::kSubquery:
-      return ExecuteSelect(*ref.subquery);
-    case TableRef::Kind::kJoin:
-      return ExecuteJoin(ref);
-    case TableRef::Kind::kFunction: {
-      std::vector<ColumnPtr> args;
-      for (const auto& arg : ref.fn_args) {
-        if (arg.table != nullptr) {
-          // Parenthesized subquery: its columns become vector arguments —
-          // the MonetDB table-argument calling convention.
-          MLCS_ASSIGN_OR_RETURN(TablePtr t, ExecuteSelect(*arg.table));
-          for (size_t c = 0; c < t->num_columns(); ++c) {
-            args.push_back(t->column(c));
-          }
-        } else {
-          MLCS_ASSIGN_OR_RETURN(Value v, EvaluateConstant(*arg.scalar));
-          args.push_back(Column::Constant(v, 1));
-        }
-      }
-      return udfs_->CallTable(ref.name, args);
-    }
-  }
-  return Status::Internal("unknown table ref kind");
-}
-
-Result<TablePtr> Executor::ExecuteJoin(const TableRef& ref) {
-  MLCS_ASSIGN_OR_RETURN(TablePtr left, ResolveTableRef(*ref.left));
-  MLCS_ASSIGN_OR_RETURN(TablePtr right, ResolveTableRef(*ref.right));
-  // Orient each key pair: the parser strips qualifiers, so decide by which
-  // schema actually holds each column.
-  std::vector<std::string> left_keys, right_keys;
-  for (const auto& [a, b] : ref.join_keys) {
-    bool a_left = left->schema().FieldIndex(a).has_value();
-    bool b_right = right->schema().FieldIndex(b).has_value();
-    if (a_left && b_right) {
-      left_keys.push_back(a);
-      right_keys.push_back(b);
-      continue;
-    }
-    bool b_left = left->schema().FieldIndex(b).has_value();
-    bool a_right = right->schema().FieldIndex(a).has_value();
-    if (b_left && a_right) {
-      left_keys.push_back(b);
-      right_keys.push_back(a);
-      continue;
-    }
-    return Status::NotFound("join condition " + a + " = " + b +
-                            " does not match the joined tables' columns");
-  }
-  return exec::HashJoin(*left, *right, left_keys, right_keys, ref.join_type,
-                        policy_);
-}
-
-Result<TablePtr> Executor::ExecuteSelect(const SelectStatement& select) {
-  // FROM (default: a one-row dummy so `SELECT 1` works).
-  TablePtr input;
-  if (select.from != nullptr) {
-    MLCS_ASSIGN_OR_RETURN(input, ResolveTableRef(*select.from));
-  } else {
-    Schema empty;
-    input = Table::Make(std::move(empty));
-  }
-
-  // WHERE.
-  if (select.where != nullptr) {
-    MLCS_ASSIGN_OR_RETURN(exec::ExprPtr pred, Lower(*select.where));
-    exec::EvalContext ctx = MakeContext(input.get());
-    MLCS_ASSIGN_OR_RETURN(ColumnPtr mask, pred->Evaluate(ctx));
-    MLCS_ASSIGN_OR_RETURN(input, exec::FilterTable(*input, *mask, policy_));
-  }
-
-  // Projection (aggregate or plain).
-  bool has_aggregate = !select.group_by.empty();
-  for (const auto& item : select.items) {
-    if (!item.star && IsTopLevelAggregate(*item.expr)) has_aggregate = true;
-  }
-  TablePtr output;
-  if (has_aggregate) {
-    MLCS_ASSIGN_OR_RETURN(output, ProjectAggregate(select, input));
-    // Aggregation breaks the row correspondence with the input.
-    input = nullptr;
-  } else {
-    MLCS_ASSIGN_OR_RETURN(output, ProjectPlain(select, input));
-  }
-
-  // HAVING filters the projected output (reference output names/aliases,
-  // e.g. `SELECT k, COUNT(*) AS n ... HAVING n > 5`).
-  if (select.having != nullptr) {
-    if (!has_aggregate) {
-      return Status::InvalidArgument(
-          "HAVING requires GROUP BY or aggregates");
-    }
-    MLCS_ASSIGN_OR_RETURN(exec::ExprPtr pred, Lower(*select.having));
-    exec::EvalContext ctx = MakeContext(output.get());
-    MLCS_ASSIGN_OR_RETURN(ColumnPtr mask, pred->Evaluate(ctx));
-    MLCS_ASSIGN_OR_RETURN(output, exec::FilterTable(*output, *mask, policy_));
-  }
-
-  // DISTINCT: hash-deduplicate full output rows (first-seen order).
-  if (select.distinct) {
-    std::vector<std::string> keys;
-    keys.reserve(output->num_columns());
-    for (const auto& field : output->schema().fields()) {
-      keys.push_back(field.name);
-    }
-    MLCS_ASSIGN_OR_RETURN(output,
-                          exec::HashGroupBy(*output, keys, {}, policy_));
-    input = nullptr;  // row correspondence is gone
-  }
-
-  return ApplyOrderByLimit(select, std::move(output), input);
-}
-
-Result<TablePtr> Executor::ProjectPlain(const SelectStatement& select,
-                                        const TablePtr& input) {
-  Schema schema;
-  std::vector<ColumnPtr> columns;
-  size_t num_rows = input->num_rows();
-  bool from_less = select.from == nullptr;
-  exec::EvalContext ctx = MakeContext(from_less ? nullptr : input.get());
-  for (size_t i = 0; i < select.items.size(); ++i) {
-    const SelectItem& item = select.items[i];
-    if (item.star) {
-      if (select.from == nullptr) {
-        return Status::InvalidArgument("SELECT * requires a FROM clause");
-      }
-      for (size_t c = 0; c < input->num_columns(); ++c) {
-        schema.AddField(input->schema().field(c).name,
-                        input->schema().field(c).type);
-        columns.push_back(input->column(c));
-      }
-      continue;
-    }
-    MLCS_ASSIGN_OR_RETURN(exec::ExprPtr lowered, Lower(*item.expr));
-    MLCS_ASSIGN_OR_RETURN(ColumnPtr col, lowered->Evaluate(ctx));
-    size_t target_rows = from_less ? 1 : num_rows;
-    if (col->size() == 1 && target_rows != 1) {
-      MLCS_ASSIGN_OR_RETURN(Value v, col->GetValue(0));
-      col = Column::Constant(v, target_rows);
-    } else if (col->size() != target_rows) {
-      return Status::Internal("projection produced " +
-                              std::to_string(col->size()) +
-                              " rows, expected " +
-                              std::to_string(target_rows));
-    }
-    schema.AddField(
-        item.alias.empty() ? DeriveName(*item.expr, i) : item.alias,
-        col->type());
-    columns.push_back(std::move(col));
-  }
-  auto out = std::make_shared<Table>(std::move(schema), std::move(columns));
-  MLCS_RETURN_IF_ERROR(out->Validate());
-  return out;
-}
-
-Result<TablePtr> Executor::ProjectAggregate(const SelectStatement& select,
-                                            const TablePtr& input) {
-  // Plan: pre-project aggregate inputs that are expressions, run the hash
-  // aggregation, then map select items onto its output.
-  TablePtr work = std::make_shared<Table>(*input);
-  std::vector<exec::AggSpec> specs;
-  struct ItemPlan {
-    bool is_aggregate = false;
-    std::string source_column;  // group key or aggregate output name
-    std::string output_name;
-  };
-  std::vector<ItemPlan> plans;
-  exec::EvalContext ctx = MakeContext(work.get());
-
-  for (size_t i = 0; i < select.items.size(); ++i) {
-    const SelectItem& item = select.items[i];
-    if (item.star) {
-      return Status::InvalidArgument(
-          "SELECT * cannot be combined with aggregates/GROUP BY");
-    }
-    ItemPlan plan;
-    plan.output_name =
-        item.alias.empty() ? DeriveName(*item.expr, i) : item.alias;
-    if (IsTopLevelAggregate(*item.expr)) {
-      plan.is_aggregate = true;
-      const SqlExpr& call = *item.expr;
-      bool star_arg =
-          call.args.size() == 1 && call.args[0]->kind == SqlExprKind::kStar;
-      MLCS_ASSIGN_OR_RETURN(exec::AggOp op,
-                            exec::AggOpFromName(call.name, star_arg));
-      exec::AggSpec spec;
-      spec.op = op;
-      spec.output_name = "__agg_out_" + std::to_string(specs.size());
-      if (!star_arg) {
-        if (call.args.size() != 1) {
-          return Status::InvalidArgument(call.name +
-                                         " takes exactly one argument");
-        }
-        const SqlExpr& arg = *call.args[0];
-        if (arg.kind == SqlExprKind::kColumnRef) {
-          spec.input_column = arg.name;
-        } else {
-          // Aggregate over an expression: pre-project a temp column.
-          MLCS_ASSIGN_OR_RETURN(exec::ExprPtr lowered, Lower(arg));
-          MLCS_ASSIGN_OR_RETURN(ColumnPtr col, lowered->Evaluate(ctx));
-          if (col->size() == 1 && work->num_rows() != 1) {
-            MLCS_ASSIGN_OR_RETURN(Value v, col->GetValue(0));
-            col = Column::Constant(v, work->num_rows());
-          }
-          std::string temp = "__agg_in_" + std::to_string(specs.size());
-          MLCS_RETURN_IF_ERROR(work->AddColumn(temp, std::move(col)));
-          spec.input_column = temp;
-        }
-      }
-      plan.source_column = spec.output_name;
-      specs.push_back(std::move(spec));
-    } else {
-      // Must be a group key column.
-      if (item.expr->kind != SqlExprKind::kColumnRef) {
-        return Status::InvalidArgument(
-            "non-aggregate select item '" + item.expr->ToString() +
-            "' must be a GROUP BY column");
-      }
-      bool is_key = false;
-      for (const auto& key : select.group_by) {
-        if (EqualsIgnoreCase(key, item.expr->name)) is_key = true;
-      }
-      if (!is_key) {
-        return Status::InvalidArgument("column '" + item.expr->name +
-                                       "' is not in GROUP BY");
-      }
-      plan.source_column = item.expr->name;
-    }
-    plans.push_back(std::move(plan));
-  }
-
-  MLCS_ASSIGN_OR_RETURN(TablePtr aggregated,
-                        exec::HashGroupBy(*work, select.group_by, specs,
-                                          policy_));
-
-  // Final projection in select-list order with aliases.
-  Schema schema;
-  std::vector<ColumnPtr> columns;
-  for (const auto& plan : plans) {
-    MLCS_ASSIGN_OR_RETURN(ColumnPtr col,
-                          aggregated->ColumnByName(plan.source_column));
-    schema.AddField(plan.output_name, col->type());
-    columns.push_back(std::move(col));
-  }
-  auto out = std::make_shared<Table>(std::move(schema), std::move(columns));
-  MLCS_RETURN_IF_ERROR(out->Validate());
-  return out;
-}
-
-Result<TablePtr> Executor::ApplyOrderByLimit(const SelectStatement& select,
-                                             TablePtr table,
-                                             const TablePtr& row_source) {
-  if (!select.order_by.empty()) {
-    // Evaluate each order expression over the output table into temp
-    // columns, sort, then drop the temps.
-    TablePtr augmented = std::make_shared<Table>(*table);
-    exec::EvalContext ctx = MakeContext(augmented.get());
-    std::vector<exec::SortKey> keys;
-    size_t original_columns = table->num_columns();
-    for (size_t i = 0; i < select.order_by.size(); ++i) {
-      const OrderItem& item = select.order_by[i];
-      // Ordinal form: ORDER BY 2.
-      if (item.expr->kind == SqlExprKind::kLiteral &&
-          !item.expr->literal.is_null() &&
-          (item.expr->literal.type() == TypeId::kInt32 ||
-           item.expr->literal.type() == TypeId::kInt64)) {
-        int64_t ordinal = item.expr->literal.int64_value();
-        if (ordinal < 1 ||
-            ordinal > static_cast<int64_t>(original_columns)) {
-          return Status::OutOfRange("ORDER BY ordinal out of range");
-        }
-        keys.push_back(
-            {table->schema().field(static_cast<size_t>(ordinal - 1)).name,
-             item.descending});
-        continue;
-      }
-      MLCS_ASSIGN_OR_RETURN(exec::ExprPtr lowered, Lower(*item.expr));
-      auto evaluated = lowered->Evaluate(ctx);
-      if (!evaluated.ok() && row_source != nullptr &&
-          row_source->num_rows() == table->num_rows()) {
-        // Retry against the pre-projection input (same row order).
-        exec::EvalContext src_ctx = MakeContext(row_source.get());
-        evaluated = lowered->Evaluate(src_ctx);
-      }
-      if (!evaluated.ok()) return evaluated.status();
-      ColumnPtr col = std::move(evaluated).ValueOrDie();
-      if (col->size() == 1 && augmented->num_rows() != 1) {
-        MLCS_ASSIGN_OR_RETURN(Value v, col->GetValue(0));
-        col = Column::Constant(v, augmented->num_rows());
-      }
-      std::string temp = "__ord_" + std::to_string(i);
-      MLCS_RETURN_IF_ERROR(augmented->AddColumn(temp, std::move(col)));
-      keys.push_back({temp, item.descending});
-    }
-    MLCS_ASSIGN_OR_RETURN(TablePtr sorted,
-                          exec::SortTable(*augmented, keys, policy_));
-    std::vector<size_t> keep(original_columns);
-    for (size_t i = 0; i < original_columns; ++i) keep[i] = i;
-    table = sorted->Project(keep);
-  }
-  if (select.limit >= 0 &&
-      static_cast<size_t>(select.limit) < table->num_rows()) {
-    table = table->SliceRows(0, static_cast<size_t>(select.limit));
-  }
-  return table;
-}
+/// -- SQL-defined UDFs -------------------------------------------------------
 
 namespace {
 

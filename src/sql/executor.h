@@ -1,22 +1,24 @@
 #ifndef MLCS_SQL_EXECUTOR_H_
 #define MLCS_SQL_EXECUTOR_H_
 
+#include <memory>
 #include <string>
 
 #include "common/parallel_for.h"
 #include "common/result.h"
 #include "exec/expression.h"
 #include "sql/ast.h"
+#include "sql/planner.h"
 #include "storage/catalog.h"
 #include "udf/udf.h"
 
 namespace mlcs::sql {
 
-/// Interprets bound SQL statements against a catalog + UDF registry using
-/// the column-at-a-time operators in exec/ (MonetDB-style operator-at-a-
-/// time execution: each operator materializes full columns). The relational
-/// operators run morsel-parallel under `policy()` — by default the global
-/// pool, whose size MLCS_THREADS controls.
+/// Thin driver over the plan stack: statements are bound into a logical
+/// plan (planner.h), rewritten by the rule-based optimizer (optimizer.h),
+/// lowered onto physical operators (plan.h / exec/operator.h), and run.
+/// The relational operators execute morsel-parallel under `policy()` — by
+/// default the global pool, whose size MLCS_THREADS controls.
 class Executor {
  public:
   Executor(Catalog* catalog, udf::UdfRegistry* udfs)
@@ -27,9 +29,45 @@ class Executor {
   const MorselPolicy& policy() const { return policy_; }
   void set_policy(const MorselPolicy& policy) { policy_ = policy; }
 
-  /// Runs one statement; DDL/DML return a one-column status table.
+  /// Toggles the rewrite rules (constant folding, predicate pushdown,
+  /// projection pruning). Off still goes through the plan stack, just
+  /// without rewrites — the shape the interpreted executor ran. Results
+  /// are bit-identical either way (the optimizer-parity suite enforces
+  /// it); the MLCS_DISABLE_OPTIMIZER env var flips the Database default.
+  bool optimizer_enabled() const { return optimizer_enabled_; }
+  void set_optimizer_enabled(bool enabled) { optimizer_enabled_ = enabled; }
+
+  Catalog* catalog() const { return catalog_; }
+  udf::UdfRegistry* udfs() const { return udfs_; }
+
+  /// Runs one statement; DDL/DML return a status table (DML adds a second
+  /// `rows BIGINT` column with the affected-row count).
   Result<TablePtr> Execute(const Statement& stmt);
+  /// plan → optimize → run for one SELECT.
   Result<TablePtr> ExecuteSelect(const SelectStatement& select);
+  /// Bind + optimize + build, without running (EXPLAIN, Prepare). Never
+  /// executes anything. The statement must outlive the returned plan.
+  Result<PlannedSelect> PlanSelect(const SelectStatement& select);
+
+  /// Plans a parsed SELECT into a self-contained cacheable unit (takes
+  /// ownership of the AST so the plan's borrowed pointers stay valid).
+  /// Errors if `stmt` is not a SELECT.
+  Result<std::shared_ptr<const PreparedSelect>> Prepare(Statement stmt);
+  /// Executes a prepared plan. Const and thread-safe: concurrent callers
+  /// may share one PreparedSelect.
+  static Result<TablePtr> RunPrepared(const PreparedSelect& prepared);
+
+  /// -- Expression path (shared with the physical operators) ---------------
+
+  /// Lowers a SQL expression into a vectorized exec expression, resolving
+  /// scalar subqueries to literals on the way (so it may execute; never
+  /// call during planning).
+  Result<exec::ExprPtr> Lower(const SqlExpr& e);
+  Result<Value> EvaluateScalarSubquery(const SelectStatement& select);
+  /// Evaluates an expression with no row source (literals, scalar
+  /// subqueries, scalar UDFs of constants).
+  Result<Value> EvaluateConstant(const SqlExpr& e);
+  exec::EvalContext MakeContext(const Table* input) const;
 
  private:
   Result<TablePtr> ExecuteCreateTable(const CreateTableStmt& stmt);
@@ -39,43 +77,20 @@ class Executor {
   Result<TablePtr> ExecuteDelete(const DeleteStmt& stmt);
   Result<TablePtr> ExecuteUpdate(const UpdateStmt& stmt);
 
-  Result<TablePtr> ResolveTableRef(const TableRef& ref);
-  Result<TablePtr> ExecuteJoin(const TableRef& ref);
-
-  /// Lowers a SQL expression into a vectorized exec expression, resolving
-  /// scalar subqueries to literals on the way.
-  Result<exec::ExprPtr> Lower(const SqlExpr& e);
-  Result<Value> EvaluateScalarSubquery(const SelectStatement& select);
-  /// Evaluates an expression with no row source (literals, scalar
-  /// subqueries, scalar UDFs of constants).
-  Result<Value> EvaluateConstant(const SqlExpr& e);
-
-  exec::EvalContext MakeContext(const Table* input) const;
-
-  Result<TablePtr> ProjectPlain(const SelectStatement& select,
-                                const TablePtr& input);
-  Result<TablePtr> ProjectAggregate(const SelectStatement& select,
-                                    const TablePtr& input);
-  /// `row_source` (may be null) is the filtered FROM table whose rows are
-  /// 1:1 with the output rows; ORDER BY expressions that do not resolve
-  /// against the projection are retried against it (so
-  /// `SELECT id ... ORDER BY age` works).
-  Result<TablePtr> ApplyOrderByLimit(const SelectStatement& select,
-                                     TablePtr table,
-                                     const TablePtr& row_source);
-
   static TablePtr StatusTable(const std::string& message);
+  /// DML status: column 0 keeps the classic "VERB n" message, column 1
+  /// reports the affected-row count as BIGINT.
+  static TablePtr DmlStatusTable(const std::string& verb, size_t rows);
 
-  /// Textual plan rendering for EXPLAIN (interpreted plan: the operator
-  /// order ExecuteSelect applies).
-  static std::string RenderPlan(const Statement& stmt);
-  static std::string RenderSelectPlan(const SelectStatement& select,
-                                      int indent);
-  static std::string RenderTableRefPlan(const TableRef& ref, int indent);
+  /// Textual plan rendering for EXPLAIN. SELECTs render the optimized
+  /// physical plan; planning never executes, so EXPLAIN stays side-effect
+  /// free.
+  Result<std::string> RenderPlan(const Statement& stmt);
 
   Catalog* catalog_;
   udf::UdfRegistry* udfs_;
   MorselPolicy policy_;
+  bool optimizer_enabled_ = true;
 };
 
 }  // namespace mlcs::sql

@@ -1,0 +1,191 @@
+#ifndef MLCS_SQL_PLAN_H_
+#define MLCS_SQL_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "sql/ast.h"
+
+namespace mlcs::sql {
+
+class Executor;
+
+/// Logical relational operators. The binder (planner.h) produces a tree of
+/// these from a SelectStatement; the optimizer rewrites the tree; the
+/// physical builder lowers it onto exec::PhysicalOperator.
+enum class LogicalOp {
+  kScan,           // base table
+  kDual,           // FROM-less SELECT (one conceptual row)
+  kSubquery,       // derived table in FROM
+  kTableFunction,  // table UDF in FROM
+  kJoin,
+  kFilter,         // WHERE
+  kProject,        // plain select list
+  kAggregate,      // GROUP BY / top-level aggregates
+  kHaving,         // filter over the aggregate output names
+  kDistinct,
+  kSort,
+  kLimit,
+};
+
+struct LogicalNode;
+using LogicalNodePtr = std::unique_ptr<LogicalNode>;
+
+/// One logical plan node. Expression and statement pointers are borrowed:
+/// they point into the SelectStatement that was bound (which must outlive
+/// the plan) or into the owning BoundPlan's expression arena.
+struct LogicalNode {
+  LogicalOp op = LogicalOp::kScan;
+  std::vector<LogicalNodePtr> children;
+
+  // kScan
+  std::string table_name;
+  /// Engaged after projection pruning: the column subset (in schema order)
+  /// the scan fetches. nullopt → scan every column.
+  std::optional<std::vector<std::string>> scan_columns;
+
+  // kFilter / kHaving: conjuncts, re-ANDed at evaluation time. The binder
+  // stores the whole predicate as one conjunct; predicate pushdown splits
+  // it only when at least one piece actually moves.
+  std::vector<const SqlExpr*> conjuncts;
+
+  // kJoin / kTableFunction / kSubquery
+  const TableRef* ref = nullptr;
+
+  // kProject / kAggregate / kSort / kLimit / kDistinct / kHaving: the
+  // SELECT scope this node belongs to.
+  const SelectStatement* select = nullptr;
+
+  /// Lower-cased output column names when statically known at bind time;
+  /// nullopt when unknowable (table functions, missing tables). Rules that
+  /// need names fail open on nullopt.
+  std::optional<std::vector<std::string>> output_names;
+};
+
+/// A bound logical plan plus the expressions the optimizer synthesized
+/// (folded literals); the arena keeps borrowed conjunct pointers alive for
+/// the plan's lifetime.
+struct BoundPlan {
+  LogicalNodePtr root;
+  std::vector<SqlExprPtr> arena;
+};
+
+/// -- Shared SELECT-shape helpers (used by binder and physical operators) --
+
+bool IsAggregateFunctionName(const std::string& name);
+bool IsTopLevelAggregate(const SqlExpr& e);
+/// Output column name for an unaliased select item.
+std::string DeriveItemName(const SqlExpr& e, size_t index);
+/// True when the select list or GROUP BY makes this an aggregate query.
+bool HasAggregate(const SelectStatement& select);
+/// Collects lower-cased column-ref names into `out`. Scalar subqueries are
+/// skipped — they bind in their own scope at execution time.
+void CollectColumnRefs(const SqlExpr& e, std::set<std::string>* out);
+
+/// -- SQL-specific physical operators --------------------------------------
+/// These close over the Executor for expression lowering (Lower executes
+/// scalar subqueries, so it must run at Execute() time, never at plan
+/// time — EXPLAIN must not execute anything).
+
+/// Plain (non-aggregate) projection of the select list.
+class ProjectOperator : public exec::PhysicalOperator {
+ public:
+  ProjectOperator(Executor* exec, const SelectStatement* select,
+                  exec::PhysicalOpPtr child)
+      : exec_(exec), select_(select) {
+    children_.push_back(std::move(child));
+  }
+  Result<exec::OpResult> Execute() const override;
+  std::string label() const override;
+
+ private:
+  Executor* exec_;
+  const SelectStatement* select_;
+};
+
+/// Hash aggregation: pre-projects expression aggregate inputs into temp
+/// columns, runs HashGroupBy, then maps select items onto its output.
+class AggregateOperator : public exec::PhysicalOperator {
+ public:
+  AggregateOperator(Executor* exec, const SelectStatement* select,
+                    exec::PhysicalOpPtr child)
+      : exec_(exec), select_(select) {
+    children_.push_back(std::move(child));
+  }
+  Result<exec::OpResult> Execute() const override;
+  std::string label() const override;
+
+ private:
+  Executor* exec_;
+  const SelectStatement* select_;
+};
+
+/// ORDER BY: evaluates sort keys into temp columns (falling back to the
+/// child's row_source for expressions that do not resolve against the
+/// projection), sorts, drops the temps.
+class SortOperator : public exec::PhysicalOperator {
+ public:
+  SortOperator(Executor* exec, const SelectStatement* select,
+               exec::PhysicalOpPtr child)
+      : exec_(exec), select_(select) {
+    children_.push_back(std::move(child));
+  }
+  Result<exec::OpResult> Execute() const override;
+  std::string label() const override;
+
+ private:
+  Executor* exec_;
+  const SelectStatement* select_;
+};
+
+/// Table UDF in FROM. Children are the physical plans of table-valued
+/// arguments, in argument order; scalar arguments are evaluated as
+/// constants at Execute() time.
+class TableFunctionOperator : public exec::PhysicalOperator {
+ public:
+  TableFunctionOperator(Executor* exec, const TableRef* ref,
+                        std::vector<exec::PhysicalOpPtr> arg_plans)
+      : exec_(exec), ref_(ref) {
+    for (auto& plan : arg_plans) children_.push_back(std::move(plan));
+  }
+  Result<exec::OpResult> Execute() const override;
+  std::string label() const override {
+    return "TABLE FUNCTION " + ref_->name + "(...)";
+  }
+
+ private:
+  Executor* exec_;
+  const TableRef* ref_;
+};
+
+/// FROM-less SELECT: a zero-column table the projection broadcasts over.
+class DualOperator : public exec::PhysicalOperator {
+ public:
+  Result<exec::OpResult> Execute() const override {
+    Schema empty;
+    return exec::OpResult{Table::Make(std::move(empty)), nullptr};
+  }
+  std::string label() const override { return "DUAL (no FROM)"; }
+};
+
+/// Derived table in FROM — a pass-through wrapper that keeps the EXPLAIN
+/// shape ("SUBQUERY" over the inner select's plan).
+class SubqueryOperator : public exec::PhysicalOperator {
+ public:
+  explicit SubqueryOperator(exec::PhysicalOpPtr child) {
+    children_.push_back(std::move(child));
+  }
+  Result<exec::OpResult> Execute() const override {
+    MLCS_ASSIGN_OR_RETURN(exec::OpResult in, children_[0]->Execute());
+    return exec::OpResult{std::move(in.table), nullptr};
+  }
+  std::string label() const override { return "SUBQUERY"; }
+};
+
+}  // namespace mlcs::sql
+
+#endif  // MLCS_SQL_PLAN_H_

@@ -1,0 +1,293 @@
+#include "sql/planner.h"
+
+#include <set>
+
+#include "common/string_util.h"
+#include "exec/kernels.h"
+#include "sql/executor.h"
+
+namespace mlcs::sql {
+
+namespace {
+
+/// Builds the boolean selection mask for a filter node: each conjunct is
+/// lowered and evaluated at Execute() time (scalar subqueries in WHERE run
+/// per execution, exactly as the interpreted executor did), then re-ANDed
+/// with the vectorized kernel.
+exec::MaskFn MakeMaskFn(Executor* exec,
+                        std::vector<const SqlExpr*> conjuncts) {
+  return [exec, conjuncts = std::move(conjuncts)](
+             const Table& input) -> Result<ColumnPtr> {
+    ColumnPtr mask;
+    exec::EvalContext ctx = exec->MakeContext(&input);
+    for (const SqlExpr* e : conjuncts) {
+      MLCS_ASSIGN_OR_RETURN(exec::ExprPtr lowered, exec->Lower(*e));
+      MLCS_ASSIGN_OR_RETURN(ColumnPtr part, lowered->Evaluate(ctx));
+      if (mask == nullptr) {
+        mask = std::move(part);
+      } else {
+        MLCS_ASSIGN_OR_RETURN(
+            mask, exec::BinaryKernel(exec::BinOpKind::kAnd, *mask, *part,
+                                     exec->policy()));
+      }
+    }
+    return mask;
+  };
+}
+
+std::string FilterDisplay(const LogicalNode& node) {
+  std::string out =
+      node.op == LogicalOp::kHaving ? "HAVING " : "FILTER ";
+  for (size_t i = 0; i < node.conjuncts.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += node.conjuncts[i]->ToString();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<LogicalNodePtr> Planner::BindTableRef(const TableRef& ref) {
+  auto node = std::make_unique<LogicalNode>();
+  switch (ref.kind) {
+    case TableRef::Kind::kBase: {
+      node->op = LogicalOp::kScan;
+      node->table_name = ref.name;
+      Result<TablePtr> table = catalog_->GetTable(ref.name);
+      if (table.ok()) {
+        std::vector<std::string> names;
+        const Schema& schema = table.ValueOrDie()->schema();
+        names.reserve(schema.num_fields());
+        for (const auto& field : schema.fields()) {
+          names.push_back(ToLower(field.name));
+        }
+        node->output_names = std::move(names);
+      }
+      // Missing table: fail open (unknown names); the scan errors at run.
+      return node;
+    }
+    case TableRef::Kind::kJoin: {
+      node->op = LogicalOp::kJoin;
+      node->ref = &ref;
+      MLCS_ASSIGN_OR_RETURN(LogicalNodePtr left, BindTableRef(*ref.left));
+      MLCS_ASSIGN_OR_RETURN(LogicalNodePtr right, BindTableRef(*ref.right));
+      if (left->output_names.has_value() &&
+          right->output_names.has_value()) {
+        // Mirror HashJoin's output naming: right columns are checked
+        // against the *growing* output schema and get "_r" on collision.
+        std::vector<std::string> names = *left->output_names;
+        std::set<std::string> seen(names.begin(), names.end());
+        for (const std::string& rname : *right->output_names) {
+          std::string out = rname;
+          if (seen.count(out) > 0) out += "_r";
+          seen.insert(out);
+          names.push_back(std::move(out));
+        }
+        node->output_names = std::move(names);
+      }
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      return node;
+    }
+    case TableRef::Kind::kFunction: {
+      node->op = LogicalOp::kTableFunction;
+      node->ref = &ref;
+      for (const auto& arg : ref.fn_args) {
+        if (arg.table != nullptr) {
+          MLCS_ASSIGN_OR_RETURN(LogicalNodePtr sub,
+                                BindSelect(*arg.table));
+          node->children.push_back(std::move(sub));
+        }
+      }
+      // Output schema depends on the registered UDF: fail open.
+      return node;
+    }
+    case TableRef::Kind::kSubquery: {
+      node->op = LogicalOp::kSubquery;
+      node->ref = &ref;
+      MLCS_ASSIGN_OR_RETURN(LogicalNodePtr child,
+                            BindSelect(*ref.subquery));
+      node->output_names = child->output_names;
+      node->children.push_back(std::move(child));
+      return node;
+    }
+  }
+  return Status::Internal("unknown table ref kind");
+}
+
+Result<LogicalNodePtr> Planner::BindSelect(const SelectStatement& select) {
+  LogicalNodePtr root;
+  if (select.from != nullptr) {
+    MLCS_ASSIGN_OR_RETURN(root, BindTableRef(*select.from));
+  } else {
+    root = std::make_unique<LogicalNode>();
+    root->op = LogicalOp::kDual;
+    root->output_names = std::vector<std::string>{};
+  }
+
+  if (select.where != nullptr) {
+    auto filter = std::make_unique<LogicalNode>();
+    filter->op = LogicalOp::kFilter;
+    filter->select = &select;
+    filter->conjuncts = {select.where.get()};
+    filter->output_names = root->output_names;
+    filter->children.push_back(std::move(root));
+    root = std::move(filter);
+  }
+
+  bool has_aggregate = HasAggregate(select);
+  if (select.having != nullptr && !has_aggregate) {
+    return Status::InvalidArgument("HAVING requires GROUP BY or aggregates");
+  }
+
+  auto projection = std::make_unique<LogicalNode>();
+  projection->op =
+      has_aggregate ? LogicalOp::kAggregate : LogicalOp::kProject;
+  projection->select = &select;
+  {
+    std::vector<std::string> names;
+    bool known = true;
+    for (size_t i = 0; i < select.items.size(); ++i) {
+      const SelectItem& item = select.items[i];
+      if (item.star) {
+        if (!root->output_names.has_value()) {
+          known = false;
+          break;
+        }
+        for (const auto& name : *root->output_names) {
+          names.push_back(name);
+        }
+        continue;
+      }
+      names.push_back(ToLower(item.alias.empty()
+                                  ? DeriveItemName(*item.expr, i)
+                                  : item.alias));
+    }
+    if (known) projection->output_names = std::move(names);
+  }
+  projection->children.push_back(std::move(root));
+  root = std::move(projection);
+
+  if (select.having != nullptr) {
+    auto having = std::make_unique<LogicalNode>();
+    having->op = LogicalOp::kHaving;
+    having->select = &select;
+    having->conjuncts = {select.having.get()};
+    having->output_names = root->output_names;
+    having->children.push_back(std::move(root));
+    root = std::move(having);
+  }
+
+  if (select.distinct) {
+    auto distinct = std::make_unique<LogicalNode>();
+    distinct->op = LogicalOp::kDistinct;
+    distinct->select = &select;
+    distinct->output_names = root->output_names;
+    distinct->children.push_back(std::move(root));
+    root = std::move(distinct);
+  }
+
+  if (!select.order_by.empty()) {
+    auto sort = std::make_unique<LogicalNode>();
+    sort->op = LogicalOp::kSort;
+    sort->select = &select;
+    sort->output_names = root->output_names;
+    sort->children.push_back(std::move(root));
+    root = std::move(sort);
+  }
+
+  if (select.limit >= 0) {
+    auto limit = std::make_unique<LogicalNode>();
+    limit->op = LogicalOp::kLimit;
+    limit->select = &select;
+    limit->output_names = root->output_names;
+    limit->children.push_back(std::move(root));
+    root = std::move(limit);
+  }
+
+  return root;
+}
+
+Result<BoundPlan> Planner::Bind(const SelectStatement& select) {
+  BoundPlan plan;
+  MLCS_ASSIGN_OR_RETURN(plan.root, BindSelect(select));
+  return plan;
+}
+
+Result<exec::PhysicalOpPtr> Planner::BuildPhysical(
+    const LogicalNode& node) const {
+  switch (node.op) {
+    case LogicalOp::kScan:
+      return exec::PhysicalOpPtr(std::make_shared<exec::ScanOperator>(
+          catalog_, node.table_name, node.scan_columns));
+    case LogicalOp::kDual:
+      return exec::PhysicalOpPtr(std::make_shared<DualOperator>());
+    case LogicalOp::kSubquery: {
+      MLCS_ASSIGN_OR_RETURN(exec::PhysicalOpPtr child,
+                            BuildPhysical(*node.children[0]));
+      return exec::PhysicalOpPtr(
+          std::make_shared<SubqueryOperator>(std::move(child)));
+    }
+    case LogicalOp::kTableFunction: {
+      std::vector<exec::PhysicalOpPtr> args;
+      args.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        MLCS_ASSIGN_OR_RETURN(exec::PhysicalOpPtr sub,
+                              BuildPhysical(*child));
+        args.push_back(std::move(sub));
+      }
+      return exec::PhysicalOpPtr(std::make_shared<TableFunctionOperator>(
+          exec_, node.ref, std::move(args)));
+    }
+    case LogicalOp::kJoin: {
+      MLCS_ASSIGN_OR_RETURN(exec::PhysicalOpPtr left,
+                            BuildPhysical(*node.children[0]));
+      MLCS_ASSIGN_OR_RETURN(exec::PhysicalOpPtr right,
+                            BuildPhysical(*node.children[1]));
+      return exec::PhysicalOpPtr(std::make_shared<exec::HashJoinOperator>(
+          std::move(left), std::move(right), node.ref->join_keys,
+          node.ref->join_type, exec_->policy()));
+    }
+    case LogicalOp::kFilter:
+    case LogicalOp::kHaving: {
+      MLCS_ASSIGN_OR_RETURN(exec::PhysicalOpPtr child,
+                            BuildPhysical(*node.children[0]));
+      return exec::PhysicalOpPtr(std::make_shared<exec::FilterOperator>(
+          std::move(child), MakeMaskFn(exec_, node.conjuncts),
+          FilterDisplay(node), exec_->policy()));
+    }
+    case LogicalOp::kProject: {
+      MLCS_ASSIGN_OR_RETURN(exec::PhysicalOpPtr child,
+                            BuildPhysical(*node.children[0]));
+      return exec::PhysicalOpPtr(std::make_shared<ProjectOperator>(
+          exec_, node.select, std::move(child)));
+    }
+    case LogicalOp::kAggregate: {
+      MLCS_ASSIGN_OR_RETURN(exec::PhysicalOpPtr child,
+                            BuildPhysical(*node.children[0]));
+      return exec::PhysicalOpPtr(std::make_shared<AggregateOperator>(
+          exec_, node.select, std::move(child)));
+    }
+    case LogicalOp::kDistinct: {
+      MLCS_ASSIGN_OR_RETURN(exec::PhysicalOpPtr child,
+                            BuildPhysical(*node.children[0]));
+      return exec::PhysicalOpPtr(std::make_shared<exec::DistinctOperator>(
+          std::move(child), exec_->policy()));
+    }
+    case LogicalOp::kSort: {
+      MLCS_ASSIGN_OR_RETURN(exec::PhysicalOpPtr child,
+                            BuildPhysical(*node.children[0]));
+      return exec::PhysicalOpPtr(std::make_shared<SortOperator>(
+          exec_, node.select, std::move(child)));
+    }
+    case LogicalOp::kLimit: {
+      MLCS_ASSIGN_OR_RETURN(exec::PhysicalOpPtr child,
+                            BuildPhysical(*node.children[0]));
+      return exec::PhysicalOpPtr(std::make_shared<exec::LimitOperator>(
+          std::move(child), node.select->limit));
+    }
+  }
+  return Status::Internal("unknown logical operator");
+}
+
+}  // namespace mlcs::sql

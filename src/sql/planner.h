@@ -1,0 +1,61 @@
+#ifndef MLCS_SQL_PLANNER_H_
+#define MLCS_SQL_PLANNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sql/plan.h"
+#include "storage/catalog.h"
+
+namespace mlcs::sql {
+
+class Executor;
+
+/// A planned SELECT: the bound logical tree (owning the optimizer's
+/// expression arena) plus the executable physical tree built from it. The
+/// SelectStatement it was planned from must outlive it.
+struct PlannedSelect {
+  BoundPlan bound;
+  exec::PhysicalOpPtr root;
+};
+
+/// A cached, self-contained prepared statement: owns its AST, so the plan's
+/// borrowed pointers stay valid for the cache entry's lifetime. Executing a
+/// prepared plan is const and thread-safe; `catalog_version` records the
+/// schema version it was planned under (stale entries are re-planned).
+struct PreparedSelect {
+  Statement stmt;
+  BoundPlan bound;
+  exec::PhysicalOpPtr root;
+  uint64_t catalog_version = 0;
+};
+
+/// Binder + physical builder: AST → logical plan → physical operators.
+/// Binding never executes anything and "fails open" on unknown schemas
+/// (missing tables, table functions): the plan still builds, optimizer
+/// rules that need names skip, and the runtime produces the usual error.
+class Planner {
+ public:
+  Planner(Catalog* catalog, Executor* exec)
+      : catalog_(catalog), exec_(exec) {}
+
+  /// AST → logical plan. The only bind-time error is a semantically
+  /// invalid statement shape (e.g. HAVING without aggregates).
+  Result<BoundPlan> Bind(const SelectStatement& select);
+
+  /// Logical → physical. Builds closures over the Executor's expression
+  /// path; nothing is evaluated until PhysicalOperator::Execute().
+  Result<exec::PhysicalOpPtr> BuildPhysical(const LogicalNode& node) const;
+
+ private:
+  Result<LogicalNodePtr> BindSelect(const SelectStatement& select);
+  Result<LogicalNodePtr> BindTableRef(const TableRef& ref);
+
+  Catalog* catalog_;
+  Executor* exec_;
+};
+
+}  // namespace mlcs::sql
+
+#endif  // MLCS_SQL_PLANNER_H_

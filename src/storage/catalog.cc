@@ -4,6 +4,18 @@
 
 namespace mlcs {
 
+namespace {
+std::atomic<uint64_t> g_scan_bytes_touched{0};
+}  // namespace
+
+uint64_t ScanBytesTouched() {
+  return g_scan_bytes_touched.load(std::memory_order_relaxed);
+}
+
+void AddScanBytesTouched(uint64_t bytes) {
+  g_scan_bytes_touched.fetch_add(bytes, std::memory_order_relaxed);
+}
+
 Status Catalog::CreateTable(const std::string& name, TablePtr table,
                             bool or_replace) {
   if (table == nullptr) {
@@ -15,7 +27,12 @@ Status Catalog::CreateTable(const std::string& name, TablePtr table,
   if (it != tables_.end() && !or_replace) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
+  bool schema_changed =
+      it == tables_.end() || !(it->second->schema() == table->schema());
   tables_[key] = std::move(table);
+  if (schema_changed) {
+    schema_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
   return Status::OK();
 }
 
@@ -29,6 +46,21 @@ Result<TablePtr> Catalog::GetTable(const std::string& name) const {
   return it->second;
 }
 
+Result<TablePtr> Catalog::ScanTable(
+    const std::string& name,
+    const std::optional<std::vector<std::string>>& columns) const {
+  MLCS_ASSIGN_OR_RETURN(TablePtr table, GetTable(name));
+  if (columns.has_value()) {
+    MLCS_ASSIGN_OR_RETURN(table, table->SelectColumns(*columns));
+  }
+  uint64_t bytes = 0;
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    bytes += table->column(c)->ByteSize();
+  }
+  AddScanBytesTouched(bytes);
+  return table;
+}
+
 Status Catalog::DropTable(const std::string& name, bool if_exists) {
   std::string key = ToLower(name);
   std::lock_guard<std::mutex> lock(mutex_);
@@ -38,6 +70,7 @@ Status Catalog::DropTable(const std::string& name, bool if_exists) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
   tables_.erase(it);
+  schema_version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 

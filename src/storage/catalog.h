@@ -1,8 +1,11 @@
 #ifndef MLCS_STORAGE_CATALOG_H_
 #define MLCS_STORAGE_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -10,6 +13,13 @@
 #include "storage/table.h"
 
 namespace mlcs {
+
+/// Process-wide count of column-payload bytes handed out by Catalog scans.
+/// The pushdown ablation reads the delta around a query to show that a
+/// pruned scan stops touching the 90+ columns a narrow projection never
+/// reads. Monotonic; callers diff two readings.
+uint64_t ScanBytesTouched();
+void AddScanBytesTouched(uint64_t bytes);
 
 /// Thread-safe name → table registry; the database's system catalog.
 /// Table names are case-insensitive (stored lower-cased).
@@ -26,9 +36,27 @@ class Catalog {
   [[nodiscard]] bool HasTable(const std::string& name) const;
   std::vector<std::string> ListTables() const;
 
+  /// Column-subset scan: the table restricted to `columns` (schema order is
+  /// the scan order; buffers are shared, not copied). nullopt scans every
+  /// column. Both forms bump the ScanBytesTouched() accounting by the
+  /// payload bytes of the columns actually handed out.
+  Result<TablePtr> ScanTable(
+      const std::string& name,
+      const std::optional<std::vector<std::string>>& columns) const;
+
+  /// Monotonic counter bumped whenever the set of visible table *schemas*
+  /// changes: a table appears, disappears, or is replaced with a different
+  /// schema. Same-schema replacement (DELETE/UPDATE copy-on-write rebuilds)
+  /// does NOT bump it, so prepared plans — which resolve tables by name at
+  /// execution — survive DML but are invalidated by DDL.
+  uint64_t schema_version() const {
+    return schema_version_.load(std::memory_order_acquire);
+  }
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, TablePtr> tables_;
+  std::atomic<uint64_t> schema_version_{0};
 };
 
 }  // namespace mlcs

@@ -419,6 +419,29 @@ Result<std::vector<double>> Column::ToDoubleVector() const {
   return out;
 }
 
+size_t Column::ByteSize() const {
+  size_t bytes = validity_.size();
+  switch (type_) {
+    case TypeId::kBool:
+      bytes += std::get<kBoolIdx>(data_).size();
+      break;
+    case TypeId::kInt32:
+      bytes += std::get<kI32Idx>(data_).size() * sizeof(int32_t);
+      break;
+    case TypeId::kInt64:
+      bytes += std::get<kI64Idx>(data_).size() * sizeof(int64_t);
+      break;
+    case TypeId::kDouble:
+      bytes += std::get<kF64Idx>(data_).size() * sizeof(double);
+      break;
+    case TypeId::kVarchar:
+    case TypeId::kBlob:
+      for (const auto& s : std::get<kStrIdx>(data_)) bytes += s.size();
+      break;
+  }
+  return bytes;
+}
+
 bool Column::Equals(const Column& other) const {
   if (type_ != other.type_ || size() != other.size()) return false;
   size_t n = size();

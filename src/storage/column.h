@@ -126,6 +126,11 @@ class Column {
   /// Numeric column as doubles (ML ingestion). NULLs become NaN.
   Result<std::vector<double>> ToDoubleVector() const;
 
+  /// Payload bytes this column holds (fixed-width element bytes, or the
+  /// summed string lengths for VARCHAR/BLOB) plus the validity vector.
+  /// Feeds the scan bytes-touched accounting the pushdown ablation reads.
+  [[nodiscard]] size_t ByteSize() const;
+
   [[nodiscard]] bool Equals(const Column& other) const;
 
   void Serialize(ByteWriter* writer) const;

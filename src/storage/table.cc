@@ -96,6 +96,17 @@ TablePtr Table::Project(const std::vector<size_t>& column_indices) const {
   return std::make_shared<Table>(std::move(schema), std::move(cols));
 }
 
+Result<TablePtr> Table::SelectColumns(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> indices;
+  indices.reserve(names.size());
+  for (const std::string& name : names) {
+    MLCS_ASSIGN_OR_RETURN(size_t idx, schema_.RequireFieldIndex(name));
+    indices.push_back(idx);
+  }
+  return Project(indices);
+}
+
 TablePtr Table::TakeRows(const std::vector<uint32_t>& indices) const {
   std::vector<ColumnPtr> cols;
   cols.reserve(columns_.size());

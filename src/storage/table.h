@@ -55,6 +55,9 @@ class Table {
 
   /// New table with only the given column indices (shares column buffers).
   [[nodiscard]] TablePtr Project(const std::vector<size_t>& column_indices) const;
+  /// Name-based projection (case-insensitive, shares column buffers).
+  /// Output order is `names` order; a missing name is a NotFound error.
+  Result<TablePtr> SelectColumns(const std::vector<std::string>& names) const;
   /// New table with rows gathered by index (applies Take per column).
   [[nodiscard]] TablePtr TakeRows(const std::vector<uint32_t>& indices) const;
   /// Contiguous row range copy.

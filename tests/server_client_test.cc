@@ -101,5 +101,21 @@ TEST_F(ServerClientTest, StopIsIdempotent) {
   EXPECT_FALSE(server_->running());
 }
 
+/// The serving path replays identical SELECT text per request: after the
+/// first, the server answers from the prepared-plan cache.
+TEST_F(ServerClientTest, RepeatedQueriesHitPlanCache) {
+  TableClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  const std::string sql = "SELECT SUM(x) FROM t WHERE x > 1";
+  uint64_t hits_before = db_.plan_cache_stats().hits;
+  for (int i = 0; i < 10; ++i) {
+    auto t = client.Query(sql, WireProtocol::kMyBinary).ValueOrDie();
+    EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Int64(5));
+  }
+  PlanCacheStats stats = db_.plan_cache_stats();
+  EXPECT_GE(stats.hits, hits_before + 9);
+  EXPECT_GE(stats.entries, 1u);
+}
+
 }  // namespace
 }  // namespace mlcs::client

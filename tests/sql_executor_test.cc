@@ -207,5 +207,79 @@ TEST_F(SqlExecutorTest, ConnectionWrapper) {
   EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Int64(5));
 }
 
+/// DML status tables report the affected-row count: column 0 keeps the
+/// classic "VERB n" message, column 1 carries the count as BIGINT.
+TEST_F(SqlExecutorTest, DmlStatusReportsAffectedRows) {
+  auto ins = Q("INSERT INTO voters VALUES (6, 30, 75), (7, 30, 85)");
+  ASSERT_EQ(ins->num_columns(), 2u);
+  EXPECT_EQ(ins->schema().field(1).name, "rows");
+  EXPECT_EQ(ins->GetValue(0, 0).ValueOrDie(), Value::Varchar("INSERT 2"));
+  EXPECT_EQ(ins->GetValue(0, 1).ValueOrDie(), Value::Int64(2));
+
+  auto ins_sel =
+      Q("INSERT INTO voters SELECT id + 10, precinct, age FROM voters "
+        "WHERE precinct = 10");
+  EXPECT_EQ(ins_sel->GetValue(0, 1).ValueOrDie(), Value::Int64(2));
+
+  auto upd = Q("UPDATE voters SET age = age + 1 WHERE precinct = 20");
+  EXPECT_EQ(upd->GetValue(0, 0).ValueOrDie(), Value::Varchar("UPDATE 2"));
+  EXPECT_EQ(upd->GetValue(0, 1).ValueOrDie(), Value::Int64(2));
+
+  auto del = Q("DELETE FROM voters WHERE precinct = 30");
+  EXPECT_EQ(del->GetValue(0, 0).ValueOrDie(), Value::Varchar("DELETE 3"));
+  EXPECT_EQ(del->GetValue(0, 1).ValueOrDie(), Value::Int64(3));
+
+  // No-match DML reports zero, not an error.
+  auto none = Q("DELETE FROM voters WHERE age > 1000");
+  EXPECT_EQ(none->GetValue(0, 1).ValueOrDie(), Value::Int64(0));
+  auto upd_none = Q("UPDATE voters SET age = 0 WHERE id = -1");
+  EXPECT_EQ(upd_none->GetValue(0, 1).ValueOrDie(), Value::Int64(0));
+
+  // Unconditional DELETE counts every row it removed.
+  auto all = Q("DELETE FROM voters");
+  EXPECT_EQ(all->GetValue(0, 1).ValueOrDie(), Value::Int64(6));
+}
+
+/// The prepared-plan cache serves repeated SELECT text without re-planning
+/// and invalidates on DDL.
+TEST_F(SqlExecutorTest, PlanCacheHitsAndInvalidation) {
+  const std::string sql = "SELECT COUNT(*) FROM voters";
+  uint64_t hits0 = db_.plan_cache_stats().hits;
+  EXPECT_EQ(Q(sql)->GetValue(0, 0).ValueOrDie(), Value::Int64(5));
+  EXPECT_EQ(Q(sql)->GetValue(0, 0).ValueOrDie(), Value::Int64(5));
+  EXPECT_EQ(Q(sql)->GetValue(0, 0).ValueOrDie(), Value::Int64(5));
+  PlanCacheStats stats = db_.plan_cache_stats();
+  EXPECT_EQ(stats.hits, hits0 + 2);
+  EXPECT_GE(stats.entries, 1u);
+
+  // DML rewrites the table in place (same schema): cached plans stay
+  // valid and see the new data.
+  ASSERT_TRUE(db_.Query("DELETE FROM voters WHERE id = 5").ok());
+  EXPECT_EQ(Q(sql)->GetValue(0, 0).ValueOrDie(), Value::Int64(4));
+
+  // DDL that changes a schema invalidates: re-planned, still correct.
+  ASSERT_TRUE(db_.Query("DROP TABLE precincts").ok());
+  EXPECT_EQ(Q(sql)->GetValue(0, 0).ValueOrDie(), Value::Int64(4));
+  EXPECT_GE(db_.plan_cache_stats().stale, 1u);
+
+  db_.ClearPlanCache();
+  EXPECT_EQ(db_.plan_cache_stats().entries, 0u);
+  EXPECT_EQ(Q(sql)->GetValue(0, 0).ValueOrDie(), Value::Int64(4));
+}
+
+/// Dropping and recreating a scanned table with a different shape must not
+/// serve the old plan.
+TEST_F(SqlExecutorTest, PlanCacheSurvivesTableReplacement) {
+  const std::string sql = "SELECT * FROM voters";
+  EXPECT_EQ(Q(sql)->num_columns(), 3u);
+  ASSERT_TRUE(db_.Query("DROP TABLE voters").ok());
+  ASSERT_TRUE(db_.Query("CREATE TABLE voters (only_col BIGINT)").ok());
+  ASSERT_TRUE(db_.Query("INSERT INTO voters VALUES (42)").ok());
+  auto t = Q(sql);
+  ASSERT_EQ(t->num_columns(), 1u);
+  EXPECT_EQ(t->schema().field(0).name, "only_col");
+  EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Int64(42));
+}
+
 }  // namespace
 }  // namespace mlcs

@@ -95,6 +95,87 @@ TEST_F(SqlIntrospectionTest, ExplainTableFunction) {
   EXPECT_NE(plan.find("SCAN voters"), std::string::npos);
 }
 
+/// -- Golden plans: the optimizer's rewrites must show in EXPLAIN ----------
+
+TEST_F(SqlIntrospectionTest, GoldenPlanPrunedScan) {
+  EXPECT_EQ(PlanOf("SELECT age FROM voters WHERE age > 30"),
+            "PROJECT [age]\n"
+            "  FILTER (age > 30)\n"
+            "    SCAN voters [age]\n");
+}
+
+TEST_F(SqlIntrospectionTest, GoldenPlanPushdownBelowJoin) {
+  // Both conjuncts move below the join; the WHERE node dissolves. The
+  // voters scan narrows to the referenced columns (schema order); the
+  // precincts scan needs all of its columns, so it stays unbracketed.
+  EXPECT_EQ(PlanOf("SELECT age FROM voters JOIN precincts "
+                   "ON precinct = precinct WHERE age > 30 AND dem > 50"),
+            "PROJECT [age]\n"
+            "  HASH JOIN on precinct = precinct\n"
+            "    FILTER (age > 30)\n"
+            "      SCAN voters [precinct, age]\n"
+            "    FILTER (dem > 50)\n"
+            "      SCAN precincts\n");
+}
+
+TEST_F(SqlIntrospectionTest, GoldenPlanLeftJoinKeepsRightFilterAbove) {
+  // A right-side-only conjunct must NOT sink below a LEFT join (it would
+  // turn NULL-extended rows into matches of nothing).
+  EXPECT_EQ(PlanOf("SELECT age FROM voters LEFT JOIN precincts "
+                   "ON precinct = precinct WHERE dem > 50"),
+            "PROJECT [age]\n"
+            "  FILTER (dem > 50)\n"
+            "    LEFT JOIN on precinct = precinct\n"
+            "      SCAN voters [precinct, age]\n"
+            "      SCAN precincts\n");
+}
+
+TEST_F(SqlIntrospectionTest, GoldenPlanCountStarKeepsNarrowestColumn) {
+  // No column referenced: the scan keeps one (narrowest) column so the
+  // row count survives.
+  EXPECT_EQ(PlanOf("SELECT COUNT(*) FROM voters"),
+            "AGGREGATE [COUNT(*)]\n"
+            "  SCAN voters [id]\n");
+}
+
+TEST_F(SqlIntrospectionTest, GoldenPlanConstantTrueFilterElided) {
+  EXPECT_EQ(PlanOf("SELECT age FROM voters WHERE 1 < 2"),
+            "PROJECT [age]\n"
+            "  SCAN voters [age]\n");
+}
+
+TEST_F(SqlIntrospectionTest, GoldenPlanConstantPieceFoldsInMixedPredicate) {
+  // The literal-only piece of a mixed conjunction folds away instead of
+  // lingering as a residual filter above the join.
+  EXPECT_EQ(PlanOf("SELECT age FROM voters JOIN precincts "
+                   "ON precinct = precinct WHERE age > 30 AND 1 < 2"),
+            "PROJECT [age]\n"
+            "  HASH JOIN on precinct = precinct\n"
+            "    FILTER (age > 30)\n"
+            "      SCAN voters [precinct, age]\n"
+            "    SCAN precincts [precinct]\n");
+}
+
+TEST_F(SqlIntrospectionTest, GoldenPlanOptimizerOff) {
+  // With rewrites off the plan keeps the bound shape: one WHERE filter
+  // above the join, full-width scans.
+  db_.set_optimizer_enabled(false);
+  EXPECT_EQ(PlanOf("SELECT age FROM voters JOIN precincts "
+                   "ON precinct = precinct WHERE age > 30 AND dem > 50"),
+            "PROJECT [age]\n"
+            "  FILTER ((age > 30) AND (dem > 50))\n"
+            "    HASH JOIN on precinct = precinct\n"
+            "      SCAN voters\n"
+            "      SCAN precincts\n");
+  db_.set_optimizer_enabled(true);
+}
+
+TEST_F(SqlIntrospectionTest, SelectStarDisablesPruning) {
+  std::string plan = PlanOf("SELECT * FROM voters WHERE age > 30");
+  EXPECT_NE(plan.find("SCAN voters\n"), std::string::npos);
+  EXPECT_EQ(plan.find("SCAN voters ["), std::string::npos);
+}
+
 TEST_F(SqlIntrospectionTest, StdDevAggregate) {
   // ages 20, 40, 60 → mean 40, population stddev sqrt(800/3).
   auto t = Q("SELECT STDDEV(age) AS s FROM voters");

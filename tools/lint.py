@@ -27,6 +27,15 @@ Rules
                         one parallelism knob. Dedicated long-lived loops
                         (e.g. a server's accept thread) opt out with
                         `// lint:allow(naked-thread)`.
+  exec-operator-call    Calling the relational operator entry points
+                        (`exec::FilterTable` / `HashJoin` / `HashGroupBy` /
+                        `SortTable`) outside src/exec/ and the plan layer
+                        (src/sql/plan*, src/sql/optimizer*) — SQL execution
+                        must flow through physical operators so EXPLAIN,
+                        the optimizer, and the plan cache see every
+                        operation. tests/ are exempt; deliberate embedded
+                        uses (e.g. the DataFrame API) opt out with
+                        `// lint:allow(exec-operator-call)`.
 
 Exit status is 0 when clean, 1 when any violation is found.
 A line can opt out with a trailing `// lint:allow(<rule>)` comment.
@@ -204,6 +213,31 @@ def check_naked_thread(path, relpath, lines):
                "work on the shared ThreadPool so MLCS_THREADS governs it")
 
 
+EXEC_OPERATOR_RE = re.compile(
+    r"\bexec\s*::\s*(?P<fn>FilterTable|HashJoin|HashGroupBy|SortTable)\s*\(")
+EXEC_OPERATOR_ALLOWED_PATHS = ("src/exec/", "src/sql/plan",
+                               "src/sql/optimizer")
+
+
+def check_exec_operator_call(path, relpath, lines):
+    rel = relpath.replace(os.sep, "/")
+    if rel.startswith("tests/"):
+        return
+    if any(rel.startswith(p) for p in EXEC_OPERATOR_ALLOWED_PATHS):
+        return
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        m = EXEC_OPERATOR_RE.search(line)
+        if not m:
+            continue
+        if allowed(raw, "exec-operator-call"):
+            continue
+        report(path, i + 1, "exec-operator-call",
+               f"`exec::{m.group('fn')}` called outside src/exec/ and the "
+               "plan layer; route query execution through the physical "
+               "operators (src/sql/planner.h)")
+
+
 def check_using_namespace(path, relpath, lines):
     if not relpath.endswith(".h"):
         return
@@ -231,6 +265,7 @@ def lint_file(path, headers):
     check_includes(path, lines, headers)
     check_using_namespace(path, relpath, lines)
     check_naked_thread(path, relpath, lines)
+    check_exec_operator_call(path, relpath, lines)
 
 
 def collect(paths):
