@@ -21,6 +21,7 @@
 #include "exec/hash_join.h"
 #include "exec/kernels.h"
 #include "exec/sort.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -159,6 +160,29 @@ void BM_SortByPayloadKey(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
 }
 
+/// Tracing-overhead ablation (the DESIGN.md §10 contract: <= 5% slower
+/// with tracing on, ~0% off). One filter+aggregate SELECT through the full
+/// SQL stack — parse/plan skipped after the first hit, operators traced
+/// per execution — with the `traced` axis flipping the global flag.
+/// Reported, not gated; EXPERIMENTS.md records the comparison.
+void BM_SqlQueryTracing(benchmark::State& state) {
+  static Database* db = [] {
+    auto* d = new Database();
+    MLCS_CHECK_OK(d->catalog().CreateTable("facts", Data().facts));
+    return d;
+  }();
+  obs::SetTracingEnabled(state.range(0) != 0);
+  for (auto _ : state) {
+    auto r = db->Query(
+        "SELECT key, COUNT(*), SUM(weight) FROM facts "
+        "WHERE payload > 500 GROUP BY key");
+    if (!r.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(r);
+  }
+  obs::SetTracingEnabled(false);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+}
+
 #define MLCS_PAR_EXEC_GRID(fn) \
   BENCHMARK(fn)->ArgName("nthreads")->Arg(0)->Arg(1)->Arg(2)->Arg(4)
 
@@ -167,6 +191,7 @@ MLCS_PAR_EXEC_GRID(BM_Filter50Percent);
 MLCS_PAR_EXEC_GRID(BM_HashJoinFactsToDimension);
 MLCS_PAR_EXEC_GRID(BM_HashGroupBy);
 MLCS_PAR_EXEC_GRID(BM_SortByPayloadKey);
+BENCHMARK(BM_SqlQueryTracing)->ArgName("traced")->Arg(0)->Arg(1);
 
 }  // namespace
 

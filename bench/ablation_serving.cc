@@ -363,8 +363,7 @@ int main() {
              static_cast<uint64_t>(ThreadPool::DefaultThreadCount()));
   json.Field("plan_optimizer",
              bench::PlanOptimizerEnabledByEnv() ? "on" : "off");
-  json.Field("plan_cache_hits", PlanCacheHitsTotal());
-  json.Field("plan_cache_misses", PlanCacheMissesTotal());
+  bench::WriteMetricsBlock(&json);
   json.Key("workload");
   json.BeginObject();
   json.Field("requests", config.requests);

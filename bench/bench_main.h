@@ -14,9 +14,9 @@
 //    context block), so a result file always says what parallelism it was
 //    measured at (MLCS_THREADS env or hardware_concurrency), and
 //  - records the planner configuration ("plan_optimizer" on/off, from
-//    MLCS_DISABLE_OPTIMIZER) plus the process-wide prepared-plan cache
-//    hit/miss totals, so serving-path results carry their cache
-//    effectiveness alongside the timings.
+//    MLCS_DISABLE_OPTIMIZER) plus an "mlcs_metrics" block with the full
+//    metrics-registry snapshot (plan cache, thread pool, serving, scan
+//    bytes), so results carry the counters behind their timings.
 //
 // Usage, at the bottom of the bench .cc file:
 //   MLCS_BENCH_MAIN(ablation_protocols)
@@ -36,11 +36,12 @@
 
 namespace mlcs::bench {
 
-/// Splices the plan-cache counters into an already-written benchmark JSON
-/// file (they are only final after RunSpecifiedBenchmarks returns, past
-/// the point where AddCustomContext can help). Best-effort: a file without
-/// a context block is left untouched.
-inline void InjectPlanCacheCounters(const std::string& path) {
+/// Splices the metrics-registry snapshot (as an "mlcs_metrics" object)
+/// into an already-written benchmark JSON file's context block — counters
+/// are only final after RunSpecifiedBenchmarks returns, past the point
+/// where AddCustomContext can help. Best-effort: a file without a context
+/// block is left untouched.
+inline void InjectMetricsBlock(const std::string& path) {
   std::ifstream in(path);
   if (!in) return;
   std::stringstream buf;
@@ -50,11 +51,14 @@ inline void InjectPlanCacheCounters(const std::string& path) {
   size_t ctx = doc.find("\"context\": {");
   if (ctx == std::string::npos) return;
   size_t brace = doc.find('{', ctx);
-  std::string fields =
-      "\n    \"plan_cache_hits\": \"" + std::to_string(PlanCacheHitsTotal()) +
-      "\",\n    \"plan_cache_misses\": \"" +
-      std::to_string(PlanCacheMissesTotal()) + "\",";
-  doc.insert(brace + 1, fields);
+  JsonWriter metrics;
+  metrics.BeginObject();
+  WriteMetricsBlock(&metrics);
+  metrics.EndObject();
+  std::string block = metrics.str();
+  // Strip the wrapper braces, keeping `"mlcs_metrics": {...}`.
+  block = block.substr(1, block.size() - 2);
+  doc.insert(brace + 1, "\n    " + block + ",");
   std::ofstream out(path);
   if (out) out << doc;
 }
@@ -91,7 +95,7 @@ inline int RunBenchmarks(const char* bench_name, int argc, char** argv) {
   size_t ran = benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!has_out) {
-    InjectPlanCacheCounters(json_path);
+    InjectMetricsBlock(json_path);
     std::cout << "wrote " << json_path << "\n";
   }
   return ran == 0 ? 1 : 0;

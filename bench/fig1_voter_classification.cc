@@ -78,8 +78,7 @@ bool WriteJson(const mlcs::pipeline::PipelineConfig& config) {
              static_cast<uint64_t>(mlcs::ThreadPool::DefaultThreadCount()));
   json.Field("plan_optimizer",
              mlcs::bench::PlanOptimizerEnabledByEnv() ? "on" : "off");
-  json.Field("plan_cache_hits", mlcs::PlanCacheHitsTotal());
-  json.Field("plan_cache_misses", mlcs::PlanCacheMissesTotal());
+  mlcs::bench::WriteMetricsBlock(&json);
   json.Key("workload");
   json.BeginObject();
   json.Field("rows", config.data.num_voters);

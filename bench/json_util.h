@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace mlcs::bench {
 
 /// Whether the plan rewrite rules are active for Databases created in this
@@ -134,6 +136,19 @@ class JsonWriter {
   std::vector<bool> stack_;
   bool pending_value_ = false;
 };
+
+/// Writes the process-wide metrics registry snapshot as an "mlcs_metrics"
+/// object field: series name → value. Every BENCH_<name>.json carries this
+/// block (scripts/check.sh --bench-smoke asserts it), so a result file
+/// always records the cache/pool/serving counters behind its timings.
+inline void WriteMetricsBlock(JsonWriter* w) {
+  w->Key("mlcs_metrics");
+  w->BeginObject();
+  for (const obs::MetricSample& s : obs::MetricsRegistry::Global().Snapshot()) {
+    w->Field(s.name, s.value);
+  }
+  w->EndObject();
+}
 
 }  // namespace mlcs::bench
 

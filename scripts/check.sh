@@ -50,10 +50,25 @@ else
   echo "clang-tidy not installed; skipped (tools/lint.py covers the custom rules)"
 fi
 
+assert_metrics_block() {
+  # Every BENCH_<name>.json must carry the metrics-registry snapshot
+  # ("mlcs_metrics", at top level for the custom harnesses or inside the
+  # google-benchmark context block) with at least one series in it.
+  python3 - "$1" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+block = doc.get("mlcs_metrics", doc.get("context", {}).get("mlcs_metrics"))
+assert isinstance(block, dict) and block, \
+    f"{sys.argv[1]}: missing or empty mlcs_metrics block"
+PYEOF
+}
+
 bench_smoke() {
   # Run every bench binary at tiny scale from a scratch directory; each
-  # must exit 0 and leave a parseable BENCH_<name>.json behind. Catches
-  # bit-rot in the bench layer without paying full benchmark runtimes.
+  # must exit 0 and leave a parseable BENCH_<name>.json behind (with its
+  # mlcs_metrics block). Catches bit-rot in the bench layer without paying
+  # full benchmark runtimes.
   local root scratch
   root="$(pwd)"
   scratch="$(mktemp -d /tmp/mlcs-bench-smoke.XXXXXX)"
@@ -68,12 +83,14 @@ bench_smoke() {
     MLCS_SERVE_BENCH_STRICT=0 \
       "$b" >/dev/null
     python3 -m json.tool "BENCH_$(basename "$b").json" >/dev/null
+    assert_metrics_block "BENCH_$(basename "$b").json"
   done
   echo "-- fig1_voter_classification"
   MLCS_FIG1_ROWS=2000 MLCS_FIG1_COLS=16 MLCS_FIG1_PRECINCTS=50 \
   MLCS_FIG1_TREES=2 MLCS_FIG1_REPS=1 \
     "$root"/build/bench/fig1_voter_classification >/dev/null
   python3 -m json.tool BENCH_fig1_voter_classification.json >/dev/null
+  assert_metrics_block BENCH_fig1_voter_classification.json
   popd >/dev/null
 }
 

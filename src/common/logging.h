@@ -8,6 +8,26 @@ namespace mlcs {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+/// Structured key=value suffix for log lines, so operational warnings stay
+/// machine-greppable:
+///
+///   MLCS_LOG(kWarn) << "dropped spans " << Kv("trace_id", id) << Kv("n", n);
+///     → [WARN ...] dropped spans trace_id=7 n=42
+///
+/// String values are quoted; every pair carries one trailing space.
+template <typename T>
+std::string Kv(const char* key, const T& value) {
+  std::ostringstream s;
+  s << key << '=' << value << ' ';
+  return s.str();
+}
+inline std::string Kv(const char* key, const std::string& value) {
+  return std::string(key) + "=\"" + value + "\" ";
+}
+inline std::string Kv(const char* key, const char* value) {
+  return Kv(key, std::string(value));
+}
+
 /// Sets the minimum level that is actually emitted (default: kWarn, so
 /// library internals stay quiet in tests and benchmarks).
 void SetLogLevel(LogLevel level);

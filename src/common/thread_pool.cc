@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 
 namespace mlcs {
@@ -19,6 +20,12 @@ size_t ThreadPool::DefaultThreadCount() {
 }
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  queue_depth_ = registry.GetGauge("mlcs.threadpool.queue_depth");
+  tasks_completed_ = registry.GetCounter("mlcs.threadpool.tasks_completed");
+  task_wait_us_ = registry.GetHistogram(
+      "mlcs.threadpool.task_wait_us",
+      {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000});
   if (num_threads == 0) {
     num_threads = DefaultThreadCount();
   }
@@ -38,12 +45,22 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
+  auto enqueued = std::chrono::steady_clock::now();
+  std::packaged_task<void()> packaged(
+      [this, enqueued, task = std::move(task)] {
+        auto started = std::chrono::steady_clock::now();
+        task_wait_us_->Observe(
+            std::chrono::duration<double, std::micro>(started - enqueued)
+                .count());
+        task();
+        tasks_completed_->Add(1);
+      });
   std::future<void> fut = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(packaged));
   }
+  queue_depth_->Add(1);
   cv_.notify_one();
   return fut;
 }
@@ -88,6 +105,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    queue_depth_->Add(-1);
     task();
   }
 }

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace mlcs {
 
 /// Fixed-size worker pool. Supports fire-and-forget Submit plus a blocking
@@ -57,6 +59,12 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool shutdown_ = false;
+  /// Process-wide pool metrics (all ThreadPool instances share the series):
+  /// `mlcs.threadpool.queue_depth` (gauge), `.tasks_completed` (counter),
+  /// `.task_wait_us` (histogram of enqueue→dequeue latency).
+  obs::Gauge* queue_depth_;
+  obs::Counter* tasks_completed_;
+  obs::Histogram* task_wait_us_;
 };
 
 }  // namespace mlcs

@@ -2,15 +2,48 @@
 
 #include "exec/aggregate.h"
 #include "exec/filter.h"
+#include "obs/trace.h"
 
 namespace mlcs::exec {
 
+namespace {
+
+uint64_t TableBytes(const Table& table) {
+  uint64_t bytes = 0;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    bytes += table.column(c)->ByteSize();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Result<OpResult> PhysicalOperator::Run() const {
+  if (!obs::TraceActive()) return Execute();
+  obs::ScopedSpan span(label());
+  span.set_op_token(this);
+  Result<OpResult> result = Execute();
+  if (result.ok()) {
+    const TablePtr& table = result.ValueOrDie().table;
+    span.set_rows_out(table->num_rows());
+    span.set_bytes(TableBytes(*table));
+  }
+  return result;
+}
+
 std::string RenderOperatorTree(const PhysicalOperator& root, int indent) {
+  return RenderOperatorTree(root, indent,
+                            [](const PhysicalOperator&) { return ""; });
+}
+
+std::string RenderOperatorTree(const PhysicalOperator& root, int indent,
+                               const NodeAnnotator& annotate) {
   std::string out(static_cast<size_t>(indent), ' ');
   out += root.label();
+  out += annotate(root);
   out += "\n";
   for (const PhysicalOpPtr& child : root.children()) {
-    out += RenderOperatorTree(*child, indent + 2);
+    out += RenderOperatorTree(*child, indent + 2, annotate);
   }
   return out;
 }
@@ -35,7 +68,7 @@ std::string ScanOperator::label() const {
 }
 
 Result<OpResult> FilterOperator::Execute() const {
-  MLCS_ASSIGN_OR_RETURN(OpResult in, children_[0]->Execute());
+  MLCS_ASSIGN_OR_RETURN(OpResult in, children_[0]->Run());
   MLCS_ASSIGN_OR_RETURN(ColumnPtr mask, mask_(*in.table));
   MLCS_ASSIGN_OR_RETURN(TablePtr out,
                         FilterTable(*in.table, *mask, policy_));
@@ -43,8 +76,8 @@ Result<OpResult> FilterOperator::Execute() const {
 }
 
 Result<OpResult> HashJoinOperator::Execute() const {
-  MLCS_ASSIGN_OR_RETURN(OpResult left, children_[0]->Execute());
-  MLCS_ASSIGN_OR_RETURN(OpResult right, children_[1]->Execute());
+  MLCS_ASSIGN_OR_RETURN(OpResult left, children_[0]->Run());
+  MLCS_ASSIGN_OR_RETURN(OpResult right, children_[1]->Run());
   // Orient each key pair by which schema actually holds the column.
   std::vector<std::string> left_keys, right_keys;
   for (const auto& [a, b] : keys_) {
@@ -82,7 +115,7 @@ std::string HashJoinOperator::label() const {
 }
 
 Result<OpResult> DistinctOperator::Execute() const {
-  MLCS_ASSIGN_OR_RETURN(OpResult in, children_[0]->Execute());
+  MLCS_ASSIGN_OR_RETURN(OpResult in, children_[0]->Run());
   std::vector<std::string> keys;
   keys.reserve(in.table->num_columns());
   for (const auto& field : in.table->schema().fields()) {
@@ -94,7 +127,7 @@ Result<OpResult> DistinctOperator::Execute() const {
 }
 
 Result<OpResult> LimitOperator::Execute() const {
-  MLCS_ASSIGN_OR_RETURN(OpResult in, children_[0]->Execute());
+  MLCS_ASSIGN_OR_RETURN(OpResult in, children_[0]->Run());
   TablePtr table = std::move(in.table);
   if (limit_ >= 0 && static_cast<size_t>(limit_) < table->num_rows()) {
     table = table->SliceRows(0, static_cast<size_t>(limit_));

@@ -38,6 +38,12 @@ class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
   virtual Result<OpResult> Execute() const = 0;
+  /// The execution entry point: Execute() wrapped in a trace span (rows
+  /// out, bytes, wall time) when the calling thread has a trace context
+  /// installed. Parents invoke children through Run(), never Execute()
+  /// directly, so EXPLAIN ANALYZE and mlcs_trace() see every node. When
+  /// tracing is off this is one thread-local null check over Execute().
+  Result<OpResult> Run() const;
   /// One EXPLAIN line describing this node (no children, no indent).
   virtual std::string label() const = 0;
   const std::vector<PhysicalOpPtr>& children() const { return children_; }
@@ -46,9 +52,16 @@ class PhysicalOperator {
   std::vector<PhysicalOpPtr> children_;
 };
 
+/// Per-node annotation appended to its EXPLAIN line (EXPLAIN ANALYZE);
+/// empty string → no suffix.
+using NodeAnnotator = std::function<std::string(const PhysicalOperator&)>;
+
 /// Renders the tree as EXPLAIN text: label per line, children indented two
 /// spaces under their parent.
 std::string RenderOperatorTree(const PhysicalOperator& root, int indent = 0);
+/// Annotated form: each node's line becomes `label annotate(node)`.
+std::string RenderOperatorTree(const PhysicalOperator& root, int indent,
+                               const NodeAnnotator& annotate);
 
 /// Leaf scan over a catalog table, optionally restricted to a column subset
 /// (the optimizer's projection pruning). The table is resolved by name at

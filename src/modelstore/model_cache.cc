@@ -1,6 +1,7 @@
 #include "modelstore/model_cache.h"
 
 #include "ml/pickle.h"
+#include "obs/trace.h"
 
 namespace mlcs::modelstore {
 
@@ -25,11 +26,15 @@ Result<ml::ModelPtr> ModelCache::Get(const std::string& pickled_bytes) {
     if (it != index_.end()) {
       // Move to front (most recently used).
       lru_.splice(lru_.begin(), lru_, it->second);
-      hits_.fetch_add(1);
+      hits_.Add(1);
       return it->second->model;
     }
   }
-  misses_.fetch_add(1);
+  misses_.Add(1);
+  // The deserialize-on-miss cost the snapshot cache exists to amortize —
+  // traced so its absence on hits is visible in mlcs_trace().
+  obs::ScopedSpan load_span("model_cache.load");
+  load_span.set_bytes(pickled_bytes.size());
   MLCS_ASSIGN_OR_RETURN(ml::ModelPtr model, ml::pickle::Loads(pickled_bytes));
   std::lock_guard<std::mutex> lock(mutex_);
   auto existing = index_.find(key);

@@ -1,7 +1,6 @@
 #ifndef MLCS_MODELSTORE_MODEL_CACHE_H_
 #define MLCS_MODELSTORE_MODEL_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -10,6 +9,7 @@
 
 #include "common/result.h"
 #include "ml/model.h"
+#include "obs/metrics.h"
 
 namespace mlcs::modelstore {
 
@@ -33,8 +33,8 @@ class ModelCache {
   Result<ml::ModelPtr> Get(const std::string& pickled_bytes);
 
   size_t size() const;
-  uint64_t hits() const { return hits_.load(); }
-  uint64_t misses() const { return misses_.load(); }
+  uint64_t hits() const { return hits_.Value(); }
+  uint64_t misses() const { return misses_.Value(); }
   void Clear();
 
   /// Process-wide cache used by the `_cached` predict UDFs.
@@ -52,8 +52,10 @@ class ModelCache {
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
+  /// Per-cache counts mirrored into the process-wide
+  /// `mlcs.model_cache.hits` / `.misses` registry series.
+  obs::MirroredCounter hits_{"mlcs.model_cache.hits"};
+  obs::MirroredCounter misses_{"mlcs.model_cache.misses"};
 };
 
 }  // namespace mlcs::modelstore

@@ -1,0 +1,98 @@
+#include "obs/introspection.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mlcs::obs {
+
+namespace {
+
+double ToMicros(std::chrono::nanoseconds ns) {
+  return static_cast<double>(ns.count()) / 1000.0;
+}
+
+}  // namespace
+
+TablePtr MetricsTable() {
+  Schema schema;
+  schema.AddField("name", TypeId::kVarchar);
+  schema.AddField("kind", TypeId::kVarchar);
+  schema.AddField("value", TypeId::kDouble);
+  auto table = Table::Make(std::move(schema));
+  for (const MetricSample& s : MetricsRegistry::Global().Snapshot()) {
+    (void)table->AppendRow({Value::Varchar(s.name), Value::Varchar(s.kind),
+                            Value::Double(s.value)});
+  }
+  return table;
+}
+
+TablePtr TraceTable(uint64_t trace_id) {
+  Schema schema;
+  schema.AddField("trace_id", TypeId::kInt64);
+  schema.AddField("span_id", TypeId::kInt64);
+  schema.AddField("parent_id", TypeId::kInt64);
+  schema.AddField("name", TypeId::kVarchar);
+  schema.AddField("start_us", TypeId::kDouble);
+  schema.AddField("duration_us", TypeId::kDouble);
+  schema.AddField("rows_in", TypeId::kInt64);
+  schema.AddField("rows_out", TypeId::kInt64);
+  schema.AddField("bytes", TypeId::kInt64);
+  auto table = Table::Make(std::move(schema));
+  for (const TraceSpan& s : TraceSink::Global().Query(trace_id)) {
+    (void)table->AppendRow(
+        {Value::Int64(static_cast<int64_t>(s.trace_id)),
+         Value::Int64(s.span_id), Value::Int64(s.parent_id),
+         Value::Varchar(s.name), Value::Double(ToMicros(s.start_offset)),
+         Value::Double(ToMicros(s.duration)),
+         Value::Int64(static_cast<int64_t>(s.rows_in)),
+         Value::Int64(static_cast<int64_t>(s.rows_out)),
+         Value::Int64(static_cast<int64_t>(s.bytes))});
+  }
+  return table;
+}
+
+Status RegisterIntrospectionFunctions(udf::UdfRegistry* registry) {
+  {
+    udf::TableUdfEntry entry;
+    entry.name = "mlcs_metrics";
+    entry.typed = true;  // zero arguments, enforced
+    entry.return_schema.AddField("name", TypeId::kVarchar);
+    entry.return_schema.AddField("kind", TypeId::kVarchar);
+    entry.return_schema.AddField("value", TypeId::kDouble);
+    entry.fn =
+        [](const std::vector<ColumnPtr>& /*args*/) -> Result<TablePtr> {
+      return MetricsTable();
+    };
+    MLCS_RETURN_IF_ERROR(registry->RegisterTable(std::move(entry)));
+  }
+  {
+    udf::TableUdfEntry entry;
+    entry.name = "mlcs_trace";
+    entry.param_types = {TypeId::kInt64};
+    entry.typed = true;
+    entry.return_schema.AddField("trace_id", TypeId::kInt64);
+    entry.return_schema.AddField("span_id", TypeId::kInt64);
+    entry.return_schema.AddField("parent_id", TypeId::kInt64);
+    entry.return_schema.AddField("name", TypeId::kVarchar);
+    entry.return_schema.AddField("start_us", TypeId::kDouble);
+    entry.return_schema.AddField("duration_us", TypeId::kDouble);
+    entry.return_schema.AddField("rows_in", TypeId::kInt64);
+    entry.return_schema.AddField("rows_out", TypeId::kInt64);
+    entry.return_schema.AddField("bytes", TypeId::kInt64);
+    entry.fn = [](const std::vector<ColumnPtr>& args) -> Result<TablePtr> {
+      if (args.size() != 1 || args[0]->size() != 1 || args[0]->IsNull(0)) {
+        return Status::InvalidArgument(
+            "mlcs_trace(trace_id) takes one non-NULL BIGINT "
+            "(0 selects every retained trace)");
+      }
+      MLCS_ASSIGN_OR_RETURN(Value id, args[0]->GetValue(0));
+      return TraceTable(static_cast<uint64_t>(id.int64_value()));
+    };
+    MLCS_RETURN_IF_ERROR(registry->RegisterTable(std::move(entry)));
+  }
+  return Status::OK();
+}
+
+}  // namespace mlcs::obs

@@ -1,0 +1,28 @@
+#ifndef MLCS_OBS_INTROSPECTION_H_
+#define MLCS_OBS_INTROSPECTION_H_
+
+#include "common/result.h"
+#include "storage/table.h"
+#include "udf/udf.h"
+
+namespace mlcs::obs {
+
+/// Snapshot of the global MetricsRegistry as a relational table:
+///   (name VARCHAR, kind VARCHAR, value DOUBLE), sorted by name.
+TablePtr MetricsTable();
+
+/// Spans of one retained trace (0 → all retained traces) as a table:
+///   (trace_id BIGINT, span_id BIGINT, parent_id BIGINT, name VARCHAR,
+///    start_us DOUBLE, duration_us DOUBLE, rows_in BIGINT,
+///    rows_out BIGINT, bytes BIGINT)
+TablePtr TraceTable(uint64_t trace_id);
+
+/// Registers the SQL surface of the observability layer — the paper-native
+/// interface: `SELECT * FROM mlcs_metrics()` and
+/// `SELECT * FROM mlcs_trace(<trace_id>)` become meta-analysis queries
+/// like any other table function. Called by Database's builtin setup.
+Status RegisterIntrospectionFunctions(udf::UdfRegistry* registry);
+
+}  // namespace mlcs::obs
+
+#endif  // MLCS_OBS_INTROSPECTION_H_

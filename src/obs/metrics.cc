@@ -1,0 +1,111 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace mlcs::obs {
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)),
+      bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  // Linear probe: bucket lists are short (≤ ~16) and fixed, so this beats
+  // a branch-missing binary search on the hot path.
+  size_t bucket = bounds_.size();
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  if (bucket == bounds_.size() && !bounds_.empty() &&
+      !overflow_warned_.exchange(true, std::memory_order_relaxed)) {
+    MLCS_LOG(kWarn) << "histogram overflow " << Kv("name", name_)
+                    << Kv("value", v) << Kv("max_bound", bounds_.back())
+                    << "— counting in +inf bucket";
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bucket_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot.reset(new Histogram(name, std::move(bucket_bounds)));
+  }
+  return slot.get();
+}
+
+namespace {
+
+/// "100", "0.25": shortest representation that round-trips the bound.
+std::string FormatBound(double bound) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", bound);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  if (snapshots_ != nullptr) snapshots_->Add(1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + 3 * histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, "counter", static_cast<double>(counter->Value())});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back({name, "gauge", static_cast<double>(gauge->Value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      out.push_back({name + ".le_" + FormatBound(h->bounds()[i]),
+                     "histogram", static_cast<double>(h->BucketCount(i))});
+    }
+    out.push_back({name + ".le_inf", "histogram",
+                   static_cast<double>(h->BucketCount(h->bounds().size()))});
+    out.push_back(
+        {name + ".count", "histogram", static_cast<double>(h->Count())});
+    out.push_back({name + ".sum", "histogram", h->Sum()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    r->snapshots_ = r->GetCounter("mlcs.obs.snapshots");
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace mlcs::obs

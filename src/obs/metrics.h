@@ -1,0 +1,177 @@
+#ifndef MLCS_OBS_METRICS_H_
+#define MLCS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mlcs::obs {
+
+/// Process-wide metrics registry — the one snapshot path for every
+/// subsystem's counters (plan cache, serving, thread pool, scans). The
+/// paper's deep-integration thesis applied to the system's own telemetry:
+/// series register by name, bump through lock-free atomics on the hot
+/// path, and export as a relational table via the `mlcs_metrics()` SQL
+/// table function (obs/introspection.h).
+///
+/// Naming scheme (DESIGN.md §10): `mlcs.<subsystem>.<series>`, lowercase,
+/// dot-separated, e.g. `mlcs.plan_cache.hits`, `mlcs.threadpool.queue_depth`,
+/// `mlcs.serve.batched_rows`. Histograms export one row per bucket
+/// (`<name>.le_<bound>`) plus `<name>.count` and `<name>.sum`.
+
+/// Monotonic event count. Relaxed atomics: series are independent and
+/// snapshots are advisory, so no ordering is needed.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, resident entries, high-water marks).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Ratchets the gauge up to `v` if larger (high-water marks).
+  void UpdateMax(int64_t v) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram: ascending upper bounds plus an implicit
+/// +inf overflow bucket. A value lands in the first bucket whose bound it
+/// does not exceed (`v <= bound`). Observations past the last bound count
+/// in the overflow bucket and warn once per histogram through MLCS_LOG —
+/// never silently lost.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  size_t num_buckets() const { return bounds_.size() + 1; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i`; `i == bounds().size()` is the overflow bucket.
+  uint64_t BucketCount(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+
+  const std::string name_;
+  const std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<bool> overflow_warned_{false};
+};
+
+/// One exported sample row (the `mlcs_metrics()` table schema).
+struct MetricSample {
+  std::string name;
+  std::string kind;  // "counter" | "gauge" | "histogram"
+  double value = 0.0;
+};
+
+/// Named registration + snapshot over the three metric kinds. Registration
+/// takes a mutex (cold: callers cache the returned pointer); bumping the
+/// returned handle is wait-free. Handles are stable for the process
+/// lifetime — the registry never removes a series.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the series registered under `name`, creating it on first use.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bucket_bounds` must be ascending; they apply only on first
+  /// registration (a later caller with different bounds gets the existing
+  /// histogram — bounds are part of the series identity contract).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bucket_bounds);
+
+  /// Consistent-enough snapshot of every series, sorted by name.
+  /// (Individual reads are atomic; the set is not a cross-series
+  /// transaction — fine for telemetry.)
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Process-wide registry (leaky singleton, never destroyed). Unlike a
+  /// plain registry it self-registers `mlcs.obs.snapshots` (bumped per
+  /// Snapshot call), so a global export always carries at least one
+  /// series — the bench-JSON metrics block is checkable even from a
+  /// binary that exercises no instrumented subsystem.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  Counter* snapshots_ = nullptr;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// A per-instance counter that mirrors every bump into a process-wide
+/// registry series. Lets an object keep exact local counts (e.g. one
+/// InferenceServer's stats()) while the global series aggregates across
+/// instances through the one snapshot path.
+class MirroredCounter {
+ public:
+  explicit MirroredCounter(const char* global_name)
+      : global_(MetricsRegistry::Global().GetCounter(global_name)) {}
+
+  void Add(uint64_t n = 1) {
+    local_.fetch_add(n, std::memory_order_relaxed);
+    global_->Add(n);
+  }
+  uint64_t Value() const { return local_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> local_{0};
+  Counter* global_;
+};
+
+/// Per-instance high-water mark mirrored into a registry gauge.
+class MirroredMaxGauge {
+ public:
+  explicit MirroredMaxGauge(const char* global_name)
+      : global_(MetricsRegistry::Global().GetGauge(global_name)) {}
+
+  void UpdateMax(uint64_t v) {
+    uint64_t current = local_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !local_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+    global_->UpdateMax(static_cast<int64_t>(v));
+  }
+  uint64_t Value() const { return local_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> local_{0};
+  Gauge* global_;
+};
+
+}  // namespace mlcs::obs
+
+#endif  // MLCS_OBS_METRICS_H_

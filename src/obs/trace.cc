@@ -1,0 +1,232 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace mlcs::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+std::atomic<uint64_t> g_next_trace_id{1};
+
+/// Per-trace span cap: a runaway plan (or a pathological query) cannot
+/// grow a trace without bound. Further spans are dropped, counted in
+/// `mlcs.trace.dropped_spans`, and warned once per trace.
+constexpr size_t kMaxSpansPerTrace = 8192;
+
+/// The thread's current trace state. `parent` is the span id new spans
+/// nest under (maintained by ScopedSpan as scopes open and close).
+struct TlsTrace {
+  TraceContext* ctx = nullptr;
+  uint32_t parent = 0;
+};
+thread_local TlsTrace tls_trace;
+
+Counter* DroppedSpansCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("mlcs.trace.dropped_spans");
+  return counter;
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceActive() { return tls_trace.ctx != nullptr; }
+
+/// -- TraceContext -----------------------------------------------------------
+
+TraceContext::TraceContext(std::string root_name, bool force) {
+  if (!force && !TracingEnabled()) return;
+  active_ = true;
+  trace_id_ = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  root_name_ = std::move(root_name);
+  start_ = std::chrono::steady_clock::now();
+  spans_.reserve(16);
+  prev_ctx_ = tls_trace.ctx;
+  prev_parent_ = tls_trace.parent;
+  tls_trace.ctx = this;
+  tls_trace.parent = 1;  // children of the root span
+}
+
+TraceContext::~TraceContext() {
+  if (!active_) return;
+  tls_trace.ctx = prev_ctx_;
+  tls_trace.parent = prev_parent_;
+  if (consumed_) return;
+  std::vector<TraceSpan> spans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans = std::move(spans_);
+  }
+  spans.push_back(MakeRootSpan());
+  TraceSink::Global().AddTrace(std::move(spans));
+}
+
+TraceSpan TraceContext::MakeRootSpan() const {
+  TraceSpan root;
+  root.trace_id = trace_id_;
+  root.span_id = 1;
+  root.parent_id = 0;
+  root.name = root_name_;
+  root.start_offset = std::chrono::nanoseconds{0};
+  root.duration = std::chrono::steady_clock::now() - start_;
+  return root;
+}
+
+void TraceContext::Record(TraceSpan span) {
+  span.trace_id = trace_id_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= kMaxSpansPerTrace) {
+    DroppedSpansCounter()->Add(1);
+    if (!dropped_warned_) {
+      dropped_warned_ = true;
+      MLCS_LOG(kWarn) << "trace span cap reached, dropping further spans "
+                      << Kv("trace_id", trace_id_)
+                      << Kv("cap", kMaxSpansPerTrace);
+    }
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+void TraceContext::RecordSpan(std::string name,
+                              std::chrono::steady_clock::time_point start,
+                              std::chrono::steady_clock::time_point end,
+                              uint64_t rows_in, uint64_t rows_out,
+                              uint64_t bytes) {
+  if (!active_) return;
+  TraceSpan span;
+  span.span_id = NextSpanId();
+  span.parent_id = 1;
+  span.name = std::move(name);
+  span.start_offset = start - start_;
+  span.duration = end - start;
+  span.rows_in = rows_in;
+  span.rows_out = rows_out;
+  span.bytes = bytes;
+  Record(std::move(span));
+}
+
+std::vector<TraceSpan> TraceContext::ConsumeSpans() {
+  if (!active_) return {};
+  consumed_ = true;
+  std::vector<TraceSpan> spans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans = std::move(spans_);
+  }
+  spans.push_back(MakeRootSpan());
+  return spans;
+}
+
+/// -- ScopedTraceAttach ------------------------------------------------------
+
+ScopedTraceAttach::ScopedTraceAttach(TraceContext* ctx)
+    : saved_ctx_(tls_trace.ctx), saved_parent_(tls_trace.parent) {
+  if (ctx == nullptr || !ctx->active()) return;
+  attached_ = true;
+  tls_trace.ctx = ctx;
+  tls_trace.parent = 1;
+}
+
+ScopedTraceAttach::~ScopedTraceAttach() {
+  if (!attached_) return;
+  tls_trace.ctx = saved_ctx_;
+  tls_trace.parent = saved_parent_;
+}
+
+/// -- ScopedSpan -------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (tls_trace.ctx == nullptr) return;
+  Begin(name);
+}
+
+ScopedSpan::ScopedSpan(std::string name) {
+  if (tls_trace.ctx == nullptr) return;
+  Begin(std::move(name));
+}
+
+ScopedSpan::ScopedSpan(const char* prefix, const std::string& suffix) {
+  if (tls_trace.ctx == nullptr) return;
+  Begin(std::string(prefix) + suffix);
+}
+
+void ScopedSpan::Begin(std::string name) {
+  ctx_ = tls_trace.ctx;
+  name_ = std::move(name);
+  parent_ = tls_trace.parent;
+  span_id_ = ctx_->NextSpanId();
+  tls_trace.parent = span_id_;  // nested spans parent under this one
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (ctx_ == nullptr) return;
+  auto end = std::chrono::steady_clock::now();
+  tls_trace.parent = parent_;
+  TraceSpan span;
+  span.span_id = span_id_;
+  span.parent_id = parent_;
+  span.name = std::move(name_);
+  span.start_offset = start_ - ctx_->start_;
+  span.duration = end - start_;
+  span.rows_in = rows_in_;
+  span.rows_out = rows_out_;
+  span.bytes = bytes_;
+  span.op_token = op_token_;
+  ctx_->Record(std::move(span));
+}
+
+/// -- TraceSink --------------------------------------------------------------
+
+void TraceSink::AddTrace(std::vector<TraceSpan> spans) {
+  if (spans.empty()) return;
+  static Counter* evicted =
+      MetricsRegistry::Global().GetCounter("mlcs.trace.evicted_traces");
+  std::lock_guard<std::mutex> lock(mutex_);
+  traces_.push_back(std::move(spans));
+  while (traces_.size() > kMaxTraces) {
+    traces_.pop_front();
+    evicted->Add(1);
+  }
+}
+
+std::vector<TraceSpan> TraceSink::Query(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> out;
+  for (const auto& trace : traces_) {
+    if (trace_id != 0 && (trace.empty() || trace[0].trace_id != trace_id)) {
+      continue;
+    }
+    out.insert(out.end(), trace.begin(), trace.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  traces_.clear();
+}
+
+TraceSink& TraceSink::Global() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+}  // namespace mlcs::obs

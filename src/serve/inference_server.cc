@@ -18,13 +18,6 @@ namespace mlcs::serve {
 
 namespace {
 
-void UpdateMax(std::atomic<uint64_t>& target, uint64_t value) {
-  uint64_t current = target.load();
-  while (value > current &&
-         !target.compare_exchange_weak(current, value)) {
-  }
-}
-
 void SetNonBlocking(int fd) {
   int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
@@ -122,18 +115,18 @@ void InferenceServer::Stop() {
 
 InferenceServerStats InferenceServer::stats() const {
   InferenceServerStats out;
-  out.requests_accepted = stats_.requests_accepted.load();
-  out.responses_ok = stats_.responses_ok.load();
-  out.rejected_overload = stats_.rejected_overload.load();
-  out.rejected_bad_request = stats_.rejected_bad_request.load();
-  out.rejected_shutdown = stats_.rejected_shutdown.load();
-  out.expired_deadline = stats_.expired_deadline.load();
-  out.failed_internal = stats_.failed_internal.load();
-  out.batches_executed = stats_.batches_executed.load();
-  out.batched_requests = stats_.batched_requests.load();
-  out.batched_rows = stats_.batched_rows.load();
-  out.peak_queue_depth = stats_.peak_queue_depth.load();
-  out.peak_batch_requests = stats_.peak_batch_requests.load();
+  out.requests_accepted = stats_.requests_accepted.Value();
+  out.responses_ok = stats_.responses_ok.Value();
+  out.rejected_overload = stats_.rejected_overload.Value();
+  out.rejected_bad_request = stats_.rejected_bad_request.Value();
+  out.rejected_shutdown = stats_.rejected_shutdown.Value();
+  out.expired_deadline = stats_.expired_deadline.Value();
+  out.failed_internal = stats_.failed_internal.Value();
+  out.batches_executed = stats_.batches_executed.Value();
+  out.batched_requests = stats_.batched_requests.Value();
+  out.batched_rows = stats_.batched_rows.Value();
+  out.peak_queue_depth = stats_.peak_queue_depth.Value();
+  out.peak_batch_requests = stats_.peak_batch_requests.Value();
   return out;
 }
 
@@ -213,7 +206,7 @@ bool InferenceServer::ProcessBufferedFrames(const ConnPtr& conn) {
     uint32_t frame_len = 0;
     std::memcpy(&frame_len, buf.data() + consumed, sizeof(frame_len));
     if (frame_len > kMaxFrameBytes) {
-      stats_.rejected_bad_request.fetch_add(1);
+      stats_.rejected_bad_request.Add(1);
       RespondError(conn, 0, ServeCode::kBadRequest,
                    "frame of " + std::to_string(frame_len) +
                        " bytes exceeds the frame cap");
@@ -235,7 +228,7 @@ void InferenceServer::HandleFrame(const ConnPtr& conn, const uint8_t* body,
   ByteReader reader(body, size);
   auto decoded = DecodePredictRequest(&reader);
   if (!decoded.ok()) {
-    stats_.rejected_bad_request.fetch_add(1);
+    stats_.rejected_bad_request.Add(1);
     RespondError(conn, PeekRequestId(body, size), ServeCode::kBadRequest,
                  decoded.status().ToString());
     return;
@@ -244,7 +237,7 @@ void InferenceServer::HandleFrame(const ConnPtr& conn, const uint8_t* body,
                   std::chrono::steady_clock::now()};
   uint64_t id = pending.request.request_id;
   if (draining_.load()) {
-    stats_.rejected_shutdown.fetch_add(1);
+    stats_.rejected_shutdown.Add(1);
     RespondError(conn, id, ServeCode::kShuttingDown, "server is draining");
     return;
   }
@@ -252,18 +245,18 @@ void InferenceServer::HandleFrame(const ConnPtr& conn, const uint8_t* body,
     // Graceful degradation: the bounded queue is full (or just closed by
     // Stop), so answer immediately instead of queueing without bound.
     if (draining_.load()) {
-      stats_.rejected_shutdown.fetch_add(1);
+      stats_.rejected_shutdown.Add(1);
       RespondError(conn, id, ServeCode::kShuttingDown, "server is draining");
     } else {
-      stats_.rejected_overload.fetch_add(1);
+      stats_.rejected_overload.Add(1);
       RespondError(conn, id, ServeCode::kOverloaded,
                    "admission queue full (" +
                        std::to_string(queue_->capacity()) + " requests)");
     }
     return;
   }
-  stats_.requests_accepted.fetch_add(1);
-  UpdateMax(stats_.peak_queue_depth, queue_->size());
+  stats_.requests_accepted.Add(1);
+  stats_.peak_queue_depth.UpdateMax(queue_->size());
 }
 
 void InferenceServer::BatchLoop() {
@@ -289,6 +282,17 @@ void InferenceServer::BatchLoop() {
 }
 
 void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
+  // One trace per batch. Admission waits are recorded as synthetic spans
+  // (their start predates this context); predict spans attach from the
+  // pool workers. Futures are waited below, so `trace` outlives them.
+  obs::TraceContext trace("serve.batch");
+  if (trace.active()) {
+    auto now = std::chrono::steady_clock::now();
+    for (const Pending& p : batch) {
+      trace.RecordSpan("serve.admission", p.arrival, now,
+                       p.request.features.rows());
+    }
+  }
   // Group by (model, feature count): each group becomes one vectorized
   // Predict. Mixed-model batches split here, not at admission, so the
   // linger window coalesces across models too.
@@ -317,15 +321,19 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
   // plans; no thread is pinned to a connection or a model.
   std::vector<std::future<void>> futures;
   futures.reserve(groups.size());
+  obs::TraceContext* tctx = trace.active() ? &trace : nullptr;
   for (Group& g : groups) {
     futures.push_back(
-        pool_->Submit([this, &g] { RunGroup(g.members, g.rows); }));
+        pool_->Submit([this, &g, tctx] { RunGroup(g.members, g.rows, tctx); }));
   }
   for (auto& f : futures) f.wait();
 }
 
 void InferenceServer::RunGroup(std::vector<Pending*>& members,
-                               size_t total_rows) {
+                               size_t total_rows, obs::TraceContext* trace) {
+  obs::ScopedTraceAttach attach(trace);
+  obs::ScopedSpan span("serve.predict");
+  span.set_rows_in(total_rows);
   auto now = std::chrono::steady_clock::now();
   std::vector<Pending*> live;
   live.reserve(members.size());
@@ -333,7 +341,7 @@ void InferenceServer::RunGroup(std::vector<Pending*>& members,
     if (p->request.deadline_ms > 0 &&
         now - p->arrival >
             std::chrono::milliseconds(p->request.deadline_ms)) {
-      stats_.expired_deadline.fetch_add(1);
+      stats_.expired_deadline.Add(1);
       RespondError(p->conn, p->request.request_id,
                    ServeCode::kDeadlineExceeded,
                    "deadline of " + std::to_string(p->request.deadline_ms) +
@@ -351,7 +359,7 @@ void InferenceServer::RunGroup(std::vector<Pending*>& members,
                          ? ServeCode::kModelNotFound
                          : ServeCode::kInternalError;
     for (Pending* p : live) {
-      stats_.failed_internal.fetch_add(1);
+      stats_.failed_internal.Add(1);
       RespondError(p->conn, p->request.request_id, code,
                    blob.status().ToString());
     }
@@ -362,7 +370,7 @@ void InferenceServer::RunGroup(std::vector<Pending*>& members,
   auto model = cache_->Get(blob.ValueOrDie());
   if (!model.ok()) {
     for (Pending* p : live) {
-      stats_.failed_internal.fetch_add(1);
+      stats_.failed_internal.Add(1);
       RespondError(p->conn, p->request.request_id,
                    ServeCode::kInternalError, model.status().ToString());
     }
@@ -391,7 +399,7 @@ void InferenceServer::RunGroup(std::vector<Pending*>& members,
     // Typically a feature-count mismatch against the fitted model: the
     // request is malformed, not the server.
     for (Pending* p : live) {
-      stats_.rejected_bad_request.fetch_add(1);
+      stats_.rejected_bad_request.Add(1);
       RespondError(p->conn, p->request.request_id, ServeCode::kBadRequest,
                    labels.status().ToString());
     }
@@ -399,10 +407,11 @@ void InferenceServer::RunGroup(std::vector<Pending*>& members,
   }
   // Count the batch before writing any response: a client that has seen
   // its answer must be able to observe the matching counters via stats().
-  stats_.batches_executed.fetch_add(1);
-  stats_.batched_requests.fetch_add(live.size());
-  stats_.batched_rows.fetch_add(total_rows);
-  UpdateMax(stats_.peak_batch_requests, live.size());
+  stats_.batches_executed.Add(1);
+  stats_.batched_requests.Add(live.size());
+  stats_.batched_rows.Add(total_rows);
+  stats_.peak_batch_requests.UpdateMax(live.size());
+  span.set_rows_out(total_rows);
   const ml::Labels& all = labels.ValueOrDie();
   size_t offset = 0;
   for (Pending* p : live) {
@@ -414,7 +423,7 @@ void InferenceServer::RunGroup(std::vector<Pending*>& members,
         all.begin() + static_cast<std::ptrdiff_t>(offset),
         all.begin() + static_cast<std::ptrdiff_t>(offset + rows));
     offset += rows;
-    stats_.responses_ok.fetch_add(1);
+    stats_.responses_ok.Add(1);
     Respond(p->conn, response);
   }
 }

@@ -12,6 +12,8 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "modelstore/model_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "modelstore/model_store.h"
 #include "serve/bounded_queue.h"
 #include "serve/serve_protocol.h"
@@ -42,7 +44,9 @@ struct InferenceServerOptions {
 };
 
 /// Counters exposed for tests, benchmarks, and ops. Snapshot semantics.
-struct InferenceServerStats {
+/// Plain-value copy of one server's ServeCounters; the process-wide
+/// aggregates live on the metrics registry as `mlcs.serve.*`.
+struct InferenceServerStats {  // lint:allow(adhoc-stats)
   uint64_t requests_accepted = 0;   // admitted into the queue
   uint64_t responses_ok = 0;
   uint64_t rejected_overload = 0;   // answered kOverloaded at admission
@@ -115,7 +119,10 @@ class InferenceServer {
   [[nodiscard]] bool ProcessBufferedFrames(const ConnPtr& conn);
   void HandleFrame(const ConnPtr& conn, const uint8_t* body, size_t size);
   void ExecuteBatch(std::vector<Pending> batch);
-  void RunGroup(std::vector<Pending*>& members, size_t total_rows);
+  /// `trace` is the batch's trace context (null when tracing is off); pool
+  /// workers attach to it so predict spans land in the batch's trace.
+  void RunGroup(std::vector<Pending*>& members, size_t total_rows,
+                obs::TraceContext* trace);
 
   void Respond(const ConnPtr& conn, const PredictResponse& response);
   void RespondError(const ConnPtr& conn, uint64_t request_id, ServeCode code,
@@ -137,21 +144,26 @@ class InferenceServer {
   std::thread batch_thread_;
   std::unique_ptr<BoundedQueue<Pending>> queue_;
 
-  struct AtomicStats {
-    std::atomic<uint64_t> requests_accepted{0};
-    std::atomic<uint64_t> responses_ok{0};
-    std::atomic<uint64_t> rejected_overload{0};
-    std::atomic<uint64_t> rejected_bad_request{0};
-    std::atomic<uint64_t> rejected_shutdown{0};
-    std::atomic<uint64_t> expired_deadline{0};
-    std::atomic<uint64_t> failed_internal{0};
-    std::atomic<uint64_t> batches_executed{0};
-    std::atomic<uint64_t> batched_requests{0};
-    std::atomic<uint64_t> batched_rows{0};
-    std::atomic<uint64_t> peak_queue_depth{0};
-    std::atomic<uint64_t> peak_batch_requests{0};
+  /// Per-server counters, each mirrored into the process-wide
+  /// `mlcs.serve.*` registry series (so `mlcs_metrics()` aggregates across
+  /// servers while stats() stays exact per instance).
+  struct ServeCounters {
+    obs::MirroredCounter requests_accepted{"mlcs.serve.requests_accepted"};
+    obs::MirroredCounter responses_ok{"mlcs.serve.responses_ok"};
+    obs::MirroredCounter rejected_overload{"mlcs.serve.rejected_overload"};
+    obs::MirroredCounter rejected_bad_request{
+        "mlcs.serve.rejected_bad_request"};
+    obs::MirroredCounter rejected_shutdown{"mlcs.serve.rejected_shutdown"};
+    obs::MirroredCounter expired_deadline{"mlcs.serve.expired_deadline"};
+    obs::MirroredCounter failed_internal{"mlcs.serve.failed_internal"};
+    obs::MirroredCounter batches_executed{"mlcs.serve.batches_executed"};
+    obs::MirroredCounter batched_requests{"mlcs.serve.batched_requests"};
+    obs::MirroredCounter batched_rows{"mlcs.serve.batched_rows"};
+    obs::MirroredMaxGauge peak_queue_depth{"mlcs.serve.peak_queue_depth"};
+    obs::MirroredMaxGauge peak_batch_requests{
+        "mlcs.serve.peak_batch_requests"};
   };
-  AtomicStats stats_;
+  ServeCounters stats_;
 };
 
 }  // namespace mlcs::serve

@@ -172,10 +172,12 @@ using Statement =
                  CreateFunctionStmt, DeleteStmt, UpdateStmt, ShowStmt,
                  DescribeStmt, std::unique_ptr<ExplainStmt>>;
 
-/// EXPLAIN <statement> — renders the interpreted plan as text rather than
-/// executing.
+/// EXPLAIN <statement> — renders the plan as text without executing.
+/// EXPLAIN ANALYZE <select> executes the statement under a forced trace
+/// context and annotates each node with actual time / row counts.
 struct ExplainStmt {
   Statement inner;
+  bool analyze = false;
 };
 
 }  // namespace mlcs::sql

@@ -1,20 +1,19 @@
 #include "sql/database.h"
 
-#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "common/string_util.h"
+#include "obs/introspection.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
 #include "storage/table_io.h"
 
 namespace mlcs {
 
 namespace {
-
-std::atomic<uint64_t> g_plan_cache_hits{0};
-std::atomic<uint64_t> g_plan_cache_misses{0};
 
 /// Registers a 1-argument numeric builtin computing fn over doubles.
 void RegisterNumericFn(udf::UdfRegistry* registry, const char* name,
@@ -82,20 +81,35 @@ void RegisterStringFn(udf::UdfRegistry* registry, const char* name,
 }  // namespace
 
 uint64_t PlanCacheHitsTotal() {
-  return g_plan_cache_hits.load(std::memory_order_relaxed);
+  static obs::Counter* hits =
+      obs::MetricsRegistry::Global().GetCounter("mlcs.plan_cache.hits");
+  return hits->Value();
 }
 
 uint64_t PlanCacheMissesTotal() {
-  return g_plan_cache_misses.load(std::memory_order_relaxed);
+  static obs::Counter* misses =
+      obs::MetricsRegistry::Global().GetCounter("mlcs.plan_cache.misses");
+  return misses->Value();
 }
 
 Database::Database() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  cache_hits_ = registry.GetCounter("mlcs.plan_cache.hits");
+  cache_misses_ = registry.GetCounter("mlcs.plan_cache.misses");
+  cache_stale_ = registry.GetCounter("mlcs.plan_cache.stale");
+  cache_evictions_ = registry.GetCounter("mlcs.plan_cache.evictions");
+  cache_entries_ = registry.GetGauge("mlcs.plan_cache.entries");
   executor_ = std::make_unique<sql::Executor>(&catalog_, &udfs_);
   const char* disable = std::getenv("MLCS_DISABLE_OPTIMIZER");
   if (disable != nullptr && disable[0] != '\0') {
     executor_->set_optimizer_enabled(false);
   }
   RegisterBuiltinFunctions();
+}
+
+Database::~Database() {
+  // Release this database's contribution to the shared entries gauge.
+  ClearPlanCache();
 }
 
 void Database::RegisterBuiltinFunctions() {
@@ -116,6 +130,8 @@ void Database::RegisterBuiltinFunctions() {
       &udfs_, "length",
       [](std::string_view s) { return std::to_string(s.size()); },
       TypeId::kInt64);
+  // mlcs_metrics() / mlcs_trace(): SQL-queryable observability tables.
+  MLCS_CHECK_OK(obs::RegisterIntrospectionFunctions(&udfs_));
 }
 
 void Database::set_exec_policy(const MorselPolicy& policy) {
@@ -132,18 +148,23 @@ void Database::set_optimizer_enabled(bool enabled) {
 
 void Database::ClearPlanCache() {
   std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_entries_->Add(-static_cast<int64_t>(plan_cache_.size()));
   plan_cache_.clear();
   lru_.clear();
 }
 
-PlanCacheStats Database::plan_cache_stats() const {
+size_t Database::plan_cache_size() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
-  PlanCacheStats stats = cache_stats_;
-  stats.entries = plan_cache_.size();
-  return stats;
+  return plan_cache_.size();
 }
 
 Result<TablePtr> Database::Query(const std::string& sql) {
+  // Root span for the whole statement; children (parse, plan, operators)
+  // nest under it. No-op (one relaxed atomic load) when tracing is off.
+  std::optional<obs::TraceContext> trace;
+  if (obs::TracingEnabled()) {
+    trace.emplace("query: " + sql.substr(0, 120));
+  }
   // Fast path: a resident, still-current plan for this exact text. Take a
   // strong reference under the lock, execute outside it (plans are const
   // and thread-safe).
@@ -153,13 +174,13 @@ Result<TablePtr> Database::Query(const std::string& sql) {
     auto it = plan_cache_.find(sql);
     if (it != plan_cache_.end()) {
       if (it->second.plan->catalog_version == catalog_.schema_version()) {
-        ++cache_stats_.hits;
-        g_plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+        cache_hits_->Add(1);
         lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
         cached = it->second.plan;
       } else {
         // DDL moved the schema since this was planned: discard, re-plan.
-        ++cache_stats_.stale;
+        cache_stale_->Add(1);
+        cache_entries_->Add(-1);
         lru_.erase(it->second.lru_pos);
         plan_cache_.erase(it);
       }
@@ -169,17 +190,17 @@ Result<TablePtr> Database::Query(const std::string& sql) {
     return sql::Executor::RunPrepared(*cached);
   }
 
-  MLCS_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  sql::Statement stmt;
+  {
+    obs::ScopedSpan parse_span("sql.parse");
+    MLCS_ASSIGN_OR_RETURN(stmt, sql::ParseStatement(sql));
+  }
   if (std::get_if<sql::SelectStatement>(&stmt) == nullptr) {
     // Only SELECTs are cacheable — DDL/DML must re-execute every time.
     return executor_->Execute(stmt);
   }
 
-  {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    ++cache_stats_.misses;
-  }
-  g_plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  cache_misses_->Add(1);
   MLCS_ASSIGN_OR_RETURN(std::shared_ptr<const sql::PreparedSelect> plan,
                         executor_->Prepare(std::move(stmt)));
   {
@@ -187,12 +208,14 @@ Result<TablePtr> Database::Query(const std::string& sql) {
     auto it = plan_cache_.find(sql);
     if (it == plan_cache_.end()) {
       while (plan_cache_.size() >= kPlanCacheCapacity && !lru_.empty()) {
-        ++cache_stats_.evictions;
+        cache_evictions_->Add(1);
+        cache_entries_->Add(-1);
         plan_cache_.erase(lru_.back());
         lru_.pop_back();
       }
       lru_.push_front(sql);
       plan_cache_.emplace(sql, CacheEntry{plan, lru_.begin()});
+      cache_entries_->Add(1);
     } else {
       // A concurrent caller planned the same text; keep the fresher plan.
       if (plan->catalog_version >= it->second.plan->catalog_version) {

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "sql/executor.h"
 #include "storage/catalog.h"
 #include "udf/udf.h"
@@ -17,18 +18,11 @@ namespace mlcs {
 
 /// Counters summed across every Database in the process — the serving
 /// benches read these to report cache effectiveness without plumbing a
-/// Database pointer through the harness.
+/// Database pointer through the harness. Backed by the metrics registry
+/// (`mlcs.plan_cache.hits` / `mlcs.plan_cache.misses`); mlcs_metrics()
+/// exports the same series.
 uint64_t PlanCacheHitsTotal();
 uint64_t PlanCacheMissesTotal();
-
-/// Aggregate statistics for one Database's prepared-plan cache.
-struct PlanCacheStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;      // includes uncacheable (non-SELECT) statements
-  uint64_t stale = 0;       // entries discarded because DDL moved the schema
-  uint64_t evictions = 0;   // capacity evictions (LRU)
-  size_t entries = 0;       // current resident plans
-};
 
 /// The embedded analytical database — the library's main entry point.
 ///
@@ -50,6 +44,7 @@ struct PlanCacheStats {
 class Database {
  public:
   Database();
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -75,7 +70,11 @@ class Database {
   /// Executes a semicolon-separated script; returns the last result.
   Result<TablePtr> Run(const std::string& script);
 
-  PlanCacheStats plan_cache_stats() const;
+  /// Currently resident prepared plans. The cache's event counters
+  /// (hits / misses / stale / evictions) live on the metrics registry as
+  /// process-wide `mlcs.plan_cache.*` series — query them via
+  /// `SELECT * FROM mlcs_metrics()` or obs::MetricsRegistry directly.
+  size_t plan_cache_size() const;
   void ClearPlanCache();
 
   /// Persists every catalog table into `dir` (one .mlt file per table plus
@@ -105,7 +104,14 @@ class Database {
   mutable std::mutex cache_mu_;
   std::unordered_map<std::string, CacheEntry> plan_cache_;
   std::list<std::string> lru_;
-  mutable PlanCacheStats cache_stats_;
+  /// Registry-backed cache counters (process-wide series; pointers cached
+  /// at construction so the hot path never takes the registry lock).
+  /// Atomic bumps fix the old copy-under-lock races on non-atomic fields.
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Counter* cache_stale_;
+  obs::Counter* cache_evictions_;
+  obs::Gauge* cache_entries_;
 };
 
 /// A lightweight session handle. Connections share the database's catalog

@@ -1,8 +1,12 @@
 #include "sql/executor.h"
 
+#include <chrono>
+#include <cstdio>
 #include <map>
+#include <unordered_map>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "exec/operator.h"
 #include "sql/optimizer.h"
 #include "sql/plan.h"
@@ -98,8 +102,12 @@ Result<TablePtr> Executor::Execute(const Statement& stmt) {
     Schema schema;
     schema.AddField("plan", TypeId::kVarchar);
     auto out = Table::Make(std::move(schema));
-    MLCS_ASSIGN_OR_RETURN(std::string plan,
-                          RenderPlan((*explain)->inner));
+    std::string plan;
+    if ((*explain)->analyze) {
+      MLCS_ASSIGN_OR_RETURN(plan, RenderAnalyzedPlan((*explain)->inner));
+    } else {
+      MLCS_ASSIGN_OR_RETURN(plan, RenderPlan((*explain)->inner));
+    }
     for (const std::string& line : SplitString(plan, '\n')) {
       if (!line.empty()) {
         MLCS_RETURN_IF_ERROR(out->AppendRow({Value::Varchar(line)}));
@@ -113,10 +121,12 @@ Result<TablePtr> Executor::Execute(const Statement& stmt) {
 /// -- Planning & SELECT execution ------------------------------------------
 
 Result<PlannedSelect> Executor::PlanSelect(const SelectStatement& select) {
+  obs::ScopedSpan plan_span("sql.plan");
   Planner planner(catalog_, this);
   PlannedSelect planned;
   MLCS_ASSIGN_OR_RETURN(planned.bound, planner.Bind(select));
   if (optimizer_enabled_) {
+    obs::ScopedSpan optimize_span("sql.optimize");
     OptimizerContext octx;
     octx.catalog = catalog_;
     octx.eval_constant = [this](const SqlExpr& e) {
@@ -131,7 +141,7 @@ Result<PlannedSelect> Executor::PlanSelect(const SelectStatement& select) {
 
 Result<TablePtr> Executor::ExecuteSelect(const SelectStatement& select) {
   MLCS_ASSIGN_OR_RETURN(PlannedSelect planned, PlanSelect(select));
-  MLCS_ASSIGN_OR_RETURN(exec::OpResult out, planned.root->Execute());
+  MLCS_ASSIGN_OR_RETURN(exec::OpResult out, planned.root->Run());
   return out.table;
 }
 
@@ -155,8 +165,55 @@ Result<std::shared_ptr<const PreparedSelect>> Executor::Prepare(
 }
 
 Result<TablePtr> Executor::RunPrepared(const PreparedSelect& prepared) {
-  MLCS_ASSIGN_OR_RETURN(exec::OpResult out, prepared.root->Execute());
+  MLCS_ASSIGN_OR_RETURN(exec::OpResult out, prepared.root->Run());
   return out.table;
+}
+
+Result<std::string> Executor::RenderAnalyzedPlan(const Statement& stmt) {
+  const auto* select = std::get_if<SelectStatement>(&stmt);
+  if (select == nullptr) {
+    return Status::InvalidArgument(
+        "EXPLAIN ANALYZE supports only SELECT statements");
+  }
+  MLCS_ASSIGN_OR_RETURN(PlannedSelect planned, PlanSelect(*select));
+  // Forced context: ANALYZE traces this execution even with background
+  // tracing off (and shadows the session's context when it is on, so the
+  // annotations read only this query's spans).
+  obs::TraceContext trace("explain analyze", /*force=*/true);
+  auto wall_start = std::chrono::steady_clock::now();
+  MLCS_ASSIGN_OR_RETURN(exec::OpResult result, planned.root->Run());
+  double total_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+  // Aggregate spans per plan node: an operator may execute more than once
+  // (e.g. under a re-entrant subquery), so times and rows accumulate.
+  struct NodeTotals {
+    double ms = 0.0;
+    uint64_t rows = 0;
+  };
+  std::unordered_map<const void*, NodeTotals> by_node;
+  for (const obs::TraceSpan& span : trace.ConsumeSpans()) {
+    if (span.op_token == nullptr) continue;
+    NodeTotals& n = by_node[span.op_token];
+    n.ms += static_cast<double>(span.duration.count()) / 1e6;
+    n.rows += span.rows_out;
+  }
+  exec::NodeAnnotator annotate =
+      [&by_node](const exec::PhysicalOperator& op) -> std::string {
+    auto it = by_node.find(&op);
+    if (it == by_node.end()) return " (not executed)";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " (actual time=%.3f ms, rows=%llu)",
+                  it->second.ms,
+                  static_cast<unsigned long long>(it->second.rows));
+    return buf;
+  };
+  std::string text = exec::RenderOperatorTree(*planned.root, 0, annotate);
+  char footer[96];
+  std::snprintf(footer, sizeof(footer), "Total: %.3f ms, %llu rows",
+                total_ms,
+                static_cast<unsigned long long>(result.table->num_rows()));
+  return text + footer + "\n";
 }
 
 Result<std::string> Executor::RenderPlan(const Statement& stmt) {

@@ -86,6 +86,10 @@ class Executor {
   /// physical plan; planning never executes, so EXPLAIN stays side-effect
   /// free.
   Result<std::string> RenderPlan(const Statement& stmt);
+  /// EXPLAIN ANALYZE: executes a SELECT under a forced trace context and
+  /// renders the physical tree annotated with per-node actual time / rows
+  /// (from the execution's spans), plus a total-time footer.
+  Result<std::string> RenderAnalyzedPlan(const Statement& stmt);
 
   Catalog* catalog_;
   udf::UdfRegistry* udfs_;

@@ -54,6 +54,7 @@ class Parser {
     }
     if (MatchKw("EXPLAIN")) {
       auto wrapper = std::make_unique<ExplainStmt>();
+      wrapper->analyze = MatchKw("ANALYZE");
       MLCS_ASSIGN_OR_RETURN(wrapper->inner, ParseOne());
       return Statement(std::move(wrapper));
     }

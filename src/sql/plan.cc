@@ -73,7 +73,7 @@ std::string ProjectionString(const SelectStatement& select) {
 }  // namespace
 
 Result<exec::OpResult> ProjectOperator::Execute() const {
-  MLCS_ASSIGN_OR_RETURN(exec::OpResult in, children_[0]->Execute());
+  MLCS_ASSIGN_OR_RETURN(exec::OpResult in, children_[0]->Run());
   const SelectStatement& select = *select_;
   const TablePtr& input = in.table;
   Schema schema;
@@ -124,7 +124,7 @@ std::string ProjectOperator::label() const {
 }
 
 Result<exec::OpResult> AggregateOperator::Execute() const {
-  MLCS_ASSIGN_OR_RETURN(exec::OpResult in, children_[0]->Execute());
+  MLCS_ASSIGN_OR_RETURN(exec::OpResult in, children_[0]->Run());
   const SelectStatement& select = *select_;
   const TablePtr& input = in.table;
   // Pre-project aggregate inputs that are expressions, run the hash
@@ -233,7 +233,7 @@ std::string AggregateOperator::label() const {
 }
 
 Result<exec::OpResult> SortOperator::Execute() const {
-  MLCS_ASSIGN_OR_RETURN(exec::OpResult in, children_[0]->Execute());
+  MLCS_ASSIGN_OR_RETURN(exec::OpResult in, children_[0]->Run());
   const SelectStatement& select = *select_;
   TablePtr table = std::move(in.table);
   const TablePtr& row_source = in.row_source;
@@ -302,7 +302,7 @@ Result<exec::OpResult> TableFunctionOperator::Execute() const {
       // Parenthesized subquery: its columns become vector arguments —
       // the MonetDB table-argument calling convention.
       MLCS_ASSIGN_OR_RETURN(exec::OpResult t,
-                            children_[child++]->Execute());
+                            children_[child++]->Run());
       for (size_t c = 0; c < t.table->num_columns(); ++c) {
         args.push_back(t.table->column(c));
       }

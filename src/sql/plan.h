@@ -180,7 +180,7 @@ class SubqueryOperator : public exec::PhysicalOperator {
     children_.push_back(std::move(child));
   }
   Result<exec::OpResult> Execute() const override {
-    MLCS_ASSIGN_OR_RETURN(exec::OpResult in, children_[0]->Execute());
+    MLCS_ASSIGN_OR_RETURN(exec::OpResult in, children_[0]->Run());
     return exec::OpResult{std::move(in.table), nullptr};
   }
   std::string label() const override { return "SUBQUERY"; }

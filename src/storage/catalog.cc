@@ -1,20 +1,23 @@
 #include "storage/catalog.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace mlcs {
 
 namespace {
-std::atomic<uint64_t> g_scan_bytes_touched{0};
+/// Registry-backed `mlcs.scan.bytes_touched` series; the pointer is cached
+/// so scans never take the registry lock.
+obs::Counter* ScanBytesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("mlcs.scan.bytes_touched");
+  return counter;
+}
 }  // namespace
 
-uint64_t ScanBytesTouched() {
-  return g_scan_bytes_touched.load(std::memory_order_relaxed);
-}
+uint64_t ScanBytesTouched() { return ScanBytesCounter()->Value(); }
 
-void AddScanBytesTouched(uint64_t bytes) {
-  g_scan_bytes_touched.fetch_add(bytes, std::memory_order_relaxed);
-}
+void AddScanBytesTouched(uint64_t bytes) { ScanBytesCounter()->Add(bytes); }
 
 Status Catalog::CreateTable(const std::string& name, TablePtr table,
                             bool or_replace) {

@@ -1,6 +1,7 @@
 #include "udf/udf.h"
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace mlcs::udf {
 
@@ -150,6 +151,8 @@ Result<std::vector<ColumnPtr>> UdfRegistry::CoerceArgs(
 Result<ColumnPtr> UdfRegistry::CallScalar(const std::string& name,
                                           const std::vector<ColumnPtr>& args,
                                           size_t num_rows) const {
+  obs::ScopedSpan span("udf:", name);
+  span.set_rows_in(num_rows);
   MLCS_ASSIGN_OR_RETURN(auto entry, GetScalar(name));
   MLCS_ASSIGN_OR_RETURN(
       std::vector<ColumnPtr> coerced,
@@ -164,13 +167,16 @@ Result<ColumnPtr> UdfRegistry::CallScalar(const std::string& name,
         " rows, expected " + std::to_string(num_rows) + " (or 1)");
   }
   if (entry->has_return_type && out->type() != entry->return_type) {
+    span.set_rows_out(out->size());
     return out->CastTo(entry->return_type);
   }
+  span.set_rows_out(out->size());
   return out;
 }
 
 Result<TablePtr> UdfRegistry::CallTable(
     const std::string& name, const std::vector<ColumnPtr>& args) const {
+  obs::ScopedSpan span("udf:", name);
   MLCS_ASSIGN_OR_RETURN(auto entry, GetTable(name));
   MLCS_ASSIGN_OR_RETURN(
       std::vector<ColumnPtr> coerced,
@@ -200,6 +206,7 @@ Result<TablePtr> UdfRegistry::CallTable(
   auto aligned =
       std::make_shared<Table>(std::move(schema), std::move(columns));
   MLCS_RETURN_IF_ERROR(aligned->Validate());
+  span.set_rows_out(aligned->num_rows());
   return aligned;
 }
 

@@ -1,0 +1,296 @@
+// Unit tests for the observability layer (src/obs/): metrics registry
+// semantics, histogram bucket edges, snapshot consistency, and the trace
+// span API (context install/restore, nesting, span cap, sink retention).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mlcs::obs {
+namespace {
+
+// Tests register under test-only names: the global registry never removes
+// a series, so production names must not be polluted with test bumps.
+
+TEST(MetricsRegistryTest, CounterRegistersOnceAndAccumulates) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter.a");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add(3);
+  c->Add();  // default increment of 1
+  EXPECT_EQ(c->Value(), 4u);
+  // Same name → same handle; the registry owns one series per name.
+  EXPECT_EQ(registry.GetCounter("test.counter.a"), c);
+  EXPECT_NE(registry.GetCounter("test.counter.b"), c);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAddAndMax) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 7);
+  g->UpdateMax(5);  // smaller: no change
+  EXPECT_EQ(g->Value(), 7);
+  g->UpdateMax(42);
+  EXPECT_EQ(g->Value(), 42);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketEdges) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.hist", {1.0, 10.0});
+  // v <= bound lands in that bucket; past the last bound → overflow.
+  h->Observe(0.5);    // bucket 0
+  h->Observe(1.0);    // bucket 0 (inclusive upper edge)
+  h->Observe(5.0);    // bucket 1
+  h->Observe(100.0);  // overflow bucket
+  ASSERT_EQ(h->num_buckets(), 3u);
+  EXPECT_EQ(h->BucketCount(0), 2u);
+  EXPECT_EQ(h->BucketCount(1), 1u);
+  EXPECT_EQ(h->BucketCount(2), 1u);
+  EXPECT_EQ(h->Count(), 4u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 106.5);
+  // Bounds are series identity: a second registration's bounds are
+  // ignored, the existing histogram comes back.
+  EXPECT_EQ(registry.GetHistogram("test.hist", {99.0}), h);
+}
+
+TEST(MetricsRegistryTest, SnapshotExportsEverySeriesSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.b.counter")->Add(2);
+  registry.GetGauge("test.a.gauge")->Set(-5);
+  Histogram* h = registry.GetHistogram("test.c.hist", {1.0});
+  h->Observe(0.5);
+  h->Observe(7.0);
+  std::vector<MetricSample> samples = registry.Snapshot();
+  // gauge + counter + histogram rows (le_1, le_inf, count, sum).
+  ASSERT_EQ(samples.size(), 6u);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  }
+  EXPECT_EQ(samples[0].name, "test.a.gauge");
+  EXPECT_EQ(samples[0].kind, "gauge");
+  EXPECT_DOUBLE_EQ(samples[0].value, -5.0);
+  EXPECT_EQ(samples[1].name, "test.b.counter");
+  EXPECT_EQ(samples[1].kind, "counter");
+  EXPECT_DOUBLE_EQ(samples[1].value, 2.0);
+  EXPECT_EQ(samples[2].name, "test.c.hist.count");
+  EXPECT_DOUBLE_EQ(samples[2].value, 2.0);
+  EXPECT_EQ(samples[3].name, "test.c.hist.le_1");
+  EXPECT_DOUBLE_EQ(samples[3].value, 1.0);
+  EXPECT_EQ(samples[4].name, "test.c.hist.le_inf");
+  EXPECT_DOUBLE_EQ(samples[4].value, 1.0);
+  EXPECT_EQ(samples[5].name, "test.c.hist.sum");
+  EXPECT_DOUBLE_EQ(samples[5].value, 7.5);
+}
+
+TEST(MetricsRegistryTest, ConcurrentBumpsLoseNothing) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.concurrent");
+  Histogram* h = registry.GetHistogram("test.concurrent.hist", {100.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, c, h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Add(1);
+        h->Observe(1.0);
+        // Concurrent registration of the same name must also be safe.
+        registry.GetCounter("test.concurrent")->Add(0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h->Count(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h->BucketCount(0), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(MirroredCounterTest, BumpsLocalAndGlobal) {
+  Counter* global =
+      MetricsRegistry::Global().GetCounter("test.mirrored.series");
+  uint64_t global_before = global->Value();
+  MirroredCounter a("test.mirrored.series");
+  MirroredCounter b("test.mirrored.series");
+  a.Add(2);
+  b.Add(3);
+  EXPECT_EQ(a.Value(), 2u);  // local counts stay per-instance
+  EXPECT_EQ(b.Value(), 3u);
+  EXPECT_EQ(global->Value(), global_before + 5);  // global aggregates
+}
+
+TEST(MirroredMaxGaugeTest, RatchetsLocalAndGlobal) {
+  Gauge* global = MetricsRegistry::Global().GetGauge("test.mirrored.max");
+  MirroredMaxGauge m("test.mirrored.max");
+  m.UpdateMax(7);
+  m.UpdateMax(3);
+  EXPECT_EQ(m.Value(), 7u);
+  EXPECT_GE(global->Value(), 7);
+}
+
+TEST(TraceTest, InactiveWhenDisabled) {
+  ASSERT_FALSE(TracingEnabled());
+  TraceContext ctx("should not activate");
+  EXPECT_FALSE(ctx.active());
+  EXPECT_FALSE(TraceActive());
+  // Spans on an inactive thread are no-ops, not crashes.
+  ScopedSpan span("noop");
+  EXPECT_FALSE(span.active());
+}
+
+TEST(TraceTest, ForcedContextCollectsNestedSpans) {
+  TraceContext ctx("root", /*force=*/true);
+  ASSERT_TRUE(ctx.active());
+  EXPECT_TRUE(TraceActive());
+  {
+    ScopedSpan outer("outer");
+    ASSERT_TRUE(outer.active());
+    outer.set_rows_out(10);
+    {
+      ScopedSpan inner("inner:", std::string("dynamic"));
+      ASSERT_TRUE(inner.active());
+      inner.set_rows_in(10);
+      inner.set_bytes(80);
+    }
+  }
+  std::vector<TraceSpan> spans = ctx.ConsumeSpans();
+  // outer + inner + root (finalized by ConsumeSpans).
+  ASSERT_EQ(spans.size(), 3u);
+  const TraceSpan* root = nullptr;
+  const TraceSpan* outer = nullptr;
+  const TraceSpan* inner = nullptr;
+  for (const TraceSpan& s : spans) {
+    if (s.name == "root") root = &s;
+    if (s.name == "outer") outer = &s;
+    if (s.name == "inner:dynamic") inner = &s;
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(root->span_id, 1u);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(outer->parent_id, 1u);          // nests under the root
+  EXPECT_EQ(inner->parent_id, outer->span_id);  // nests under outer
+  EXPECT_EQ(outer->rows_out, 10u);
+  EXPECT_EQ(inner->rows_in, 10u);
+  EXPECT_EQ(inner->bytes, 80u);
+  EXPECT_GE(inner->start_offset.count(), outer->start_offset.count());
+  // Consumed contexts flush nothing at destruction; the thread-local
+  // uninstall happens in the destructor either way.
+}
+
+TEST(TraceTest, ShadowedContextReadsOnlyItsOwnSpans) {
+  TraceContext outer_ctx("outer ctx", /*force=*/true);
+  { ScopedSpan s("belongs to outer"); }
+  {
+    TraceContext inner_ctx("inner ctx", /*force=*/true);
+    { ScopedSpan s("belongs to inner"); }
+    std::vector<TraceSpan> inner_spans = inner_ctx.ConsumeSpans();
+    ASSERT_EQ(inner_spans.size(), 2u);  // its span + its root
+    EXPECT_NE(inner_spans[0].trace_id, 0u);
+  }
+  // After the inner context unwinds, spans attach to the outer again.
+  { ScopedSpan s("outer again"); }
+  std::vector<TraceSpan> outer_spans = outer_ctx.ConsumeSpans();
+  ASSERT_EQ(outer_spans.size(), 3u);
+  for (const TraceSpan& s : outer_spans) {
+    EXPECT_NE(s.name, "belongs to inner");
+  }
+}
+
+TEST(TraceTest, RecordSpanWithExplicitEndpoints) {
+  TraceContext ctx("synthetic", /*force=*/true);
+  auto start = std::chrono::steady_clock::now();
+  auto end = start + std::chrono::microseconds(250);
+  ctx.RecordSpan("admission", start, end, /*rows_in=*/16);
+  std::vector<TraceSpan> spans = ctx.ConsumeSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  const TraceSpan& s = spans[0].name == "admission" ? spans[0] : spans[1];
+  EXPECT_EQ(s.name, "admission");
+  EXPECT_EQ(s.parent_id, 1u);
+  EXPECT_EQ(s.rows_in, 16u);
+  EXPECT_EQ(s.duration, std::chrono::nanoseconds(250000));
+}
+
+TEST(TraceTest, ScopedTraceAttachJoinsPoolThreads) {
+  TraceContext ctx("pooled", /*force=*/true);
+  std::thread worker([&ctx] {
+    EXPECT_FALSE(TraceActive());  // fresh thread: no context
+    ScopedTraceAttach attach(&ctx);
+    EXPECT_TRUE(TraceActive());
+    ScopedSpan span("worker span");
+    EXPECT_TRUE(span.active());
+  });
+  worker.join();
+  std::thread detached([] {
+    ScopedTraceAttach attach(nullptr);  // null context: no-op
+    EXPECT_FALSE(TraceActive());
+  });
+  detached.join();
+  std::vector<TraceSpan> spans = ctx.ConsumeSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  const TraceSpan& s =
+      spans[0].name == "worker span" ? spans[0] : spans[1];
+  EXPECT_EQ(s.name, "worker span");
+  EXPECT_EQ(s.parent_id, 1u);
+}
+
+TEST(TraceTest, SpanCapDropsAndCounts) {
+  Counter* dropped =
+      MetricsRegistry::Global().GetCounter("mlcs.trace.dropped_spans");
+  uint64_t dropped_before = dropped->Value();
+  TraceContext ctx("capped", /*force=*/true);
+  constexpr int kOver = 100;
+  for (int i = 0; i < 8192 + kOver; ++i) {
+    ScopedSpan span("s");
+  }
+  std::vector<TraceSpan> spans = ctx.ConsumeSpans();
+  // Cap spans + root; the overflow was counted, not silently lost.
+  EXPECT_EQ(spans.size(), 8192u + 1u);
+  EXPECT_GE(dropped->Value(), dropped_before + kOver);
+}
+
+TEST(TraceSinkTest, RetainsAndQueriesFlushedTraces) {
+  TraceSink sink;
+  uint64_t id1 = 0;
+  {
+    TraceContext ctx("first", /*force=*/true);
+    id1 = ctx.trace_id();
+    { ScopedSpan s("a"); }
+    sink.AddTrace(ctx.ConsumeSpans());
+  }
+  std::vector<TraceSpan> got = sink.Query(id1);
+  ASSERT_EQ(got.size(), 2u);
+  for (const TraceSpan& s : got) EXPECT_EQ(s.trace_id, id1);
+  EXPECT_TRUE(sink.Query(id1 + 999999).empty());
+  // trace_id 0 → everything, ordered by (trace, span id).
+  EXPECT_EQ(sink.Query(0).size(), 2u);
+  sink.Clear();
+  EXPECT_TRUE(sink.Query(0).empty());
+}
+
+TEST(TraceSinkTest, DestructorFlushesToGlobalSinkWhenEnabled) {
+  TraceSink::Global().Clear();
+  SetTracingEnabled(true);
+  uint64_t id = 0;
+  {
+    TraceContext ctx("flushed at scope exit");
+    ASSERT_TRUE(ctx.active());
+    id = ctx.trace_id();
+    ScopedSpan s("work");
+  }
+  SetTracingEnabled(false);
+  std::vector<TraceSpan> got = TraceSink::Global().Query(id);
+  ASSERT_EQ(got.size(), 2u);
+  TraceSink::Global().Clear();
+}
+
+}  // namespace
+}  // namespace mlcs::obs

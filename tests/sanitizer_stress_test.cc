@@ -20,6 +20,8 @@
 #include "ml/pickle.h"
 #include "modelstore/model_cache.h"
 #include "modelstore/model_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/inference_server.h"
 #include "sql/database.h"
 #include "udf/parallel.h"
@@ -437,6 +439,77 @@ TEST(SanitizerStressTest, MorselOperatorsShareServingPool) {
 /// Prepared-plan cache under concurrent DDL churn: readers replay one
 /// cached SELECT over a stable table while a DDL thread drops/recreates a
 /// different table, bumping the catalog schema version. Every bump
+TEST(SanitizerStressTest, TracingConcurrentQueriesAndServing) {
+  // The observability layer's hazard surface: tracing enabled while
+  // morsel-parallel queries and serving batches run concurrently. Trace
+  // contexts install per thread, pool workers attach and record spans
+  // from inside operators and predict tasks, and every context flushes
+  // into the shared sink — all of it must stay TSan-clean with zero lost
+  // answers.
+  obs::SetTracingEnabled(true);
+  Database db;
+  ASSERT_TRUE(db.Run("CREATE TABLE big (x INTEGER, g INTEGER);").ok());
+  std::string values = "INSERT INTO big VALUES (0, 0)";
+  for (int i = 1; i < 512; ++i) {
+    values += ", (" + std::to_string(i) + ", " + std::to_string(i % 7) + ")";
+  }
+  ASSERT_TRUE(db.Query(values).ok());
+
+  modelstore::ModelStore store(&db);
+  ASSERT_TRUE(store.Init().ok());
+  {
+    auto seeded = ml::pickle::Loads(FittedBlob(1)).ValueOrDie();
+    ASSERT_TRUE(store.SaveModel("m", *seeded, 0.9, 64).ok());
+  }
+  serve::InferenceServer server(&db, &store);
+  ASSERT_TRUE(server.Start(0).ok());
+  uint16_t port = server.port();
+
+  std::atomic<int> unexpected{0};
+  std::vector<std::thread> workers;
+  for (int c = 0; c < 2; ++c) {
+    workers.emplace_back([&db, &unexpected] {
+      for (int i = 0; i < kIters; ++i) {
+        auto r = db.Query(
+            "SELECT g, COUNT(*), SUM(x) FROM big WHERE x > 10 GROUP BY g");
+        if (!r.ok()) unexpected.fetch_add(1);
+      }
+    });
+  }
+  workers.emplace_back([&unexpected, port] {
+    client::InferenceClient client;
+    if (!client.Connect("127.0.0.1", port).ok()) {
+      unexpected.fetch_add(1);
+      return;
+    }
+    Rng rng(7);
+    ml::Matrix x(4, 2);
+    for (size_t r = 0; r < 4; ++r) {
+      x.Set(r, 0, rng.NextGaussian());
+      x.Set(r, 1, rng.NextGaussian());
+    }
+    for (int i = 0; i < kIters; ++i) {
+      auto response = client.Call("m", x, {});
+      if (!response.ok() ||
+          response.ValueOrDie().code != serve::ServeCode::kOk) {
+        unexpected.fetch_add(1);
+      }
+    }
+  });
+  for (auto& t : workers) t.join();
+  server.Stop();
+  obs::SetTracingEnabled(false);
+  EXPECT_EQ(unexpected.load(), 0);
+  // Every traced query and batch flushed into the sink; spans recorded
+  // from pool workers (operators, predicts) must be well-formed.
+  std::vector<obs::TraceSpan> spans = obs::TraceSink::Global().Query(0);
+  EXPECT_FALSE(spans.empty());
+  for (const obs::TraceSpan& s : spans) {
+    EXPECT_NE(s.trace_id, 0u);
+    EXPECT_GE(s.span_id, 1u);
+  }
+}
+
 /// invalidates the readers' cached plans mid-flight, so this hammers the
 /// cache mutex, the version atomic, and concurrent re-planning of the
 /// same SQL text. Readers must never see a wrong answer or an error.
@@ -481,11 +554,13 @@ TEST(SanitizerStressTest, PlanCacheConcurrentDdlChurn) {
 
   // Deterministic invalidation check (the threads above may not interleave
   // on a 1-core CI quota): warm a plan, bump the schema version, replay.
-  uint64_t stale_before = db.plan_cache_stats().stale;
+  obs::Counter* stale =
+      obs::MetricsRegistry::Global().GetCounter("mlcs.plan_cache.stale");
+  uint64_t stale_before = stale->Value();
   ASSERT_TRUE(db.Query("SELECT SUM(x) FROM fixed WHERE x > 0").ok());
   ASSERT_TRUE(db.Query("CREATE TABLE bump_marker (a INTEGER)").ok());
   ASSERT_TRUE(db.Query("SELECT SUM(x) FROM fixed WHERE x > 0").ok());
-  EXPECT_GE(db.plan_cache_stats().stale, stale_before + 1);
+  EXPECT_GE(stale->Value(), stale_before + 1);
 }
 
 }  // namespace

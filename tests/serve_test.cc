@@ -294,6 +294,12 @@ TEST_F(InferenceServerTest, PredictsOverBothLayouts) {
     EXPECT_EQ(labels, expected_) << LayoutToString(layout);
   }
   EXPECT_EQ(server->stats().responses_ok, 2u);
+  // The per-instance counters mirror into the global registry (DESIGN.md
+  // §10): the serving series must be visible on the one snapshot path.
+  uint64_t global_ok = obs::MetricsRegistry::Global()
+                           .GetCounter("mlcs.serve.responses_ok")
+                           ->Value();
+  EXPECT_GE(global_ok, 2u);
 }
 
 TEST_F(InferenceServerTest, UnknownModelAnswersModelNotFound) {

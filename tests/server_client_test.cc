@@ -2,6 +2,7 @@
 
 #include "client/client.h"
 #include "client/server.h"
+#include "obs/metrics.h"
 
 namespace mlcs::client {
 namespace {
@@ -107,14 +108,15 @@ TEST_F(ServerClientTest, RepeatedQueriesHitPlanCache) {
   TableClient client;
   ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
   const std::string sql = "SELECT SUM(x) FROM t WHERE x > 1";
-  uint64_t hits_before = db_.plan_cache_stats().hits;
+  obs::Counter* hits =
+      obs::MetricsRegistry::Global().GetCounter("mlcs.plan_cache.hits");
+  uint64_t hits_before = hits->Value();
   for (int i = 0; i < 10; ++i) {
     auto t = client.Query(sql, WireProtocol::kMyBinary).ValueOrDie();
     EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Int64(5));
   }
-  PlanCacheStats stats = db_.plan_cache_stats();
-  EXPECT_GE(stats.hits, hits_before + 9);
-  EXPECT_GE(stats.entries, 1u);
+  EXPECT_GE(hits->Value(), hits_before + 9);
+  EXPECT_GE(db_.plan_cache_size(), 1u);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "sql/database.h"
 
 namespace mlcs {
@@ -243,14 +244,18 @@ TEST_F(SqlExecutorTest, DmlStatusReportsAffectedRows) {
 /// The prepared-plan cache serves repeated SELECT text without re-planning
 /// and invalidates on DDL.
 TEST_F(SqlExecutorTest, PlanCacheHitsAndInvalidation) {
+  // The cache's event counters are process-wide registry series; assert on
+  // deltas so other tests' queries don't interfere.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* hits = registry.GetCounter("mlcs.plan_cache.hits");
+  obs::Counter* stale = registry.GetCounter("mlcs.plan_cache.stale");
   const std::string sql = "SELECT COUNT(*) FROM voters";
-  uint64_t hits0 = db_.plan_cache_stats().hits;
+  uint64_t hits0 = hits->Value();
   EXPECT_EQ(Q(sql)->GetValue(0, 0).ValueOrDie(), Value::Int64(5));
   EXPECT_EQ(Q(sql)->GetValue(0, 0).ValueOrDie(), Value::Int64(5));
   EXPECT_EQ(Q(sql)->GetValue(0, 0).ValueOrDie(), Value::Int64(5));
-  PlanCacheStats stats = db_.plan_cache_stats();
-  EXPECT_EQ(stats.hits, hits0 + 2);
-  EXPECT_GE(stats.entries, 1u);
+  EXPECT_EQ(hits->Value(), hits0 + 2);
+  EXPECT_GE(db_.plan_cache_size(), 1u);
 
   // DML rewrites the table in place (same schema): cached plans stay
   // valid and see the new data.
@@ -258,12 +263,13 @@ TEST_F(SqlExecutorTest, PlanCacheHitsAndInvalidation) {
   EXPECT_EQ(Q(sql)->GetValue(0, 0).ValueOrDie(), Value::Int64(4));
 
   // DDL that changes a schema invalidates: re-planned, still correct.
+  uint64_t stale0 = stale->Value();
   ASSERT_TRUE(db_.Query("DROP TABLE precincts").ok());
   EXPECT_EQ(Q(sql)->GetValue(0, 0).ValueOrDie(), Value::Int64(4));
-  EXPECT_GE(db_.plan_cache_stats().stale, 1u);
+  EXPECT_GE(stale->Value(), stale0 + 1);
 
   db_.ClearPlanCache();
-  EXPECT_EQ(db_.plan_cache_stats().entries, 0u);
+  EXPECT_EQ(db_.plan_cache_size(), 0u);
   EXPECT_EQ(Q(sql)->GetValue(0, 0).ValueOrDie(), Value::Int64(4));
 }
 

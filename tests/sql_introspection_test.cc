@@ -1,9 +1,17 @@
-/// SHOW TABLES / SHOW FUNCTIONS / DESCRIBE / EXPLAIN and the STDDEV
-/// aggregate.
+/// SHOW TABLES / SHOW FUNCTIONS / DESCRIBE / EXPLAIN / EXPLAIN ANALYZE,
+/// the mlcs_metrics()/mlcs_trace() introspection table functions, and the
+/// STDDEV aggregate.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <regex>
+#include <set>
+#include <vector>
 
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/database.h"
 
 namespace mlcs {
@@ -32,6 +40,14 @@ class SqlIntrospectionTest : public ::testing::Test {
     std::string out;
     for (size_t r = 0; r < t->num_rows(); ++r) {
       out += t->GetValue(r, 0).ValueOrDie().string_value() + "\n";
+    }
+    return out;
+  }
+
+  std::vector<std::string> Column0(const TablePtr& t) {
+    std::vector<std::string> out;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      out.push_back(t->GetValue(r, 0).ValueOrDie().string_value());
     }
     return out;
   }
@@ -93,6 +109,132 @@ TEST_F(SqlIntrospectionTest, ExplainTableFunction) {
       "SELECT * FROM train((SELECT id FROM voters), 4)");
   EXPECT_NE(plan.find("TABLE FUNCTION train"), std::string::npos);
   EXPECT_NE(plan.find("SCAN voters"), std::string::npos);
+}
+
+/// -- EXPLAIN ANALYZE: per-operator actual time / rows ---------------------
+
+TEST_F(SqlIntrospectionTest, ExplainAnalyzeAnnotatesEveryOperator) {
+  const std::string sql =
+      "SELECT precinct, COUNT(*) AS n FROM voters JOIN precincts "
+      "ON precinct = precinct WHERE age > 30 GROUP BY precinct";
+  // Expected shape = the plain EXPLAIN tree; ANALYZE appends one
+  // annotation per operator line plus a totals footer.
+  std::vector<std::string> plan_lines = SplitString(PlanOf(sql), '\n');
+  while (!plan_lines.empty() && plan_lines.back().empty()) {
+    plan_lines.pop_back();
+  }
+  std::vector<std::string> lines = Column0(Q("EXPLAIN ANALYZE " + sql));
+  ASSERT_EQ(lines.size(), plan_lines.size() + 1);
+
+  const std::regex annot(R"( \(actual time=[0-9.]+ ms, rows=([0-9]+)\)$)");
+  for (size_t i = 0; i < plan_lines.size(); ++i) {
+    // Each annotated line is the EXPLAIN line plus the suffix — operator
+    // order and indentation must match the static plan exactly.
+    ASSERT_GT(lines[i].size(), plan_lines[i].size()) << lines[i];
+    EXPECT_EQ(lines[i].substr(0, plan_lines[i].size()), plan_lines[i]);
+    std::smatch m;
+    ASSERT_TRUE(std::regex_search(lines[i], m, annot)) << lines[i];
+    // Deterministic row counts on this fixture: voters rows 3, ages
+    // 20/40/60 → 2 survive the filter, join and group both yield 2.
+    uint64_t rows = std::stoull(m[1].str());
+    if (plan_lines[i].find("SCAN voters") != std::string::npos) {
+      EXPECT_EQ(rows, 3u) << lines[i];
+    } else if (plan_lines[i].find("SCAN precincts") != std::string::npos) {
+      EXPECT_EQ(rows, 2u) << lines[i];
+    } else {
+      EXPECT_EQ(rows, 2u) << lines[i];
+    }
+  }
+  EXPECT_TRUE(std::regex_match(
+      lines.back(), std::regex(R"(Total: [0-9.]+ ms, 2 rows)")))
+      << lines.back();
+}
+
+TEST_F(SqlIntrospectionTest, ExplainAnalyzeRejectsNonSelect) {
+  auto r = db_.Query("EXPLAIN ANALYZE DELETE FROM voters");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("only SELECT"), std::string::npos);
+  // And it must not have executed the DELETE.
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM voters")->GetValue(0, 0).ValueOrDie(),
+            Value::Int64(3));
+}
+
+/// -- Introspection table functions ----------------------------------------
+
+TEST_F(SqlIntrospectionTest, MetricsTableFunctionExportsRegistry) {
+  // Touch the subsystems whose series the snapshot must carry: a query
+  // (plan cache + scan bytes) and the shared pool (threadpool series).
+  Q("SELECT COUNT(*) FROM voters");
+  ThreadPool::Global().Submit([] {}).wait();
+
+  auto t = Q("SELECT * FROM mlcs_metrics()");
+  ASSERT_EQ(t->schema().num_fields(), 3u);
+  EXPECT_EQ(t->schema().field(0).name, "name");
+  EXPECT_EQ(t->schema().field(1).name, "kind");
+  EXPECT_EQ(t->schema().field(2).name, "value");
+
+  std::set<std::string> names;
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    names.insert(t->GetValue(r, 0).ValueOrDie().string_value());
+    const std::string kind = t->GetValue(r, 1).ValueOrDie().string_value();
+    EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+        << kind;
+  }
+  EXPECT_TRUE(names.count("mlcs.plan_cache.hits"));
+  EXPECT_TRUE(names.count("mlcs.plan_cache.misses"));
+  EXPECT_TRUE(names.count("mlcs.plan_cache.entries"));
+  EXPECT_TRUE(names.count("mlcs.scan.bytes_touched"));
+  EXPECT_TRUE(names.count("mlcs.threadpool.tasks_completed"));
+  EXPECT_TRUE(names.count("mlcs.threadpool.task_wait_us.count"));
+
+  // The snapshot is a point-in-time read, so a named series is directly
+  // filterable in SQL and reflects work already done.
+  auto v = Q("SELECT value FROM mlcs_metrics() "
+             "WHERE name = 'mlcs.scan.bytes_touched'");
+  ASSERT_EQ(v->num_rows(), 1u);
+  EXPECT_GT(v->GetValue(0, 0).ValueOrDie().double_value(), 0.0);
+}
+
+TEST_F(SqlIntrospectionTest, TraceTableFunctionReturnsFlushedSpans) {
+  obs::SetTracingEnabled(true);
+  Q("SELECT COUNT(*) FROM voters WHERE age > 30");
+  obs::SetTracingEnabled(false);
+
+  auto t = Q("SELECT * FROM mlcs_trace(0)");
+  ASSERT_EQ(t->schema().num_fields(), 9u);
+  ASSERT_GE(t->num_rows(), 3u);  // root + parse + plan at minimum
+
+  // Find this query's root span, then check its trace is well-formed.
+  int64_t trace_id = -1;
+  std::set<int64_t> span_ids;
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    const std::string name = t->GetValue(r, 3).ValueOrDie().string_value();
+    if (name.find("query: SELECT COUNT(*)") == 0 &&
+        t->GetValue(r, 2).ValueOrDie().int64_value() == 0) {
+      trace_id = t->GetValue(r, 0).ValueOrDie().int64_value();
+    }
+  }
+  ASSERT_GT(trace_id, 0);
+
+  // mlcs_trace(<id>) narrows to that one trace; every span carries the
+  // trace id, parents resolve within it, and durations are sane.
+  auto one = Q("SELECT * FROM mlcs_trace(" + std::to_string(trace_id) + ")");
+  ASSERT_GE(one->num_rows(), 3u);
+  std::set<std::string> span_names;
+  for (size_t r = 0; r < one->num_rows(); ++r) {
+    EXPECT_EQ(one->GetValue(r, 0).ValueOrDie().int64_value(), trace_id);
+    span_ids.insert(one->GetValue(r, 1).ValueOrDie().int64_value());
+    span_names.insert(one->GetValue(r, 3).ValueOrDie().string_value());
+    EXPECT_GE(one->GetValue(r, 5).ValueOrDie().double_value(), 0.0);
+  }
+  for (size_t r = 0; r < one->num_rows(); ++r) {
+    int64_t parent = one->GetValue(r, 2).ValueOrDie().int64_value();
+    EXPECT_TRUE(parent == 0 || span_ids.count(parent)) << parent;
+  }
+  EXPECT_TRUE(span_names.count("sql.parse"));
+  EXPECT_TRUE(span_names.count("sql.plan"));
+
+  EXPECT_FALSE(db_.Query("SELECT * FROM mlcs_trace()").ok());
 }
 
 /// -- Golden plans: the optimizer's rewrites must show in EXPLAIN ----------

@@ -36,6 +36,13 @@ Rules
                         operation. tests/ are exempt; deliberate embedded
                         uses (e.g. the DataFrame API) opt out with
                         `// lint:allow(exec-operator-call)`.
+  adhoc-stats           Declaring a `struct <Name>Stats` outside src/obs/ —
+                        new counters belong on the metrics registry
+                        (obs::MetricsRegistry, `mlcs.<subsystem>.<series>`)
+                        so mlcs_metrics() and the bench JSON metrics block
+                        see them. Plain snapshot structs copied from
+                        registry-backed counters opt out with
+                        `// lint:allow(adhoc-stats)`.
 
 Exit status is 0 when clean, 1 when any violation is found.
 A line can opt out with a trailing `// lint:allow(<rule>)` comment.
@@ -238,6 +245,25 @@ def check_exec_operator_call(path, relpath, lines):
                "operators (src/sql/planner.h)")
 
 
+ADHOC_STATS_RE = re.compile(r"^\s*struct\s+\w*Stats\b")
+
+
+def check_adhoc_stats(path, relpath, lines):
+    rel = relpath.replace(os.sep, "/")
+    if not rel.startswith("src/") or rel.startswith("src/obs/"):
+        return
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        if not ADHOC_STATS_RE.search(line):
+            continue
+        if allowed(raw, "adhoc-stats"):
+            continue
+        report(path, i + 1, "adhoc-stats",
+               "ad-hoc `struct *Stats` outside src/obs/; register the "
+               "counters on obs::MetricsRegistry instead so mlcs_metrics() "
+               "exports them")
+
+
 def check_using_namespace(path, relpath, lines):
     if not relpath.endswith(".h"):
         return
@@ -266,6 +292,7 @@ def lint_file(path, headers):
     check_using_namespace(path, relpath, lines)
     check_naked_thread(path, relpath, lines)
     check_exec_operator_call(path, relpath, lines)
+    check_adhoc_stats(path, relpath, lines)
 
 
 def collect(paths):
