@@ -2,7 +2,12 @@
 # Correctness gate for every change.
 #
 #   scripts/check.sh --quick        Release build + ctest + lint.py +
-#                                   clang-tidy (tier-1; the default)
+#                                   clang-tidy + thread-safety analysis
+#                                   (tier-1; the default)
+#   scripts/check.sh --analyze      Static analysis only, no build: lint.py
+#                                   + clang -Wthread-safety over src/.
+#                                   Seconds, not minutes — run it on every
+#                                   locking change.
 #   scripts/check.sh --bench-smoke  --quick, then every bench binary at tiny
 #                                   scale; each must exit 0 and write valid
 #                                   BENCH_<name>.json
@@ -10,9 +15,10 @@
 #                                   and TSan builds each running the full
 #                                   test suite (tier-2)
 #
-# clang-tidy is skipped with a notice when not installed (the custom rules
-# in tools/lint.py always run). Build trees: build/ (plain), build-asan/,
-# build-tsan/ — all git-ignored.
+# clang-tidy and the clang thread-safety pass are skipped with a notice
+# when clang is not installed (the custom rules in tools/lint.py always
+# run; CI provides a clang runner). Build trees: build/ (plain),
+# build-asan/, build-tsan/ — all git-ignored.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,9 +26,10 @@ JOBS="${JOBS:-$(nproc)}"
 MODE="quick"
 case "${1:---quick}" in
   --quick)       MODE="quick" ;;
+  --analyze)     MODE="analyze" ;;
   --bench-smoke) MODE="bench-smoke" ;;
   --full)        MODE="full" ;;
-  *) echo "usage: $0 [--quick|--bench-smoke|--full]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--quick|--analyze|--bench-smoke|--full]" >&2; exit 2 ;;
 esac
 
 step() { printf '\n== %s ==\n' "$*"; }
@@ -34,21 +41,55 @@ build_and_test() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+run_lint() {
+  python3 tools/lint.py src/ tests/
+}
+
+thread_safety_analysis() {
+  # clang's -Wthread-safety checks the MLCS_GUARDED_BY / MLCS_REQUIRES /
+  # MLCS_ACQUIRE annotations (common/annotations.h) for real; g++ compiles
+  # them away. Syntax-only, so it needs no build tree and runs in seconds.
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "clang++ not installed; thread-safety analysis skipped" \
+         "(annotations are inert under g++ — CI runs this on a clang runner)"
+    return 0
+  fi
+  local cc_files
+  mapfile -t cc_files < <(find src -name '*.cc' | sort)
+  clang++ -std=c++20 -fsyntax-only -Isrc \
+    -Wthread-safety -Werror=thread-safety "${cc_files[@]}"
+  echo "thread-safety analysis clean (${#cc_files[@]} files)"
+}
+
+if [[ "$MODE" == "analyze" ]]; then
+  step "repo lint (tools/lint.py)"
+  run_lint
+  step "clang thread-safety analysis (-Wthread-safety)"
+  thread_safety_analysis
+  step "all checks passed (analyze)"
+  exit 0
+fi
+
 step "plain build + tests"
 build_and_test build
 
 step "repo lint (tools/lint.py)"
-python3 tools/lint.py src/ tests/
+run_lint
 
 step "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   # The concurrency- and Status-discipline-critical directories are the
-  # minimum bar; widen as runtime allows.
-  clang-tidy -p build --quiet \
+  # minimum bar; widen as runtime allows. --warnings-as-errors promotes
+  # every enabled check so findings actually fail the gate (clang-tidy
+  # exits 0 on plain warnings otherwise).
+  clang-tidy -p build --quiet --warnings-as-errors='*' \
     src/common/*.cc src/udf/*.cc src/modelstore/*.cc
 else
   echo "clang-tidy not installed; skipped (tools/lint.py covers the custom rules)"
 fi
+
+step "clang thread-safety analysis (-Wthread-safety)"
+thread_safety_analysis
 
 assert_metrics_block() {
   # Every BENCH_<name>.json must carry the metrics-registry snapshot

@@ -69,7 +69,7 @@ void TableServer::Stop() {
   while (true) {
     std::thread victim;
     {
-      std::lock_guard<std::mutex> lock(threads_mutex_);
+      MutexLock lock(&threads_mutex_);
       if (!finished_threads_.empty()) {
         victim = std::move(finished_threads_.front());
         finished_threads_.pop_front();
@@ -84,11 +84,12 @@ void TableServer::Stop() {
 }
 
 size_t TableServer::tracked_connection_threads() const {
-  std::lock_guard<std::mutex> lock(threads_mutex_);
+  MutexLock lock(&threads_mutex_);
   return active_threads_.size() + finished_threads_.size();
 }
 
-void TableServer::ReapFinishedLocked(std::list<std::thread>* out) {
+void TableServer::ReapFinishedLocked(std::list<std::thread>* out)
+    MLCS_REQUIRES(threads_mutex_) {
   out->splice(out->end(), finished_threads_);
 }
 
@@ -105,7 +106,7 @@ void TableServer::AcceptLoop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::list<std::thread> to_join;
     {
-      std::lock_guard<std::mutex> lock(threads_mutex_);
+      MutexLock lock(&threads_mutex_);
       ReapFinishedLocked(&to_join);
       auto it = active_threads_.emplace(active_threads_.end());
       // The assignment happens under the lock: the new thread's first act
@@ -115,7 +116,7 @@ void TableServer::AcceptLoop() {
         ServeConnection(fd);
         std::list<std::thread> finished;
         {
-          std::lock_guard<std::mutex> inner(threads_mutex_);
+          MutexLock inner(&threads_mutex_);
           ReapFinishedLocked(&finished);
           finished_threads_.splice(finished_threads_.end(), active_threads_,
                                    it);

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "client/protocol.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "sql/database.h"
 
@@ -42,21 +42,24 @@ class TableServer {
   void AcceptLoop();
   void ServeConnection(int fd);
   /// Joins every thread that has finished serving (never the caller's own).
-  void ReapFinishedLocked(std::list<std::thread>* out);
+  void ReapFinishedLocked(std::list<std::thread>* out)
+      MLCS_REQUIRES(threads_mutex_);
 
-  Database* db_;
+  Database* const db_;
   std::atomic<int> listen_fd_{-1};
-  uint16_t port_ = 0;
+  /// Assigned in Start() before the accept thread exists, then read-only.
+  uint16_t port_ = 0;  // lint:allow(guarded-member)
   std::atomic<bool> running_{false};
-  std::thread accept_thread_;
+  /// Owned by Start()/Stop(), which the caller serializes (as documented).
+  std::thread accept_thread_;  // lint:allow(guarded-member)
 
   /// Connection threads move from `active_threads_` to `finished_threads_`
   /// as their connection closes; the next event (a new connection, another
   /// connection closing, or Stop) joins them. At rest at most one finished
   /// thread waits unreaped, instead of one zombie per connection ever made.
-  mutable std::mutex threads_mutex_;
-  std::list<std::thread> active_threads_;
-  std::list<std::thread> finished_threads_;
+  mutable Mutex threads_mutex_{"TableServer::threads_mutex_"};
+  std::list<std::thread> active_threads_ MLCS_GUARDED_BY(threads_mutex_);
+  std::list<std::thread> finished_threads_ MLCS_GUARDED_BY(threads_mutex_);
 };
 
 }  // namespace mlcs::client

@@ -1,0 +1,55 @@
+#ifndef MLCS_COMMON_ANNOTATIONS_H_
+#define MLCS_COMMON_ANNOTATIONS_H_
+
+/// Clang thread-safety analysis annotations (DESIGN.md §11).
+///
+/// The repo builds with g++ (which ignores these attributes) but the lock
+/// discipline is written against clang's -Wthread-safety analysis: every
+/// guarded member declares its mutex with MLCS_GUARDED_BY, every function
+/// with a locking precondition declares it with MLCS_REQUIRES, and
+/// `scripts/check.sh --analyze` runs `clang++ -fsyntax-only -Wthread-safety`
+/// over the tree whenever clang is available (CI always; the dev container
+/// opportunistically). Under g++ every macro expands to nothing, so the
+/// annotations are zero-cost documentation that a second compiler can prove.
+///
+/// Vocabulary (mirrors clang's capability model, absl-style spellings):
+///   MLCS_CAPABILITY("mutex")   class is a lockable capability (mlcs::Mutex)
+///   MLCS_SCOPED_CAPABILITY     RAII type that acquires/releases in ctor/dtor
+///   MLCS_GUARDED_BY(mu)        member may only be touched while `mu` is held
+///   MLCS_PT_GUARDED_BY(mu)     pointee guarded (the pointer itself is not)
+///   MLCS_REQUIRES(mu, ...)     caller must hold `mu` (…Locked() helpers)
+///   MLCS_ACQUIRE(mu, ...)      function acquires and does not release
+///   MLCS_RELEASE(mu, ...)      function releases a held capability
+///   MLCS_TRY_ACQUIRE(b, mu)    try-lock: acquired when the result equals b
+///   MLCS_EXCLUDES(mu, ...)     caller must NOT hold `mu` (non-reentrant API)
+///   MLCS_RETURN_CAPABILITY(mu) accessor returning a reference to `mu`
+///   MLCS_NO_THREAD_SAFETY_ANALYSIS  opt a function out (init/teardown paths)
+
+#if defined(__clang__)
+#define MLCS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MLCS_THREAD_ANNOTATION_(x)  // g++: attributes unsupported, expand away
+#endif
+
+#define MLCS_CAPABILITY(x) MLCS_THREAD_ANNOTATION_(capability(x))
+#define MLCS_SCOPED_CAPABILITY MLCS_THREAD_ANNOTATION_(scoped_lockable)
+#define MLCS_GUARDED_BY(x) MLCS_THREAD_ANNOTATION_(guarded_by(x))
+#define MLCS_PT_GUARDED_BY(x) MLCS_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define MLCS_REQUIRES(...) \
+  MLCS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define MLCS_REQUIRES_SHARED(...) \
+  MLCS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define MLCS_ACQUIRE(...) \
+  MLCS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MLCS_RELEASE(...) \
+  MLCS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define MLCS_TRY_ACQUIRE(...) \
+  MLCS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define MLCS_EXCLUDES(...) MLCS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define MLCS_RETURN_CAPABILITY(x) MLCS_THREAD_ANNOTATION_(lock_returned(x))
+#define MLCS_ASSERT_CAPABILITY(x) \
+  MLCS_THREAD_ANNOTATION_(assert_capability(x))
+#define MLCS_NO_THREAD_SAFETY_ANALYSIS \
+  MLCS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // MLCS_COMMON_ANNOTATIONS_H_

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace mlcs {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex{"g_log_mutex"};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -42,7 +43,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) < g_log_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(&g_log_mutex);
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

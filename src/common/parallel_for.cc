@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace mlcs {
 
@@ -50,9 +50,9 @@ Status ParallelMorsels(
     std::atomic<size_t> next{0};    // morsel handoff cursor
     std::atomic<size_t> settled{0}; // morsels run or skipped
     std::atomic<bool> failed{false};
-    std::mutex mu;
-    std::condition_variable cv;
-    Status error = Status::OK();
+    Mutex mu{"ParallelMorsels::State::mu"};
+    CondVar cv;
+    Status error MLCS_GUARDED_BY(mu) = Status::OK();
   };
   auto state = std::make_shared<State>();
 
@@ -72,14 +72,14 @@ Status ParallelMorsels(
         if (!s.ok()) {
           bool expected = false;
           if (state->failed.compare_exchange_strong(expected, true)) {
-            std::lock_guard<std::mutex> lock(state->mu);
+            MutexLock lock(&state->mu);
             state->error = std::move(s);
           }
         }
       }
       if (state->settled.fetch_add(1) + 1 == morsels) {
-        std::lock_guard<std::mutex> lock(state->mu);  // pairs with the wait
-        state->cv.notify_all();
+        MutexLock lock(&state->mu);  // pairs with the wait
+        state->cv.NotifyAll();
       }
     }
   };
@@ -90,8 +90,8 @@ Status ParallelMorsels(
   }
   drain();
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->settled.load() == morsels; });
+  MutexLock lock(&state->mu);
+  while (state->settled.load() != morsels) state->cv.Wait(lock);
   // All writers of `error` finished before the last settle; reading under
   // the same mutex the winner wrote under makes it visible here.
   return state->failed.load() ? state->error : Status::OK();

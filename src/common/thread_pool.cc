@@ -37,10 +37,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -57,11 +57,11 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
       });
   std::future<void> fut = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     tasks_.push(std::move(packaged));
   }
   queue_depth_->Add(1);
-  cv_.notify_one();
+  cv_.NotifyOne();
   return fut;
 }
 
@@ -99,8 +99,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!shutdown_ && tasks_.empty()) cv_.Wait(lock);
       if (tasks_.empty()) return;  // shutdown requested and queue drained
       task = std::move(tasks_.front());
       tasks_.pop();

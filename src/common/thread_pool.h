@@ -1,15 +1,14 @@
 #ifndef MLCS_COMMON_THREAD_POOL_H_
 #define MLCS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/metrics.h"
 
 namespace mlcs {
@@ -54,11 +53,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool shutdown_ = false;
+  /// Written before the workers start, joined+cleared only in the dtor.
+  std::vector<std::thread> workers_;  // lint:allow(guarded-member)
+  Mutex mutex_{"ThreadPool::mutex_"};
+  CondVar cv_;
+  std::queue<std::packaged_task<void()>> tasks_ MLCS_GUARDED_BY(mutex_);
+  bool shutdown_ MLCS_GUARDED_BY(mutex_) = false;
   /// Process-wide pool metrics (all ThreadPool instances share the series):
   /// `mlcs.threadpool.queue_depth` (gauge), `.tasks_completed` (counter),
   /// `.task_wait_us` (histogram of enqueue→dequeue latency).

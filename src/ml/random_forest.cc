@@ -1,8 +1,8 @@
 #include "ml/random_forest.h"
 
 #include <cmath>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 
@@ -36,7 +36,7 @@ Status RandomForest::Fit(const Matrix& x, const Labels& y) {
   std::vector<uint64_t> tree_seeds(num_trees);
   for (auto& s : tree_seeds) s = seeder.NextU64();
 
-  std::mutex error_mutex;
+  Mutex error_mutex{"RandomForest::Fit error_mutex"};
   Status first_error = Status::OK();
   auto fit_one = [&](size_t t) {
     DecisionTreeOptions topt;
@@ -60,7 +60,7 @@ Status RandomForest::Fit(const Matrix& x, const Labels& y) {
     }
     Status st = tree->FitOnRows(x, y, rows, classes_);
     if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(error_mutex);
+      MutexLock lock(&error_mutex);
       if (first_error.ok()) first_error = st;
       return;
     }

@@ -21,7 +21,7 @@ uint64_t ModelCache::HashBytes(const std::string& bytes) {
 Result<ml::ModelPtr> ModelCache::Get(const std::string& pickled_bytes) {
   uint64_t key = HashBytes(pickled_bytes);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       // Move to front (most recently used).
@@ -36,7 +36,7 @@ Result<ml::ModelPtr> ModelCache::Get(const std::string& pickled_bytes) {
   obs::ScopedSpan load_span("model_cache.load");
   load_span.set_bytes(pickled_bytes.size());
   MLCS_ASSIGN_OR_RETURN(ml::ModelPtr model, ml::pickle::Loads(pickled_bytes));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto existing = index_.find(key);
   if (existing != index_.end()) return existing->second->model;  // raced
   lru_.push_front(Entry{key, model});
@@ -49,12 +49,12 @@ Result<ml::ModelPtr> ModelCache::Get(const std::string& pickled_bytes) {
 }
 
 size_t ModelCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return lru_.size();
 }
 
 void ModelCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   lru_.clear();
   index_.clear();
 }

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "ml/model.h"
 #include "obs/metrics.h"
@@ -48,10 +48,11 @@ class ModelCache {
     ml::ModelPtr model;
   };
 
-  size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  const size_t capacity_;
+  mutable Mutex mutex_{"ModelCache::mutex_"};
+  std::list<Entry> lru_ MLCS_GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_
+      MLCS_GUARDED_BY(mutex_);
   /// Per-cache counts mirrored into the process-wide
   /// `mlcs.model_cache.hits` / `.misses` registry series.
   obs::MirroredCounter hits_{"mlcs.model_cache.hits"};

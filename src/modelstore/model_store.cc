@@ -8,7 +8,7 @@ ModelStore::ModelStore(Database* db, std::string table_name)
     : db_(db), table_name_(std::move(table_name)) {}
 
 Status ModelStore::Init() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (db_->catalog().HasTable(table_name_)) return Status::OK();
   Schema schema;
   schema.AddField("name", TypeId::kVarchar);
@@ -39,7 +39,7 @@ Status ModelStore::SaveModel(const std::string& name, const ml::Model& model,
   if (!model.fitted()) {
     return Status::InvalidArgument("refusing to store an unfitted model");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   // Replace semantics: drop any previous entry with this name.
   Status deleted = DeleteModelLocked(name);
   if (!deleted.ok() && deleted.code() != StatusCode::kNotFound) {
@@ -61,7 +61,7 @@ Result<ml::ModelPtr> ModelStore::LoadModel(const std::string& name) const {
 
 Result<std::string> ModelStore::LoadModelBlob(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   MLCS_ASSIGN_OR_RETURN(size_t row, RowOf(name));
   MLCS_ASSIGN_OR_RETURN(TablePtr table, Table());
   MLCS_ASSIGN_OR_RETURN(ColumnPtr blobs, table->ColumnByName("classifier"));
@@ -69,7 +69,7 @@ Result<std::string> ModelStore::LoadModelBlob(
 }
 
 Result<ModelInfo> ModelStore::GetInfo(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return GetInfoLocked(name);
 }
 
@@ -91,7 +91,7 @@ Result<ModelInfo> ModelStore::GetInfoLocked(const std::string& name) const {
 }
 
 Result<std::vector<ModelInfo>> ModelStore::ListModels() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return ListModelsLocked();
 }
 
@@ -108,7 +108,7 @@ Result<std::vector<ModelInfo>> ModelStore::ListModelsLocked() const {
 }
 
 Result<std::string> ModelStore::BestModelName() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   MLCS_ASSIGN_OR_RETURN(std::vector<ModelInfo> models, ListModelsLocked());
   if (models.empty()) return Status::NotFound("no models stored");
   size_t best = 0;
@@ -119,7 +119,7 @@ Result<std::string> ModelStore::BestModelName() const {
 }
 
 Status ModelStore::DeleteModel(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return DeleteModelLocked(name);
 }
 

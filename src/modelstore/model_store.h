@@ -1,10 +1,10 @@
 #ifndef MLCS_MODELSTORE_MODEL_STORE_H_
 #define MLCS_MODELSTORE_MODEL_STORE_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "ml/model.h"
 #include "sql/database.h"
@@ -63,16 +63,19 @@ class ModelStore {
  private:
   // Unlocked implementations; public wrappers take `mutex_` exactly once,
   // so composite call chains (SaveModel -> DeleteModel -> RowOf, ...)
-  // never re-enter the lock.
-  Status DeleteModelLocked(const std::string& name);
-  Result<ModelInfo> GetInfoLocked(const std::string& name) const;
-  Result<std::vector<ModelInfo>> ListModelsLocked() const;
-  Result<TablePtr> Table() const;
-  Result<size_t> RowOf(const std::string& name) const;
+  // never re-enter the lock. `mutex_` guards the composite catalog
+  // read-modify-write sequences, not any member of this class.
+  Status DeleteModelLocked(const std::string& name) MLCS_REQUIRES(mutex_);
+  Result<ModelInfo> GetInfoLocked(const std::string& name) const
+      MLCS_REQUIRES(mutex_);
+  Result<std::vector<ModelInfo>> ListModelsLocked() const
+      MLCS_REQUIRES(mutex_);
+  Result<TablePtr> Table() const MLCS_REQUIRES(mutex_);
+  Result<size_t> RowOf(const std::string& name) const MLCS_REQUIRES(mutex_);
 
-  Database* db_;
-  std::string table_name_;
-  mutable std::mutex mutex_;
+  Database* const db_;
+  const std::string table_name_;
+  mutable Mutex mutex_{"ModelStore::mutex_"};
 };
 
 }  // namespace mlcs::modelstore

@@ -36,14 +36,14 @@ void Histogram::Observe(double v) {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -51,7 +51,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bucket_bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot.reset(new Histogram(name, std::move(bucket_bounds)));
@@ -72,7 +72,7 @@ std::string FormatBound(double bound) {
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   if (snapshots_ != nullptr) snapshots_->Add(1);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<MetricSample> out;
   out.reserve(counters_.size() + gauges_.size() + 3 * histograms_.size());
   for (const auto& [name, counter] : counters_) {

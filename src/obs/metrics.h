@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace mlcs::obs {
 
@@ -124,11 +125,15 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mutex_;
-  Counter* snapshots_ = nullptr;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_{"MetricsRegistry::mutex_"};
+  /// Set once inside Global()'s initializer, read-only afterwards.
+  Counter* snapshots_ = nullptr;  // lint:allow(guarded-member)
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MLCS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      MLCS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MLCS_GUARDED_BY(mutex_);
 };
 
 /// A per-instance counter that mirrors every bump into a process-wide

@@ -51,7 +51,8 @@ TraceContext::TraceContext(std::string root_name, bool force) {
   trace_id_ = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
   root_name_ = std::move(root_name);
   start_ = std::chrono::steady_clock::now();
-  spans_.reserve(16);
+  // Constructor: not yet visible to other threads.
+  spans_.reserve(16);  // lint:allow(guarded-access)
   prev_ctx_ = tls_trace.ctx;
   prev_parent_ = tls_trace.parent;
   tls_trace.ctx = this;
@@ -65,7 +66,7 @@ TraceContext::~TraceContext() {
   if (consumed_) return;
   std::vector<TraceSpan> spans;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     spans = std::move(spans_);
   }
   spans.push_back(MakeRootSpan());
@@ -85,7 +86,7 @@ TraceSpan TraceContext::MakeRootSpan() const {
 
 void TraceContext::Record(TraceSpan span) {
   span.trace_id = trace_id_;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (spans_.size() >= kMaxSpansPerTrace) {
     DroppedSpansCounter()->Add(1);
     if (!dropped_warned_) {
@@ -122,7 +123,7 @@ std::vector<TraceSpan> TraceContext::ConsumeSpans() {
   consumed_ = true;
   std::vector<TraceSpan> spans;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     spans = std::move(spans_);
   }
   spans.push_back(MakeRootSpan());
@@ -194,7 +195,7 @@ void TraceSink::AddTrace(std::vector<TraceSpan> spans) {
   if (spans.empty()) return;
   static Counter* evicted =
       MetricsRegistry::Global().GetCounter("mlcs.trace.evicted_traces");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   traces_.push_back(std::move(spans));
   while (traces_.size() > kMaxTraces) {
     traces_.pop_front();
@@ -203,7 +204,7 @@ void TraceSink::AddTrace(std::vector<TraceSpan> spans) {
 }
 
 std::vector<TraceSpan> TraceSink::Query(uint64_t trace_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<TraceSpan> out;
   for (const auto& trace : traces_) {
     if (trace_id != 0 && (trace.empty() || trace[0].trace_id != trace_id)) {
@@ -220,7 +221,7 @@ std::vector<TraceSpan> TraceSink::Query(uint64_t trace_id) const {
 }
 
 void TraceSink::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   traces_.clear();
 }
 

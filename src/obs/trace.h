@@ -5,10 +5,11 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace mlcs::obs {
 
@@ -112,18 +113,21 @@ class TraceContext {
   void Record(TraceSpan span);
   TraceSpan MakeRootSpan() const;
 
-  bool active_ = false;
-  bool consumed_ = false;
-  uint64_t trace_id_ = 0;
-  std::string root_name_;
-  std::chrono::steady_clock::time_point start_;
+  // Written once in the constructor on the owning thread, read-only while
+  // pool threads are attached — only spans_/dropped_warned_ are shared
+  // mutable state.
+  bool active_ = false;           // lint:allow(guarded-member)
+  bool consumed_ = false;         // lint:allow(guarded-member) owner-thread only
+  uint64_t trace_id_ = 0;         // lint:allow(guarded-member)
+  std::string root_name_;         // lint:allow(guarded-member)
+  std::chrono::steady_clock::time_point start_;  // lint:allow(guarded-member)
   std::atomic<uint32_t> next_span_id_{2};  // 1 is the root
-  std::mutex mutex_;
-  std::vector<TraceSpan> spans_;
-  bool dropped_warned_ = false;  // guarded by mutex_
+  Mutex mutex_{"TraceContext::mutex_"};
+  std::vector<TraceSpan> spans_ MLCS_GUARDED_BY(mutex_);
+  bool dropped_warned_ MLCS_GUARDED_BY(mutex_) = false;
   // Thread-local state saved at installation, restored at destruction.
-  TraceContext* prev_ctx_ = nullptr;
-  uint32_t prev_parent_ = 0;
+  TraceContext* prev_ctx_ = nullptr;  // lint:allow(guarded-member)
+  uint32_t prev_parent_ = 0;          // lint:allow(guarded-member)
 };
 
 /// RAII span: measures its own scope on the thread's current context.
@@ -177,8 +181,8 @@ class TraceSink {
   static TraceSink& Global();
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<std::vector<TraceSpan>> traces_;
+  mutable Mutex mutex_{"TraceSink::mutex_"};
+  std::deque<std::vector<TraceSpan>> traces_ MLCS_GUARDED_BY(mutex_);
 };
 
 }  // namespace mlcs::obs

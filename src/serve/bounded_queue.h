@@ -2,12 +2,12 @@
 #define MLCS_SERVE_BOUNDED_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace mlcs::serve {
 
@@ -27,28 +27,29 @@ class BoundedQueue {
   /// Non-blocking enqueue; false when the queue is full or closed.
   [[nodiscard]] bool TryPush(T item) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed *and*
   /// drained; nullopt only in the latter case.
   std::optional<T> PopWait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(&mutex_);
+    while (!closed_ && items_.empty()) cv_.Wait(lock);
     return PopLocked();
   }
 
   /// Like PopWait but gives up at `deadline` (nullopt on timeout too) —
   /// the micro-batcher's linger wait.
   std::optional<T> PopUntil(std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait_until(lock, deadline,
-                   [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(&mutex_);
+    while (!closed_ && items_.empty()) {
+      if (!cv_.WaitUntil(lock, deadline)) break;  // deadline passed
+    }
     return PopLocked();
   }
 
@@ -56,26 +57,26 @@ class BoundedQueue {
   /// items remain poppable so consumers can drain.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
-  std::optional<T> PopLocked() {
+  std::optional<T> PopLocked() MLCS_REQUIRES(mutex_) {
     if (items_.empty()) return std::nullopt;
     std::optional<T> out(std::move(items_.front()));
     items_.pop_front();
@@ -83,10 +84,10 @@ class BoundedQueue {
   }
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_{"BoundedQueue::mutex_"};
+  CondVar cv_;
+  std::deque<T> items_ MLCS_GUARDED_BY(mutex_);
+  bool closed_ MLCS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mlcs::serve

@@ -432,7 +432,7 @@ void InferenceServer::Respond(const ConnPtr& conn,
                               const PredictResponse& response) {
   ByteWriter body;
   EncodePredictResponse(response, &body);
-  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  MutexLock lock(&conn->write_mutex);
   // A failed write means the peer vanished; the I/O thread notices the
   // hangup independently, so the error is dropped on purpose.
   Status ignored = WriteFrame(conn->fd, body);

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "modelstore/model_cache.h"
@@ -98,8 +99,11 @@ class InferenceServer {
     explicit Conn(int fd) : fd(fd) {}
     ~Conn();
     const int fd;
-    std::mutex write_mutex;       // one response frame at a time
-    std::vector<uint8_t> inbuf;   // partial-frame accumulation
+    /// Serializes response frames onto `fd` (the guarded state is the
+    /// socket write stream, not a member).
+    Mutex write_mutex{"Conn::write_mutex"};
+    /// Touched only by the single I/O thread; never shared.
+    std::vector<uint8_t> inbuf;  // lint:allow(guarded-member)
   };
   using ConnPtr = std::shared_ptr<Conn>;
 

@@ -147,14 +147,14 @@ void Database::set_optimizer_enabled(bool enabled) {
 }
 
 void Database::ClearPlanCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(&cache_mu_);
   cache_entries_->Add(-static_cast<int64_t>(plan_cache_.size()));
   plan_cache_.clear();
   lru_.clear();
 }
 
 size_t Database::plan_cache_size() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(&cache_mu_);
   return plan_cache_.size();
 }
 
@@ -170,7 +170,7 @@ Result<TablePtr> Database::Query(const std::string& sql) {
   // and thread-safe).
   std::shared_ptr<const sql::PreparedSelect> cached;
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(&cache_mu_);
     auto it = plan_cache_.find(sql);
     if (it != plan_cache_.end()) {
       if (it->second.plan->catalog_version == catalog_.schema_version()) {
@@ -204,7 +204,7 @@ Result<TablePtr> Database::Query(const std::string& sql) {
   MLCS_ASSIGN_OR_RETURN(std::shared_ptr<const sql::PreparedSelect> plan,
                         executor_->Prepare(std::move(stmt)));
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(&cache_mu_);
     auto it = plan_cache_.find(sql);
     if (it == plan_cache_.end()) {
       while (plan_cache_.size() >= kPlanCacheCapacity && !lru_.empty()) {

@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "obs/metrics.h"
 #include "sql/executor.h"
@@ -90,9 +90,11 @@ class Database {
  private:
   void RegisterBuiltinFunctions();
 
-  Catalog catalog_;
-  udf::UdfRegistry udfs_;
-  std::unique_ptr<sql::Executor> executor_;
+  // Each internally synchronized (Catalog/UdfRegistry carry their own
+  // mutexes; the Executor is immutable after the setters clear the cache).
+  Catalog catalog_;                         // lint:allow(guarded-member)
+  udf::UdfRegistry udfs_;                   // lint:allow(guarded-member)
+  std::unique_ptr<sql::Executor> executor_; // lint:allow(guarded-member)
 
   /// LRU plan cache: SQL text → prepared plan. `lru_` is most-recent-first;
   /// each map entry holds its list position for O(1) touch.
@@ -101,9 +103,10 @@ class Database {
     std::list<std::string>::iterator lru_pos;
   };
   static constexpr size_t kPlanCacheCapacity = 128;
-  mutable std::mutex cache_mu_;
-  std::unordered_map<std::string, CacheEntry> plan_cache_;
-  std::list<std::string> lru_;
+  mutable Mutex cache_mu_{"Database::cache_mu_"};
+  std::unordered_map<std::string, CacheEntry> plan_cache_
+      MLCS_GUARDED_BY(cache_mu_);
+  std::list<std::string> lru_ MLCS_GUARDED_BY(cache_mu_);
   /// Registry-backed cache counters (process-wide series; pointers cached
   /// at construction so the hot path never takes the registry lock).
   /// Atomic bumps fix the old copy-under-lock races on non-atomic fields.

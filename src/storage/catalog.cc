@@ -25,7 +25,7 @@ Status Catalog::CreateTable(const std::string& name, TablePtr table,
     return Status::InvalidArgument("CreateTable: null table");
   }
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = tables_.find(key);
   if (it != tables_.end() && !or_replace) {
     return Status::AlreadyExists("table '" + name + "' already exists");
@@ -41,7 +41,7 @@ Status Catalog::CreateTable(const std::string& name, TablePtr table,
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -66,7 +66,7 @@ Result<TablePtr> Catalog::ScanTable(
 
 Status Catalog::DropTable(const std::string& name, bool if_exists) {
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
     if (if_exists) return Status::OK();
@@ -78,12 +78,12 @@ Status Catalog::DropTable(const std::string& name, bool if_exists) {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return tables_.count(ToLower(name)) > 0;
 }
 
 std::vector<std::string> Catalog::ListTables() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "storage/table.h"
 
@@ -54,8 +54,8 @@ class Catalog {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, TablePtr> tables_;
+  mutable Mutex mutex_{"Catalog::mutex_"};
+  std::map<std::string, TablePtr> tables_ MLCS_GUARDED_BY(mutex_);
   std::atomic<uint64_t> schema_version_{0};
 };
 

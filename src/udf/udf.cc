@@ -10,7 +10,7 @@ Status UdfRegistry::RegisterScalar(ScalarUdfEntry entry, bool or_replace) {
     return Status::InvalidArgument("scalar UDF needs a name and a function");
   }
   std::string key = ToLower(entry.name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (!or_replace && scalar_.count(key) > 0) {
     return Status::AlreadyExists("scalar function '" + entry.name +
                                  "' already exists");
@@ -27,7 +27,7 @@ Status UdfRegistry::RegisterTable(TableUdfEntry entry, bool or_replace) {
     return Status::InvalidArgument("table UDF needs a non-empty schema");
   }
   std::string key = ToLower(entry.name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (!or_replace && table_.count(key) > 0) {
     return Status::AlreadyExists("table function '" + entry.name +
                                  "' already exists");
@@ -71,7 +71,7 @@ Status UdfRegistry::RegisterScalarRowAtATime(const std::string& name,
 
 Result<std::shared_ptr<const ScalarUdfEntry>> UdfRegistry::GetScalar(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = scalar_.find(ToLower(name));
   if (it == scalar_.end()) {
     return Status::NotFound("scalar function '" + name + "' does not exist");
@@ -81,7 +81,7 @@ Result<std::shared_ptr<const ScalarUdfEntry>> UdfRegistry::GetScalar(
 
 Result<std::shared_ptr<const TableUdfEntry>> UdfRegistry::GetTable(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = table_.find(ToLower(name));
   if (it == table_.end()) {
     return Status::NotFound("table function '" + name + "' does not exist");
@@ -90,24 +90,24 @@ Result<std::shared_ptr<const TableUdfEntry>> UdfRegistry::GetTable(
 }
 
 bool UdfRegistry::HasScalar(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return scalar_.count(ToLower(name)) > 0;
 }
 
 bool UdfRegistry::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return table_.count(ToLower(name)) > 0;
 }
 
 std::vector<std::string> UdfRegistry::ListScalar() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<std::string> names;
   for (const auto& [name, _] : scalar_) names.push_back(name);
   return names;
 }
 
 std::vector<std::string> UdfRegistry::ListTable() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<std::string> names;
   for (const auto& [name, _] : table_) names.push_back(name);
   return names;
@@ -115,7 +115,7 @@ std::vector<std::string> UdfRegistry::ListTable() const {
 
 Status UdfRegistry::Drop(const std::string& name, bool if_exists) {
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   size_t erased = scalar_.erase(key) + table_.erase(key);
   if (erased == 0 && !if_exists) {
     return Status::NotFound("function '" + name + "' does not exist");

@@ -4,10 +4,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "storage/table.h"
 #include "types/schema.h"
@@ -98,9 +98,11 @@ class UdfRegistry {
                              const std::vector<ColumnPtr>& args) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const ScalarUdfEntry>> scalar_;
-  std::map<std::string, std::shared_ptr<const TableUdfEntry>> table_;
+  mutable Mutex mutex_{"UdfRegistry::mutex_"};
+  std::map<std::string, std::shared_ptr<const ScalarUdfEntry>> scalar_
+      MLCS_GUARDED_BY(mutex_);
+  std::map<std::string, std::shared_ptr<const TableUdfEntry>> table_
+      MLCS_GUARDED_BY(mutex_);
 };
 
 }  // namespace mlcs::udf

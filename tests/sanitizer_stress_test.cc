@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "client/inference_client.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "exec/kernels.h"
@@ -34,6 +35,62 @@ namespace {
 // in the interleavings, not the volume.
 constexpr int kThreads = 4;
 constexpr int kIters = 32;
+
+TEST(SanitizerStressTest, MutexDetectorBookkeepingChurn) {
+  // The deadlock detector's own state — per-thread held stacks, the shared
+  // lock-order graph, and node erasure in ~Mutex — exercised under real
+  // contention with detection forced on (sanitizer builds default to on,
+  // but Release TSan-less runs of this suite should cover it too). Threads
+  // interleave nested consistent-order acquisitions, try-lock back-offs,
+  // CondVar waits (which unhook and re-hook the held set), and mutex
+  // create/destroy cycles that shrink the graph while others grow it.
+  const bool detect_before = Mutex::DeadlockDetectionEnabled();
+  Mutex::SetDeadlockDetectionForTesting(true);
+  Mutex::ResetDeadlockGraphForTesting();
+  {
+    Mutex outer{"stress.outer"};
+    Mutex inner{"stress.inner"};
+    CondVar cv;
+    int generation = 0;  // guarded by outer
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kIters; ++i) {
+          {
+            MutexLock lo(&outer);
+            MutexLock li(&inner);
+            ++generation;
+          }
+          if (t % 2 == 0) {
+            // Reverse order only via try-lock: must not record an edge.
+            MutexLock li(&inner);
+            if (outer.TryLock()) outer.Unlock();
+          } else {
+            // Short-lived mutexes join and leave the order graph.
+            Mutex scratch{"stress.scratch"};
+            MutexLock lo(&outer);
+            MutexLock ls(&scratch);
+          }
+          {
+            MutexLock lo(&outer);
+            const int target = generation;
+            cv.NotifyAll();
+            while (generation == target && generation % 2 != 0) {
+              if (!cv.WaitUntil(lo, std::chrono::steady_clock::now() +
+                                        std::chrono::milliseconds(1))) {
+                break;
+              }
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    MutexLock lo(&outer);
+    EXPECT_EQ(generation, kThreads * kIters);
+  }
+  Mutex::SetDeadlockDetectionForTesting(detect_before);
+}
 
 TEST(SanitizerStressTest, ThreadPoolConcurrentSubmitters) {
   // Many external threads hammering Submit() on one pool races the queue,

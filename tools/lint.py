@@ -9,10 +9,35 @@ Rules
   naked-valueordie      `x.ValueOrDie()` must be dominated by an `x.ok()`
                         (or `!x.ok()`) check in the same function, or come
                         from MLCS_ASSIGN_OR_RETURN.
-  naked-mutex-lock      Direct `.lock()` / `.unlock()` / `.try_lock()` on a
-                        mutex member — use std::lock_guard / std::unique_lock
-                        (RAII) so an early return or exception cannot leave
-                        the mutex held.
+  naked-mutex-lock      Direct `.Lock()` / `.Unlock()` / `.TryLock()` (or
+                        the std:: spellings) on a mutex member — use the
+                        RAII `mlcs::MutexLock` from common/mutex.h so an
+                        early return or exception cannot leave the mutex
+                        held, and so the deadlock detector sees balanced
+                        scopes. common/mutex.{h,cc} implement the facade
+                        and are exempt.
+  raw-mutex             `std::mutex` / `std::lock_guard` / `std::unique_lock`
+                        / `std::condition_variable` (or their includes) in
+                        src/ outside common/mutex.{h,cc}. All locking goes
+                        through the `mlcs::Mutex` / `MutexLock` / `CondVar`
+                        facade (common/mutex.h) so thread-safety annotations
+                        apply and Debug builds run lock-order deadlock
+                        detection (DESIGN.md §11).
+  guarded-member        A class declaring an `mlcs::Mutex` member must
+                        annotate every mutable data member with
+                        `MLCS_GUARDED_BY(<mutex>)`. Exempt: const members,
+                        std::atomic, obs counter handles (atomic by design),
+                        Mutex/CondVar themselves. Members intentionally
+                        outside the mutex (single-thread-owned, set before
+                        sharing) opt out per line with
+                        `// lint:allow(guarded-member)` plus a reason.
+  guarded-access        Heuristic: a member annotated MLCS_GUARDED_BY may
+                        only be touched in a scope that constructed a
+                        `MutexLock` (or in a function carrying
+                        MLCS_REQUIRES / MLCS_ACQUIRE). Checked within the
+                        declaring header and its paired .cc. Constructor
+                        warm-up touches (object not yet shared) opt out with
+                        `// lint:allow(guarded-access)`.
   include-guard         Headers under src/ use `#ifndef MLCS_<PATH>_H_`
                         guards derived from their path (Google style), with
                         a matching `#define` and trailing `#endif` comment.
@@ -58,8 +83,8 @@ VALUEORDIE_RE = re.compile(
     r"(?:std::move\(\s*(?P<m>[A-Za-z_]\w*)\s*\)|(?P<v>[A-Za-z_]\w*))"
     r"\s*\.\s*ValueOrDie\s*\(")
 MUTEX_CALL_RE = re.compile(
-    r"\b(?P<recv>[A-Za-z_]\w*(?:mutex|mtx|Mutex)\w*)\s*\.\s*"
-    r"(?P<op>lock|unlock|try_lock)\s*\(")
+    r"\b(?P<recv>[A-Za-z_]\w*(?:mutex|mtx|Mutex|_mu)\w*|mu_?)\s*"
+    r"(?:\.|->)\s*(?P<op>lock|unlock|try_lock|Lock|Unlock|TryLock)\s*\(")
 FUNC_TOP_RE = re.compile(r"^\}")  # closing brace at column 0 ends a function
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(?P<form>["<])(?P<path>[^">]+)[">]')
 ALLOW_RE = re.compile(r"//\s*lint:allow\((?P<rules>[\w,\- ]+)\)")
@@ -118,7 +143,16 @@ def check_valueordie(path, lines):
                        f"`{var}.ok()` check in the same function")
 
 
-def check_mutex_calls(path, lines):
+MUTEX_FACADE_FILES = ("src/common/mutex.h", "src/common/mutex.cc")
+
+
+def is_facade_file(relpath):
+    return relpath.replace(os.sep, "/") in MUTEX_FACADE_FILES
+
+
+def check_mutex_calls(path, relpath, lines):
+    if is_facade_file(relpath):
+        return  # the facade's own implementation drives the raw primitives
     for i, raw in enumerate(lines):
         line = strip_comments_and_strings(raw)
         m = MUTEX_CALL_RE.search(line)
@@ -127,8 +161,220 @@ def check_mutex_calls(path, lines):
         if allowed(raw, "naked-mutex-lock"):
             continue
         report(path, i + 1, "naked-mutex-lock",
-               f"direct `.{m.group('op')}()` on `{m.group('recv')}`; use "
-               "std::lock_guard or std::unique_lock instead")
+               f"direct `.{m.group('op')}()` on `{m.group('recv')}`; use the "
+               "RAII `mlcs::MutexLock` (common/mutex.h) instead")
+
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(?P<sym>mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b")
+RAW_MUTEX_INCLUDES = ("mutex", "condition_variable", "shared_mutex")
+
+
+def check_raw_mutex(path, relpath, lines):
+    rel = relpath.replace(os.sep, "/")
+    if not rel.startswith("src/") or is_facade_file(rel):
+        return
+    for i, raw in enumerate(lines):
+        if allowed(raw, "raw-mutex"):
+            continue
+        inc = INCLUDE_RE.match(raw)
+        if inc and inc.group("form") == "<" and \
+                inc.group("path") in RAW_MUTEX_INCLUDES:
+            report(path, i + 1, "raw-mutex",
+                   f"<{inc.group('path')}> included outside common/mutex.h; "
+                   "use the mlcs::Mutex facade (common/mutex.h)")
+            continue
+        line = strip_comments_and_strings(raw)
+        m = RAW_MUTEX_RE.search(line)
+        if m:
+            report(path, i + 1, "raw-mutex",
+                   f"`std::{m.group('sym')}` outside common/mutex.h; use "
+                   "mlcs::Mutex / MutexLock / CondVar (common/mutex.h) so "
+                   "annotations and deadlock detection apply")
+
+
+# --- guarded-member / guarded-access -------------------------------------
+
+GUARDED_BY_RE = re.compile(r"\bMLCS_(?:PT_)?GUARDED_BY\s*\(")
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:mutable\s+)?(?:mlcs::)?Mutex\s+\w+\s*[;{]")
+CLASS_HEADER_RE = re.compile(r"\b(?:class|struct)\b")
+# Member types that are safe without the mutex: synchronization primitives
+# themselves, atomics, and the obs counter handles (internally atomic).
+EXEMPT_TYPE_RE = re.compile(
+    r"^(?:mutable\s+)?(?:"
+    r"(?:mlcs::)?(?:Mutex|CondVar)\b"
+    r"|std::atomic\b"
+    r"|std::once_flag\b"
+    r"|(?:obs::)?(?:Mirrored)?(?:Counter|Gauge|Histogram)\s*[*&]?\s*\w+"
+    r")")
+
+
+def strip_templates(s):
+    prev = None
+    while prev != s:
+        prev = s
+        s = re.sub(r"<[^<>]*>", "", s)
+    return s
+
+
+def parse_class_blocks(lines):
+    """Best-effort brace matcher. Returns a list of class bodies, each a list
+    of (lineno, raw) for lines whose *innermost* enclosing block is that
+    class/struct body (function bodies nested inside are excluded)."""
+    stack = []  # entries: {"kind": "class"|"other", "lines": [...]}
+    blocks = []
+    pending = ""  # text since the last '{', '}' or ';' — the block header
+    for i, raw in enumerate(lines):
+        code = strip_comments_and_strings(raw)
+        if code.lstrip().startswith("#"):
+            continue
+        if stack and stack[-1]["kind"] == "class":
+            stack[-1]["lines"].append((i, raw))
+        for ch in code:
+            if ch == "{":
+                is_class = (CLASS_HEADER_RE.search(pending)
+                            and not re.search(r"\benum\b", pending)
+                            and "=" not in pending)
+                entry = {"kind": "class" if is_class else "other",
+                         "lines": []}
+                stack.append(entry)
+                if is_class:
+                    blocks.append(entry)
+                pending = ""
+            elif ch == "}":
+                if stack:
+                    stack.pop()
+                pending = ""
+            elif ch == ";":
+                pending = ""
+            else:
+                pending += ch
+    return [b["lines"] for b in blocks]
+
+
+def member_statements(child_lines):
+    """Groups a class body's direct lines into statements (a statement ends
+    at ';', '{', '}' or an access label)."""
+    stmts, cur = [], []
+    for ln, raw in child_lines:
+        code = strip_comments_and_strings(raw).strip()
+        if not cur and not code:
+            continue
+        cur.append((ln, raw))
+        if code.endswith((";", "{", "}", ":")) or code.startswith("}"):
+            stmts.append(cur)
+            cur = []
+    if cur:
+        stmts.append(cur)
+    return stmts
+
+
+MEMBER_SKIP_RE = re.compile(
+    r"^(?:public|private|protected)\s*:|"
+    r"^(?:using|typedef|friend|static|enum|class|struct|union|template|"
+    r"MLCS_\w+|~)\b|^\}|^\{")
+
+
+def check_guarded_member(path, relpath, lines):
+    rel = relpath.replace(os.sep, "/")
+    if not rel.startswith("src/") or is_facade_file(rel):
+        return
+    for body in parse_class_blocks(lines):
+        text = " ".join(strip_comments_and_strings(raw) for _ln, raw in body)
+        if not MUTEX_MEMBER_RE.search(text):
+            continue  # class holds no mlcs::Mutex — nothing to guard
+        for stmt in member_statements(body):
+            if any(allowed(raw, "guarded-member") for _ln, raw in stmt):
+                continue
+            joined = " ".join(
+                strip_comments_and_strings(raw).strip() for _ln, raw in stmt)
+            joined = joined.strip()
+            if not joined or MEMBER_SKIP_RE.search(joined):
+                continue
+            if GUARDED_BY_RE.search(joined):
+                continue
+            flat = strip_templates(joined)
+            if "(" in flat:
+                continue  # function declaration / definition / ctor
+            if EXEMPT_TYPE_RE.search(joined):
+                continue
+            if re.match(r"^const\b", joined) or \
+                    re.search(r"\*\s*const\s+\w+", flat):
+                continue  # immutable after construction
+            name_m = re.search(r"(\w+)\s*(?:\{[^{}]*\}|=[^;]*)?\s*;\s*$",
+                               flat)
+            if not name_m:
+                continue
+            report(path, stmt[0][0] + 1, "guarded-member",
+                   f"member `{name_m.group(1)}` of a mutex-holding class "
+                   "lacks MLCS_GUARDED_BY(...); annotate it or justify with "
+                   "`// lint:allow(guarded-member)`")
+
+
+GUARDED_NAME_RE = re.compile(r"(\w+)\s+MLCS_(?:PT_)?GUARDED_BY\s*\(")
+LOCK_EVIDENCE_RE = re.compile(
+    r"\bMutexLock\b|\bMLCS_REQUIRES\b|\bMLCS_ACQUIRE\b|"
+    r"\bMLCS_NO_THREAD_SAFETY_ANALYSIS\b")
+
+
+def sibling_pair(path):
+    base, ext = os.path.splitext(path)
+    other = base + (".cc" if ext == ".h" else ".h")
+    return other if os.path.isfile(other) else None
+
+
+def check_guarded_access(path, relpath, lines):
+    """Heuristic echo of clang's -Wthread-safety for g++-only builds: a use
+    of an MLCS_GUARDED_BY member must be preceded, within the enclosing
+    function, by a MutexLock construction or an MLCS_REQUIRES/ACQUIRE
+    annotation."""
+    rel = relpath.replace(os.sep, "/")
+    if not rel.startswith("src/") or is_facade_file(rel):
+        return
+    texts = ["".join(lines)]
+    pair = sibling_pair(path)
+    if pair:
+        try:
+            with open(pair, encoding="utf-8", errors="replace") as f:
+                texts.append(f.read())
+        except OSError:
+            pass
+    names = set()
+    for text in texts:
+        names.update(GUARDED_NAME_RE.findall(text))
+    if not names:
+        return
+    name_re = re.compile(r"\b(" + "|".join(re.escape(n) for n in names)
+                         + r")\b")
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        if GUARDED_BY_RE.search(line) or line.lstrip().startswith("#"):
+            continue
+        # A declaration whose MLCS_GUARDED_BY wrapped onto the next line.
+        if i + 1 < len(lines) and \
+                GUARDED_BY_RE.search(strip_comments_and_strings(lines[i + 1])):
+            continue
+        m = name_re.search(line)
+        if not m:
+            continue
+        if allowed(raw, "guarded-access"):
+            continue
+        found = False
+        for j in range(i, max(-1, i - 200), -1):
+            prev = strip_comments_and_strings(lines[j])
+            if j < i and FUNC_TOP_RE.match(lines[j]):
+                break  # left the enclosing function
+            if LOCK_EVIDENCE_RE.search(prev):
+                found = True
+                break
+        if not found:
+            report(path, i + 1, "guarded-access",
+                   f"guarded member `{m.group(1)}` used without a MutexLock "
+                   "in scope (and no MLCS_REQUIRES on the function)")
 
 
 def expected_guard(relpath):
@@ -286,7 +532,10 @@ def lint_file(path, headers):
         report(path, 0, "io", str(e))
         return
     check_valueordie(path, lines)
-    check_mutex_calls(path, lines)
+    check_mutex_calls(path, relpath, lines)
+    check_raw_mutex(path, relpath, lines)
+    check_guarded_member(path, relpath, lines)
+    check_guarded_access(path, relpath, lines)
     check_include_guard(path, relpath, lines)
     check_includes(path, lines, headers)
     check_using_namespace(path, relpath, lines)
