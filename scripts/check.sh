@@ -122,6 +122,7 @@ bench_smoke() {
     MLCS_BENCH_MIN_TIME=0.01 \
     MLCS_SERVE_BENCH_REQUESTS=400 MLCS_SERVE_BENCH_CLIENTS=2 \
     MLCS_SERVE_BENCH_STRICT=0 \
+    MLCS_STORAGE_ROWS=2000 MLCS_STORAGE_COLS=16 MLCS_BLOCK_ROWS=256 \
       "$b" >/dev/null
     python3 -m json.tool "BENCH_$(basename "$b").json" >/dev/null
     assert_metrics_block "BENCH_$(basename "$b").json"

@@ -1,0 +1,64 @@
+#ifndef MLCS_BUFPOOL_BLOCK_FORMAT_H_
+#define MLCS_BUFPOOL_BLOCK_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bufpool/zone_map.h"
+#include "common/result.h"
+#include "storage/table.h"
+#include "types/data_type.h"
+
+namespace mlcs::bufpool {
+
+/// On-disk block file (.blk) layout — one fixed-capacity row group, stored
+/// column-at-a-time so a scan can fetch exactly the columns it needs:
+///
+///   u32 magic "1BLM"   u16 version   u32 header_len
+///   header body (header_len bytes):
+///     varint num_rows, varint num_cols, then per column:
+///       string name, u8 type, varint null_count,
+///       u8 has_minmax [+ Value min + Value max],
+///       u64 payload_offset (relative to payload base), u64 payload_len
+///   column payloads (each a Column::Serialize image)
+///
+/// The header carries the zone maps, so StoredTable::Open summarizes every
+/// block — and every later scan decides skips — without touching a single
+/// payload byte.
+inline constexpr uint32_t kBlockMagic = 0x4D4C4231;  // "1BLM" on disk (LE)
+inline constexpr uint16_t kBlockFormatVersion = 1;
+/// magic + version + header_len.
+inline constexpr size_t kBlockFixedHeaderBytes = 10;
+
+struct BlockColumnMeta {
+  std::string name;
+  TypeId type = TypeId::kInt32;
+  ZoneMap zone;
+  uint64_t payload_offset = 0;  // absolute offset within the block file
+  uint64_t payload_length = 0;
+};
+
+/// Everything a scan needs to know about one block without reading its
+/// payloads. Immutable after ReadBlockMeta.
+struct BlockMeta {
+  std::string path;
+  uint64_t rows = 0;
+  std::vector<BlockColumnMeta> columns;  // schema order
+};
+
+/// Serializes one row group into `path` crash-safely (temp + fsync +
+/// rename) with zone maps computed at flush time.
+Status WriteBlockFile(const Table& block, const std::string& path);
+
+/// Header-only read: validates magic/version and returns rows, zone maps
+/// and payload extents. Payload bytes are not touched.
+Result<BlockMeta> ReadBlockMeta(const std::string& path);
+
+/// Reads and decodes one column payload; the decoded row count and type
+/// must match the header or the chunk is rejected (torn-write guard).
+Result<ColumnPtr> ReadColumnChunk(const BlockMeta& block, size_t col_idx);
+
+}  // namespace mlcs::bufpool
+
+#endif  // MLCS_BUFPOOL_BLOCK_FORMAT_H_

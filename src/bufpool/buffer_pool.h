@@ -1,0 +1,126 @@
+#ifndef MLCS_BUFPOOL_BUFFER_POOL_H_
+#define MLCS_BUFPOOL_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "storage/column.h"
+
+namespace mlcs::bufpool {
+
+class BufferPool;
+
+/// RAII pin on one cached chunk. While alive, the pool will not evict the
+/// entry (pin counts are refcounts, MonetDB/ARIES style); destruction
+/// unpins. The ColumnPtr stays valid past unpin as long as the caller
+/// holds it — eviction only drops the pool's reference — so pins exist to
+/// keep hot chunks resident, not to protect liveness.
+class PinnedChunk {
+ public:
+  PinnedChunk() = default;
+  PinnedChunk(PinnedChunk&& other) noexcept { *this = std::move(other); }
+  PinnedChunk& operator=(PinnedChunk&& other) noexcept;
+  ~PinnedChunk();
+  PinnedChunk(const PinnedChunk&) = delete;
+  PinnedChunk& operator=(const PinnedChunk&) = delete;
+
+  const ColumnPtr& column() const { return column_; }
+  /// True when Fetch served this chunk from cache (no loader run).
+  bool hit() const { return hit_; }
+
+ private:
+  friend class BufferPool;
+  PinnedChunk(BufferPool* pool, std::string key, ColumnPtr column, bool hit)
+      : pool_(pool), key_(std::move(key)), column_(std::move(column)),
+        hit_(hit) {}
+
+  BufferPool* pool_ = nullptr;
+  std::string key_;
+  ColumnPtr column_;
+  bool hit_ = false;
+};
+
+/// Process-wide LRU cache of decoded column chunks, keyed by
+/// "<block path>#<column index>" — the layer every block read goes
+/// through (tools/lint.py forbids .blk I/O anywhere else in src/).
+///
+/// Invariants (DESIGN.md §12):
+///  - entries with pins > 0 are never evicted; the pool may exceed its
+///    byte budget while everything resident is pinned
+///  - eviction walks from the LRU tail, skipping pinned entries
+///  - loaders run *outside* the pool mutex (disk I/O must not serialize
+///    unrelated scans); two threads missing the same key concurrently may
+///    both load, and the first insert wins
+///
+/// Budget comes from MLCS_BUFFER_POOL_BYTES for the Global() pool
+/// (default 256 MiB); tests build private pools with tiny budgets.
+class BufferPool {
+ public:
+  static constexpr size_t kDefaultByteBudget = 256ull << 20;
+
+  explicit BufferPool(size_t byte_budget = kDefaultByteBudget);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  using ChunkLoader = std::function<Result<ColumnPtr>()>;
+
+  /// Returns the cached chunk for `key`, running `load` on a miss. The
+  /// result is pinned until the returned PinnedChunk is destroyed.
+  Result<PinnedChunk> Fetch(const std::string& key,
+                            const ChunkLoader& load);
+
+  /// Drops every unpinned entry (cold-cache benches and tests). Not
+  /// counted as evictions.
+  void Clear();
+
+  void set_byte_budget(size_t bytes);
+  size_t byte_budget() const;
+  size_t bytes_cached() const;
+  size_t entry_count() const;
+  [[nodiscard]] bool Contains(const std::string& key) const;
+  /// Cached keys, most-recently-used first (eviction-order tests).
+  std::vector<std::string> KeysMruToLru() const;
+
+  /// The process-wide pool every StoredTable scan uses by default;
+  /// budget read from MLCS_BUFFER_POOL_BYTES at first use.
+  static BufferPool& Global();
+
+ private:
+  friend class PinnedChunk;
+
+  struct Entry {
+    ColumnPtr column;
+    size_t bytes = 0;
+    uint32_t pins = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void Unpin(const std::string& key);
+  /// Evicts from the LRU tail (skipping pinned entries) until the cache
+  /// fits the budget or only pinned entries remain.
+  void EvictToBudgetLocked() MLCS_REQUIRES(mutex_);
+
+  mutable Mutex mutex_{"BufferPool::mutex_"};
+  std::unordered_map<std::string, Entry> entries_ MLCS_GUARDED_BY(mutex_);
+  std::list<std::string> lru_ MLCS_GUARDED_BY(mutex_);  // front = MRU
+  size_t byte_budget_ MLCS_GUARDED_BY(mutex_);
+  size_t bytes_cached_total_ MLCS_GUARDED_BY(mutex_) = 0;
+
+  // Registry-backed series (mlcs.bufpool.*); internally atomic.
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Counter* bytes_read_;
+  obs::Gauge* bytes_cached_gauge_;
+};
+
+}  // namespace mlcs::bufpool
+
+#endif  // MLCS_BUFPOOL_BUFFER_POOL_H_

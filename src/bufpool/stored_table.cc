@@ -1,0 +1,199 @@
+#include "bufpool/stored_table.h"
+
+#include <cstdio>
+
+#include "common/byte_buffer.h"
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace mlcs::bufpool {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4D4C4D31;  // "1MLM" on disk (LE)
+constexpr uint16_t kManifestVersion = 1;
+
+/// Registry series for blocks proven irrelevant by zone maps; cached so
+/// scans never take the registry lock.
+obs::Counter* BlocksSkippedCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "mlcs.bufpool.blocks_skipped");
+  return counter;
+}
+
+std::string BlockPath(const std::string& dir, size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "block_%04zu.blk", index);
+  return dir + "/" + name;
+}
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/manifest.mlm";
+}
+
+/// A predicate resolved against the stored schema.
+struct ResolvedPredicate {
+  size_t col_idx = 0;
+  ZoneOp op = ZoneOp::kEq;
+  const Value* literal = nullptr;
+};
+
+/// True when the zone maps prove no row of `block` can satisfy every
+/// predicate (any single refuted conjunct suffices — conjuncts AND).
+bool CanSkipBlock(const BlockMeta& block,
+                  const std::vector<ResolvedPredicate>& predicates) {
+  for (const ResolvedPredicate& p : predicates) {
+    if (p.col_idx >= block.columns.size()) continue;  // fail open
+    if (!ZoneAdmits(block.columns[p.col_idx].zone, block.rows, p.op,
+                    *p.literal)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status StoredTable::Write(const Table& table, const std::string& dir,
+                          size_t block_rows) {
+  if (block_rows == 0) {
+    return Status::InvalidArgument("StoredTable: block_rows must be > 0");
+  }
+  MLCS_RETURN_IF_ERROR(table.Validate());
+  MLCS_RETURN_IF_ERROR(MakeDirs(dir));
+  size_t rows = table.num_rows();
+  size_t num_blocks = (rows + block_rows - 1) / block_rows;
+  std::vector<uint64_t> block_row_counts;
+  block_row_counts.reserve(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    size_t offset = b * block_rows;
+    size_t length = std::min(block_rows, rows - offset);
+    TablePtr slice = table.SliceRows(offset, length);
+    MLCS_RETURN_IF_ERROR(WriteBlockFile(*slice, BlockPath(dir, b)));
+    block_row_counts.push_back(length);
+  }
+  ByteWriter manifest;
+  manifest.WriteU32(kManifestMagic);
+  manifest.WriteU16(kManifestVersion);
+  table.schema().Serialize(&manifest);
+  manifest.WriteVarint(block_rows);
+  manifest.WriteVarint(num_blocks);
+  for (uint64_t count : block_row_counts) manifest.WriteVarint(count);
+  // Manifest last: a crash before this line leaves the old manifest (if
+  // any) still pointing at fully-written old blocks.
+  MLCS_RETURN_IF_ERROR(AtomicWriteFile(
+      ManifestPath(dir), manifest.data().data(), manifest.size()));
+  // A previous, larger save may have left higher-numbered blocks behind.
+  for (size_t b = num_blocks; RemoveFileIfExists(BlockPath(dir, b)); ++b) {
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<StoredTable>> StoredTable::Open(
+    const std::string& dir, BufferPool* pool) {
+  MLCS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                        ReadFileBytes(ManifestPath(dir)));
+  ByteReader reader(bytes);
+  MLCS_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kManifestMagic) {
+    std::string path = ManifestPath(dir);
+    return Status::ParseError("'" + path +
+                              "' is not an mlcs table manifest");
+  }
+  MLCS_ASSIGN_OR_RETURN(uint16_t version, reader.ReadU16());
+  if (version != kManifestVersion) {
+    return Status::ParseError("unsupported manifest version " +
+                              std::to_string(version));
+  }
+  auto stored = std::shared_ptr<StoredTable>(new StoredTable());
+  stored->dir_ = dir;
+  stored->pool_ = pool != nullptr ? pool : &BufferPool::Global();
+  MLCS_ASSIGN_OR_RETURN(stored->schema_, Schema::Deserialize(&reader));
+  MLCS_ASSIGN_OR_RETURN(uint64_t block_rows, reader.ReadVarint());
+  (void)block_rows;
+  MLCS_ASSIGN_OR_RETURN(uint64_t num_blocks, reader.ReadVarint());
+  if (num_blocks > (1u << 24)) {
+    return Status::ParseError("implausible block count in '" + dir + "'");
+  }
+  stored->blocks_.reserve(num_blocks);
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    MLCS_ASSIGN_OR_RETURN(uint64_t expected_rows, reader.ReadVarint());
+    MLCS_ASSIGN_OR_RETURN(BlockMeta meta,
+                          ReadBlockMeta(BlockPath(dir, b)));
+    if (meta.rows != expected_rows ||
+        meta.columns.size() != stored->schema_.num_fields()) {
+      return Status::ParseError(
+          "'" + meta.path + "' disagrees with the manifest (torn save?)");
+    }
+    stored->num_rows_ += meta.rows;
+    stored->blocks_.push_back(std::move(meta));
+  }
+  return stored;
+}
+
+Result<TablePtr> StoredTable::Scan(
+    const std::optional<std::vector<std::string>>& columns,
+    const std::vector<ZonePredicate>& predicates,
+    ScanCounters* counters) const {
+  // Resolve the projection to schema indices (mirrors SelectColumns:
+  // output order is request order, names stay as stored).
+  std::vector<size_t> indices;
+  if (columns.has_value()) {
+    indices.reserve(columns->size());
+    for (const std::string& name : *columns) {
+      MLCS_ASSIGN_OR_RETURN(size_t idx, schema_.RequireFieldIndex(name));
+      indices.push_back(idx);
+    }
+  } else {
+    indices.reserve(schema_.num_fields());
+    for (size_t i = 0; i < schema_.num_fields(); ++i) indices.push_back(i);
+  }
+  Schema out_schema;
+  std::vector<ColumnPtr> out_columns;
+  out_columns.reserve(indices.size());
+  for (size_t idx : indices) {
+    const Field& field = schema_.field(idx);
+    out_schema.AddField(field.name, field.type);
+    out_columns.push_back(Column::Make(field.type));
+  }
+  // Resolve predicates by name; unknown columns are ignored (fail open).
+  std::vector<ResolvedPredicate> resolved;
+  if (ZoneMapSkippingEnabled()) {
+    resolved.reserve(predicates.size());
+    for (const ZonePredicate& p : predicates) {
+      std::optional<size_t> idx = schema_.FieldIndex(p.column);
+      if (!idx.has_value()) continue;
+      resolved.push_back(ResolvedPredicate{*idx, p.op, &p.literal});
+    }
+  }
+  ScanCounters local;
+  ScanCounters& c = counters != nullptr ? *counters : local;
+  for (const BlockMeta& block : blocks_) {
+    ++c.blocks_total;
+    if (!resolved.empty() && CanSkipBlock(block, resolved)) {
+      ++c.blocks_skipped;
+      BlocksSkippedCounter()->Add(1);
+      continue;
+    }
+    ++c.blocks_read;
+    for (size_t j = 0; j < indices.size(); ++j) {
+      size_t col_idx = indices[j];
+      std::string key = block.path;
+      key += '#';
+      key += std::to_string(col_idx);
+      MLCS_ASSIGN_OR_RETURN(
+          PinnedChunk chunk,
+          pool_->Fetch(key, [&block, col_idx]() {
+            return ReadColumnChunk(block, col_idx);
+          }));
+      chunk.hit() ? ++c.pool_hits : ++c.pool_misses;
+      c.bytes_materialized += chunk.column()->ByteSize();
+      MLCS_RETURN_IF_ERROR(out_columns[j]->AppendColumn(*chunk.column()));
+    }
+  }
+  return std::make_shared<Table>(std::move(out_schema),
+                                 std::move(out_columns));
+}
+
+}  // namespace mlcs::bufpool

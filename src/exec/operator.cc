@@ -24,9 +24,10 @@ Result<OpResult> PhysicalOperator::Run() const {
   span.set_op_token(this);
   Result<OpResult> result = Execute();
   if (result.ok()) {
-    const TablePtr& table = result.ValueOrDie().table;
-    span.set_rows_out(table->num_rows());
-    span.set_bytes(TableBytes(*table));
+    const OpResult& out = result.ValueOrDie();
+    span.set_rows_out(out.table->num_rows());
+    span.set_bytes(TableBytes(*out.table));
+    if (!out.note.empty()) span.set_note(out.note);
   }
   return result;
 }
@@ -49,9 +50,16 @@ std::string RenderOperatorTree(const PhysicalOperator& root, int indent,
 }
 
 Result<OpResult> ScanOperator::Execute() const {
-  MLCS_ASSIGN_OR_RETURN(TablePtr table,
-                        catalog_->ScanTable(table_, columns_));
-  return OpResult{std::move(table), nullptr};
+  Catalog::ScanOptions options;
+  if (!zone_predicates_.empty()) {
+    options.zone_predicates = &zone_predicates_;
+  }
+  OpResult out;
+  // Only ask for the per-scan stats string when a trace will render it.
+  if (obs::TraceActive()) options.analyze_note = &out.note;
+  MLCS_ASSIGN_OR_RETURN(out.table,
+                        catalog_->ScanTable(table_, columns_, options));
+  return out;
 }
 
 std::string ScanOperator::label() const {
@@ -72,7 +80,7 @@ Result<OpResult> FilterOperator::Execute() const {
   MLCS_ASSIGN_OR_RETURN(ColumnPtr mask, mask_(*in.table));
   MLCS_ASSIGN_OR_RETURN(TablePtr out,
                         FilterTable(*in.table, *mask, policy_));
-  return OpResult{std::move(out), nullptr};
+  return OpResult{std::move(out), nullptr, {}};
 }
 
 Result<OpResult> HashJoinOperator::Execute() const {
@@ -101,7 +109,7 @@ Result<OpResult> HashJoinOperator::Execute() const {
   MLCS_ASSIGN_OR_RETURN(
       TablePtr out, HashJoin(*left.table, *right.table, left_keys,
                              right_keys, type_, policy_));
-  return OpResult{std::move(out), nullptr};
+  return OpResult{std::move(out), nullptr, {}};
 }
 
 std::string HashJoinOperator::label() const {
@@ -123,7 +131,7 @@ Result<OpResult> DistinctOperator::Execute() const {
   }
   MLCS_ASSIGN_OR_RETURN(TablePtr out,
                         HashGroupBy(*in.table, keys, {}, policy_));
-  return OpResult{std::move(out), nullptr};
+  return OpResult{std::move(out), nullptr, {}};
 }
 
 Result<OpResult> LimitOperator::Execute() const {
@@ -132,7 +140,7 @@ Result<OpResult> LimitOperator::Execute() const {
   if (limit_ >= 0 && static_cast<size_t>(limit_) < table->num_rows()) {
     table = table->SliceRows(0, static_cast<size_t>(limit_));
   }
-  return OpResult{std::move(table), nullptr};
+  return OpResult{std::move(table), nullptr, {}};
 }
 
 }  // namespace mlcs::exec

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "bufpool/zone_map.h"
 #include "common/parallel_for.h"
 #include "common/result.h"
 #include "exec/hash_join.h"
@@ -28,6 +29,10 @@ struct OpResult {
   /// against the projection over this table, so `SELECT id ... ORDER BY
   /// age` keeps working.
   TablePtr row_source;
+  /// Optional per-execution annotation (stored scans report block/pool
+  /// stats here); Run() copies it onto the trace span so EXPLAIN ANALYZE
+  /// can render it. Empty for most operators.
+  std::string note;
 };
 
 /// A node of an executable physical plan. Operators are materializing
@@ -65,25 +70,35 @@ std::string RenderOperatorTree(const PhysicalOperator& root, int indent,
 
 /// Leaf scan over a catalog table, optionally restricted to a column subset
 /// (the optimizer's projection pruning). The table is resolved by name at
-/// Execute() time so prepared plans always see current data.
+/// Execute() time so prepared plans always see current data. Zone
+/// predicates — `col <op> literal` conjuncts the planner lifted from the
+/// filter directly above this scan — let a disk-backed table skip whole
+/// blocks whose min/max zone maps refute them; the filter still runs
+/// above, so they affect I/O, never results.
 class ScanOperator : public PhysicalOperator {
  public:
   ScanOperator(const Catalog* catalog, std::string table,
-               std::optional<std::vector<std::string>> columns)
+               std::optional<std::vector<std::string>> columns,
+               std::vector<bufpool::ZonePredicate> zone_predicates = {})
       : catalog_(catalog),
         table_(std::move(table)),
-        columns_(std::move(columns)) {}
+        columns_(std::move(columns)),
+        zone_predicates_(std::move(zone_predicates)) {}
 
   Result<OpResult> Execute() const override;
   std::string label() const override;
   const std::optional<std::vector<std::string>>& columns() const {
     return columns_;
   }
+  const std::vector<bufpool::ZonePredicate>& zone_predicates() const {
+    return zone_predicates_;
+  }
 
  private:
   const Catalog* catalog_;
   std::string table_;
   std::optional<std::vector<std::string>> columns_;
+  std::vector<bufpool::ZonePredicate> zone_predicates_;
 };
 
 /// Produces the boolean selection mask for a FilterOperator. Receives the

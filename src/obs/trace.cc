@@ -185,6 +185,7 @@ ScopedSpan::~ScopedSpan() {
   span.rows_in = rows_in_;
   span.rows_out = rows_out_;
   span.bytes = bytes_;
+  span.note = std::move(note_);
   span.op_token = op_token_;
   ctx_->Record(std::move(span));
 }

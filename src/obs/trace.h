@@ -39,6 +39,9 @@ struct TraceSpan {
   uint64_t rows_in = 0;
   uint64_t rows_out = 0;
   uint64_t bytes = 0;
+  /// Free-form per-span annotation (e.g. a stored scan's
+  /// "blocks=8 skipped=6 ..."); rendered by EXPLAIN ANALYZE.
+  std::string note;
   /// Identity of the plan node that produced this span (EXPLAIN ANALYZE
   /// matches annotations through it); never exported through SQL.
   const void* op_token = nullptr;
@@ -148,6 +151,7 @@ class ScopedSpan {
   void set_rows_in(uint64_t n) { rows_in_ = n; }
   void set_rows_out(uint64_t n) { rows_out_ = n; }
   void set_bytes(uint64_t n) { bytes_ = n; }
+  void set_note(std::string note) { note_ = std::move(note); }
   void set_op_token(const void* token) { op_token_ = token; }
 
  private:
@@ -161,6 +165,7 @@ class ScopedSpan {
   uint64_t rows_in_ = 0;
   uint64_t rows_out_ = 0;
   uint64_t bytes_ = 0;
+  std::string note_;
   const void* op_token_ = nullptr;
 };
 

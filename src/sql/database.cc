@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <optional>
 
+#include "bufpool/stored_table.h"
+#include "common/file_util.h"
 #include "common/string_util.h"
 #include "obs/introspection.h"
 #include "obs/trace.h"
@@ -242,29 +244,66 @@ Result<TablePtr> Database::Run(const std::string& script) {
 
 Connection Database::Connect() { return Connection(this); }
 
+namespace {
+
+/// Rows per on-disk block when saving; `MLCS_BLOCK_ROWS` overrides for
+/// tests (small values force multi-block tables on tiny data).
+size_t SaveBlockRows() {
+  const char* env = std::getenv("MLCS_BLOCK_ROWS");
+  if (env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && v > 0) return static_cast<size_t>(v);
+  }
+  return bufpool::StoredTable::kDefaultBlockRows;
+}
+
+}  // namespace
+
 Status Database::SaveTo(const std::string& dir) const {
-  std::string manifest;
+  MLCS_RETURN_IF_ERROR(MakeDirs(dir));
+  size_t block_rows = SaveBlockRows();
+  std::string manifest = "mlcs-catalog-v2\n";
   for (const std::string& name : catalog_.ListTables()) {
-    MLCS_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(name));
-    MLCS_RETURN_IF_ERROR(SaveTable(*table, dir + "/" + name + ".mlt"));
+    // ReadTable: saving must not promote stored entries to resident.
+    MLCS_ASSIGN_OR_RETURN(TablePtr table, catalog_.ReadTable(name));
+    MLCS_RETURN_IF_ERROR(
+        bufpool::StoredTable::Write(*table, dir + "/" + name, block_rows));
     manifest += name + "\n";
   }
-  std::FILE* f = std::fopen((dir + "/tables.txt").c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot write manifest in '" + dir + "'");
-  }
-  size_t written = std::fwrite(manifest.data(), 1, manifest.size(), f);
-  std::fclose(f);
-  if (written != manifest.size()) {
-    return Status::IoError("short manifest write in '" + dir + "'");
-  }
-  return Status::OK();
+  // Catalog manifest last — a crash mid-save leaves the old catalog (if
+  // any) intact and pointing only at fully-written table directories.
+  return AtomicWriteFile(dir + "/catalog.manifest", manifest.data(),
+                         manifest.size());
 }
 
 Status Database::LoadFrom(const std::string& dir) {
+  if (FileExists(dir + "/catalog.manifest")) {
+    MLCS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                          ReadFileBytes(dir + "/catalog.manifest"));
+    std::string manifest(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size());
+    std::vector<std::string> lines = SplitString(manifest, '\n');
+    if (lines.empty() || Trim(lines[0]) != "mlcs-catalog-v2") {
+      return Status::ParseError("'" + dir +
+                                "' has an unrecognized catalog.manifest");
+    }
+    for (size_t i = 1; i < lines.size(); ++i) {
+      std::string name = Trim(lines[i]);
+      if (name.empty()) continue;
+      // Blocks are opened lazily: attaching validates headers and zone
+      // maps but materializes no payloads until a query needs them.
+      MLCS_ASSIGN_OR_RETURN(std::shared_ptr<bufpool::StoredTable> stored,
+                            bufpool::StoredTable::Open(dir + "/" + name));
+      MLCS_RETURN_IF_ERROR(
+          catalog_.AttachStoredTable(name, std::move(stored)));
+    }
+    return Status::OK();
+  }
+  // Legacy v1 layout: tables.txt + one monolithic .mlt file per table.
   std::FILE* f = std::fopen((dir + "/tables.txt").c_str(), "rb");
   if (f == nullptr) {
-    return Status::IoError("'" + dir + "' has no tables.txt manifest");
+    return Status::IoError("'" + dir + "' has no catalog.manifest");
   }
   std::string manifest;
   char buf[4096];

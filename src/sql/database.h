@@ -77,12 +77,18 @@ class Database {
   size_t plan_cache_size() const;
   void ClearPlanCache();
 
-  /// Persists every catalog table into `dir` (one .mlt file per table plus
-  /// a manifest) — "storing data inside a relational database" across
-  /// process restarts. UDFs are code, not data: native ones must be
-  /// re-registered; VSCRIPT functions must be re-created.
+  /// Persists every catalog table into `dir` as columnar block files (one
+  /// `<dir>/<table>/block_NNNN.blk` per row group, with zone maps, plus a
+  /// per-table manifest and a `catalog.manifest` listing) — "storing data
+  /// inside a relational database" across process restarts. Model BLOBs
+  /// ride along: the model store is an ordinary catalog table. All writes
+  /// are atomic (temp file + fsync + rename). UDFs are code, not data:
+  /// native ones must be re-registered; VSCRIPT functions re-created.
   Status SaveTo(const std::string& dir) const;
-  /// Loads all tables a previous SaveTo wrote (replacing same-named ones).
+  /// Attaches all tables a previous SaveTo wrote (replacing same-named
+  /// ones) as disk-backed entries: block payloads load lazily through the
+  /// buffer pool on first scan. Also reads the legacy v1 layout
+  /// (tables.txt + monolithic .mlt files), eagerly.
   Status LoadFrom(const std::string& dir);
 
   class Connection Connect();

@@ -84,13 +84,14 @@ Result<TablePtr> Executor::Execute(const Statement& stmt) {
     return out;
   }
   if (const auto* describe = std::get_if<DescribeStmt>(&stmt)) {
-    MLCS_ASSIGN_OR_RETURN(TablePtr table,
-                          catalog_->GetTable(describe->table));
+    // Schema-only lookup: DESCRIBE must not materialize a stored table.
+    MLCS_ASSIGN_OR_RETURN(Schema described,
+                          catalog_->GetTableSchema(describe->table));
     Schema schema;
     schema.AddField("column", TypeId::kVarchar);
     schema.AddField("type", TypeId::kVarchar);
     auto out = Table::Make(std::move(schema));
-    for (const auto& field : table->schema().fields()) {
+    for (const auto& field : described.fields()) {
       MLCS_RETURN_IF_ERROR(
           out->AppendRow({Value::Varchar(field.name),
                           Value::Varchar(TypeIdToString(field.type))}));
@@ -190,6 +191,7 @@ Result<std::string> Executor::RenderAnalyzedPlan(const Statement& stmt) {
   struct NodeTotals {
     double ms = 0.0;
     uint64_t rows = 0;
+    std::string note;
   };
   std::unordered_map<const void*, NodeTotals> by_node;
   for (const obs::TraceSpan& span : trace.ConsumeSpans()) {
@@ -197,6 +199,7 @@ Result<std::string> Executor::RenderAnalyzedPlan(const Statement& stmt) {
     NodeTotals& n = by_node[span.op_token];
     n.ms += static_cast<double>(span.duration.count()) / 1e6;
     n.rows += span.rows_out;
+    if (n.note.empty() && !span.note.empty()) n.note = span.note;
   }
   exec::NodeAnnotator annotate =
       [&by_node](const exec::PhysicalOperator& op) -> std::string {
@@ -206,7 +209,9 @@ Result<std::string> Executor::RenderAnalyzedPlan(const Statement& stmt) {
     std::snprintf(buf, sizeof(buf), " (actual time=%.3f ms, rows=%llu)",
                   it->second.ms,
                   static_cast<unsigned long long>(it->second.rows));
-    return buf;
+    std::string out = buf;
+    if (!it->second.note.empty()) out += " [" + it->second.note + "]";
+    return out;
   };
   std::string text = exec::RenderOperatorTree(*planned.root, 0, annotate);
   char footer[96];

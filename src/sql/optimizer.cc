@@ -293,9 +293,10 @@ void PruneScope(LogicalNode* scope_root, Catalog* catalog) {
       }
     }
     for (LogicalNode* scan : scans) {
-      Result<TablePtr> table = catalog->GetTable(scan->table_name);
-      if (!table.ok()) continue;  // fail open; the scan errors at run
-      const Schema& schema = table.ValueOrDie()->schema();
+      // Schema-only lookup: pruning must not materialize a stored table.
+      Result<Schema> looked_up = catalog->GetTableSchema(scan->table_name);
+      if (!looked_up.ok()) continue;  // fail open; the scan errors at run
+      const Schema& schema = looked_up.ValueOrDie();
       std::vector<std::string> kept;
       for (const auto& field : schema.fields()) {
         if (expanded.count(ToLower(field.name)) > 0) {

@@ -116,7 +116,7 @@ Result<exec::OpResult> ProjectOperator::Execute() const {
   MLCS_RETURN_IF_ERROR(out->Validate());
   // Rows stay 1:1 with the input, so the pre-projection table remains
   // available for ORDER BY fallback.
-  return exec::OpResult{std::move(out), in.table};
+  return exec::OpResult{std::move(out), in.table, {}};
 }
 
 std::string ProjectOperator::label() const {
@@ -217,7 +217,7 @@ Result<exec::OpResult> AggregateOperator::Execute() const {
   auto out = std::make_shared<Table>(std::move(schema), std::move(columns));
   MLCS_RETURN_IF_ERROR(out->Validate());
   // Aggregation breaks the row correspondence with the input.
-  return exec::OpResult{std::move(out), nullptr};
+  return exec::OpResult{std::move(out), nullptr, {}};
 }
 
 std::string AggregateOperator::label() const {
@@ -281,7 +281,7 @@ Result<exec::OpResult> SortOperator::Execute() const {
                         exec::SortTable(*augmented, keys, exec_->policy()));
   std::vector<size_t> keep(original_columns);
   for (size_t i = 0; i < original_columns; ++i) keep[i] = i;
-  return exec::OpResult{sorted->Project(keep), nullptr};
+  return exec::OpResult{sorted->Project(keep), nullptr, {}};
 }
 
 std::string SortOperator::label() const {
@@ -313,7 +313,7 @@ Result<exec::OpResult> TableFunctionOperator::Execute() const {
   }
   MLCS_ASSIGN_OR_RETURN(TablePtr out,
                         exec_->udfs()->CallTable(ref_->name, args));
-  return exec::OpResult{std::move(out), nullptr};
+  return exec::OpResult{std::move(out), nullptr, {}};
 }
 
 }  // namespace mlcs::sql

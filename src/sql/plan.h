@@ -167,7 +167,7 @@ class DualOperator : public exec::PhysicalOperator {
  public:
   Result<exec::OpResult> Execute() const override {
     Schema empty;
-    return exec::OpResult{Table::Make(std::move(empty)), nullptr};
+    return exec::OpResult{Table::Make(std::move(empty)), nullptr, {}};
   }
   std::string label() const override { return "DUAL (no FROM)"; }
 };
@@ -181,7 +181,7 @@ class SubqueryOperator : public exec::PhysicalOperator {
   }
   Result<exec::OpResult> Execute() const override {
     MLCS_ASSIGN_OR_RETURN(exec::OpResult in, children_[0]->Run());
-    return exec::OpResult{std::move(in.table), nullptr};
+    return exec::OpResult{std::move(in.table), nullptr, {}};
   }
   std::string label() const override { return "SUBQUERY"; }
 };

@@ -1,7 +1,9 @@
 #include "sql/planner.h"
 
+#include <optional>
 #include <set>
 
+#include "bufpool/zone_map.h"
 #include "common/string_util.h"
 #include "exec/kernels.h"
 #include "sql/executor.h"
@@ -45,6 +47,76 @@ std::string FilterDisplay(const LogicalNode& node) {
   return out;
 }
 
+/// -- Zone-predicate extraction ----------------------------------------------
+/// A filter directly above a scan donates its `col <op> literal` conjuncts
+/// to the scan as zone predicates so a disk-backed table can skip blocks
+/// the min/max zone maps refute. The filter keeps every conjunct — zone
+/// predicates prune I/O, never rows — so this never changes results.
+
+void SplitAnd(const SqlExpr* e, std::vector<const SqlExpr*>* out) {
+  if (e->kind == SqlExprKind::kBinary &&
+      e->bin_op == exec::BinOpKind::kAnd) {
+    SplitAnd(e->left.get(), out);
+    SplitAnd(e->right.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+std::optional<bufpool::ZoneOp> CompareOpToZoneOp(exec::BinOpKind op) {
+  switch (op) {
+    case exec::BinOpKind::kEq: return bufpool::ZoneOp::kEq;
+    case exec::BinOpKind::kNe: return bufpool::ZoneOp::kNe;
+    case exec::BinOpKind::kLt: return bufpool::ZoneOp::kLt;
+    case exec::BinOpKind::kLe: return bufpool::ZoneOp::kLe;
+    case exec::BinOpKind::kGt: return bufpool::ZoneOp::kGt;
+    case exec::BinOpKind::kGe: return bufpool::ZoneOp::kGe;
+    default: return std::nullopt;
+  }
+}
+
+/// Mirrors the comparison when the literal is on the left (`5 < x` ≡
+/// `x > 5`).
+bufpool::ZoneOp FlipZoneOp(bufpool::ZoneOp op) {
+  switch (op) {
+    case bufpool::ZoneOp::kLt: return bufpool::ZoneOp::kGt;
+    case bufpool::ZoneOp::kLe: return bufpool::ZoneOp::kGe;
+    case bufpool::ZoneOp::kGt: return bufpool::ZoneOp::kLt;
+    case bufpool::ZoneOp::kGe: return bufpool::ZoneOp::kLe;
+    default: return op;  // kEq/kNe are symmetric
+  }
+}
+
+std::vector<bufpool::ZonePredicate> ExtractZonePredicates(
+    const std::vector<const SqlExpr*>& conjuncts) {
+  std::vector<bufpool::ZonePredicate> out;
+  std::vector<const SqlExpr*> atoms;
+  for (const SqlExpr* e : conjuncts) SplitAnd(e, &atoms);
+  for (const SqlExpr* e : atoms) {
+    if (e->kind != SqlExprKind::kBinary) continue;
+    std::optional<bufpool::ZoneOp> op = CompareOpToZoneOp(e->bin_op);
+    if (!op.has_value()) continue;
+    const SqlExpr* lhs = e->left.get();
+    const SqlExpr* rhs = e->right.get();
+    bool flipped = false;
+    if (lhs->kind == SqlExprKind::kLiteral &&
+        rhs->kind == SqlExprKind::kColumnRef) {
+      std::swap(lhs, rhs);
+      flipped = true;
+    }
+    if (lhs->kind != SqlExprKind::kColumnRef ||
+        rhs->kind != SqlExprKind::kLiteral) {
+      continue;
+    }
+    bufpool::ZonePredicate p;
+    p.column = ToLower(lhs->name);
+    p.op = flipped ? FlipZoneOp(*op) : *op;
+    p.literal = rhs->literal;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<LogicalNodePtr> Planner::BindTableRef(const TableRef& ref) {
@@ -53,12 +125,12 @@ Result<LogicalNodePtr> Planner::BindTableRef(const TableRef& ref) {
     case TableRef::Kind::kBase: {
       node->op = LogicalOp::kScan;
       node->table_name = ref.name;
-      Result<TablePtr> table = catalog_->GetTable(ref.name);
-      if (table.ok()) {
+      // Schema-only lookup: binding must not materialize a stored table.
+      Result<Schema> schema = catalog_->GetTableSchema(ref.name);
+      if (schema.ok()) {
         std::vector<std::string> names;
-        const Schema& schema = table.ValueOrDie()->schema();
-        names.reserve(schema.num_fields());
-        for (const auto& field : schema.fields()) {
+        names.reserve(schema.ValueOrDie().num_fields());
+        for (const auto& field : schema.ValueOrDie().fields()) {
           names.push_back(ToLower(field.name));
         }
         node->output_names = std::move(names);
@@ -250,8 +322,18 @@ Result<exec::PhysicalOpPtr> Planner::BuildPhysical(
     }
     case LogicalOp::kFilter:
     case LogicalOp::kHaving: {
-      MLCS_ASSIGN_OR_RETURN(exec::PhysicalOpPtr child,
-                            BuildPhysical(*node.children[0]));
+      exec::PhysicalOpPtr child;
+      const LogicalNode& below = *node.children[0];
+      if (node.op == LogicalOp::kFilter &&
+          below.op == LogicalOp::kScan) {
+        // Donate `col <op> literal` conjuncts to the scan as zone
+        // predicates (block skipping); the filter still applies them all.
+        child = std::make_shared<exec::ScanOperator>(
+            catalog_, below.table_name, below.scan_columns,
+            ExtractZonePredicates(node.conjuncts));
+      } else {
+        MLCS_ASSIGN_OR_RETURN(child, BuildPhysical(below));
+      }
       return exec::PhysicalOpPtr(std::make_shared<exec::FilterOperator>(
           std::move(child), MakeMaskFn(exec_, node.conjuncts),
           FilterDisplay(node), exec_->policy()));

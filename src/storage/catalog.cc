@@ -1,5 +1,8 @@
 #include "storage/catalog.h"
 
+#include <cstdio>
+
+#include "bufpool/stored_table.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 
@@ -19,6 +22,11 @@ uint64_t ScanBytesTouched() { return ScanBytesCounter()->Value(); }
 
 void AddScanBytesTouched(uint64_t bytes) { ScanBytesCounter()->Add(bytes); }
 
+const Schema& Catalog::EntrySchemaLocked(const TableEntry& entry) const {
+  return entry.resident != nullptr ? entry.resident->schema()
+                                   : entry.stored->schema();
+}
+
 Status Catalog::CreateTable(const std::string& name, TablePtr table,
                             bool or_replace) {
   if (table == nullptr) {
@@ -31,8 +39,27 @@ Status Catalog::CreateTable(const std::string& name, TablePtr table,
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
   bool schema_changed =
-      it == tables_.end() || !(it->second->schema() == table->schema());
-  tables_[key] = std::move(table);
+      it == tables_.end() ||
+      !(EntrySchemaLocked(it->second) == table->schema());
+  tables_[key] = TableEntry{std::move(table), nullptr};
+  if (schema_changed) {
+    schema_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return Status::OK();
+}
+
+Status Catalog::AttachStoredTable(
+    const std::string& name, std::shared_ptr<bufpool::StoredTable> stored) {
+  if (stored == nullptr) {
+    return Status::InvalidArgument("AttachStoredTable: null table");
+  }
+  std::string key = ToLower(name);
+  MutexLock lock(&mutex_);
+  auto it = tables_.find(key);
+  bool schema_changed =
+      it == tables_.end() ||
+      !(EntrySchemaLocked(it->second) == stored->schema());
+  tables_[key] = TableEntry{nullptr, std::move(stored)};
   if (schema_changed) {
     schema_version_.fetch_add(1, std::memory_order_acq_rel);
   }
@@ -41,26 +68,110 @@ Status Catalog::CreateTable(const std::string& name, TablePtr table,
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
   std::string key = ToLower(name);
+  std::shared_ptr<bufpool::StoredTable> stored;
+  {
+    MutexLock lock(&mutex_);
+    auto it = tables_.find(key);
+    if (it == tables_.end()) {
+      return Status::NotFound("table '" + name + "' does not exist");
+    }
+    if (it->second.resident != nullptr) return it->second.resident;
+    stored = it->second.stored;
+  }
+  // Promotion: materialize every block outside the lock (disk I/O), then
+  // install the table if no one raced us to it. Callers mutate the
+  // returned table in place (INSERT appends rows), so the stored handle
+  // must be dropped — otherwise later scans would read stale blocks.
+  MLCS_ASSIGN_OR_RETURN(TablePtr table, stored->Materialize());
+  MutexLock lock(&mutex_);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' was dropped");
+  }
+  if (it->second.resident != nullptr) return it->second.resident;
+  if (it->second.stored == stored) {
+    it->second.resident = table;
+    it->second.stored.reset();
+    return table;
+  }
+  // The entry was re-attached to a different stored table mid-flight;
+  // hand back the snapshot we materialized (read-consistent as of the
+  // call) and let the next GetTable promote the new one.
+  return table;
+}
+
+Result<Schema> Catalog::GetTableSchema(const std::string& name) const {
+  std::string key = ToLower(name);
   MutexLock lock(&mutex_);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
-  return it->second;
+  return EntrySchemaLocked(it->second);
+}
+
+Result<TablePtr> Catalog::ReadTable(const std::string& name) const {
+  std::string key = ToLower(name);
+  std::shared_ptr<bufpool::StoredTable> stored;
+  {
+    MutexLock lock(&mutex_);
+    auto it = tables_.find(key);
+    if (it == tables_.end()) {
+      return Status::NotFound("table '" + name + "' does not exist");
+    }
+    if (it->second.resident != nullptr) return it->second.resident;
+    stored = it->second.stored;
+  }
+  return stored->Materialize();
 }
 
 Result<TablePtr> Catalog::ScanTable(
     const std::string& name,
-    const std::optional<std::vector<std::string>>& columns) const {
-  MLCS_ASSIGN_OR_RETURN(TablePtr table, GetTable(name));
-  if (columns.has_value()) {
-    MLCS_ASSIGN_OR_RETURN(table, table->SelectColumns(*columns));
+    const std::optional<std::vector<std::string>>& columns,
+    const ScanOptions& options) const {
+  std::string key = ToLower(name);
+  TablePtr resident;
+  std::shared_ptr<bufpool::StoredTable> stored;
+  {
+    MutexLock lock(&mutex_);
+    auto it = tables_.find(key);
+    if (it == tables_.end()) {
+      return Status::NotFound("table '" + name + "' does not exist");
+    }
+    resident = it->second.resident;
+    stored = it->second.stored;
   }
-  uint64_t bytes = 0;
-  for (size_t c = 0; c < table->num_columns(); ++c) {
-    bytes += table->column(c)->ByteSize();
+  if (resident != nullptr) {
+    TablePtr table = std::move(resident);
+    if (columns.has_value()) {
+      MLCS_ASSIGN_OR_RETURN(table, table->SelectColumns(*columns));
+    }
+    uint64_t bytes = 0;
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      bytes += table->column(c)->ByteSize();
+    }
+    AddScanBytesTouched(bytes);
+    return table;
   }
-  AddScanBytesTouched(bytes);
+  static const std::vector<bufpool::ZonePredicate> kNoPredicates;
+  const std::vector<bufpool::ZonePredicate>& predicates =
+      options.zone_predicates != nullptr ? *options.zone_predicates
+                                         : kNoPredicates;
+  bufpool::StoredTable::ScanCounters counters;
+  MLCS_ASSIGN_OR_RETURN(TablePtr table,
+                        stored->Scan(columns, predicates, &counters));
+  AddScanBytesTouched(counters.bytes_materialized);
+  if (options.analyze_note != nullptr) {
+    char buf[128];
+    std::snprintf(
+        buf, sizeof(buf),
+        "blocks=%llu skipped=%llu pool_hits=%llu pool_misses=%llu",
+        static_cast<unsigned long long>(counters.blocks_total),
+        static_cast<unsigned long long>(counters.blocks_skipped),
+        static_cast<unsigned long long>(counters.pool_hits),
+        static_cast<unsigned long long>(counters.pool_misses));
+    *options.analyze_note = buf;
+  }
   return table;
 }
 
@@ -80,6 +191,12 @@ Status Catalog::DropTable(const std::string& name, bool if_exists) {
 bool Catalog::HasTable(const std::string& name) const {
   MutexLock lock(&mutex_);
   return tables_.count(ToLower(name)) > 0;
+}
+
+bool Catalog::IsResident(const std::string& name) const {
+  MutexLock lock(&mutex_);
+  auto it = tables_.find(ToLower(name));
+  return it != tables_.end() && it->second.resident != nullptr;
 }
 
 std::vector<std::string> Catalog::ListTables() const {

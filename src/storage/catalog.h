@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -11,18 +12,34 @@
 #include "common/mutex.h"
 #include "common/result.h"
 #include "storage/table.h"
+#include "types/schema.h"
 
 namespace mlcs {
+
+namespace bufpool {
+class StoredTable;
+struct ZonePredicate;
+}  // namespace bufpool
 
 /// Process-wide count of column-payload bytes handed out by Catalog scans.
 /// The pushdown ablation reads the delta around a query to show that a
 /// pruned scan stops touching the 90+ columns a narrow projection never
-/// reads. Monotonic; callers diff two readings.
+/// reads. For disk-backed tables only bytes actually materialized from
+/// the buffer pool count — blocks skipped via zone maps contribute
+/// nothing. Monotonic; callers diff two readings.
 uint64_t ScanBytesTouched();
 void AddScanBytesTouched(uint64_t bytes);
 
 /// Thread-safe name → table registry; the database's system catalog.
 /// Table names are case-insensitive (stored lower-cased).
+///
+/// An entry is either *resident* (a fully materialized Table, the only
+/// state that existed before the block storage layer) or *stored* (a
+/// bufpool::StoredTable over on-disk blocks, attached by
+/// Database::LoadFrom). Stored entries serve scans directly from the
+/// block layer; the first GetTable() — the mutating access path used by
+/// INSERT/UPDATE/DELETE and the model store — promotes the entry to
+/// resident so in-place appends behave exactly as before.
 class Catalog {
  public:
   Catalog() = default;
@@ -31,31 +48,79 @@ class Catalog {
 
   Status CreateTable(const std::string& name, TablePtr table,
                      bool or_replace = false);
+  /// Registers a disk-backed table (replacing any same-named entry). The
+  /// schema-version bump rules match CreateTable.
+  Status AttachStoredTable(const std::string& name,
+                           std::shared_ptr<bufpool::StoredTable> stored);
+  /// The resident table, promoting a stored entry by materializing every
+  /// block through the buffer pool. Callers that only need to *read*
+  /// should prefer ScanTable/GetTableSchema/ReadTable, which never
+  /// promote.
   Result<TablePtr> GetTable(const std::string& name) const;
+  /// Schema lookup that never materializes a stored table — the binder,
+  /// optimizer and DESCRIBE use this.
+  Result<Schema> GetTableSchema(const std::string& name) const;
+  /// A materialized snapshot without promoting (SaveTo uses this so
+  /// saving a database does not drag every stored table into memory).
+  Result<TablePtr> ReadTable(const std::string& name) const;
   Status DropTable(const std::string& name, bool if_exists = false);
   [[nodiscard]] bool HasTable(const std::string& name) const;
+  /// True when the entry is resident in memory (false for still-stored
+  /// entries); an unknown name is also false.
+  [[nodiscard]] bool IsResident(const std::string& name) const;
   std::vector<std::string> ListTables() const;
+
+  /// Per-scan knobs and feedback for ScanTable.
+  struct ScanOptions {
+    /// Pushed-down `col <op> literal` conjuncts a stored table's zone
+    /// maps can refute per block. Ignored for resident tables (nothing
+    /// to skip). Borrowed; must outlive the call.
+    const std::vector<bufpool::ZonePredicate>* zone_predicates = nullptr;
+    /// When non-null, receives a short per-scan stats string for stored
+    /// scans ("blocks=8 skipped=6 pool_hits=2 pool_misses=4"); left
+    /// empty for resident scans. EXPLAIN ANALYZE renders it.
+    std::string* analyze_note = nullptr;
+  };
 
   /// Column-subset scan: the table restricted to `columns` (schema order is
   /// the scan order; buffers are shared, not copied). nullopt scans every
-  /// column. Both forms bump the ScanBytesTouched() accounting by the
-  /// payload bytes of the columns actually handed out.
+  /// column. Resident tables bump ScanBytesTouched() by the payload bytes
+  /// of the columns handed out; stored tables bump it by the chunk bytes
+  /// actually materialized from the buffer pool (skipped blocks excluded).
   Result<TablePtr> ScanTable(
       const std::string& name,
-      const std::optional<std::vector<std::string>>& columns) const;
+      const std::optional<std::vector<std::string>>& columns,
+      const ScanOptions& options) const;
+  Result<TablePtr> ScanTable(
+      const std::string& name,
+      const std::optional<std::vector<std::string>>& columns) const {
+    return ScanTable(name, columns, ScanOptions());
+  }
 
   /// Monotonic counter bumped whenever the set of visible table *schemas*
   /// changes: a table appears, disappears, or is replaced with a different
   /// schema. Same-schema replacement (DELETE/UPDATE copy-on-write rebuilds)
   /// does NOT bump it, so prepared plans — which resolve tables by name at
-  /// execution — survive DML but are invalidated by DDL.
+  /// execution — survive DML but are invalidated by DDL. Stored→resident
+  /// promotion keeps the schema and does not bump it either.
   uint64_t schema_version() const {
     return schema_version_.load(std::memory_order_acquire);
   }
 
  private:
+  /// Exactly one of the two pointers is set.
+  struct TableEntry {
+    TablePtr resident;
+    std::shared_ptr<bufpool::StoredTable> stored;
+  };
+
+  const Schema& EntrySchemaLocked(const TableEntry& entry) const
+      MLCS_REQUIRES(mutex_);
+
   mutable Mutex mutex_{"Catalog::mutex_"};
-  std::map<std::string, TablePtr> tables_ MLCS_GUARDED_BY(mutex_);
+  /// mutable: GetTable on a const catalog promotes stored entries (a
+  /// cache fill, not a logical mutation).
+  mutable std::map<std::string, TableEntry> tables_ MLCS_GUARDED_BY(mutex_);
   std::atomic<uint64_t> schema_version_{0};
 };
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/byte_buffer.h"
+#include "common/file_util.h"
 
 namespace mlcs {
 
@@ -29,15 +30,9 @@ Status SaveTable(const Table& table, const std::string& path) {
   for (size_t i = 0; i < table.num_columns(); ++i) {
     table.column(i)->Serialize(&writer);
   }
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return Status::IoError("cannot open '" + path + "' for writing");
-  }
-  if (std::fwrite(writer.data().data(), 1, writer.size(), f.get()) !=
-      writer.size()) {
-    return Status::IoError("short write to '" + path + "'");
-  }
-  return Status::OK();
+  // Atomic (temp + fsync + rename): a crash mid-save never leaves a
+  // half-written table where a good one used to be.
+  return AtomicWriteFile(path, writer.data().data(), writer.size());
 }
 
 Result<TablePtr> LoadTable(const std::string& path) {

@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bufpool/buffer_pool.h"
+#include "bufpool/zone_map.h"
 #include "client/inference_client.h"
 #include "common/mutex.h"
 #include "common/random.h"
@@ -618,6 +621,81 @@ TEST(SanitizerStressTest, PlanCacheConcurrentDdlChurn) {
   ASSERT_TRUE(db.Query("CREATE TABLE bump_marker (a INTEGER)").ok());
   ASSERT_TRUE(db.Query("SELECT SUM(x) FROM fixed WHERE x > 0").ok());
   EXPECT_GE(stale->Value(), stale_before + 1);
+}
+
+/// The buffer pool's hazard surface: many threads scanning one
+/// stored-backed table through the shared global pool with a budget small
+/// enough that every scan races insertion, LRU splice, and eviction of
+/// chunks other scans still hold pinned — while one thread flips the
+/// zone-map kill switch (an atomic read on every scan) and another
+/// periodically wipes the pool out from under everyone. Every query must
+/// still return the right answer.
+TEST(SanitizerStressTest, BufferPoolConcurrentScansAndEviction) {
+  std::string dir = testing::TempDir() + "/stress_bufpool";
+  {
+    Database writer;
+    ASSERT_TRUE(writer.Query("CREATE TABLE t (x INTEGER, s VARCHAR)").ok());
+    std::string insert = "INSERT INTO t VALUES (0, 's0')";
+    for (int i = 1; i < 512; ++i) {
+      insert += ", (";
+      insert += std::to_string(i);
+      insert += ", 's";
+      insert += std::to_string(i);
+      insert += "')";
+    }
+    ASSERT_TRUE(writer.Query(insert).ok());
+    setenv("MLCS_BLOCK_ROWS", "32", 1);  // 16 blocks → real LRU churn
+    ASSERT_TRUE(writer.SaveTo(dir).ok());
+    unsetenv("MLCS_BLOCK_ROWS");
+  }
+  Database db;
+  ASSERT_TRUE(db.LoadFrom(dir).ok());
+
+  bufpool::BufferPool& pool = bufpool::BufferPool::Global();
+  const size_t budget_before = pool.byte_budget();
+  pool.set_byte_budget(4096);  // holds only a few chunks at a time
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> scanners;
+  for (int t = 0; t < kThreads; ++t) {
+    scanners.emplace_back([&db, &failures, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Alternate a selective scan (zone maps may skip 15/16 blocks)
+        // with a full scan (touches every chunk, maximum pool pressure).
+        bool selective = (t + i) % 2 == 0;
+        auto r = db.Query(selective
+                              ? "SELECT COUNT(*) FROM t WHERE x >= 500"
+                              : "SELECT COUNT(*) FROM t");
+        int64_t want = selective ? 12 : 512;
+        if (!r.ok() ||
+            !(r.ValueOrDie()->GetValue(0, 0).ValueOrDie() ==
+              Value::Int64(want))) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread toggler([&stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      bufpool::SetZoneMapSkippingEnabled(false);
+      bufpool::SetZoneMapSkippingEnabled(true);
+    }
+  });
+  std::thread wiper([&pool, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      pool.Clear();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (auto& t : scanners) t.join();
+  stop.store(true, std::memory_order_release);
+  toggler.join();
+  wiper.join();
+  bufpool::SetZoneMapSkippingEnabled(true);
+  pool.set_byte_budget(budget_before);
+  pool.Clear();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace

@@ -61,6 +61,13 @@ Rules
                         operation. tests/ are exempt; deliberate embedded
                         uses (e.g. the DataFrame API) opt out with
                         `// lint:allow(exec-operator-call)`.
+  blk-io                Mentioning the on-disk block-file extension `.blk`
+                        in src/ outside src/bufpool/ — every block read
+                        must go through the buffer pool (StoredTable /
+                        BufferPool, src/bufpool/) so pin accounting, LRU
+                        eviction, and the mlcs.bufpool.* metrics see it.
+                        Deliberate exceptions (e.g. a recovery tool) opt
+                        out with `// lint:allow(blk-io)`.
   adhoc-stats           Declaring a `struct <Name>Stats` outside src/obs/ —
                         new counters belong on the metrics registry
                         (obs::MetricsRegistry, `mlcs.<subsystem>.<series>`)
@@ -491,6 +498,27 @@ def check_exec_operator_call(path, relpath, lines):
                "operators (src/sql/planner.h)")
 
 
+BLK_IO_RE = re.compile(r"\.blk\b")
+
+
+def check_blk_io(path, relpath, lines):
+    rel = relpath.replace(os.sep, "/")
+    if not rel.startswith("src/") or rel.startswith("src/bufpool/"):
+        return
+    for i, raw in enumerate(lines):
+        # Match the raw line before string-stripping: the extension only
+        # ever appears inside a path literal (`"block_0001.blk"`), which
+        # strip_comments_and_strings would erase. Plain comments are fine.
+        if not BLK_IO_RE.search(raw.split("//")[0]):
+            continue
+        if allowed(raw, "blk-io"):
+            continue
+        report(path, i + 1, "blk-io",
+               "direct `.blk` block-file I/O outside src/bufpool/; go "
+               "through StoredTable / BufferPool so pins, eviction, and "
+               "mlcs.bufpool.* metrics stay accurate")
+
+
 ADHOC_STATS_RE = re.compile(r"^\s*struct\s+\w*Stats\b")
 
 
@@ -541,6 +569,7 @@ def lint_file(path, headers):
     check_using_namespace(path, relpath, lines)
     check_naked_thread(path, relpath, lines)
     check_exec_operator_call(path, relpath, lines)
+    check_blk_io(path, relpath, lines)
     check_adhoc_stats(path, relpath, lines)
 
 
