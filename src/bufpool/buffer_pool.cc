@@ -5,10 +5,20 @@
 
 namespace mlcs::bufpool {
 
+void PinnedChunk::Release() {
+  // The liveness token expires with the pool: a pin released after a
+  // private pool's teardown (tests/benches) must not touch freed memory.
+  if (pool_ != nullptr && pool_alive_.lock() != nullptr) {
+    pool_->Unpin(key_);
+  }
+  pool_ = nullptr;
+}
+
 PinnedChunk& PinnedChunk::operator=(PinnedChunk&& other) noexcept {
   if (this != &other) {
-    if (pool_ != nullptr) pool_->Unpin(key_);
+    Release();
     pool_ = std::exchange(other.pool_, nullptr);
+    pool_alive_ = std::move(other.pool_alive_);
     key_ = std::move(other.key_);
     column_ = std::move(other.column_);
     hit_ = other.hit_;
@@ -16,9 +26,7 @@ PinnedChunk& PinnedChunk::operator=(PinnedChunk&& other) noexcept {
   return *this;
 }
 
-PinnedChunk::~PinnedChunk() {
-  if (pool_ != nullptr) pool_->Unpin(key_);
-}
+PinnedChunk::~PinnedChunk() { Release(); }
 
 BufferPool::BufferPool(size_t byte_budget)
     : byte_budget_(byte_budget) {  // lint:allow(guarded-access) ctor warm-up
@@ -39,7 +47,8 @@ Result<PinnedChunk> BufferPool::Fetch(const std::string& key,
       hits_->Add(1);
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       ++it->second.pins;
-      return PinnedChunk(this, key, it->second.column, /*hit=*/true);
+      return PinnedChunk(this, liveness_, key, it->second.column,
+                         /*hit=*/true);
     }
   }
   // Miss: load outside the lock — disk I/O must not serialize unrelated
@@ -58,7 +67,8 @@ Result<PinnedChunk> BufferPool::Fetch(const std::string& key,
     // A concurrent loader beat us; pin its copy and drop ours.
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     ++it->second.pins;
-    return PinnedChunk(this, key, it->second.column, /*hit=*/false);
+    return PinnedChunk(this, liveness_, key, it->second.column,
+                       /*hit=*/false);
   }
   lru_.push_front(key);
   Entry entry;
@@ -70,7 +80,8 @@ Result<PinnedChunk> BufferPool::Fetch(const std::string& key,
   bytes_cached_total_ += bytes;
   bytes_cached_gauge_->Add(static_cast<int64_t>(bytes));
   EvictToBudgetLocked();
-  return PinnedChunk(this, key, std::move(column), /*hit=*/false);
+  return PinnedChunk(this, liveness_, key, std::move(column),
+                     /*hit=*/false);
 }
 
 void BufferPool::EvictToBudgetLocked() MLCS_REQUIRES(mutex_) {

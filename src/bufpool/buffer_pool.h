@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +23,12 @@ class BufferPool;
 /// unpins. The ColumnPtr stays valid past unpin as long as the caller
 /// holds it — eviction only drops the pool's reference — so pins exist to
 /// keep hot chunks resident, not to protect liveness.
+///
+/// A PinnedChunk may outlive its pool (private pools in tests/benches):
+/// it holds a weak liveness token and the unpin becomes a no-op once the
+/// pool is gone. Destroying the pool *concurrently* with pin release is
+/// still a data race — teardown must be externally quiesced, like any
+/// other BufferPool call.
 class PinnedChunk {
  public:
   PinnedChunk() = default;
@@ -37,19 +44,27 @@ class PinnedChunk {
 
  private:
   friend class BufferPool;
-  PinnedChunk(BufferPool* pool, std::string key, ColumnPtr column, bool hit)
-      : pool_(pool), key_(std::move(key)), column_(std::move(column)),
-        hit_(hit) {}
+  PinnedChunk(BufferPool* pool, std::weak_ptr<const bool> pool_alive,
+              std::string key, ColumnPtr column, bool hit)
+      : pool_(pool), pool_alive_(std::move(pool_alive)),
+        key_(std::move(key)), column_(std::move(column)), hit_(hit) {}
+
+  /// Unpins unless the pool has already been destroyed.
+  void Release();
 
   BufferPool* pool_ = nullptr;
+  std::weak_ptr<const bool> pool_alive_;
   std::string key_;
   ColumnPtr column_;
   bool hit_ = false;
 };
 
 /// Process-wide LRU cache of decoded column chunks, keyed by
-/// "<block path>#<column index>" — the layer every block read goes
-/// through (tools/lint.py forbids .blk I/O anywhere else in src/).
+/// "<block path>@<save generation>#<column index>" — the layer every
+/// block read goes through (tools/lint.py forbids .blk I/O anywhere else
+/// in src/). The generation comes from the table manifest, so rewriting
+/// a table's block files invalidates every previously cached chunk by
+/// construction.
 ///
 /// Invariants (DESIGN.md §12):
 ///  - entries with pins > 0 are never evicted; the pool may exceed its
@@ -106,6 +121,10 @@ class BufferPool {
   /// Evicts from the LRU tail (skipping pinned entries) until the cache
   /// fits the budget or only pinned entries remain.
   void EvictToBudgetLocked() MLCS_REQUIRES(mutex_);
+
+  /// Liveness token for PinnedChunks: expires with the pool, so a pin
+  /// released after pool teardown skips the (dangling) Unpin call.
+  std::shared_ptr<const bool> liveness_ = std::make_shared<const bool>(true);
 
   mutable Mutex mutex_{"BufferPool::mutex_"};
   std::unordered_map<std::string, Entry> entries_ MLCS_GUARDED_BY(mutex_);

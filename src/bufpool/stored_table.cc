@@ -1,5 +1,7 @@
 #include "bufpool/stored_table.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 
 #include "common/byte_buffer.h"
@@ -12,7 +14,8 @@ namespace mlcs::bufpool {
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x4D4C4D31;  // "1MLM" on disk (LE)
-constexpr uint16_t kManifestVersion = 1;
+// v2 adds the save generation (v1 manifests load with generation 0).
+constexpr uint16_t kManifestVersion = 2;
 
 /// Registry series for blocks proven irrelevant by zone maps; cached so
 /// scans never take the registry lock.
@@ -30,6 +33,37 @@ std::string BlockPath(const std::string& dir, size_t index) {
 
 std::string ManifestPath(const std::string& dir) {
   return dir + "/manifest.mlm";
+}
+
+/// Best-effort read of the save generation recorded in `dir`'s current
+/// manifest; 0 when there is none or it predates generations (v1).
+uint64_t CurrentManifestGeneration(const std::string& dir) {
+  Result<std::vector<uint8_t>> read = ReadFileBytes(ManifestPath(dir));
+  if (!read.ok()) return 0;
+  const std::vector<uint8_t>& bytes = read.ValueOrDie();
+  ByteReader reader(bytes);
+  Result<uint32_t> magic = reader.ReadU32();
+  if (!magic.ok() || magic.ValueOrDie() != kManifestMagic) return 0;
+  Result<uint16_t> version = reader.ReadU16();
+  if (!version.ok() || version.ValueOrDie() < 2) return 0;
+  Result<uint64_t> generation = reader.ReadU64();
+  return generation.ok() ? generation.ValueOrDie() : 0;
+}
+
+/// Issues a generation strictly greater than both `prev_on_disk` and every
+/// generation this process has handed out before. Buffer-pool chunk keys
+/// embed the generation, so a rewrite of the same block paths can never
+/// alias chunks cached from an earlier save — even if the directory (and
+/// its manifest) was wiped out from under us between saves.
+uint64_t NextSaveGeneration(uint64_t prev_on_disk) {
+  static std::atomic<uint64_t> process_floor{0};
+  uint64_t prev = process_floor.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    next = std::max(prev, prev_on_disk) + 1;
+  } while (!process_floor.compare_exchange_weak(prev, next,
+                                                std::memory_order_relaxed));
+  return next;
 }
 
 /// A predicate resolved against the stored schema.
@@ -76,6 +110,7 @@ Status StoredTable::Write(const Table& table, const std::string& dir,
   ByteWriter manifest;
   manifest.WriteU32(kManifestMagic);
   manifest.WriteU16(kManifestVersion);
+  manifest.WriteU64(NextSaveGeneration(CurrentManifestGeneration(dir)));
   table.schema().Serialize(&manifest);
   manifest.WriteVarint(block_rows);
   manifest.WriteVarint(num_blocks);
@@ -102,13 +137,16 @@ Result<std::shared_ptr<StoredTable>> StoredTable::Open(
                               "' is not an mlcs table manifest");
   }
   MLCS_ASSIGN_OR_RETURN(uint16_t version, reader.ReadU16());
-  if (version != kManifestVersion) {
+  if (version < 1 || version > kManifestVersion) {
     return Status::ParseError("unsupported manifest version " +
                               std::to_string(version));
   }
   auto stored = std::shared_ptr<StoredTable>(new StoredTable());
   stored->dir_ = dir;
   stored->pool_ = pool != nullptr ? pool : &BufferPool::Global();
+  if (version >= 2) {
+    MLCS_ASSIGN_OR_RETURN(stored->generation_, reader.ReadU64());
+  }
   MLCS_ASSIGN_OR_RETURN(stored->schema_, Schema::Deserialize(&reader));
   MLCS_ASSIGN_OR_RETURN(uint64_t block_rows, reader.ReadVarint());
   (void)block_rows;
@@ -179,7 +217,12 @@ Result<TablePtr> StoredTable::Scan(
     ++c.blocks_read;
     for (size_t j = 0; j < indices.size(); ++j) {
       size_t col_idx = indices[j];
+      // The save generation is part of the key: a rewrite of this block
+      // path (SaveTo over an open directory) must miss, not serve chunks
+      // cached from the previous save.
       std::string key = block.path;
+      key += '@';
+      key += std::to_string(generation_);
       key += '#';
       key += std::to_string(col_idx);
       MLCS_ASSIGN_OR_RETURN(

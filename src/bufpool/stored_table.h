@@ -19,8 +19,9 @@ namespace mlcs::bufpool {
 /// A table persisted as a directory of fixed-capacity row-group block
 /// files plus a manifest:
 ///
-///   <dir>/manifest.mlm    magic "1MLM", version, schema, block capacity,
-///                         per-block row counts (crash-safe writes)
+///   <dir>/manifest.mlm    magic "1MLM", version, save generation, schema,
+///                         block capacity, per-block row counts
+///                         (crash-safe writes)
 ///   <dir>/block_NNNN.blk  row groups (block_format.h)
 ///
 /// Open() reads the manifest and every block *header* — zone maps and
@@ -49,6 +50,10 @@ class StoredTable {
   uint64_t num_rows() const { return num_rows_; }
   size_t num_blocks() const { return blocks_.size(); }
   const std::string& dir() const { return dir_; }
+  /// Save generation from the manifest (strictly increasing per Write to
+  /// the same dir); part of every buffer-pool chunk key so a rewrite of
+  /// the same block paths never hits chunks cached from an earlier save.
+  uint64_t generation() const { return generation_; }
 
   /// Per-scan observability, surfaced through Catalog::ScanOptions into
   /// EXPLAIN ANALYZE. Process-wide totals live on the metrics registry
@@ -80,6 +85,7 @@ class StoredTable {
   // Immutable after Open (no mutex by design; see class comment).
   std::string dir_;
   Schema schema_;
+  uint64_t generation_ = 0;
   uint64_t num_rows_ = 0;
   std::vector<BlockMeta> blocks_;
   BufferPool* pool_ = nullptr;

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 
 #include <fcntl.h>
@@ -74,10 +75,10 @@ Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
   if (f == nullptr) {
     return Status::IoError("cannot open '" + path + "' for reading");
   }
-  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+  if (::fseeko(f.get(), 0, SEEK_END) != 0) {
     return Status::IoError("cannot seek '" + path + "'");
   }
-  long file_size = std::ftell(f.get());
+  off_t file_size = ::ftello(f.get());
   if (file_size < 0) return Status::IoError("cannot stat '" + path + "'");
   std::rewind(f.get());
   std::vector<uint8_t> bytes(static_cast<size_t>(file_size));
@@ -95,7 +96,14 @@ Result<std::vector<uint8_t>> ReadFileRegion(const std::string& path,
   if (f == nullptr) {
     return Status::IoError("cannot open '" + path + "' for reading");
   }
-  if (std::fseek(f.get(), static_cast<long>(offset), SEEK_SET) != 0) {
+  // fseeko takes an off_t — never a (possibly 32-bit) long, which would
+  // silently truncate offsets past 2 GiB and read the wrong region.
+  if (offset > static_cast<uint64_t>(std::numeric_limits<off_t>::max())) {
+    return Status::IoError("offset " + std::to_string(offset) +
+                           " in '" + path +
+                           "' exceeds the platform file-offset range");
+  }
+  if (::fseeko(f.get(), static_cast<off_t>(offset), SEEK_SET) != 0) {
     return Status::IoError("cannot seek to " + std::to_string(offset) +
                            " in '" + path + "'");
   }

@@ -68,36 +68,38 @@ Status Catalog::AttachStoredTable(
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
   std::string key = ToLower(name);
-  std::shared_ptr<bufpool::StoredTable> stored;
-  {
+  for (;;) {
+    std::shared_ptr<bufpool::StoredTable> stored;
+    {
+      MutexLock lock(&mutex_);
+      auto it = tables_.find(key);
+      if (it == tables_.end()) {
+        return Status::NotFound("table '" + name + "' does not exist");
+      }
+      if (it->second.resident != nullptr) return it->second.resident;
+      stored = it->second.stored;
+    }
+    // Promotion: materialize every block outside the lock (disk I/O),
+    // then install the table if no one raced us to it. Callers mutate the
+    // returned table in place (INSERT appends rows), so the stored handle
+    // must be dropped — otherwise later scans would read stale blocks —
+    // and only an *installed* table may be returned: writes applied to a
+    // detached snapshot would be silently lost.
+    MLCS_ASSIGN_OR_RETURN(TablePtr table, stored->Materialize());
     MutexLock lock(&mutex_);
     auto it = tables_.find(key);
     if (it == tables_.end()) {
-      return Status::NotFound("table '" + name + "' does not exist");
+      return Status::NotFound("table '" + name + "' was dropped");
     }
     if (it->second.resident != nullptr) return it->second.resident;
-    stored = it->second.stored;
+    if (it->second.stored == stored) {
+      it->second.resident = table;
+      it->second.stored.reset();
+      return table;
+    }
+    // The entry was re-attached to a different stored table mid-flight;
+    // our snapshot is stale. Loop and promote the new handle instead.
   }
-  // Promotion: materialize every block outside the lock (disk I/O), then
-  // install the table if no one raced us to it. Callers mutate the
-  // returned table in place (INSERT appends rows), so the stored handle
-  // must be dropped — otherwise later scans would read stale blocks.
-  MLCS_ASSIGN_OR_RETURN(TablePtr table, stored->Materialize());
-  MutexLock lock(&mutex_);
-  auto it = tables_.find(key);
-  if (it == tables_.end()) {
-    return Status::NotFound("table '" + name + "' was dropped");
-  }
-  if (it->second.resident != nullptr) return it->second.resident;
-  if (it->second.stored == stored) {
-    it->second.resident = table;
-    it->second.stored.reset();
-    return table;
-  }
-  // The entry was re-attached to a different stored table mid-flight;
-  // hand back the snapshot we materialized (read-consistent as of the
-  // call) and let the next GetTable promote the new one.
-  return table;
 }
 
 Result<Schema> Catalog::GetTableSchema(const std::string& name) const {

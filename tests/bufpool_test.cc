@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <memory>
 
 #include "bufpool/block_format.h"
 #include "bufpool/buffer_pool.h"
@@ -295,6 +296,32 @@ TEST(StoredTableTest, SmallerResaveUnlinksStaleBlocks) {
   EXPECT_EQ(stored->num_blocks(), 2u);
 }
 
+TEST(StoredTableTest, ResaveNeverHitsChunksCachedFromThePriorSave) {
+  std::string dir = TempDirFor("stored_resave_cache");
+  BufferPool pool(1 << 20);
+  ASSERT_TRUE(StoredTable::Write(*MakeTestTable(40, /*id_base=*/0), dir, 16)
+                  .ok());
+  uint64_t first_generation;
+  {
+    auto stored = StoredTable::Open(dir, &pool).ValueOrDie();
+    first_generation = stored->generation();
+    EXPECT_GT(first_generation, 0u);
+    TablePtr before = stored->Materialize().ValueOrDie();  // fills the pool
+    EXPECT_EQ(before->column(0)->i64_data()[0], 0);
+  }
+  // Rewrite the same block paths with different data. The pool still
+  // holds chunks from the first save, but the new generation's keys must
+  // miss them — scans after reopen see only post-save data.
+  TablePtr rewritten = MakeTestTable(40, /*id_base=*/1000);
+  ASSERT_TRUE(StoredTable::Write(*rewritten, dir, 16).ok());
+  auto stored = StoredTable::Open(dir, &pool).ValueOrDie();
+  EXPECT_GT(stored->generation(), first_generation);
+  StoredTable::ScanCounters counters;
+  TablePtr after = stored->Scan(std::nullopt, {}, &counters).ValueOrDie();
+  EXPECT_EQ(counters.pool_hits, 0u);
+  EXPECT_TRUE(after->Equals(*rewritten));
+}
+
 TEST(StoredTableTest, TornManifestOrBlockFailsOpenCleanly) {
   std::string dir = TempDirFor("stored_torn");
   TablePtr table = MakeTestTable(40);
@@ -411,6 +438,15 @@ TEST(BufferPoolTest, LoaderErrorsPropagateAndCacheNothing) {
   // The key is retryable after a failed load.
   PinnedChunk ok = pool.Fetch("err", LoaderOf(7)).ValueOrDie();
   EXPECT_EQ(ok.column()->i64_data()[0], 7);
+}
+
+TEST(BufferPoolTest, PinnedChunkMayOutliveThePool) {
+  auto pool = std::make_unique<BufferPool>(1 << 20);
+  PinnedChunk chunk = pool->Fetch("k", LoaderOf(9)).ValueOrDie();
+  pool.reset();  // private pool torn down with the pin still outstanding
+  EXPECT_EQ(chunk.column()->i64_data()[0], 9);
+  // `chunk` destructs after the pool: the unpin must be a no-op, not a
+  // use-after-free (ASan would flag it).
 }
 
 TEST(BufferPoolTest, GlobalPoolIsSharedAndBudgeted) {

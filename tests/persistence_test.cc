@@ -166,6 +166,44 @@ TEST(PersistenceTest, MultiBlockRoundTripIsLazyAndBitIdentical) {
             Value::Int64(1001));
 }
 
+/// Save → reload → modify → save → reload in ONE process: the second
+/// reload rewrites the same block paths, so scans must miss the global
+/// buffer pool's chunks from the first load (save generations key the
+/// pool) instead of silently serving pre-save data.
+TEST(PersistenceTest, ResaveInOneProcessIsNotServedStaleFromThePool) {
+  std::string dir = TempDirFor("db_resave_pool");
+  setenv("MLCS_BLOCK_ROWS", "256", 1);
+  {
+    Database db;
+    ASSERT_TRUE(db.Run("CREATE TABLE t (x INTEGER);").ok());
+    for (int batch = 0; batch < 4; ++batch) {
+      std::string insert = "INSERT INTO t VALUES (0)";
+      for (int i = 1; i < 256; ++i) insert += ", (0)";
+      ASSERT_TRUE(db.Run(insert).ok());
+    }
+    ASSERT_TRUE(db.SaveTo(dir).ok());
+  }
+  {
+    Database db;
+    ASSERT_TRUE(db.LoadFrom(dir).ok());
+    // Scan while stored: fills the global pool with this save's chunks.
+    EXPECT_EQ(db.Query("SELECT SUM(x) FROM t")
+                  .ValueOrDie()
+                  ->GetValue(0, 0)
+                  .ValueOrDie(),
+              Value::Int64(0));
+    ASSERT_TRUE(db.Run("UPDATE t SET x = 1;").ok());
+    ASSERT_TRUE(db.SaveTo(dir).ok());
+    ASSERT_TRUE(db.LoadFrom(dir).ok());  // re-attach from the new save
+    EXPECT_EQ(db.Query("SELECT SUM(x) FROM t")
+                  .ValueOrDie()
+                  ->GetValue(0, 0)
+                  .ValueOrDie(),
+              Value::Int64(1024));
+  }
+  unsetenv("MLCS_BLOCK_ROWS");
+}
+
 /// Pre-block-storage layouts (tables.txt + monolithic .mlt files) still
 /// load.
 TEST(PersistenceTest, LegacyV1LayoutStillLoads) {
