@@ -14,9 +14,11 @@
 //    context block), so a result file always says what parallelism it was
 //    measured at (MLCS_THREADS env or hardware_concurrency), and
 //  - records the planner configuration ("plan_optimizer" on/off, from
-//    MLCS_DISABLE_OPTIMIZER) plus an "mlcs_metrics" block with the full
-//    metrics-registry snapshot (plan cache, thread pool, serving, scan
-//    bytes), so results carry the counters behind their timings.
+//    MLCS_DISABLE_OPTIMIZER) and the compressed-execution knob
+//    ("mlcs_encoding" on/off, from MLCS_DISABLE_ENCODING) plus an
+//    "mlcs_metrics" block with the full metrics-registry snapshot (plan
+//    cache, thread pool, serving, scan bytes, encode counters), so
+//    results carry the counters behind their timings.
 //
 // Usage, at the bottom of the bench .cc file:
 //   MLCS_BENCH_MAIN(ablation_protocols)
@@ -33,6 +35,7 @@
 #include "common/thread_pool.h"
 #include "json_util.h"
 #include "sql/database.h"
+#include "storage/encoding.h"
 
 namespace mlcs::bench {
 
@@ -92,6 +95,10 @@ inline int RunBenchmarks(const char* bench_name, int argc, char** argv) {
                               std::to_string(ThreadPool::DefaultThreadCount()));
   benchmark::AddCustomContext(
       "plan_optimizer", PlanOptimizerEnabledByEnv() ? "on" : "off");
+  // Reflects MLCS_DISABLE_ENCODING at startup — a result file always says
+  // whether it measured compressed or plain execution.
+  benchmark::AddCustomContext("mlcs_encoding",
+                              EncodingEnabled() ? "on" : "off");
   size_t ran = benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!has_out) {

@@ -91,6 +91,9 @@ fi
 step "clang thread-safety analysis (-Wthread-safety)"
 thread_safety_analysis
 
+step "auto-vectorization gate (exec/kernels.cc, g++ -fopt-info-vec)"
+bash scripts/check_vectorization.sh
+
 assert_metrics_block() {
   # Every BENCH_<name>.json must carry the metrics-registry snapshot
   # ("mlcs_metrics", at top level for the custom harnesses or inside the

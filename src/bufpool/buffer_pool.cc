@@ -36,6 +36,18 @@ BufferPool::BufferPool(size_t byte_budget)
   evictions_ = registry.GetCounter("mlcs.bufpool.evictions");
   bytes_read_ = registry.GetCounter("mlcs.bufpool.bytes_read");
   bytes_cached_gauge_ = registry.GetGauge("mlcs.bufpool.bytes_cached");
+  pinned_bytes_gauge_ = registry.GetGauge("mlcs.bufpool.pinned_bytes");
+  pinned_bytes_hw_gauge_ = registry.GetGauge("mlcs.bufpool.pinned_bytes_hw");
+}
+
+void BufferPool::NotePinnedDeltaLocked(int64_t delta) MLCS_REQUIRES(mutex_) {
+  pinned_bytes_total_ = static_cast<size_t>(
+      static_cast<int64_t>(pinned_bytes_total_) + delta);
+  pinned_bytes_gauge_->Add(delta);
+  if (delta > 0) {
+    pinned_bytes_hw_gauge_->UpdateMax(
+        static_cast<int64_t>(pinned_bytes_total_));
+  }
 }
 
 Result<PinnedChunk> BufferPool::Fetch(const std::string& key,
@@ -46,7 +58,9 @@ Result<PinnedChunk> BufferPool::Fetch(const std::string& key,
     if (it != entries_.end()) {
       hits_->Add(1);
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      ++it->second.pins;
+      if (++it->second.pins == 1) {
+        NotePinnedDeltaLocked(static_cast<int64_t>(it->second.bytes));
+      }
       return PinnedChunk(this, liveness_, key, it->second.column,
                          /*hit=*/true);
     }
@@ -66,7 +80,9 @@ Result<PinnedChunk> BufferPool::Fetch(const std::string& key,
   if (it != entries_.end()) {
     // A concurrent loader beat us; pin its copy and drop ours.
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    ++it->second.pins;
+    if (++it->second.pins == 1) {
+      NotePinnedDeltaLocked(static_cast<int64_t>(it->second.bytes));
+    }
     return PinnedChunk(this, liveness_, key, it->second.column,
                        /*hit=*/false);
   }
@@ -79,6 +95,7 @@ Result<PinnedChunk> BufferPool::Fetch(const std::string& key,
   entries_.emplace(key, std::move(entry));
   bytes_cached_total_ += bytes;
   bytes_cached_gauge_->Add(static_cast<int64_t>(bytes));
+  NotePinnedDeltaLocked(static_cast<int64_t>(bytes));
   EvictToBudgetLocked();
   return PinnedChunk(this, liveness_, key, std::move(column),
                      /*hit=*/false);
@@ -102,7 +119,9 @@ void BufferPool::Unpin(const std::string& key) {
   MutexLock lock(&mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end() && it->second.pins > 0) {
-    --it->second.pins;
+    if (--it->second.pins == 0) {
+      NotePinnedDeltaLocked(-static_cast<int64_t>(it->second.bytes));
+    }
     // A pool over budget because everything was pinned shrinks as soon as
     // pins release.
     if (bytes_cached_total_ > byte_budget_) EvictToBudgetLocked();
@@ -139,6 +158,11 @@ size_t BufferPool::byte_budget() const {
 size_t BufferPool::bytes_cached() const {
   MutexLock lock(&mutex_);
   return bytes_cached_total_;
+}
+
+size_t BufferPool::pinned_bytes() const {
+  MutexLock lock(&mutex_);
+  return pinned_bytes_total_;
 }
 
 size_t BufferPool::entry_count() const {

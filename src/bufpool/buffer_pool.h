@@ -98,6 +98,11 @@ class BufferPool {
   void set_byte_budget(size_t bytes);
   size_t byte_budget() const;
   size_t bytes_cached() const;
+  /// Bytes held by entries with pins > 0 right now. Streaming scans keep
+  /// this bounded by one chunk per scanning thread; the matching
+  /// high-water gauge (`mlcs.bufpool.pinned_bytes_hw`) is what tests
+  /// assert against.
+  size_t pinned_bytes() const;
   size_t entry_count() const;
   [[nodiscard]] bool Contains(const std::string& key) const;
   /// Cached keys, most-recently-used first (eviction-order tests).
@@ -121,6 +126,10 @@ class BufferPool {
   /// Evicts from the LRU tail (skipping pinned entries) until the cache
   /// fits the budget or only pinned entries remain.
   void EvictToBudgetLocked() MLCS_REQUIRES(mutex_);
+  /// Applies a pinned-bytes delta (entry pin count crossing 0<->1) to the
+  /// local total and the registry gauges, ratcheting the high-water mark
+  /// on increases.
+  void NotePinnedDeltaLocked(int64_t delta) MLCS_REQUIRES(mutex_);
 
   /// Liveness token for PinnedChunks: expires with the pool, so a pin
   /// released after pool teardown skips the (dangling) Unpin call.
@@ -131,6 +140,7 @@ class BufferPool {
   std::list<std::string> lru_ MLCS_GUARDED_BY(mutex_);  // front = MRU
   size_t byte_budget_ MLCS_GUARDED_BY(mutex_);
   size_t bytes_cached_total_ MLCS_GUARDED_BY(mutex_) = 0;
+  size_t pinned_bytes_total_ MLCS_GUARDED_BY(mutex_) = 0;
 
   // Registry-backed series (mlcs.bufpool.*); internally atomic.
   obs::Counter* hits_;
@@ -138,6 +148,8 @@ class BufferPool {
   obs::Counter* evictions_;
   obs::Counter* bytes_read_;
   obs::Gauge* bytes_cached_gauge_;
+  obs::Gauge* pinned_bytes_gauge_;
+  obs::Gauge* pinned_bytes_hw_gauge_;
 };
 
 }  // namespace mlcs::bufpool

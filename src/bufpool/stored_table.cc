@@ -8,6 +8,7 @@
 #include "common/file_util.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "storage/encoding.h"
 
 namespace mlcs::bufpool {
 
@@ -170,12 +171,10 @@ Result<std::shared_ptr<StoredTable>> StoredTable::Open(
   return stored;
 }
 
-Result<TablePtr> StoredTable::Scan(
-    const std::optional<std::vector<std::string>>& columns,
-    const std::vector<ZonePredicate>& predicates,
-    ScanCounters* counters) const {
-  // Resolve the projection to schema indices (mirrors SelectColumns:
-  // output order is request order, names stay as stored).
+Result<std::vector<size_t>> StoredTable::ResolveProjection(
+    const std::optional<std::vector<std::string>>& columns) const {
+  // Mirrors SelectColumns: output order is request order, names stay as
+  // stored.
   std::vector<size_t> indices;
   if (columns.has_value()) {
     indices.reserve(columns->size());
@@ -187,13 +186,19 @@ Result<TablePtr> StoredTable::Scan(
     indices.reserve(schema_.num_fields());
     for (size_t i = 0; i < schema_.num_fields(); ++i) indices.push_back(i);
   }
+  return indices;
+}
+
+Status StoredTable::ScanBlocks(
+    const std::optional<std::vector<std::string>>& columns,
+    const std::vector<ZonePredicate>& predicates, ScanCounters* counters,
+    const BlockEmit& emit) const {
+  MLCS_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                        ResolveProjection(columns));
   Schema out_schema;
-  std::vector<ColumnPtr> out_columns;
-  out_columns.reserve(indices.size());
   for (size_t idx : indices) {
     const Field& field = schema_.field(idx);
     out_schema.AddField(field.name, field.type);
-    out_columns.push_back(Column::Make(field.type));
   }
   // Resolve predicates by name; unknown columns are ignored (fail open).
   std::vector<ResolvedPredicate> resolved;
@@ -215,8 +220,9 @@ Result<TablePtr> StoredTable::Scan(
       continue;
     }
     ++c.blocks_read;
-    for (size_t j = 0; j < indices.size(); ++j) {
-      size_t col_idx = indices[j];
+    std::vector<ColumnPtr> block_columns;
+    block_columns.reserve(indices.size());
+    for (size_t col_idx : indices) {
       // The save generation is part of the key: a rewrite of this block
       // path (SaveTo over an open directory) must miss, not serve chunks
       // cached from the previous save.
@@ -231,12 +237,55 @@ Result<TablePtr> StoredTable::Scan(
             return ReadColumnChunk(block, col_idx);
           }));
       chunk.hit() ? ++c.pool_hits : ++c.pool_misses;
-      c.bytes_materialized += chunk.column()->ByteSize();
-      MLCS_RETURN_IF_ERROR(out_columns[j]->AppendColumn(*chunk.column()));
+      // The ColumnPtr outlives the pin (eviction only drops the pool's
+      // reference), so blocks are shared with the cache copy-free; the
+      // pin itself releases at end of scope — one pinned chunk at a time.
+      ColumnPtr col = chunk.column();
+      if (col->is_encoded() && !EncodingEnabled()) {
+        // Parity axis: with encoding globally disabled, previously-saved
+        // encoded tables execute plain end-to-end.
+        col = col->Decode();
+      }
+      c.bytes_materialized += col->ByteSize();
+      block_columns.push_back(std::move(col));
     }
+    MLCS_RETURN_IF_ERROR(emit(
+        std::make_shared<Table>(out_schema, std::move(block_columns))));
   }
+  return Status::OK();
+}
+
+Result<TablePtr> StoredTable::Scan(
+    const std::optional<std::vector<std::string>>& columns,
+    const std::vector<ZonePredicate>& predicates,
+    ScanCounters* counters) const {
+  MLCS_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                        ResolveProjection(columns));
+  Schema out_schema;
+  std::vector<ColumnPtr> out_columns;
+  out_columns.reserve(indices.size());
+  for (size_t idx : indices) {
+    const Field& field = schema_.field(idx);
+    out_schema.AddField(field.name, field.type);
+    out_columns.push_back(Column::Make(field.type));
+  }
+  MLCS_RETURN_IF_ERROR(ScanBlocks(
+      columns, predicates, counters, [&out_columns](const TablePtr& block) {
+        for (size_t j = 0; j < out_columns.size(); ++j) {
+          MLCS_RETURN_IF_ERROR(
+              out_columns[j]->AppendColumn(*block->column(j)));
+        }
+        return Status::OK();
+      }));
   return std::make_shared<Table>(std::move(out_schema),
                                  std::move(out_columns));
+}
+
+Result<TablePtr> StoredTable::Materialize() const {
+  MLCS_ASSIGN_OR_RETURN(TablePtr table, Scan(std::nullopt, {}));
+  // Promotion hands the table to in-place writers (INSERT/UPDATE append
+  // paths, raw-accessor readers); those assume plain columns.
+  return DecodeTable(table);
 }
 
 }  // namespace mlcs::bufpool

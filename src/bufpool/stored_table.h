@@ -2,6 +2,7 @@
 #define MLCS_BUFPOOL_STORED_TABLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -69,6 +70,22 @@ class StoredTable {
     uint64_t bytes_materialized = 0;
   };
 
+  /// Receives one block's worth of rows. Returning a non-OK status aborts
+  /// the scan and propagates the status to the ScanBlocks caller.
+  using BlockEmit = std::function<Status(const TablePtr&)>;
+
+  /// Streaming scan: pins each surviving block's chunks, hands the block
+  /// to `emit` as a self-contained table, and unpins before moving to the
+  /// next block — peak pool pin footprint is one block's projected
+  /// columns, not the whole table (asserted against
+  /// mlcs.bufpool.pinned_bytes_hw in tests). Emitted columns may be
+  /// dictionary/RLE-encoded exactly as stored (decoded here only when
+  /// encoding is globally disabled) and are shared with the buffer pool
+  /// cache — callers must treat them as immutable.
+  Status ScanBlocks(const std::optional<std::vector<std::string>>& columns,
+                    const std::vector<ZonePredicate>& predicates,
+                    ScanCounters* counters, const BlockEmit& emit) const;
+
   /// Materializes the requested columns (nullopt → all, in schema order),
   /// skipping any block whose zone maps prove no row can satisfy some
   /// predicate. Block payloads are fetched through the buffer pool.
@@ -77,10 +94,16 @@ class StoredTable {
                         ScanCounters* counters = nullptr) const;
 
   /// Full materialization (catalog promotion on first write access).
-  Result<TablePtr> Materialize() const { return Scan(std::nullopt, {}); }
+  /// Decodes to plain columns: promoted tables are mutated in place by
+  /// INSERT/UPDATE and read through raw accessors, both of which assume
+  /// plain storage.
+  Result<TablePtr> Materialize() const;
 
  private:
   StoredTable() = default;
+
+  Result<std::vector<size_t>> ResolveProjection(
+      const std::optional<std::vector<std::string>>& columns) const;
 
   // Immutable after Open (no mutex by design; see class comment).
   std::string dir_;

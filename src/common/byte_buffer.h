@@ -35,12 +35,22 @@ class ByteWriter {
   }
 
   /// Raw bytes with no length prefix.
+  // GCC 12 constant-propagates small fixed-size writes through this
+  // resize+memcpy when it inlines into a caller (notably at -O3 under
+  // -fsanitize=thread) and reports bogus -Wstringop-overflow /
+  // -Warray-bounds against libstdc++'s own vector internals — a known
+  // GCC 12 false-positive class (DESIGN.md §7). The repo builds -Werror,
+  // so suppress the pair for exactly this function.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#pragma GCC diagnostic ignored "-Warray-bounds"
   void WriteRaw(const void* data, size_t size) {
     if (size == 0) return;
     size_t old_size = buffer_.size();
     buffer_.resize(old_size + size);
     std::memcpy(buffer_.data() + old_size, data, size);
   }
+#pragma GCC diagnostic pop
 
   /// Variable-length unsigned integer (LEB128); compact counts in formats.
   void WriteVarint(uint64_t v) {

@@ -7,6 +7,7 @@
 
 #include "common/string_util.h"
 #include "exec/kernels.h"
+#include "storage/encoding.h"
 
 namespace mlcs::exec {
 
@@ -171,6 +172,10 @@ struct AggInput {
   std::vector<double> numeric;
   const std::vector<int32_t>* i32 = nullptr;
   const std::vector<int64_t>* i64 = nullptr;
+  /// Owns the plain copy when the input column arrived encoded: the morsel
+  /// loop reads the typed vectors directly, so encoded inputs decode once
+  /// here (decode-at-materialization) rather than per row.
+  ColumnPtr decoded;
 };
 
 /// Aggregation morsels are 16× the policy width. Each morsel pays for a
@@ -194,15 +199,32 @@ Result<TablePtr> HashGroupBy(const Table& input,
                            : SIZE_MAX;
   size_t n = input.num_rows();
 
-  // Resolve key columns and hash them morsel-parallel.
+  // Resolve key columns.
   std::vector<ColumnPtr> key_cols;
+  for (const auto& key : group_keys) {
+    MLCS_ASSIGN_OR_RETURN(ColumnPtr col, input.ColumnByName(key));
+    key_cols.push_back(col);
+  }
+
+  // Group-on-codes fast path: a single dictionary-encoded key groups by
+  // code through a flat first-seen lookup table — no hashing, no probe
+  // chain, no per-row key compare. Dictionary entries are distinct, so
+  // code equality ⇔ value equality (nulls get the one-past-the-dict
+  // bucket), and first-seen gid assignment walks rows in the same order as
+  // GroupSet::Resolve — group ids, output order, and accumulation order
+  // are identical to the hash path, keeping results bit-identical with
+  // encoding disabled.
+  const Column* code_key = group_keys.size() == 1 &&
+                                   key_cols[0]->encoding() ==
+                                       ColumnEncoding::kDict
+                               ? key_cols[0].get()
+                               : nullptr;
+  if (code_key != nullptr) CountCodePathHit();
+
+  // Hash the keys morsel-parallel (skipped when grouping on codes).
   std::vector<uint64_t> hashes;
-  if (!group_keys.empty()) {
+  if (!group_keys.empty() && code_key == nullptr) {
     hashes.assign(n, kHashSeed);
-    for (const auto& key : group_keys) {
-      MLCS_ASSIGN_OR_RETURN(ColumnPtr col, input.ColumnByName(key));
-      key_cols.push_back(col);
-    }
     MLCS_RETURN_IF_ERROR(ParallelMorsels(
         policy, n, [&](size_t, size_t begin, size_t end) -> Status {
           for (const auto& col : key_cols) {
@@ -233,14 +255,79 @@ Result<TablePtr> HashGroupBy(const Table& input,
     }
   }
 
+  // Per-run aggregation fast path: with no grouping, COUNT/SUM/MIN/MAX over
+  // null-free integer RLE columns fold whole runs — O(runs) instead of
+  // O(rows). Restricted to exact integer state so the result is bit-
+  // identical to the per-row path (double accumulation order would differ
+  // per run, which is why AVG/STDDEV and DOUBLE inputs are excluded).
+  bool rle_fast = group_keys.empty() && n > 0 && !aggregates.empty();
+  for (size_t a = 0; rle_fast && a < aggregates.size(); ++a) {
+    AggOp op = aggregates[a].op;
+    if (op == AggOp::kCountStar) continue;
+    const Column& col = *agg_cols[a];
+    bool int_rle = col.encoding() == ColumnEncoding::kRle &&
+                   !col.has_nulls() &&
+                   (col.type() == TypeId::kInt32 ||
+                    col.type() == TypeId::kInt64);
+    rle_fast = int_rle && (op == AggOp::kCount || op == AggOp::kSum ||
+                           op == AggOp::kMin || op == AggOp::kMax);
+  }
+  if (rle_fast) {
+    CountCodePathHit();
+    Schema schema;
+    std::vector<ColumnPtr> out_cols;
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      const AggSpec& spec = aggregates[a];
+      TypeId input_type =
+          spec.op == AggOp::kCountStar ? TypeId::kInt64 : agg_cols[a]->type();
+      TypeId out_type = OutputTypeFor(spec.op, input_type);
+      ColumnPtr col = Column::Make(out_type);
+      if (spec.op == AggOp::kCountStar || spec.op == AggOp::kCount) {
+        col->AppendInt64(static_cast<int64_t>(n));
+      } else {
+        const Column& in = *agg_cols[a];
+        const Column& rv = *in.run_values();
+        const auto& lens = in.run_lengths();
+        uint64_t isum = 0;  // wraps like the per-row signed adds
+        double dmin = std::numeric_limits<double>::infinity();
+        double dmax = -std::numeric_limits<double>::infinity();
+        for (size_t r = 0; r < lens.size(); ++r) {
+          int64_t value = rv.type() == TypeId::kInt32
+                              ? static_cast<int64_t>(rv.i32_data()[r])
+                              : rv.i64_data()[r];
+          isum += static_cast<uint64_t>(value) * lens[r];
+          double v = static_cast<double>(value);
+          if (v < dmin) dmin = v;
+          if (v > dmax) dmax = v;
+        }
+        if (spec.op == AggOp::kSum) {
+          col->AppendInt64(static_cast<int64_t>(isum));
+        } else {
+          double v = spec.op == AggOp::kMin ? dmin : dmax;
+          if (out_type == TypeId::kInt32) {
+            col->AppendInt32(static_cast<int32_t>(v));
+          } else {
+            col->AppendInt64(static_cast<int64_t>(v));
+          }
+        }
+      }
+      schema.AddField(spec.output_name, out_type);
+      out_cols.push_back(std::move(col));
+    }
+    auto out = std::make_shared<Table>(std::move(schema), std::move(out_cols));
+    MLCS_RETURN_IF_ERROR(out->Validate());
+    return out;
+  }
+
   // Materialize the double view of each numeric aggregate input up front,
   // one task per aggregate (ToDoubleVector is an O(n) copy).
   std::vector<AggInput> agg_inputs(aggregates.size());
   MLCS_RETURN_IF_ERROR(ParallelItems(
       policy, aggregates.size(), [&](size_t a) -> Status {
         if (aggregates[a].op == AggOp::kCountStar) return Status::OK();
-        const Column& col = *agg_cols[a];
         AggInput& in = agg_inputs[a];
+        if (agg_cols[a]->is_encoded()) in.decoded = agg_cols[a]->Decode();
+        const Column& col = in.decoded != nullptr ? *in.decoded : *agg_cols[a];
         in.col = &col;
         in.is_string = col.type() == TypeId::kVarchar;
         if (!in.is_string) {
@@ -268,6 +355,23 @@ Result<TablePtr> HashGroupBy(const Table& input,
         std::vector<uint32_t> lgid(end - begin, 0);
         if (group_keys.empty()) {
           lg.groups.rep.push_back(static_cast<uint32_t>(begin));
+        } else if (code_key != nullptr) {
+          const std::vector<uint32_t>& codes = code_key->codes();
+          uint32_t null_bucket =
+              static_cast<uint32_t>(code_key->dict()->size());
+          std::vector<uint32_t> lut(null_bucket + 1, UINT32_MAX);
+          bool key_nulls = code_key->has_nulls();
+          for (size_t row = begin; row < end; ++row) {
+            uint32_t c = key_nulls && code_key->IsNull(row) ? null_bucket
+                                                            : codes[row];
+            uint32_t g = lut[c];
+            if (g == UINT32_MAX) {
+              g = static_cast<uint32_t>(lg.groups.rep.size());
+              lg.groups.rep.push_back(static_cast<uint32_t>(row));
+              lut[c] = g;
+            }
+            lgid[row - begin] = g;
+          }
         } else {
           for (size_t row = begin; row < end; ++row) {
             lgid[row - begin] = lg.groups.Resolve(hashes[row], row, key_cols);
@@ -331,12 +435,29 @@ Result<TablePtr> HashGroupBy(const Table& input,
     for (auto& v : accs) v.resize(1);
     for (auto& v : strs) v.resize(1);
   }
+  // Code-keyed global ids: same first-seen LUT as the morsel loop, over
+  // (morsel asc, local gid asc) — the order Resolve would see.
+  std::vector<uint32_t> global_lut;
+  if (code_key != nullptr) {
+    global_lut.assign(code_key->dict()->size() + 1, UINT32_MAX);
+  }
   for (const LocalGroups& lg : locals) {
     for (size_t l = 0; l < lg.groups.rep.size(); ++l) {
       uint32_t gid = 0;
       if (!group_keys.empty()) {
         uint32_t rrow = lg.groups.rep[l];
-        gid = global.Resolve(hashes[rrow], rrow, key_cols);
+        if (code_key != nullptr) {
+          uint32_t c = code_key->has_nulls() && code_key->IsNull(rrow)
+                           ? static_cast<uint32_t>(code_key->dict()->size())
+                           : code_key->codes()[rrow];
+          if (global_lut[c] == UINT32_MAX) {
+            global_lut[c] = static_cast<uint32_t>(global.rep.size());
+            global.rep.push_back(rrow);
+          }
+          gid = global_lut[c];
+        } else {
+          gid = global.Resolve(hashes[rrow], rrow, key_cols);
+        }
         for (auto& v : accs) {
           if (v.size() < global.rep.size()) v.resize(global.rep.size());
         }

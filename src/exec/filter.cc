@@ -2,25 +2,64 @@
 
 #include <algorithm>
 
+#include "storage/encoding.h"
+
 namespace mlcs::exec {
 
 namespace {
 
-/// Serial true-row scan over [begin, end); indices are absolute.
+/// Serial true-row scan over [begin, end); indices are absolute. Branchless
+/// compress-store: the index is written unconditionally and the cursor
+/// advances by the predicate bit, so the loop body carries no
+/// data-dependent branch (the selectivity-proof selection idiom).
 void ScanTrueRows(const Column& predicate, size_t begin, size_t end,
                   std::vector<uint32_t>* out) {
-  const auto& data = predicate.bool_data();
-  if (!predicate.has_nulls()) {
+  const uint8_t* data = predicate.bool_data().data();
+  const uint8_t* valid = predicate.validity_data();
+  size_t base = out->size();
+  out->resize(base + (end - begin));
+  uint32_t* dst = out->data() + base;
+  size_t count = 0;
+  if (valid == nullptr) {
     for (size_t i = begin; i < end; ++i) {
-      if (data[i] != 0) out->push_back(static_cast<uint32_t>(i));
+      dst[count] = static_cast<uint32_t>(i);
+      count += data[i] != 0;
     }
   } else {
     for (size_t i = begin; i < end; ++i) {
-      if (data[i] != 0 && !predicate.IsNull(i)) {
-        out->push_back(static_cast<uint32_t>(i));
+      dst[count] = static_cast<uint32_t>(i);
+      count += static_cast<size_t>((data[i] != 0) & (valid[i] != 0));
+    }
+  }
+  out->resize(base + count);
+}
+
+/// Per-run selection over an RLE BOOLEAN predicate: one decision per run
+/// instead of per row (a false or all-null run emits nothing; a true run
+/// emits its whole span, minus any null rows).
+std::vector<uint32_t> RleTrueRows(const Column& predicate) {
+  CountCodePathHit();
+  std::vector<uint32_t> indices;
+  const auto& rv = predicate.run_values()->bool_data();
+  const auto& starts = predicate.run_starts();
+  const uint8_t* valid = predicate.validity_data();
+  for (size_t r = 0; r + 1 < starts.size(); ++r) {
+    if (rv[r] == 0) continue;
+    size_t lo = static_cast<size_t>(starts[r]);
+    size_t hi = static_cast<size_t>(starts[r + 1]);
+    if (valid == nullptr) {
+      size_t base = indices.size();
+      indices.resize(base + (hi - lo));
+      for (size_t i = lo; i < hi; ++i) {
+        indices[base + (i - lo)] = static_cast<uint32_t>(i);
+      }
+    } else {
+      for (size_t i = lo; i < hi; ++i) {
+        if (valid[i] != 0) indices.push_back(static_cast<uint32_t>(i));
       }
     }
   }
+  return indices;
 }
 
 }  // namespace
@@ -31,6 +70,15 @@ Result<std::vector<uint32_t>> SelectionIndices(const Column& predicate,
   if (predicate.type() != TypeId::kBool) {
     return Status::TypeMismatch("filter predicate must be BOOLEAN, got " +
                                 std::string(TypeIdToString(predicate.type())));
+  }
+  if (predicate.encoding() == ColumnEncoding::kRle &&
+      predicate.size() == num_rows && num_rows > 0) {
+    return RleTrueRows(predicate);
+  }
+  if (predicate.is_encoded()) {
+    // Encoded shapes without a per-run path (length-mismatch errors
+    // included) evaluate against the plain decode.
+    return SelectionIndices(*predicate.Decode(), num_rows, policy);
   }
   std::vector<uint32_t> indices;
   if (predicate.size() == 1) {

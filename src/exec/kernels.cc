@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "storage/encoding.h"
+
 namespace mlcs::exec {
 
 namespace {
@@ -227,6 +229,58 @@ uint64_t HashBytes(const void* data, size_t len) {
 
 constexpr uint64_t kNullHash = 0x6E756C6C6E756C6CULL;  // "nullnull"
 
+/// One row's hash word, exactly as the plain typed loops in
+/// HashCombineColumnRange compute it — the per-dictionary-entry hashing
+/// below must produce bit-identical words for non-null rows.
+uint64_t ValueWord(const Column& col, size_t i) {
+  switch (col.type()) {
+    case TypeId::kBool:
+      return col.bool_data()[i];
+    case TypeId::kInt32:
+      return static_cast<uint64_t>(static_cast<int64_t>(col.i32_data()[i]));
+    case TypeId::kInt64:
+      return static_cast<uint64_t>(col.i64_data()[i]);
+    case TypeId::kDouble: {
+      uint64_t bits;
+      std::memcpy(&bits, &col.f64_data()[i], sizeof(bits));
+      return bits;
+    }
+    case TypeId::kVarchar:
+    case TypeId::kBlob:
+      return HashBytes(col.str_data()[i].data(), col.str_data()[i].size());
+  }
+  return 0;
+}
+
+/// The broadcastable literal shape the encoded fast paths rewrite against:
+/// one plain non-null row.
+bool IsPlainLiteral(const Column& c) {
+  return !c.is_encoded() && c.size() == 1 && !c.has_nulls();
+}
+
+/// row → run-index gather vector for an RLE column (expands a per-run
+/// result back to row granularity in one Take).
+std::vector<uint32_t> RunIndexVector(const Column& c) {
+  const auto& starts = c.run_starts();
+  std::vector<uint32_t> ridx(c.size());
+  for (size_t r = 0; r + 1 < starts.size(); ++r) {
+    for (uint64_t i = starts[r]; i < starts[r + 1]; ++i) {
+      ridx[i] = static_cast<uint32_t>(r);
+    }
+  }
+  return ridx;
+}
+
+/// Nulls in `src` become nulls in `out` — the validity overlay the
+/// gather-based fast paths apply after expanding a per-code result.
+void OverlayNulls(const Column& src, Column* out) {
+  if (!src.has_nulls()) return;
+  size_t n = src.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (src.IsNull(i)) out->SetNull(i);
+  }
+}
+
 /// Serial element-wise binary kernel over full columns — the pre-morsel
 /// code path, also the per-morsel worker body.
 Result<ColumnPtr> BinaryKernelSerial(BinOpKind op, const Column& left,
@@ -298,6 +352,53 @@ Result<ColumnPtr> BinaryKernelSerial(BinOpKind op, const Column& left,
   return out;
 }
 
+/// Operate-on-encoded-data fast paths (DESIGN.md §13). A dictionary or RLE
+/// operand against a scalar literal computes the op once per dictionary
+/// entry / run on the small plain payload, then expands that per-code
+/// result through the codes with one gather — O(distinct + n) instead of
+/// O(n) typed work. Because the per-entry values are exactly the column's
+/// distinct plain values, every SQL semantic (type promotion, ÷0 nulls,
+/// VARCHAR compares) falls out of the same serial kernel the plain path
+/// runs, so results are bit-identical with encoding disabled. Shapes
+/// without a fast path decode and re-enter the plain kernel.
+Result<ColumnPtr> EncodedBinaryKernel(BinOpKind op, const Column& left,
+                                      const Column& right,
+                                      const MorselPolicy& policy) {
+  const Column* enc = nullptr;
+  const Column* lit = nullptr;
+  bool enc_left = false;
+  if (left.is_encoded() && IsPlainLiteral(right)) {
+    enc = &left;
+    lit = &right;
+    enc_left = true;
+  } else if (right.is_encoded() && IsPlainLiteral(left)) {
+    enc = &right;
+    lit = &left;
+  }
+  if (enc != nullptr) {
+    const Column& per_input = enc->encoding() == ColumnEncoding::kDict
+                                  ? *enc->dict()
+                                  : *enc->run_values();
+    // An empty dictionary / zero runs means every row is NULL (or the
+    // column is empty): nothing to gather from, take the decode path.
+    if (per_input.size() > 0) {
+      MLCS_ASSIGN_OR_RETURN(ColumnPtr per,
+                            enc_left ? BinaryKernelSerial(op, per_input, *lit)
+                                     : BinaryKernelSerial(op, *lit, per_input));
+      ColumnPtr out = enc->encoding() == ColumnEncoding::kDict
+                          ? per->Take(enc->codes())
+                          : per->Take(RunIndexVector(*enc));
+      OverlayNulls(*enc, out.get());
+      CountCodePathHit();
+      return out;
+    }
+  }
+  ColumnPtr lp = left.is_encoded() ? left.Decode() : nullptr;
+  ColumnPtr rp = right.is_encoded() ? right.Decode() : nullptr;
+  return BinaryKernel(op, lp != nullptr ? *lp : left,
+                      rp != nullptr ? *rp : right, policy);
+}
+
 /// Concatenates per-morsel result slices in morsel order.
 Result<ColumnPtr> SpliceParts(const std::vector<ColumnPtr>& parts,
                               size_t total_rows) {
@@ -355,6 +456,10 @@ Result<ColumnPtr> BinaryKernel(BinOpKind op, const Column& left,
   }
   size_t n = ln == rn ? ln : (ln == 1 ? rn : ln);
 
+  if (left.is_encoded() || right.is_encoded()) {
+    return EncodedBinaryKernel(op, left, right, policy);
+  }
+
   if (!ShouldParallelize(policy, n)) {
     return BinaryKernelSerial(op, left, right);
   }
@@ -380,6 +485,22 @@ Result<ColumnPtr> BinaryKernel(BinOpKind op, const Column& left,
 Result<ColumnPtr> UnaryKernel(UnOpKind op, const Column& input,
                               const MorselPolicy& policy) {
   size_t n = input.size();
+  if (input.is_encoded()) {
+    // Apply the op once per dictionary entry / run, then expand through the
+    // codes (NOT and unary minus are pure per value, so the gathered result
+    // matches the plain per-row loops bit for bit).
+    const Column& per_input = input.encoding() == ColumnEncoding::kDict
+                                  ? *input.dict()
+                                  : *input.run_values();
+    if (per_input.size() == 0) return UnaryKernel(op, *input.Decode(), policy);
+    MLCS_ASSIGN_OR_RETURN(ColumnPtr per, UnaryKernel(op, per_input));
+    ColumnPtr out = input.encoding() == ColumnEncoding::kDict
+                        ? per->Take(input.codes())
+                        : per->Take(RunIndexVector(input));
+    OverlayNulls(input, out.get());
+    CountCodePathHit();
+    return out;
+  }
   if (ShouldParallelize(policy, n)) {
     std::vector<ColumnPtr> parts(NumMorsels(policy, n));
     MLCS_RETURN_IF_ERROR(ParallelMorsels(
@@ -440,6 +561,44 @@ void HashCombineColumn(const Column& column, std::vector<uint64_t>* hashes) {
 
 void HashCombineColumnRange(const Column& column, size_t begin, size_t end,
                             std::vector<uint64_t>* hashes) {
+  if (column.is_encoded()) {
+    // Hash each dictionary entry / run value once, then mix the gathered
+    // word per row. Non-null rows mix exactly the word the plain loops
+    // below would (the dictionary holds the plain values), so hashes agree
+    // across encodings wherever equality can hold; null rows are excluded
+    // from joins and resolved by CellEquals in group-by, so their value
+    // word is free to differ from the decoded default slot's.
+    const Column& vals = column.encoding() == ColumnEncoding::kDict
+                             ? *column.dict()
+                             : *column.run_values();
+    size_t k = vals.size();
+    std::vector<uint64_t> words(k);
+    for (size_t e = 0; e < k; ++e) words[e] = ValueWord(vals, e);
+    if (column.encoding() == ColumnEncoding::kDict) {
+      if (k > 0) {
+        const auto& codes = column.codes();
+        for (size_t i = begin; i < end; ++i) {
+          (*hashes)[i] = MixHash((*hashes)[i], words[codes[i]]);
+        }
+      }
+    } else if (k > 0 && end > begin) {
+      const auto& starts = column.run_starts();
+      size_t r = column.RunIndexOf(begin);
+      for (size_t i = begin; i < end;) {
+        size_t stop = std::min(end, static_cast<size_t>(starts[r + 1]));
+        uint64_t w = words[r];
+        for (; i < stop; ++i) (*hashes)[i] = MixHash((*hashes)[i], w);
+        ++r;
+      }
+    }
+    if (column.has_nulls()) {
+      for (size_t i = begin; i < end; ++i) {
+        if (column.IsNull(i)) (*hashes)[i] = MixHash((*hashes)[i], kNullHash);
+      }
+    }
+    CountCodePathHit();
+    return;
+  }
   switch (column.type()) {
     case TypeId::kBool: {
       const auto& src = column.bool_data();
@@ -490,21 +649,51 @@ void HashCombineColumnRange(const Column& column, size_t begin, size_t end,
   }
 }
 
+namespace {
+
+/// (column, row) rewritten to the plain payload cell behind an encoding:
+/// a dictionary cell resolves to its dictionary entry, an RLE cell to its
+/// run value. The cell must be non-null (null codes are never valid).
+struct CellRef {
+  const Column* col;
+  size_t row;
+};
+
+CellRef ResolveCell(const Column& c, size_t i) {
+  if (c.encoding() == ColumnEncoding::kDict) {
+    return {c.dict().get(), c.codes()[i]};
+  }
+  if (c.encoding() == ColumnEncoding::kRle) {
+    return {c.run_values().get(), c.RunIndexOf(i)};
+  }
+  return {&c, i};
+}
+
+}  // namespace
+
 bool CellEquals(const Column& a, size_t ai, const Column& b, size_t bi) {
   bool an = a.IsNull(ai), bn = b.IsNull(bi);
   if (an || bn) return an == bn;
-  switch (a.type()) {
+  if (a.encoding() == ColumnEncoding::kDict &&
+      b.encoding() == ColumnEncoding::kDict && a.dict() == b.dict()) {
+    // Shared dictionary: entries are distinct, so code equality is value
+    // equality — the O(1) probe code-path joins and group-bys rely on.
+    return a.codes()[ai] == b.codes()[bi];
+  }
+  CellRef ra = ResolveCell(a, ai);
+  CellRef rb = ResolveCell(b, bi);
+  switch (ra.col->type()) {
     case TypeId::kBool:
-      return a.bool_data()[ai] == b.bool_data()[bi];
+      return ra.col->bool_data()[ra.row] == rb.col->bool_data()[rb.row];
     case TypeId::kInt32:
-      return a.i32_data()[ai] == b.i32_data()[bi];
+      return ra.col->i32_data()[ra.row] == rb.col->i32_data()[rb.row];
     case TypeId::kInt64:
-      return a.i64_data()[ai] == b.i64_data()[bi];
+      return ra.col->i64_data()[ra.row] == rb.col->i64_data()[rb.row];
     case TypeId::kDouble:
-      return a.f64_data()[ai] == b.f64_data()[bi];
+      return ra.col->f64_data()[ra.row] == rb.col->f64_data()[rb.row];
     case TypeId::kVarchar:
     case TypeId::kBlob:
-      return a.str_data()[ai] == b.str_data()[bi];
+      return ra.col->str_data()[ra.row] == rb.col->str_data()[rb.row];
   }
   return false;
 }
@@ -515,19 +704,28 @@ int CellCompare(const Column& a, size_t ai, const Column& b, size_t bi) {
     if (an && bn) return 0;
     return an ? -1 : 1;  // NULLs first
   }
+  if (a.encoding() == ColumnEncoding::kDict &&
+      b.encoding() == ColumnEncoding::kDict && a.dict() == b.dict() &&
+      a.dict_sorted()) {
+    // Sorted shared dictionary: code order is value order.
+    uint32_t ca = a.codes()[ai], cb = b.codes()[bi];
+    return ca < cb ? -1 : (ca > cb ? 1 : 0);
+  }
+  CellRef ra = ResolveCell(a, ai);
+  CellRef rb = ResolveCell(b, bi);
   auto cmp3 = [](auto x, auto y) { return x < y ? -1 : (x > y ? 1 : 0); };
-  switch (a.type()) {
+  switch (ra.col->type()) {
     case TypeId::kBool:
-      return cmp3(a.bool_data()[ai], b.bool_data()[bi]);
+      return cmp3(ra.col->bool_data()[ra.row], rb.col->bool_data()[rb.row]);
     case TypeId::kInt32:
-      return cmp3(a.i32_data()[ai], b.i32_data()[bi]);
+      return cmp3(ra.col->i32_data()[ra.row], rb.col->i32_data()[rb.row]);
     case TypeId::kInt64:
-      return cmp3(a.i64_data()[ai], b.i64_data()[bi]);
+      return cmp3(ra.col->i64_data()[ra.row], rb.col->i64_data()[rb.row]);
     case TypeId::kDouble:
-      return cmp3(a.f64_data()[ai], b.f64_data()[bi]);
+      return cmp3(ra.col->f64_data()[ra.row], rb.col->f64_data()[rb.row]);
     case TypeId::kVarchar:
     case TypeId::kBlob: {
-      int c = a.str_data()[ai].compare(b.str_data()[bi]);
+      int c = ra.col->str_data()[ra.row].compare(rb.col->str_data()[rb.row]);
       return c < 0 ? -1 : (c > 0 ? 1 : 0);
     }
   }
@@ -550,6 +748,34 @@ std::vector<T> GatherDense(const std::vector<T>& src,
 }  // namespace
 
 ColumnPtr TakeOrNull(const Column& column, const std::vector<int64_t>& idx) {
+  if (column.encoding() == ColumnEncoding::kDict) {
+    // Gather the codes, share the dictionary; -1 and null sources become
+    // null rows with code 0 (null codes are never dereferenced).
+    std::vector<uint32_t> codes(idx.size(), 0);
+    std::vector<uint8_t> validity(idx.size(), 1);
+    const auto& src_codes = column.codes();
+    bool any_null = false;
+    for (size_t i = 0; i < idx.size(); ++i) {
+      int64_t j = idx[i];
+      if (j < 0 || column.IsNull(static_cast<size_t>(j))) {
+        validity[i] = 0;
+        any_null = true;
+      } else {
+        codes[i] = src_codes[static_cast<size_t>(j)];
+      }
+    }
+    if (!any_null) validity.clear();
+    Result<ColumnPtr> out = Column::MakeDictionary(
+        column.type(), std::move(codes), column.dict(), std::move(validity));
+    if (out.ok()) {
+      CountCodePathHit();
+      return out.ValueOrDie();
+    }
+  }
+  if (column.is_encoded()) {
+    // RLE (a gather breaks runs) and any rejected dictionary rebuild.
+    return TakeOrNull(*column.Decode(), idx);
+  }
   if (!column.has_nulls() &&
       std::none_of(idx.begin(), idx.end(),
                    [](int64_t i) { return i < 0; })) {

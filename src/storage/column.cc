@@ -1,6 +1,9 @@
 #include "storage/column.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "storage/encoding.h"
 
 namespace mlcs {
 
@@ -21,6 +24,54 @@ size_t VariantIndexFor(TypeId type) {
       return 4;
   }
   return 1;
+}
+
+/// True when a plain, null-free column's values are strictly ascending —
+/// the precondition for translating range predicates to code comparisons.
+/// NaN-bearing DOUBLE dictionaries are never "sorted" (comparisons with
+/// NaN are unordered).
+bool StrictlyAscending(const Column& dict) {
+  size_t n = dict.size();
+  if (n < 2) return true;
+  switch (dict.type()) {
+    case TypeId::kBool: {
+      const auto& v = dict.bool_data();
+      for (size_t i = 1; i < n; ++i) {
+        if (!(v[i - 1] < v[i])) return false;
+      }
+      return true;
+    }
+    case TypeId::kInt32: {
+      const auto& v = dict.i32_data();
+      for (size_t i = 1; i < n; ++i) {
+        if (!(v[i - 1] < v[i])) return false;
+      }
+      return true;
+    }
+    case TypeId::kInt64: {
+      const auto& v = dict.i64_data();
+      for (size_t i = 1; i < n; ++i) {
+        if (!(v[i - 1] < v[i])) return false;
+      }
+      return true;
+    }
+    case TypeId::kDouble: {
+      const auto& v = dict.f64_data();
+      for (size_t i = 1; i < n; ++i) {
+        if (!(v[i - 1] < v[i])) return false;
+      }
+      return true;
+    }
+    case TypeId::kVarchar:
+    case TypeId::kBlob: {
+      const auto& v = dict.str_data();
+      for (size_t i = 1; i < n; ++i) {
+        if (!(v[i - 1] < v[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
 }
 }  // namespace
 
@@ -88,7 +139,109 @@ ColumnPtr Column::FromStrings(std::vector<std::string> data, TypeId type) {
   return col;
 }
 
+Result<ColumnPtr> Column::MakeDictionary(TypeId type,
+                                         std::vector<uint32_t> codes,
+                                         ColumnPtr dict,
+                                         std::vector<uint8_t> validity) {
+  if (dict == nullptr) {
+    return Status::InvalidArgument("MakeDictionary: null dictionary");
+  }
+  if (dict->is_encoded()) {
+    return Status::InvalidArgument("MakeDictionary: dictionary must be plain");
+  }
+  if (dict->type() != type) {
+    return Status::TypeMismatch("MakeDictionary: dictionary type mismatch");
+  }
+  if (dict->has_nulls()) {
+    return Status::InvalidArgument(
+        "MakeDictionary: dictionary must be null-free");
+  }
+  if (!validity.empty() && validity.size() != codes.size()) {
+    return Status::InvalidArgument(
+        "MakeDictionary: validity/codes length mismatch");
+  }
+  size_t dict_size = dict->size();
+  size_t nulls = 0;
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (!validity.empty() && validity[i] == 0) {
+      codes[i] = 0;  // normalize: null rows' codes are never dereferenced
+      ++nulls;
+      continue;
+    }
+    if (codes[i] >= dict_size) {
+      return Status::InvalidArgument(
+          "MakeDictionary: code out of dictionary range");
+    }
+  }
+  if (nulls == 0) validity.clear();
+  ColumnPtr col = Make(type);
+  col->encoding_ = ColumnEncoding::kDict;
+  col->codes_ = std::move(codes);
+  col->dict_sorted_ = StrictlyAscending(*dict);
+  col->dict_ = std::move(dict);
+  col->validity_ = std::move(validity);
+  col->null_count_ = nulls;
+  return col;
+}
+
+Result<ColumnPtr> Column::MakeRle(TypeId type, ColumnPtr run_values,
+                                  std::vector<uint32_t> run_lengths,
+                                  std::vector<uint8_t> validity) {
+  if (run_values == nullptr) {
+    return Status::InvalidArgument("MakeRle: null run values");
+  }
+  if (run_values->is_encoded()) {
+    return Status::InvalidArgument("MakeRle: run values must be plain");
+  }
+  if (run_values->type() != type) {
+    return Status::TypeMismatch("MakeRle: run-value type mismatch");
+  }
+  if (run_values->has_nulls()) {
+    // Null runs carry a default payload slot; the per-row validity is the
+    // only null authority (per-run kernels rely on the slots being real).
+    return Status::InvalidArgument("MakeRle: run values must be null-free");
+  }
+  if (run_values->size() != run_lengths.size()) {
+    return Status::InvalidArgument(
+        "MakeRle: run value / run length count mismatch");
+  }
+  std::vector<uint64_t> starts;
+  starts.reserve(run_lengths.size() + 1);
+  starts.push_back(0);
+  for (uint32_t len : run_lengths) {
+    if (len == 0) {
+      return Status::InvalidArgument("MakeRle: zero-length run");
+    }
+    starts.push_back(starts.back() + len);
+  }
+  uint64_t rows = starts.back();
+  if (!validity.empty() && validity.size() != rows) {
+    return Status::InvalidArgument("MakeRle: validity/rows length mismatch");
+  }
+  size_t nulls = 0;
+  for (uint8_t v : validity) {
+    if (v == 0) ++nulls;
+  }
+  if (nulls == 0) validity.clear();
+  ColumnPtr col = Make(type);
+  col->encoding_ = ColumnEncoding::kRle;
+  col->run_values_ = std::move(run_values);
+  col->run_lengths_ = std::move(run_lengths);
+  col->run_starts_ = std::move(starts);
+  col->validity_ = std::move(validity);
+  col->null_count_ = nulls;
+  return col;
+}
+
 size_t Column::size() const {
+  switch (encoding_) {
+    case ColumnEncoding::kDict:
+      return codes_.size();
+    case ColumnEncoding::kRle:
+      return run_starts_.empty() ? 0 : run_starts_.back();
+    case ColumnEncoding::kPlain:
+      break;
+  }
   switch (data_.index()) {
     case kBoolIdx:
       return std::get<kBoolIdx>(data_).size();
@@ -104,6 +257,186 @@ size_t Column::size() const {
   return 0;
 }
 
+size_t Column::RunIndexOf(size_t row) const {
+  auto it = std::upper_bound(run_starts_.begin(), run_starts_.end(),
+                             static_cast<uint64_t>(row));
+  return static_cast<size_t>(it - run_starts_.begin()) - 1;
+}
+
+size_t Column::CodeWidth() const {
+  size_t dict_size = dict_ != nullptr ? dict_->size() : 0;
+  if (dict_size <= (1u << 8)) return 1;
+  if (dict_size <= (1u << 16)) return 2;
+  return 4;
+}
+
+ColumnPtr Column::Decode() const {
+  if (encoding_ == ColumnEncoding::kPlain) {
+    return std::make_shared<Column>(*this);
+  }
+  CountDecodeEvent();
+  size_t n = size();
+  ColumnPtr out = Make(type_);
+  if (encoding_ == ColumnEncoding::kDict) {
+    const uint32_t* codes = codes_.data();
+    const uint8_t* valid = validity_data();
+    switch (type_) {
+      case TypeId::kBool: {
+        const auto& dv = dict_->bool_data();
+        auto& dst = out->bool_data();
+        if (dv.empty()) {
+          dst.assign(n, 0);  // all-null column: empty dictionary
+          break;
+        }
+        dst.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          dst[i] = (valid == nullptr || valid[i]) ? dv[codes[i]] : 0;
+        }
+        break;
+      }
+      case TypeId::kInt32: {
+        const auto& dv = dict_->i32_data();
+        auto& dst = out->i32_data();
+        if (dv.empty()) {
+          dst.assign(n, 0);
+          break;
+        }
+        dst.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          dst[i] = (valid == nullptr || valid[i]) ? dv[codes[i]] : 0;
+        }
+        break;
+      }
+      case TypeId::kInt64: {
+        const auto& dv = dict_->i64_data();
+        auto& dst = out->i64_data();
+        if (dv.empty()) {
+          dst.assign(n, 0);
+          break;
+        }
+        dst.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          dst[i] = (valid == nullptr || valid[i]) ? dv[codes[i]] : 0;
+        }
+        break;
+      }
+      case TypeId::kDouble: {
+        const auto& dv = dict_->f64_data();
+        auto& dst = out->f64_data();
+        if (dv.empty()) {
+          dst.assign(n, 0.0);
+          break;
+        }
+        dst.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          dst[i] = (valid == nullptr || valid[i]) ? dv[codes[i]] : 0.0;
+        }
+        break;
+      }
+      case TypeId::kVarchar:
+      case TypeId::kBlob: {
+        const auto& dv = dict_->str_data();
+        auto& dst = out->str_data();
+        dst.resize(n);
+        if (dv.empty()) break;
+        for (size_t i = 0; i < n; ++i) {
+          if (valid == nullptr || valid[i]) dst[i] = dv[codes[i]];
+        }
+        break;
+      }
+    }
+  } else {  // kRle
+    size_t runs = run_lengths_.size();
+    switch (type_) {
+      case TypeId::kBool: {
+        const auto& rv = run_values_->bool_data();
+        auto& dst = out->bool_data();
+        dst.resize(n);
+        for (size_t r = 0; r < runs; ++r) {
+          std::fill(dst.begin() + run_starts_[r],
+                    dst.begin() + run_starts_[r + 1], rv[r]);
+        }
+        break;
+      }
+      case TypeId::kInt32: {
+        const auto& rv = run_values_->i32_data();
+        auto& dst = out->i32_data();
+        dst.resize(n);
+        for (size_t r = 0; r < runs; ++r) {
+          std::fill(dst.begin() + run_starts_[r],
+                    dst.begin() + run_starts_[r + 1], rv[r]);
+        }
+        break;
+      }
+      case TypeId::kInt64: {
+        const auto& rv = run_values_->i64_data();
+        auto& dst = out->i64_data();
+        dst.resize(n);
+        for (size_t r = 0; r < runs; ++r) {
+          std::fill(dst.begin() + run_starts_[r],
+                    dst.begin() + run_starts_[r + 1], rv[r]);
+        }
+        break;
+      }
+      case TypeId::kDouble: {
+        const auto& rv = run_values_->f64_data();
+        auto& dst = out->f64_data();
+        dst.resize(n);
+        for (size_t r = 0; r < runs; ++r) {
+          std::fill(dst.begin() + run_starts_[r],
+                    dst.begin() + run_starts_[r + 1], rv[r]);
+        }
+        break;
+      }
+      case TypeId::kVarchar:
+      case TypeId::kBlob: {
+        const auto& rv = run_values_->str_data();
+        auto& dst = out->str_data();
+        dst.resize(n);
+        for (size_t r = 0; r < runs; ++r) {
+          std::fill(dst.begin() + run_starts_[r],
+                    dst.begin() + run_starts_[r + 1], rv[r]);
+        }
+        break;
+      }
+    }
+    // Null slots hold run values; normalize them to defaults so decoded
+    // bytes match what plain appends would have produced.
+    if (has_nulls()) {
+      for (size_t i = 0; i < n; ++i) {
+        if (validity_[i] != 0) continue;
+        switch (type_) {
+          case TypeId::kBool:
+            out->bool_data()[i] = 0;
+            break;
+          case TypeId::kInt32:
+            out->i32_data()[i] = 0;
+            break;
+          case TypeId::kInt64:
+            out->i64_data()[i] = 0;
+            break;
+          case TypeId::kDouble:
+            out->f64_data()[i] = 0.0;
+            break;
+          case TypeId::kVarchar:
+          case TypeId::kBlob:
+            out->str_data()[i].clear();
+            break;
+        }
+      }
+    }
+  }
+  out->validity_ = validity_;
+  out->null_count_ = null_count_;
+  return out;
+}
+
+void Column::EnsurePlain() {
+  if (encoding_ == ColumnEncoding::kPlain) return;
+  ColumnPtr plain = Decode();
+  *this = std::move(*plain);
+}
+
 void Column::EnsureValidity() {
   if (validity_.empty()) validity_.assign(size(), 1);
 }
@@ -117,6 +450,11 @@ void Column::SetNull(size_t row) {
 }
 
 void Column::Reserve(size_t capacity) {
+  if (encoding_ == ColumnEncoding::kDict) {
+    codes_.reserve(capacity);
+    return;
+  }
+  if (encoding_ == ColumnEncoding::kRle) return;
   switch (data_.index()) {
     case kBoolIdx:
       std::get<kBoolIdx>(data_).reserve(capacity);
@@ -137,6 +475,7 @@ void Column::Reserve(size_t capacity) {
 }
 
 void Column::AppendNull() {
+  if (encoding_ != ColumnEncoding::kPlain) EnsurePlain();
   // Push a default slot, then mark it null.
   switch (data_.index()) {
     case kBoolIdx:
@@ -195,6 +534,67 @@ Status Column::AppendColumn(const Column& other) {
                                 TypeIdToString(other.type_) + " column to " +
                                 TypeIdToString(type_) + " column");
   }
+  if (other.size() == 0) return Status::OK();
+  // An empty plain column adopts the first appended column's encoding:
+  // block scans splice chunks with Make(type) + AppendColumn, and this is
+  // what keeps encoded chunks encoded end-to-end. RLE state is deep-copied
+  // because later appends extend run_values_ in place — the source (often
+  // a cached buffer-pool chunk) must not grow with us.
+  if (size() == 0 && encoding_ == ColumnEncoding::kPlain &&
+      validity_.empty() && other.is_encoded()) {
+    *this = other;
+    if (encoding_ == ColumnEncoding::kRle) {
+      run_values_ = std::make_shared<Column>(*run_values_);
+    }
+    return Status::OK();
+  }
+  if (encoding_ == ColumnEncoding::kDict &&
+      other.encoding_ == ColumnEncoding::kDict &&
+      (dict_ == other.dict_ || dict_->PlainPayloadEquals(*other.dict_))) {
+    size_t old_size = codes_.size();
+    codes_.insert(codes_.end(), other.codes_.begin(), other.codes_.end());
+    if (other.has_nulls() || !validity_.empty()) {
+      if (validity_.empty()) validity_.assign(old_size, 1);
+      if (other.validity_.empty()) {
+        validity_.insert(validity_.end(), other.size(), 1);
+      } else {
+        validity_.insert(validity_.end(), other.validity_.begin(),
+                         other.validity_.end());
+      }
+      null_count_ += other.null_count_;
+    }
+    return Status::OK();
+  }
+  if (encoding_ == ColumnEncoding::kRle &&
+      other.encoding_ == ColumnEncoding::kRle && &other != this) {
+    size_t old_size = size();
+    MLCS_RETURN_IF_ERROR(run_values_->AppendColumn(*other.run_values_));
+    run_lengths_.insert(run_lengths_.end(), other.run_lengths_.begin(),
+                        other.run_lengths_.end());
+    uint64_t base = run_starts_.back();
+    for (size_t r = 1; r < other.run_starts_.size(); ++r) {
+      run_starts_.push_back(base + other.run_starts_[r]);
+    }
+    if (other.has_nulls() || !validity_.empty()) {
+      if (validity_.empty()) validity_.assign(old_size, 1);
+      if (other.validity_.empty()) {
+        validity_.insert(validity_.end(), other.size(), 1);
+      } else {
+        validity_.insert(validity_.end(), other.validity_.begin(),
+                         other.validity_.end());
+      }
+      null_count_ += other.null_count_;
+    }
+    return Status::OK();
+  }
+  if (is_encoded() || other.is_encoded()) {
+    // Incompatible mix (different dictionaries, dict+RLE, …): fall back.
+    EnsurePlain();
+    if (other.is_encoded()) {
+      ColumnPtr plain = other.Decode();
+      return AppendColumn(*plain);
+    }
+  }
   size_t old_size = size();
   switch (data_.index()) {
     case kBoolIdx: {
@@ -248,6 +648,12 @@ Result<Value> Column::GetValue(size_t row) const {
                               std::to_string(size()) + ")");
   }
   if (IsNull(row)) return Value::MakeNull(type_);
+  if (encoding_ == ColumnEncoding::kDict) {
+    return dict_->GetValue(codes_[row]);
+  }
+  if (encoding_ == ColumnEncoding::kRle) {
+    return run_values_->GetValue(RunIndexOf(row));
+  }
   switch (type_) {
     case TypeId::kBool:
       return Value::Bool(std::get<kBoolIdx>(data_)[row] != 0);
@@ -269,6 +675,13 @@ Result<ColumnPtr> Column::CastTo(TypeId target) const {
   if (target == type_) {
     return std::make_shared<Column>(*this);
   }
+  if (is_encoded()) {
+    // A cast could collapse distinct dictionary entries (e.g. double →
+    // int32 truncation), breaking the distinctness the code-equality fast
+    // paths rely on — decode instead of remapping the dictionary.
+    ColumnPtr plain = Decode();
+    return plain->CastTo(target);
+  }
   ColumnPtr out = Make(target);
   size_t n = size();
   out->Reserve(n);
@@ -289,48 +702,102 @@ ColumnPtr Column::Take(const std::vector<uint32_t>& indices) const {
 }
 
 ColumnPtr Column::Take(const uint32_t* indices, size_t count) const {
+  if (encoding_ == ColumnEncoding::kDict) {
+    // Gather the codes, share the dictionary.
+    ColumnPtr out = Make(type_);
+    out->encoding_ = ColumnEncoding::kDict;
+    out->dict_ = dict_;
+    out->dict_sorted_ = dict_sorted_;
+    out->codes_.resize(count);
+    const uint32_t* src = codes_.data();
+    uint32_t* dst = out->codes_.data();
+    for (size_t i = 0; i < count; ++i) dst[i] = src[indices[i]];
+    if (has_nulls()) {
+      out->validity_.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        uint8_t valid = validity_[indices[i]];
+        out->validity_.push_back(valid);
+        if (valid == 0) ++out->null_count_;
+      }
+      if (out->null_count_ == 0) out->validity_.clear();
+    }
+    return out;
+  }
+  if (encoding_ == ColumnEncoding::kRle) {
+    // A gather breaks runs; emit plain by gathering run values. Selection
+    // vectors arrive ascending, so a monotonic run cursor resolves them in
+    // O(count + runs); a backwards jump falls back to the binary search
+    // and re-anchors the cursor there.
+    std::vector<uint32_t> run_idx(count);
+    size_t run = 0;
+    for (size_t i = 0; i < count; ++i) {
+      size_t row = indices[i];
+      if (row < run_starts_[run]) {
+        run = RunIndexOf(row);
+      } else {
+        while (run_starts_[run + 1] <= row) ++run;
+      }
+      run_idx[i] = static_cast<uint32_t>(run);
+    }
+    ColumnPtr out = run_values_->Take(run_idx);
+    if (has_nulls()) {
+      for (size_t i = 0; i < count; ++i) {
+        if (validity_[indices[i]] == 0) out->SetNull(i);
+      }
+    }
+    return out;
+  }
+  // resize + indexed stores, not push_back: the per-element capacity check
+  // blocks the compiler from keeping this a tight gather, and this loop
+  // expands every per-entry kernel result back to row space.
   ColumnPtr out = Make(type_);
-  out->Reserve(count);
   switch (data_.index()) {
     case kBoolIdx: {
       const auto& src = std::get<kBoolIdx>(data_);
       auto& dst = std::get<kBoolIdx>(out->data_);
-      for (size_t i = 0; i < count; ++i) dst.push_back(src[indices[i]]);
+      dst.resize(count);
+      for (size_t i = 0; i < count; ++i) dst[i] = src[indices[i]];
       break;
     }
     case kI32Idx: {
       const auto& src = std::get<kI32Idx>(data_);
       auto& dst = std::get<kI32Idx>(out->data_);
-      for (size_t i = 0; i < count; ++i) dst.push_back(src[indices[i]]);
+      dst.resize(count);
+      for (size_t i = 0; i < count; ++i) dst[i] = src[indices[i]];
       break;
     }
     case kI64Idx: {
       const auto& src = std::get<kI64Idx>(data_);
       auto& dst = std::get<kI64Idx>(out->data_);
-      for (size_t i = 0; i < count; ++i) dst.push_back(src[indices[i]]);
+      dst.resize(count);
+      for (size_t i = 0; i < count; ++i) dst[i] = src[indices[i]];
       break;
     }
     case kF64Idx: {
       const auto& src = std::get<kF64Idx>(data_);
       auto& dst = std::get<kF64Idx>(out->data_);
-      for (size_t i = 0; i < count; ++i) dst.push_back(src[indices[i]]);
+      dst.resize(count);
+      for (size_t i = 0; i < count; ++i) dst[i] = src[indices[i]];
       break;
     }
     case kStrIdx: {
       const auto& src = std::get<kStrIdx>(data_);
       auto& dst = std::get<kStrIdx>(out->data_);
-      for (size_t i = 0; i < count; ++i) dst.push_back(src[indices[i]]);
+      dst.resize(count);
+      for (size_t i = 0; i < count; ++i) dst[i] = src[indices[i]];
       break;
     }
   }
   if (has_nulls()) {
-    out->validity_.reserve(count);
+    out->validity_.resize(count);
+    size_t nulls = 0;
     for (size_t i = 0; i < count; ++i) {
       uint8_t valid = validity_[indices[i]];
-      out->validity_.push_back(valid);
-      if (valid == 0) ++out->null_count_;
+      out->validity_[i] = valid;
+      nulls += valid == 0 ? 1 : 0;
     }
-    if (out->null_count_ == 0) out->validity_.clear();
+    out->null_count_ = nulls;
+    if (nulls == 0) out->validity_.clear();
   }
   return out;
 }
@@ -338,6 +805,54 @@ ColumnPtr Column::Take(const uint32_t* indices, size_t count) const {
 ColumnPtr Column::Slice(size_t offset, size_t length) const {
   // Contiguous range copy, not a gather: the morsel-parallel operators
   // slice every input column once per morsel, so this is a hot path.
+  if (encoding_ == ColumnEncoding::kDict) {
+    ColumnPtr out = Make(type_);
+    out->encoding_ = ColumnEncoding::kDict;
+    out->dict_ = dict_;
+    out->dict_sorted_ = dict_sorted_;
+    out->codes_.assign(codes_.begin() + offset,
+                       codes_.begin() + offset + length);
+    if (has_nulls()) {
+      out->validity_.assign(validity_.begin() + offset,
+                            validity_.begin() + offset + length);
+      for (uint8_t v : out->validity_) {
+        if (v == 0) ++out->null_count_;
+      }
+      if (out->null_count_ == 0) out->validity_.clear();
+    }
+    return out;
+  }
+  if (encoding_ == ColumnEncoding::kRle) {
+    if (length == 0) return Make(type_);
+    size_t first = RunIndexOf(offset);
+    size_t last = RunIndexOf(offset + length - 1);
+    ColumnPtr out = Make(type_);
+    out->encoding_ = ColumnEncoding::kRle;
+    out->run_values_ = run_values_->Slice(first, last - first + 1);
+    out->run_lengths_.assign(run_lengths_.begin() + first,
+                             run_lengths_.begin() + last + 1);
+    // Trim the boundary runs to the slice window.
+    out->run_lengths_.front() = static_cast<uint32_t>(
+        std::min<uint64_t>(run_starts_[first + 1], offset + length) - offset);
+    if (last > first) {
+      out->run_lengths_.back() =
+          static_cast<uint32_t>(offset + length - run_starts_[last]);
+    }
+    out->run_starts_.reserve(out->run_lengths_.size() + 1);
+    out->run_starts_.push_back(0);
+    for (uint32_t len : out->run_lengths_) {
+      out->run_starts_.push_back(out->run_starts_.back() + len);
+    }
+    if (has_nulls()) {
+      out->validity_.assign(validity_.begin() + offset,
+                            validity_.begin() + offset + length);
+      for (uint8_t v : out->validity_) {
+        if (v == 0) ++out->null_count_;
+      }
+      if (out->null_count_ == 0) out->validity_.clear();
+    }
+    return out;
+  }
   ColumnPtr out = Make(type_);
   switch (data_.index()) {
     case kBoolIdx: {
@@ -389,27 +904,43 @@ Result<std::vector<double>> Column::ToDoubleVector() const {
   }
   size_t n = size();
   std::vector<double> out(n);
-  switch (type_) {
-    case TypeId::kBool: {
-      const auto& src = std::get<kBoolIdx>(data_);
-      for (size_t i = 0; i < n; ++i) out[i] = src[i];
-      break;
+  if (encoding_ == ColumnEncoding::kDict) {
+    MLCS_ASSIGN_OR_RETURN(std::vector<double> dict_vals,
+                          dict_->ToDoubleVector());
+    if (!dict_vals.empty()) {
+      const uint32_t* codes = codes_.data();
+      for (size_t i = 0; i < n; ++i) out[i] = dict_vals[codes[i]];
     }
-    case TypeId::kInt32: {
-      const auto& src = std::get<kI32Idx>(data_);
-      for (size_t i = 0; i < n; ++i) out[i] = src[i];
-      break;
+  } else if (encoding_ == ColumnEncoding::kRle) {
+    MLCS_ASSIGN_OR_RETURN(std::vector<double> run_vals,
+                          run_values_->ToDoubleVector());
+    for (size_t r = 0; r < run_vals.size(); ++r) {
+      std::fill(out.begin() + run_starts_[r], out.begin() + run_starts_[r + 1],
+                run_vals[r]);
     }
-    case TypeId::kInt64: {
-      const auto& src = std::get<kI64Idx>(data_);
-      for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(src[i]);
-      break;
+  } else {
+    switch (type_) {
+      case TypeId::kBool: {
+        const auto& src = std::get<kBoolIdx>(data_);
+        for (size_t i = 0; i < n; ++i) out[i] = src[i];
+        break;
+      }
+      case TypeId::kInt32: {
+        const auto& src = std::get<kI32Idx>(data_);
+        for (size_t i = 0; i < n; ++i) out[i] = src[i];
+        break;
+      }
+      case TypeId::kInt64: {
+        const auto& src = std::get<kI64Idx>(data_);
+        for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(src[i]);
+        break;
+      }
+      case TypeId::kDouble:
+        out = std::get<kF64Idx>(data_);
+        break;
+      default:
+        break;
     }
-    case TypeId::kDouble:
-      out = std::get<kF64Idx>(data_);
-      break;
-    default:
-      break;
   }
   if (has_nulls()) {
     for (size_t i = 0; i < n; ++i) {
@@ -421,6 +952,13 @@ Result<std::vector<double>> Column::ToDoubleVector() const {
 
 size_t Column::ByteSize() const {
   size_t bytes = validity_.size();
+  if (encoding_ == ColumnEncoding::kDict) {
+    return bytes + codes_.size() * CodeWidth() + dict_->ByteSize();
+  }
+  if (encoding_ == ColumnEncoding::kRle) {
+    return bytes + run_lengths_.size() * sizeof(uint32_t) +
+           run_values_->ByteSize();
+  }
   switch (type_) {
     case TypeId::kBool:
       bytes += std::get<kBoolIdx>(data_).size();
@@ -449,6 +987,7 @@ bool Column::Equals(const Column& other) const {
     if (IsNull(i) != other.IsNull(i)) return false;
   }
   // Payload comparison skips null slots (their stored defaults may differ).
+  // GetValue is encoding-aware, so any encoding mix compares logically.
   for (size_t i = 0; i < n; ++i) {
     if (IsNull(i)) continue;
     auto a = GetValue(i);
@@ -460,8 +999,49 @@ bool Column::Equals(const Column& other) const {
 }
 
 void Column::Serialize(ByteWriter* writer) const {
-  writer->WriteU8(static_cast<uint8_t>(type_));
   size_t n = size();
+  if (encoding_ == ColumnEncoding::kDict) {
+    writer->WriteU8(kDictTagBase | static_cast<uint8_t>(type_));
+    writer->WriteVarint(n);
+    writer->WriteBool(has_nulls());
+    if (has_nulls()) writer->WriteRaw(validity_.data(), n);
+    dict_->Serialize(writer);
+    // Codes at their packed width (1/2/4 bytes by dictionary size; the
+    // reader recomputes the width from the dictionary it just read).
+    switch (CodeWidth()) {
+      case 1: {
+        std::vector<uint8_t> packed(n);
+        for (size_t i = 0; i < n; ++i) {
+          packed[i] = static_cast<uint8_t>(codes_[i]);
+        }
+        writer->WriteRaw(packed.data(), n);
+        break;
+      }
+      case 2: {
+        std::vector<uint16_t> packed(n);
+        for (size_t i = 0; i < n; ++i) {
+          packed[i] = static_cast<uint16_t>(codes_[i]);
+        }
+        writer->WriteRaw(packed.data(), n * sizeof(uint16_t));
+        break;
+      }
+      default:
+        writer->WriteRaw(codes_.data(), n * sizeof(uint32_t));
+        break;
+    }
+    return;
+  }
+  if (encoding_ == ColumnEncoding::kRle) {
+    writer->WriteU8(kRleTagBase | static_cast<uint8_t>(type_));
+    writer->WriteVarint(n);
+    writer->WriteBool(has_nulls());
+    if (has_nulls()) writer->WriteRaw(validity_.data(), n);
+    writer->WriteVarint(run_lengths_.size());
+    for (uint32_t len : run_lengths_) writer->WriteVarint(len);
+    run_values_->Serialize(writer);
+    return;
+  }
+  writer->WriteU8(static_cast<uint8_t>(type_));
   writer->WriteVarint(n);
   writer->WriteBool(has_nulls());
   if (has_nulls()) writer->WriteRaw(validity_.data(), n);
@@ -489,6 +1069,72 @@ void Column::Serialize(ByteWriter* writer) const {
 
 Result<ColumnPtr> Column::Deserialize(ByteReader* reader) {
   MLCS_ASSIGN_OR_RETURN(uint8_t type_byte, reader->ReadU8());
+  if ((type_byte & kDictTagBase) != 0) {
+    // Encoded form: 0x80|type = dictionary, 0xA0|type = RLE.
+    bool is_rle = (type_byte & (kRleTagBase & ~kDictTagBase)) != 0;
+    uint8_t base_byte = type_byte & 0x1F;
+    if (base_byte > static_cast<uint8_t>(TypeId::kBlob)) {
+      return Status::ParseError("invalid type tag in serialized column");
+    }
+    TypeId type = static_cast<TypeId>(base_byte);
+    MLCS_ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+    MLCS_ASSIGN_OR_RETURN(bool has_nulls, reader->ReadBool());
+    std::vector<uint8_t> validity;
+    if (has_nulls) {
+      validity.resize(n);
+      MLCS_RETURN_IF_ERROR(reader->ReadRaw(validity.data(), n));
+    }
+    if (is_rle) {
+      MLCS_ASSIGN_OR_RETURN(uint64_t num_runs, reader->ReadVarint());
+      if (num_runs > n) {
+        return Status::ParseError("RLE column has more runs than rows");
+      }
+      std::vector<uint32_t> lengths;
+      lengths.reserve(num_runs);
+      for (uint64_t r = 0; r < num_runs; ++r) {
+        MLCS_ASSIGN_OR_RETURN(uint64_t len, reader->ReadVarint());
+        if (len == 0 || len > n) {
+          return Status::ParseError("invalid RLE run length");
+        }
+        lengths.push_back(static_cast<uint32_t>(len));
+      }
+      MLCS_ASSIGN_OR_RETURN(ColumnPtr run_values,
+                            Column::Deserialize(reader));
+      MLCS_ASSIGN_OR_RETURN(
+          ColumnPtr col,
+          MakeRle(type, std::move(run_values), std::move(lengths),
+                  std::move(validity)));
+      if (col->size() != n) {
+        return Status::ParseError("RLE run lengths disagree with row count");
+      }
+      return col;
+    }
+    MLCS_ASSIGN_OR_RETURN(ColumnPtr dict, Column::Deserialize(reader));
+    size_t dict_size = dict->size();
+    size_t width = dict_size <= (1u << 8) ? 1 : dict_size <= (1u << 16) ? 2 : 4;
+    std::vector<uint32_t> codes(n);
+    switch (width) {
+      case 1: {
+        std::vector<uint8_t> packed(n);
+        MLCS_RETURN_IF_ERROR(reader->ReadRaw(packed.data(), n));
+        for (uint64_t i = 0; i < n; ++i) codes[i] = packed[i];
+        break;
+      }
+      case 2: {
+        std::vector<uint16_t> packed(n);
+        MLCS_RETURN_IF_ERROR(
+            reader->ReadRaw(packed.data(), n * sizeof(uint16_t)));
+        for (uint64_t i = 0; i < n; ++i) codes[i] = packed[i];
+        break;
+      }
+      default:
+        MLCS_RETURN_IF_ERROR(
+            reader->ReadRaw(codes.data(), n * sizeof(uint32_t)));
+        break;
+    }
+    return MakeDictionary(type, std::move(codes), std::move(dict),
+                          std::move(validity));
+  }
   if (type_byte > static_cast<uint8_t>(TypeId::kBlob)) {
     return Status::ParseError("invalid type tag in serialized column");
   }

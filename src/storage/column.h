@@ -17,17 +17,44 @@ namespace mlcs {
 class Column;
 using ColumnPtr = std::shared_ptr<Column>;
 
+/// Physical representation of a column's payload (DESIGN.md §13). The
+/// logical contents — type(), size(), GetValue(), null pattern — are
+/// identical across encodings; only the bytes behind them differ.
+enum class ColumnEncoding : uint8_t {
+  kPlain = 0,  ///< typed vector, one slot per row
+  kDict = 1,   ///< dense uint32 codes into a sorted unique-value dictionary
+  kRle = 2,    ///< run-length: per-run values + run lengths
+};
+
 /// A single column: contiguous typed vector plus an optional validity
 /// (null) vector. This is the unit the vectorized engine and the UDFs
 /// operate on — MonetDB-style full-column-at-a-time, which is exactly the
 /// "vectorized UDF" granularity the paper leverages.
 ///
-/// Physical layouts:
+/// Physical layouts (kPlain):
 ///   BOOL            -> std::vector<uint8_t> (0/1)
 ///   INTEGER         -> std::vector<int32_t>
 ///   BIGINT          -> std::vector<int64_t>
 ///   DOUBLE          -> std::vector<double>
 ///   VARCHAR / BLOB  -> std::vector<std::string>
+///
+/// Encoded layouts hold the payload compressed instead of in the typed
+/// vector (which stays empty):
+///   kDict -> codes() (uint32 per row) + dict() (plain column of unique
+///            non-null values; null rows carry code 0 and are never
+///            dereferenced — IsNull() decides first)
+///   kRle  -> run_values() (plain column, one slot per run) +
+///            run_lengths() / run_starts() (starts has runs+1 entries,
+///            back() == row count). Runs are maximal spans of rows that
+///            are pairwise equal under null-equality.
+///
+/// Contract: every logical operation (GetValue, Take, Slice, AppendColumn,
+/// Equals, CastTo, ToDoubleVector, Serialize) works on any encoding and
+/// returns logically identical results; Decode()/EnsurePlain() is the
+/// always-available fallback. The typed raw accessors (`i32_data()` …) are
+/// only meaningful on plain columns — hot paths that use them must either
+/// check encoding() or sit behind one of the decode boundaries
+/// (storage/encoding.h).
 class Column {
  public:
   explicit Column(TypeId type);
@@ -46,8 +73,49 @@ class Column {
   static ColumnPtr FromStrings(std::vector<std::string> data,
                                TypeId type = TypeId::kVarchar);
 
+  /// -- Encoded construction ------------------------------------------------
+  /// Builds a dictionary-encoded column: `dict` must be a plain, null-free
+  /// column of distinct values of `type`; every code of a non-null row must
+  /// index into it (null rows' codes are normalized to 0). `validity`
+  /// follows the plain-column convention (empty = all valid). Whether the
+  /// dictionary is sorted ascending is detected here and exposed through
+  /// dict_sorted() — range predicates on codes require it.
+  static Result<ColumnPtr> MakeDictionary(TypeId type,
+                                          std::vector<uint32_t> codes,
+                                          ColumnPtr dict,
+                                          std::vector<uint8_t> validity = {});
+  /// Builds a run-length-encoded column: `run_values` must be a plain
+  /// column of `type` with one slot per run (null runs carry a default
+  /// slot; the per-row `validity` is authoritative). Zero-length runs are
+  /// rejected. An empty run list builds an empty column.
+  static Result<ColumnPtr> MakeRle(TypeId type, ColumnPtr run_values,
+                                   std::vector<uint32_t> run_lengths,
+                                   std::vector<uint8_t> validity = {});
+
   TypeId type() const { return type_; }
   size_t size() const;
+
+  ColumnEncoding encoding() const { return encoding_; }
+  bool is_encoded() const { return encoding_ != ColumnEncoding::kPlain; }
+
+  /// -- Encoded raw access (code-aware kernel fast paths) -------------------
+  const std::vector<uint32_t>& codes() const { return codes_; }
+  const ColumnPtr& dict() const { return dict_; }
+  bool dict_sorted() const { return dict_sorted_; }
+  const ColumnPtr& run_values() const { return run_values_; }
+  const std::vector<uint32_t>& run_lengths() const { return run_lengths_; }
+  /// runs+1 prefix-summed row offsets; run_starts()[r] is run r's first row.
+  const std::vector<uint64_t>& run_starts() const { return run_starts_; }
+  /// The run containing `row` (kRle only; row must be < size()).
+  [[nodiscard]] size_t RunIndexOf(size_t row) const;
+
+  /// A plain deep copy with identical logical contents (the decode
+  /// fallback; counts one mlcs.encode.decode_events). Returns a copy even
+  /// when already plain.
+  [[nodiscard]] ColumnPtr Decode() const;
+  /// In-place decode; no-op on plain columns. Mutating entry points call
+  /// this so in-place appends always see the typed vector.
+  void EnsurePlain();
 
   /// -- Null handling ------------------------------------------------------
   /// The validity vector is allocated lazily; a column with no nulls keeps
@@ -58,8 +126,13 @@ class Column {
     return !validity_.empty() && validity_[row] == 0;
   }
   void SetNull(size_t row);
+  /// Raw validity bytes (1 = valid), nullptr when all rows are valid.
+  /// Branchless selection loops read this instead of calling IsNull per row.
+  const uint8_t* validity_data() const {
+    return validity_.empty() ? nullptr : validity_.data();
+  }
 
-  /// -- Typed raw access (hot paths) ---------------------------------------
+  /// -- Typed raw access (hot paths; plain columns only) --------------------
   std::vector<uint8_t>& bool_data() { return std::get<kBoolIdx>(data_); }
   const std::vector<uint8_t>& bool_data() const {
     return std::get<kBoolIdx>(data_);
@@ -84,29 +157,37 @@ class Column {
   /// -- Appending ----------------------------------------------------------
   void Reserve(size_t capacity);
   void AppendBool(bool v) {
+    if (encoding_ != ColumnEncoding::kPlain) EnsurePlain();
     std::get<kBoolIdx>(data_).push_back(v ? 1 : 0);
     MarkAppendedValid();
   }
   void AppendInt32(int32_t v) {
+    if (encoding_ != ColumnEncoding::kPlain) EnsurePlain();
     std::get<kI32Idx>(data_).push_back(v);
     MarkAppendedValid();
   }
   void AppendInt64(int64_t v) {
+    if (encoding_ != ColumnEncoding::kPlain) EnsurePlain();
     std::get<kI64Idx>(data_).push_back(v);
     MarkAppendedValid();
   }
   void AppendDouble(double v) {
+    if (encoding_ != ColumnEncoding::kPlain) EnsurePlain();
     std::get<kF64Idx>(data_).push_back(v);
     MarkAppendedValid();
   }
   void AppendString(std::string v) {
+    if (encoding_ != ColumnEncoding::kPlain) EnsurePlain();
     std::get<kStrIdx>(data_).push_back(std::move(v));
     MarkAppendedValid();
   }
   void AppendNull();
   /// Type-checked append of a Value (casts numerics when lossless).
   Status AppendValue(const Value& v);
-  /// Appends all rows of `other` (must have the same type).
+  /// Appends all rows of `other` (must have the same type). Appending an
+  /// encoded column to an empty plain column adopts its encoding; two
+  /// dictionary columns over the same (or equal) dictionary concatenate
+  /// codes; two RLE columns concatenate runs; any other mix decodes.
   Status AppendColumn(const Column& other);
 
   /// -- Row access (boundaries, tests, protocols) --------------------------
@@ -115,20 +196,25 @@ class Column {
   /// -- Bulk transforms ----------------------------------------------------
   /// Element-wise cast; NULLs are preserved.
   Result<ColumnPtr> CastTo(TypeId target) const;
-  /// Gather: out[i] = this[indices[i]].
+  /// Gather: out[i] = this[indices[i]]. Dictionary columns gather codes and
+  /// share the dictionary; RLE gathers decode (a gather breaks runs).
   [[nodiscard]] ColumnPtr Take(const std::vector<uint32_t>& indices) const;
   /// Pointer-range gather over indices[0, count). Lets morsel-parallel
   /// operators gather disjoint pieces of one selection vector without
   /// copying it per morsel.
   [[nodiscard]] ColumnPtr Take(const uint32_t* indices, size_t count) const;
-  /// Contiguous sub-range copy.
+  /// Contiguous sub-range copy. Dictionary slices share the dictionary;
+  /// RLE slices stay RLE with boundary runs trimmed.
   [[nodiscard]] ColumnPtr Slice(size_t offset, size_t length) const;
   /// Numeric column as doubles (ML ingestion). NULLs become NaN.
   Result<std::vector<double>> ToDoubleVector() const;
 
-  /// Payload bytes this column holds (fixed-width element bytes, or the
-  /// summed string lengths for VARCHAR/BLOB) plus the validity vector.
-  /// Feeds the scan bytes-touched accounting the pushdown ablation reads.
+  /// Payload bytes this column holds — the data-movement footprint the
+  /// scan bytes-touched accounting reads. Plain: fixed-width element bytes
+  /// (or summed string lengths) plus the validity vector. Dictionary:
+  /// codes at their packed width (1/2/4 bytes by dictionary size, the
+  /// width Serialize writes) plus the dictionary itself. RLE: run values
+  /// plus run lengths.
   [[nodiscard]] size_t ByteSize() const;
 
   [[nodiscard]] bool Equals(const Column& other) const;
@@ -143,7 +229,22 @@ class Column {
   static constexpr size_t kF64Idx = 3;
   static constexpr size_t kStrIdx = 4;
 
+  /// Serialized-form tag bits OR'ed onto the type byte (plain columns keep
+  /// the bare type byte, so pre-encoding payloads still load).
+  static constexpr uint8_t kDictTagBase = 0x80;
+  static constexpr uint8_t kRleTagBase = 0xA0;
+
+  /// Bytes per serialized code, by dictionary size.
+  size_t CodeWidth() const;
+
   void EnsureValidity();
+  /// Raw payload equality for plain null-free columns (dictionaries):
+  /// compares the backing vectors directly instead of boxing every row
+  /// into a Value like Equals — AppendColumn checks dictionary
+  /// compatibility once per appended block, on the scan hot path.
+  bool PlainPayloadEquals(const Column& other) const {
+    return type_ == other.type_ && data_ == other.data_;
+  }
   /// Keeps the lazily-allocated validity vector aligned after any append of
   /// a non-null value.
   void MarkAppendedValid() {
@@ -155,9 +256,22 @@ class Column {
                std::vector<int64_t>, std::vector<double>,
                std::vector<std::string>>
       data_;
-  /// 1 = valid, 0 = null. Empty means "all valid".
+  /// 1 = valid, 0 = null. Empty means "all valid". Always per logical row,
+  /// whatever the encoding.
   std::vector<uint8_t> validity_;
   size_t null_count_ = 0;
+
+  ColumnEncoding encoding_ = ColumnEncoding::kPlain;
+  // kDict state (empty/null otherwise). dict_ is shared across Take/Slice
+  // results and is never mutated through this column (mutation paths call
+  // EnsurePlain first).
+  std::vector<uint32_t> codes_;
+  ColumnPtr dict_;
+  bool dict_sorted_ = false;
+  // kRle state (empty/null otherwise).
+  ColumnPtr run_values_;
+  std::vector<uint32_t> run_lengths_;
+  std::vector<uint64_t> run_starts_;
 };
 
 }  // namespace mlcs

@@ -133,6 +133,15 @@ TEST(MutexTest, ConsistentOrderHammerNoFalsePositive) {
 }
 
 TEST(MutexTest, TryLockRecordsNoOrderEdge) {
+#if defined(__SANITIZE_THREAD__)
+  // TSan's own lock-order checker records successful try-lock
+  // acquisitions as ordering edges, so the deliberate blocking b -> a
+  // below is reported as a potential inversion under TSan even though
+  // the facade's detector (correctly, absl-style) treats
+  // try-then-back-off as inversion-breaking. The facade semantics stay
+  // covered by every non-TSan tree.
+  GTEST_SKIP() << "TSan's lock-order checker counts try-lock edges";
+#endif
   // Try-then-back-off is a legitimate inversion-breaking pattern: holding
   // `a` while try-locking `b` must not record a -> b, so a later blocking
   // b -> a acquisition is not a (false) cycle.

@@ -8,6 +8,7 @@
 
 #include "common/random.h"
 #include "sql/database.h"
+#include "storage/encoding.h"
 
 namespace mlcs {
 namespace {
@@ -265,6 +266,130 @@ TEST(SqlPropertyTest, OptimizerParityOnRandomQueries) {
       EXPECT_TRUE(on.ValueOrDie()->Equals(*off.ValueOrDie()))
           << sql << "\noptimized:\n"
           << on.ValueOrDie()->ToString() << "\nunoptimized:\n"
+          << off.ValueOrDie()->ToString();
+    }
+  }
+}
+
+/// -- Compressed-execution parity --------------------------------------------
+///
+/// The same random queries over stored (block-file) tables must return
+/// bit-identical tables with encoding on and off — the contract
+/// storage/encoding.h promises and the MLCS_DISABLE_ENCODING ablation
+/// relies on. Runs at one worker thread and several.
+
+/// Restores the global encoding knob even when an ASSERT unwinds early
+/// (later tests in this process assume the default).
+struct EncodingToggleGuard {
+  ~EncodingToggleGuard() { SetEncodingEnabled(true); }
+};
+
+/// Random query over the saved tables. Beyond the optimizer-parity shapes,
+/// leans on `r` (run-heavy: RLE on disk) and `s` (low-cardinality strings:
+/// dictionary on disk).
+std::string EncodingParityQuery(Rng& rng) {
+  switch (rng.NextBounded(7)) {
+    case 0:
+      return "SELECT k, v FROM a WHERE " + ParityPredicate(rng, false);
+    case 1:
+      return "SELECT k, v, u FROM a JOIN b ON k = k WHERE " +
+             ParityPredicate(rng, true);
+    case 2:
+      return "SELECT k, COUNT(*) AS c, SUM(v) AS sv FROM a WHERE " +
+             ParityPredicate(rng, false) + " GROUP BY k ORDER BY k";
+    case 3:  // per-run aggregation over the RLE column
+      return "SELECT r, COUNT(*) AS c, SUM(w) AS sw FROM a "
+             "GROUP BY r ORDER BY r";
+    case 4:  // equality filter straight on the RLE column
+      return "SELECT k, s FROM a WHERE r = " +
+             std::to_string(rng.NextInt(0, 14));
+    case 5:  // dictionary strings as group keys
+      return "SELECT s, COUNT(*) AS c FROM a GROUP BY s ORDER BY s";
+    default:
+      return "SELECT COUNT(*) FROM a WHERE " + ParityPredicate(rng, false);
+  }
+}
+
+TEST(SqlPropertyTest, EncodingParityOnRandomQueries) {
+  EncodingToggleGuard restore;
+  ThreadPool one_thread(1);
+  ThreadPool many_threads(3);
+  for (ThreadPool* pool : {&one_thread, &many_threads}) {
+    // Build the source data in a scratch database and save it: SaveTo
+    // applies the encoding policy, so the reloaded tables serve encoded
+    // blocks (k/v/s dictionary-shaped, r run-shaped).
+    std::string dir = testing::TempDir() + "/enc_parity_" +
+                      std::to_string(pool->num_threads());
+    {
+      Database source;
+      ASSERT_TRUE(
+          source
+              .Run("CREATE TABLE a (k INTEGER, v INTEGER, w INTEGER, "
+                   "r INTEGER, s VARCHAR); "
+                   "CREATE TABLE b (k INTEGER, u INTEGER);")
+              .ok());
+      Rng rng(pool->num_threads() == 1 ? 1042 : 1043);
+      auto a = source.catalog().GetTable("a").ValueOrDie();
+      for (size_t i = 0; i < 600; ++i) {
+        Value v = rng.NextDouble() < 0.05
+                      ? Value::MakeNull(TypeId::kInt32)
+                      : Value::Int32(static_cast<int32_t>(
+                            rng.NextInt(-50, 50)));
+        Value s = rng.NextDouble() < 0.10
+                      ? Value::MakeNull(TypeId::kVarchar)
+                      : Value::Varchar("s" +
+                                       std::to_string(rng.NextBounded(7)));
+        ASSERT_TRUE(a->AppendRow(
+                         {Value::Int32(static_cast<int32_t>(
+                              rng.NextBounded(10))),
+                          v,
+                          Value::Int32(static_cast<int32_t>(
+                              rng.NextInt(-50, 50))),
+                          Value::Int32(static_cast<int32_t>(i / 40)),
+                          s})
+                        .ok());
+      }
+      auto b = source.catalog().GetTable("b").ValueOrDie();
+      for (size_t i = 0; i < 30; ++i) {
+        ASSERT_TRUE(b->AppendRow({Value::Int32(static_cast<int32_t>(
+                                      rng.NextBounded(13))),
+                                  Value::Int32(static_cast<int32_t>(
+                                      rng.NextInt(-50, 50)))})
+                        .ok());
+      }
+      ASSERT_TRUE(source.SaveTo(dir).ok());
+    }
+
+    Database db;
+    MorselPolicy policy;
+    policy.pool = pool;
+    policy.morsel_rows = 64;
+    db.set_exec_policy(policy);
+    ASSERT_TRUE(db.LoadFrom(dir).ok());
+
+    // The sweep is only meaningful if the stored tables really serve
+    // encoded columns: `r` must have come back RLE or dictionary-coded.
+    {
+      auto probe = db.catalog().ScanTable(
+          "a", std::vector<std::string>{"r", "s"});
+      ASSERT_TRUE(probe.ok());
+      EXPECT_TRUE(probe.ValueOrDie()->column(0)->is_encoded());
+      EXPECT_TRUE(probe.ValueOrDie()->column(1)->is_encoded());
+    }
+
+    Rng rng(pool->num_threads() == 1 ? 2042 : 2043);
+    for (int i = 0; i < 60; ++i) {
+      std::string sql = EncodingParityQuery(rng);
+      SetEncodingEnabled(true);
+      auto on = db.Query(sql);
+      ASSERT_TRUE(on.ok()) << sql << " -> " << on.status().ToString();
+      SetEncodingEnabled(false);
+      auto off = db.Query(sql);
+      SetEncodingEnabled(true);
+      ASSERT_TRUE(off.ok()) << sql << " -> " << off.status().ToString();
+      EXPECT_TRUE(on.ValueOrDie()->Equals(*off.ValueOrDie()))
+          << sql << "\nencoded:\n"
+          << on.ValueOrDie()->ToString() << "\ndecoded:\n"
           << off.ValueOrDie()->ToString();
     }
   }

@@ -68,6 +68,13 @@ Rules
                         eviction, and the mlcs.bufpool.* metrics see it.
                         Deliberate exceptions (e.g. a recovery tool) opt
                         out with `// lint:allow(blk-io)`.
+  row-decode            Calling `.Decode()` / `->Decode()` inside a for/
+                        while loop body under src/exec/ — decoding per row
+                        (or per morsel iteration) throws away compressed
+                        execution; operate on codes / run values, or decode
+                        the column once before the loop (DESIGN.md §13).
+                        Deliberate per-iteration decodes opt out with
+                        `// lint:allow(row-decode)` plus a reason.
   adhoc-stats           Declaring a `struct <Name>Stats` outside src/obs/ —
                         new counters belong on the metrics registry
                         (obs::MetricsRegistry, `mlcs.<subsystem>.<series>`)
@@ -519,6 +526,45 @@ def check_blk_io(path, relpath, lines):
                "mlcs.bufpool.* metrics stay accurate")
 
 
+DECODE_CALL_RE = re.compile(r"(?:\.|->)\s*Decode\s*\(")
+LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(")
+
+
+def check_row_decode(path, relpath, lines):
+    """Brace-depth heuristic: track the depths at which for/while bodies
+    open; a Decode() call while any loop body is open re-expands a column
+    per iteration. A decode hoisted above the loop (or running once on a
+    whole column) is fine and never matches."""
+    rel = relpath.replace(os.sep, "/")
+    if not rel.startswith("src/exec/"):
+        return
+    depth = 0
+    loop_depths = []   # brace depths at which a loop body opened
+    pending_loop = False  # loop header seen, its '{' not yet
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        if loop_depths and DECODE_CALL_RE.search(line) and \
+                not allowed(raw, "row-decode"):
+            report(path, i + 1, "row-decode",
+                   "`Decode()` inside a loop body in src/exec/ re-expands "
+                   "the column every iteration; operate on codes/run values "
+                   "or hoist the decode above the loop")
+        if LOOP_HEADER_RE.search(line):
+            pending_loop = True
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                if pending_loop:
+                    loop_depths.append(depth)
+                    pending_loop = False
+            elif ch == "}":
+                if loop_depths and loop_depths[-1] == depth:
+                    loop_depths.pop()
+                depth -= 1
+        if pending_loop and line.strip().endswith(";"):
+            pending_loop = False  # brace-less single-statement body
+
+
 ADHOC_STATS_RE = re.compile(r"^\s*struct\s+\w*Stats\b")
 
 
@@ -570,6 +616,7 @@ def lint_file(path, headers):
     check_naked_thread(path, relpath, lines)
     check_exec_operator_call(path, relpath, lines)
     check_blk_io(path, relpath, lines)
+    check_row_decode(path, relpath, lines)
     check_adhoc_stats(path, relpath, lines)
 
 
