@@ -40,10 +40,11 @@ Status TableServer::Start(uint16_t port) {
     return Status::NetworkError("getsockname() failed");
   }
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 16) != 0) {
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
-    return Status::NetworkError("listen() failed");
+    return Status::NetworkError("listen() failed: " +
+                                std::string(std::strerror(errno)));
   }
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });

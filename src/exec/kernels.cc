@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "exec/filter.h"
 #include "storage/encoding.h"
 
 namespace mlcs::exec {
@@ -385,9 +386,18 @@ Result<ColumnPtr> EncodedBinaryKernel(BinOpKind op, const Column& left,
       MLCS_ASSIGN_OR_RETURN(ColumnPtr per,
                             enc_left ? BinaryKernelSerial(op, per_input, *lit)
                                      : BinaryKernelSerial(op, *lit, per_input));
-      ColumnPtr out = enc->encoding() == ColumnEncoding::kDict
-                          ? per->Take(enc->codes())
-                          : per->Take(RunIndexVector(*enc));
+      // Sorted-dictionary comparisons skip the per-row gather entirely:
+      // the per-entry trues are one code band, so the mask is two
+      // branchless code compares (filter.h).
+      ColumnPtr out;
+      if (IsComparison(op) && enc->encoding() == ColumnEncoding::kDict) {
+        out = SortedDictRangeMask(*enc, *per);
+      }
+      if (out == nullptr) {
+        out = enc->encoding() == ColumnEncoding::kDict
+                  ? per->Take(enc->codes())
+                  : per->Take(RunIndexVector(*enc));
+      }
       OverlayNulls(*enc, out.get());
       CountCodePathHit();
       return out;

@@ -24,14 +24,28 @@ DecisionTree::DecisionTree(DecisionTreeOptions options)
 
 Status DecisionTree::Fit(const Matrix& x, const Labels& y) {
   MLCS_RETURN_IF_ERROR(internal::CheckFitInputs(x, y));
-  std::vector<uint32_t> rows(x.rows());
-  std::iota(rows.begin(), rows.end(), 0);
-  return FitOnRows(x, y, rows, internal::DistinctClasses(y));
+  return FitSource(TrainingSource::FromMatrix(x), y);
 }
 
 Status DecisionTree::FitOnRows(const Matrix& x, const Labels& y,
                                const std::vector<uint32_t>& rows,
                                const std::vector<int32_t>& class_set) {
+  return FitSourceOnRows(TrainingSource::FromMatrix(x), y, rows, class_set);
+}
+
+Status DecisionTree::FitSource(const TrainingSource& x, const Labels& y) {
+  MLCS_RETURN_IF_ERROR(internal::CheckFitInputs(x, y));
+  std::vector<uint32_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  MLCS_RETURN_IF_ERROR(
+      FitSourceOnRows(x, y, rows, internal::DistinctClasses(y)));
+  CountTrainingSourceFit(x);
+  return Status::OK();
+}
+
+Status DecisionTree::FitSourceOnRows(const TrainingSource& x, const Labels& y,
+                                     const std::vector<uint32_t>& rows,
+                                     const std::vector<int32_t>& class_set) {
   if (rows.empty()) {
     return Status::InvalidArgument("cannot fit a tree on zero rows");
   }
@@ -70,7 +84,7 @@ uint32_t DecisionTree::MakeLeaf(const Labels& y,
   return static_cast<uint32_t>(nodes_.size() - 1);
 }
 
-uint32_t DecisionTree::BuildNode(const Matrix& x, const Labels& y,
+uint32_t DecisionTree::BuildNode(const TrainingSource& x, const Labels& y,
                                  std::vector<uint32_t>& rows, int depth,
                                  Rng& rng) {
   // Stopping conditions → leaf.
@@ -106,7 +120,7 @@ uint32_t DecisionTree::BuildNode(const Matrix& x, const Labels& y,
 
   // Partition rows (NaN → left).
   std::vector<uint32_t> left_rows, right_rows;
-  const auto& col = x.column(best.feature);
+  FeatureView col = x.view(best.feature);
   for (uint32_t r : rows) {
     double v = col[r];
     if (std::isnan(v) || v <= best.threshold) {
@@ -137,14 +151,37 @@ uint32_t DecisionTree::BuildNode(const Matrix& x, const Labels& y,
 }
 
 DecisionTree::SplitResult DecisionTree::FindBestSplit(
-    const Matrix& x, const Labels& y, const std::vector<uint32_t>& rows,
+    const TrainingSource& x, const Labels& y,
+    const std::vector<uint32_t>& rows,
     const std::vector<size_t>& features) const {
   SplitResult best;
+  // One group-by below the join per node: the per-key class counts feed
+  // every factorized candidate's splitter, so d dimension features cost
+  // one O(rows) counting pass plus d × O(keys) statistic scans instead of
+  // d × O(rows) value scans.
+  std::vector<int64_t> key_counts;
+  bool any_factorized = false;
+  for (size_t f : features) any_factorized |= x.factorized(f);
+  if (any_factorized) {
+    const uint32_t* keys = x.keys();
+    size_t num_classes = classes_.size();
+    key_counts.assign(x.num_keys() * num_classes, 0);
+    for (uint32_t r : rows) {
+      size_t cls = internal::ClassIndex(classes_, y[r]).ValueOr(0);
+      key_counts[keys[r] * num_classes + cls] += 1;
+    }
+  }
   for (size_t f : features) {
-    SplitResult cand =
-        options_.exact_splits
-            ? BestSplitExact(x.column(f), y, rows, f)
-            : BestSplitHistogram(x.column(f), y, rows, f);
+    SplitResult cand;
+    if (x.factorized(f)) {
+      cand = options_.exact_splits
+                 ? BestSplitExactAgg(x.lut(f), key_counts, f)
+                 : BestSplitHistogramAgg(x.lut(f), key_counts, f);
+    } else {
+      FeatureView col = x.view(f);
+      cand = options_.exact_splits ? BestSplitExact(col, y, rows, f)
+                                   : BestSplitHistogram(col, y, rows, f);
+    }
     if (cand.found &&
         (!best.found || cand.impurity_decrease > best.impurity_decrease)) {
       best = cand;
@@ -153,38 +190,11 @@ DecisionTree::SplitResult DecisionTree::FindBestSplit(
   return best;
 }
 
-DecisionTree::SplitResult DecisionTree::BestSplitHistogram(
-    const std::vector<double>& col, const Labels& y,
-    const std::vector<uint32_t>& rows, size_t feature) const {
+DecisionTree::SplitResult DecisionTree::ScanHistogram(
+    const std::vector<double>& counts, size_t bins, double lo, double hi,
+    size_t feature) const {
   SplitResult out;
-  double lo = std::numeric_limits<double>::infinity();
-  double hi = -std::numeric_limits<double>::infinity();
-  for (uint32_t r : rows) {
-    double v = col[r];
-    if (std::isnan(v)) continue;
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-  }
-  if (!(hi > lo)) return out;  // constant (or all-NaN) feature
-
-  size_t bins = static_cast<size_t>(options_.num_bins);
   size_t num_classes = classes_.size();
-  // counts[bin * num_classes + class]
-  std::vector<double> counts(bins * num_classes, 0.0);
-  double scale = static_cast<double>(bins) / (hi - lo);
-  for (uint32_t r : rows) {
-    double v = col[r];
-    size_t bin;
-    if (std::isnan(v)) {
-      bin = 0;  // NaN routes left, i.e. lowest bin
-    } else {
-      bin = std::min(bins - 1, static_cast<size_t>((v - lo) * scale));
-    }
-    size_t cls = static_cast<size_t>(
-        internal::ClassIndex(classes_, y[r]).ValueOr(0));
-    counts[bin * num_classes + cls] += 1.0;
-  }
-
   // Scan split boundaries between bins with prefix sums.
   std::vector<double> left_counts(num_classes, 0.0);
   std::vector<double> total_counts(num_classes, 0.0);
@@ -222,8 +232,171 @@ DecisionTree::SplitResult DecisionTree::BestSplitHistogram(
   return out;
 }
 
+DecisionTree::SplitResult DecisionTree::BestSplitHistogram(
+    const FeatureView& col, const Labels& y,
+    const std::vector<uint32_t>& rows, size_t feature) const {
+  SplitResult out;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (uint32_t r : rows) {
+    double v = col[r];
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(hi > lo)) return out;  // constant (or all-NaN) feature
+
+  size_t bins = static_cast<size_t>(options_.num_bins);
+  size_t num_classes = classes_.size();
+  // counts[bin * num_classes + class]
+  std::vector<double> counts(bins * num_classes, 0.0);
+  double scale = static_cast<double>(bins) / (hi - lo);
+  for (uint32_t r : rows) {
+    double v = col[r];
+    size_t bin;
+    if (std::isnan(v)) {
+      bin = 0;  // NaN routes left, i.e. lowest bin
+    } else {
+      bin = std::min(bins - 1, static_cast<size_t>((v - lo) * scale));
+    }
+    size_t cls = static_cast<size_t>(
+        internal::ClassIndex(classes_, y[r]).ValueOr(0));
+    counts[bin * num_classes + cls] += 1.0;
+  }
+  return ScanHistogram(counts, bins, lo, hi, feature);
+}
+
+DecisionTree::SplitResult DecisionTree::BestSplitHistogramAgg(
+    const std::vector<double>& lut, const std::vector<int64_t>& key_counts,
+    size_t feature) const {
+  SplitResult out;
+  size_t num_classes = classes_.size();
+  size_t num_keys = lut.size();
+  // Per-key totals: keys absent from this node contribute nothing (they
+  // would not appear in a per-row scan either).
+  std::vector<int64_t> key_totals(num_keys, 0);
+  for (size_t k = 0; k < num_keys; ++k) {
+    for (size_t c = 0; c < num_classes; ++c) {
+      key_totals[k] += key_counts[k * num_classes + c];
+    }
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k < num_keys; ++k) {
+    double v = lut[k];
+    if (key_totals[k] == 0 || std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(hi > lo)) return out;
+
+  size_t bins = static_cast<size_t>(options_.num_bins);
+  std::vector<double> counts(bins * num_classes, 0.0);
+  double scale = static_cast<double>(bins) / (hi - lo);
+  for (size_t k = 0; k < num_keys; ++k) {
+    if (key_totals[k] == 0) continue;
+    double v = lut[k];
+    size_t bin;
+    if (std::isnan(v)) {
+      bin = 0;
+    } else {
+      bin = std::min(bins - 1, static_cast<size_t>((v - lo) * scale));
+    }
+    // Integer-valued doubles: adding the key's count at once lands on the
+    // same histogram the per-row loop builds by repeated += 1.0.
+    for (size_t c = 0; c < num_classes; ++c) {
+      counts[bin * num_classes + c] +=
+          static_cast<double>(key_counts[k * num_classes + c]);
+    }
+  }
+  return ScanHistogram(counts, bins, lo, hi, feature);
+}
+
+DecisionTree::SplitResult DecisionTree::BestSplitExactAgg(
+    const std::vector<double>& lut, const std::vector<int64_t>& key_counts,
+    size_t feature) const {
+  SplitResult out;
+  size_t num_classes = classes_.size();
+  size_t num_keys = lut.size();
+  // Present keys sorted by LUT value, NaN first — the key-level image of
+  // the per-row sort; equal values merge into one group below, exactly
+  // the spans the row scan never splits.
+  std::vector<uint32_t> order;
+  for (size_t k = 0; k < num_keys; ++k) {
+    int64_t present = 0;
+    for (size_t c = 0; c < num_classes; ++c) {
+      present += key_counts[k * num_classes + c];
+    }
+    if (present > 0) order.push_back(static_cast<uint32_t>(k));
+  }
+  if (order.empty()) return out;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    double va = lut[a], vb = lut[b];
+    bool na = std::isnan(va), nb = std::isnan(vb);
+    if (na != nb) return na;
+    return va < vb;
+  });
+
+  std::vector<double> values;           // one entry per distinct-value group
+  std::vector<double> counts;           // [group * num_classes + class]
+  std::vector<double> group_totals;
+  for (uint32_t k : order) {
+    double v = lut[k];
+    bool merge = !values.empty() &&
+                 ((std::isnan(v) && std::isnan(values.back())) ||
+                  v == values.back());
+    if (!merge) {
+      values.push_back(v);
+      counts.resize(values.size() * num_classes, 0.0);
+      group_totals.push_back(0.0);
+    }
+    size_t g = values.size() - 1;
+    for (size_t c = 0; c < num_classes; ++c) {
+      double n = static_cast<double>(key_counts[k * num_classes + c]);
+      counts[g * num_classes + c] += n;
+      group_totals[g] += n;
+    }
+  }
+
+  std::vector<double> total_counts(num_classes, 0.0);
+  double total = 0;
+  for (size_t g = 0; g < values.size(); ++g) {
+    for (size_t c = 0; c < num_classes; ++c) {
+      total_counts[c] += counts[g * num_classes + c];
+    }
+    total += group_totals[g];
+  }
+  double parent_impurity = Gini(total_counts, total);
+
+  std::vector<double> left_counts(num_classes, 0.0);
+  double left_total = 0;
+  for (size_t g = 0; g + 1 < values.size(); ++g) {
+    for (size_t c = 0; c < num_classes; ++c) {
+      left_counts[c] += counts[g * num_classes + c];
+    }
+    left_total += group_totals[g];
+    double v = values[g];
+    double next = values[g + 1];
+    double right_total = total - left_total;
+    std::vector<double> right_counts(num_classes);
+    for (size_t c = 0; c < num_classes; ++c) {
+      right_counts[c] = total_counts[c] - left_counts[c];
+    }
+    double weighted = (left_total / total) * Gini(left_counts, left_total) +
+                      (right_total / total) * Gini(right_counts, right_total);
+    double decrease = parent_impurity - weighted;
+    if (decrease > 1e-12 && (!out.found || decrease > out.impurity_decrease)) {
+      out.found = true;
+      out.feature = feature;
+      out.threshold = std::isnan(v) ? next - 1.0 : (v + next) / 2.0;
+      out.impurity_decrease = decrease;
+    }
+  }
+  return out;
+}
+
 DecisionTree::SplitResult DecisionTree::BestSplitExact(
-    const std::vector<double>& col, const Labels& y,
+    const FeatureView& col, const Labels& y,
     const std::vector<uint32_t>& rows, size_t feature) const {
   SplitResult out;
   // Sort rows by feature value; NaN first (they route left).

@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "ml/model.h"
+#include "ml/training_source.h"
 
 namespace mlcs::ml {
 
@@ -49,6 +50,16 @@ class DecisionTree : public Model {
                    const std::vector<uint32_t>& rows,
                    const std::vector<int32_t>& class_set);
 
+  /// Statistics-provider path (DESIGN.md §14): trains through a
+  /// TrainingSource. Dimension features compute their split statistics as
+  /// per-key class-count aggregates (one group-by below the join per node,
+  /// shared across all factorized features) instead of per-row scans;
+  /// results are bit-identical to Fit on the equivalent dense matrix.
+  Status FitSource(const TrainingSource& x, const Labels& y);
+  Status FitSourceOnRows(const TrainingSource& x, const Labels& y,
+                         const std::vector<uint32_t>& rows,
+                         const std::vector<int32_t>& class_set);
+
   /// Class-index probability distribution for each row (num_classes per
   /// row); the forest averages these across trees.
   Result<std::vector<std::vector<double>>> PredictDistribution(
@@ -84,18 +95,32 @@ class DecisionTree : public Model {
     double impurity_decrease = 0;
   };
 
-  uint32_t BuildNode(const Matrix& x, const Labels& y,
+  uint32_t BuildNode(const TrainingSource& x, const Labels& y,
                      std::vector<uint32_t>& rows, int depth, Rng& rng);
-  SplitResult FindBestSplit(const Matrix& x, const Labels& y,
+  SplitResult FindBestSplit(const TrainingSource& x, const Labels& y,
                             const std::vector<uint32_t>& rows,
                             const std::vector<size_t>& features) const;
-  SplitResult BestSplitHistogram(const std::vector<double>& col,
-                                 const Labels& y,
+  SplitResult BestSplitHistogram(const FeatureView& col, const Labels& y,
                                  const std::vector<uint32_t>& rows,
                                  size_t feature) const;
-  SplitResult BestSplitExact(const std::vector<double>& col, const Labels& y,
+  SplitResult BestSplitExact(const FeatureView& col, const Labels& y,
                              const std::vector<uint32_t>& rows,
                              size_t feature) const;
+  /// Aggregate-statistics splitters for factorized features: derive the
+  /// split from the node's per-key class counts (`key_counts`, flattened
+  /// [key × class]) and the feature's K-entry LUT — O(K) per feature
+  /// instead of O(rows), bit-identical because every accumulated quantity
+  /// is an integer-valued double.
+  SplitResult BestSplitHistogramAgg(const std::vector<double>& lut,
+                                    const std::vector<int64_t>& key_counts,
+                                    size_t feature) const;
+  SplitResult BestSplitExactAgg(const std::vector<double>& lut,
+                                const std::vector<int64_t>& key_counts,
+                                size_t feature) const;
+  /// Boundary scan shared by the per-row and aggregate histogram
+  /// splitters (`counts` is the [bin × class] histogram).
+  SplitResult ScanHistogram(const std::vector<double>& counts, size_t bins,
+                            double lo, double hi, size_t feature) const;
   uint32_t MakeLeaf(const Labels& y, const std::vector<uint32_t>& rows);
   size_t WalkToLeaf(const Matrix& x, size_t row) const;
 

@@ -63,6 +63,8 @@ class Model {
 
 using ModelPtr = std::shared_ptr<Model>;
 
+class TrainingSource;
+
 namespace internal {
 
 /// Sorted distinct values of y.
@@ -73,6 +75,8 @@ Result<size_t> ClassIndex(const std::vector<int32_t>& classes, int32_t cls);
 
 /// Shared validation for Fit inputs.
 Status CheckFitInputs(const Matrix& x, const Labels& y);
+/// Same checks against a statistics-provider source (training_source.h).
+Status CheckFitInputs(const TrainingSource& x, const Labels& y);
 /// Shared validation for Predict inputs against the fitted feature count.
 Status CheckPredictInputs(const Matrix& x, size_t expected_features,
                           bool fitted);

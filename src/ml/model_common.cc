@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "ml/model.h"
+#include "ml/training_source.h"
 
 namespace mlcs::ml {
 
@@ -41,6 +42,18 @@ Result<size_t> ClassIndex(const std::vector<int32_t>& classes, int32_t cls) {
 Status CheckFitInputs(const Matrix& x, const Labels& y) {
   if (x.rows() == 0 || x.cols() == 0) {
     return Status::InvalidArgument("cannot fit on an empty matrix");
+  }
+  if (y.size() != x.rows()) {
+    return Status::InvalidArgument(
+        "label count " + std::to_string(y.size()) +
+        " does not match row count " + std::to_string(x.rows()));
+  }
+  return Status::OK();
+}
+
+Status CheckFitInputs(const TrainingSource& x, const Labels& y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("cannot fit on an empty training source");
   }
   if (y.size() != x.rows()) {
     return Status::InvalidArgument(

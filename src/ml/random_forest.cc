@@ -12,6 +12,11 @@ RandomForest::RandomForest(RandomForestOptions options) : options_(options) {}
 
 Status RandomForest::Fit(const Matrix& x, const Labels& y) {
   MLCS_RETURN_IF_ERROR(internal::CheckFitInputs(x, y));
+  return FitSource(TrainingSource::FromMatrix(x), y);
+}
+
+Status RandomForest::FitSource(const TrainingSource& x, const Labels& y) {
+  MLCS_RETURN_IF_ERROR(internal::CheckFitInputs(x, y));
   if (options_.n_estimators <= 0) {
     return Status::InvalidArgument("n_estimators must be positive");
   }
@@ -58,7 +63,7 @@ Status RandomForest::Fit(const Matrix& x, const Labels& y) {
     } else {
       for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
     }
-    Status st = tree->FitOnRows(x, y, rows, classes_);
+    Status st = tree->FitSourceOnRows(x, y, rows, classes_);
     if (!st.ok()) {
       MutexLock lock(&error_mutex);
       if (first_error.ok()) first_error = st;
@@ -77,6 +82,7 @@ Status RandomForest::Fit(const Matrix& x, const Labels& y) {
     classes_.clear();
     return first_error;
   }
+  CountTrainingSourceFit(x);
   return Status::OK();
 }
 

@@ -34,6 +34,11 @@ class RandomForest : public Model {
 
   ModelType type() const override { return ModelType::kRandomForest; }
   Status Fit(const Matrix& x, const Labels& y) override;
+  /// Statistics-provider path: every tree bootstraps and fits against the
+  /// TrainingSource (per-key aggregate split statistics for factorized
+  /// features). Bit-identical to Fit on the equivalent dense matrix;
+  /// Fit funnels through here via TrainingSource::FromMatrix.
+  Status FitSource(const TrainingSource& x, const Labels& y);
   Result<Labels> Predict(const Matrix& x) const override;
   Result<std::vector<double>> PredictProba(const Matrix& x,
                                            int32_t cls) const override;

@@ -1,5 +1,6 @@
 #include "pipeline/voter_pipeline.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "client/client.h"
@@ -12,7 +13,9 @@
 #include "io/npy.h"
 #include "ml/pickle.h"
 #include "ml/random_forest.h"
+#include "ml/training_source.h"
 #include "modelstore/model_cache.h"
+#include "obs/metrics.h"
 
 namespace mlcs::pipeline {
 
@@ -195,6 +198,90 @@ Result<PipelineResult> FinishFromWrangled(TablePtr wrangled,
   return result;
 }
 
+/// Factorized wrangle (DESIGN.md §14): the dimension table's only
+/// contribution to the wrangled output is the per-precinct dem share
+/// consumed by gen_label, so the fact⋈dim join is replaced by a K-entry
+/// share LUT computed over `precincts` alone and gathered through
+/// voters.precinct_id. The output table reuses the voters' column buffers;
+/// the join output is never materialized. Bit-identical to the
+/// WranglingSql() result: precinct_id is unique in `precincts` (the inner
+/// join preserves fact row order and multiplicity) and every label sees
+/// exactly the share double the joined path would compute for its row.
+/// Fails — so the caller can fall back to the join — when a voter
+/// references a precinct the dimension table does not have.
+Result<TablePtr> FactorizedWrangle(Database* db,
+                                   const PipelineConfig& config) {
+  MLCS_ASSIGN_OR_RETURN(TablePtr voters, db->catalog().GetTable("voters"));
+  MLCS_ASSIGN_OR_RETURN(TablePtr precincts,
+                        db->catalog().GetTable("precincts"));
+  auto plain = [](ColumnPtr c) { return c->is_encoded() ? c->Decode() : c; };
+
+  // Dim-side statistic: share[k] = dem_k / (dem_k + rep_k).
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr pid_col,
+                        precincts->ColumnByName("precinct_id"));
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr dem_col,
+                        precincts->ColumnByName("dem_votes"));
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr rep_col,
+                        precincts->ColumnByName("rep_votes"));
+  pid_col = plain(pid_col);
+  dem_col = plain(dem_col);
+  rep_col = plain(rep_col);
+  const auto& pid = pid_col->i32_data();
+  const auto& dem = dem_col->i32_data();
+  const auto& rep = rep_col->i32_data();
+  int64_t max_pid = -1;
+  for (int32_t p : pid) {
+    if (p < 0) return Status::InvalidArgument("negative precinct_id");
+    max_pid = std::max<int64_t>(max_pid, p);
+  }
+  std::vector<double> share(static_cast<size_t>(max_pid + 1), 0.0);
+  std::vector<uint8_t> present(share.size(), 0);
+  for (size_t k = 0; k < pid.size(); ++k) {
+    double dk = static_cast<double>(dem[k]);
+    double rk = static_cast<double>(rep[k]);
+    double total = dk + rk;
+    share[static_cast<size_t>(pid[k])] = total > 0 ? dk / total : 0.5;
+    present[static_cast<size_t>(pid[k])] = 1;
+  }
+
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr voter_id, voters->ColumnByName("voter_id"));
+  MLCS_ASSIGN_OR_RETURN(ColumnPtr precinct,
+                        voters->ColumnByName("precinct_id"));
+  voter_id = plain(voter_id);
+  precinct = plain(precinct);
+  for (int32_t k : precinct->i32_data()) {
+    if (k < 0 || static_cast<size_t>(k) >= share.size() ||
+        !present[static_cast<size_t>(k)]) {
+      return Status::InvalidArgument(
+          "voter references a precinct outside the dimension table");
+    }
+  }
+  ColumnPtr label =
+      GenerateLabelColumnFactorized(*voter_id, *precinct, share, config.seed);
+  ColumnPtr mask =
+      SplitMaskColumn(*voter_id, config.seed, config.train_fraction);
+
+  // Same shape as the WranglingSql() output, zero-copy from the fact table.
+  Schema schema;
+  std::vector<ColumnPtr> columns;
+  schema.AddField("voter_id", TypeId::kInt32);
+  columns.push_back(voter_id);
+  for (const std::string& name : FeatureNames(config)) {
+    MLCS_ASSIGN_OR_RETURN(ColumnPtr col, voters->ColumnByName(name));
+    col = plain(col);
+    schema.AddField(name, col->type());
+    columns.push_back(std::move(col));
+  }
+  schema.AddField("label", TypeId::kInt32);
+  columns.push_back(std::move(label));
+  schema.AddField("is_train", TypeId::kBool);
+  columns.push_back(std::move(mask));
+  obs::MetricsRegistry::Global()
+      .GetCounter("mlcs.factorized.pipeline_wrangles")
+      ->Add(1);
+  return std::make_shared<Table>(std::move(schema), std::move(columns));
+}
+
 }  // namespace
 
 ColumnPtr GenerateLabelColumn(const Column& voter_id, const Column& dem,
@@ -217,6 +304,24 @@ ColumnPtr GenerateLabelColumn(const Column& voter_id, const Column& dem,
                                static_cast<uint32_t>(ids[i])) *
                            0x100000001B3ULL));
     labels[i] = u < share ? 1 : 0;
+  }
+  return Column::FromInt32(std::move(labels));
+}
+
+ColumnPtr GenerateLabelColumnFactorized(const Column& voter_id,
+                                        const Column& precinct,
+                                        const std::vector<double>& share,
+                                        uint64_t seed) {
+  size_t n = voter_id.size();
+  std::vector<int32_t> labels(n);
+  const auto& ids = voter_id.i32_data();
+  const auto& keys = precinct.i32_data();
+  for (size_t i = 0; i < n; ++i) {
+    double u = HashToUnit(seed ^ kLabelSalt ^
+                          (static_cast<uint64_t>(
+                               static_cast<uint32_t>(ids[i])) *
+                           0x100000001B3ULL));
+    labels[i] = u < share[static_cast<size_t>(keys[i])] ? 1 : 0;
   }
   return Column::FromInt32(std::move(labels));
 }
@@ -398,11 +503,22 @@ Result<PipelineResult> RunInDatabase(Database* db,
   result.method = "mlcs (in-database UDF)";
   std::vector<std::string> features = FeatureNames(config);
 
-  // Wrangle: join + labels + split, all inside the engine. The result is
-  // registered directly (columnar intermediates share buffers, MonetDB
-  // style) instead of CREATE TABLE AS, which would deep-copy.
+  // Wrangle: labels + split, all inside the engine. When factorized
+  // training is enabled the per-precinct label share is computed below the
+  // join (a K-entry LUT over `precincts`) and the join output is never
+  // materialized; otherwise — or whenever the LUT cannot represent the
+  // data — the SQL join path runs. Either way the result is registered
+  // directly (columnar intermediates share buffers, MonetDB style) instead
+  // of CREATE TABLE AS, which would deep-copy.
   WallTimer wrangle_timer;
-  MLCS_ASSIGN_OR_RETURN(TablePtr joined, db->Query(WranglingSql(config)));
+  TablePtr joined;
+  if (ml::FactorizedEnabled()) {
+    auto wrangled = FactorizedWrangle(db, config);
+    if (wrangled.ok()) joined = std::move(wrangled).ValueOrDie();
+  }
+  if (joined == nullptr) {
+    MLCS_ASSIGN_OR_RETURN(joined, db->Query(WranglingSql(config)));
+  }
   MLCS_RETURN_IF_ERROR(db->catalog().CreateTable("voter_joined", joined,
                                                  /*or_replace=*/true));
   result.load_wrangle_seconds = wrangle_timer.ElapsedSeconds();

@@ -1,11 +1,15 @@
 #include "sql/optimizer.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
+#include "exec/aggregate.h"
+#include "ml/training_source.h"
+#include "obs/metrics.h"
 
 namespace mlcs::sql {
 
@@ -323,6 +327,247 @@ void PruneScope(LogicalNode* scope_root, Catalog* catalog) {
   for (LogicalNode* inner : inner_scopes) PruneScope(inner, catalog);
 }
 
+/// -- Rule 4: aggregate pushdown below a join (factorized statistics) ------
+///
+/// The ML-side counterpart lives in ml/training_source.h: training
+/// statistics are group-by aggregates, and aggregates over fact⋈dim never
+/// need the join output. `Agg_{G}(F ⋈ D)` with every aggregate input on F
+/// rewrites to `FinalAgg_{G}(PartialAgg_{G_F ∪ {k}}(F) ⋈ D)`: the partial
+/// aggregate collapses F to one row per (fact group keys, join key) before
+/// the join ever runs, so the join touches O(groups) rows instead of
+/// O(|F|).
+///
+/// Result-preservation argument (the property suite compares against the
+/// unoptimized plan bit for bit):
+///  - Values: restricted to COUNT(*)/COUNT(col)/SUM(col) with SUM inputs
+///    declared BOOLEAN/INT/BIGINT — partial and final sums are exact
+///    integer arithmetic, so re-association cannot change them. A fact row
+///    matching m dim rows contributes its value m times in the join
+///    output; after the rewrite its partial group joins those same m dim
+///    rows and the final SUM adds the partial m times. NULL join keys drop
+///    in the inner join on both plans.
+///  - Types: COUNT and integer SUM both emit BIGINT, and SUM(BIGINT) of a
+///    partial is again BIGINT.
+///  - Row order: HashGroupBy emits groups in first-seen order and HashJoin
+///    emits probe (left) rows in order, so a final group's position is
+///    governed by the minimum fact-row index mapping to it — the same
+///    index on both plans.
+/// Anything outside this shape (expressions, AVG/MIN/MAX, dim-side or
+/// join-renamed "_r" inputs, multi-key or outer joins, residual filters
+/// between aggregate and join) fails open and keeps the original plan.
+
+const LogicalNode* UnwrapFilters(const LogicalNode* node) {
+  while (node->op == LogicalOp::kFilter && !node->children.empty()) {
+    node = node->children[0].get();
+  }
+  return node;
+}
+
+/// Declared type of `name` when `side` bottoms out in a scan (possibly
+/// under pushed-down filters); nullopt → unresolvable, caller fails open.
+std::optional<TypeId> ResolveScanColumnType(const LogicalNode& side,
+                                            Catalog* catalog,
+                                            const std::string& name) {
+  const LogicalNode* node = UnwrapFilters(&side);
+  if (node->op != LogicalOp::kScan) return std::nullopt;
+  Result<Schema> schema = catalog->GetTableSchema(node->table_name);
+  if (!schema.ok()) return std::nullopt;
+  for (const auto& field : schema.ValueOrDie().fields()) {
+    if (EqualsIgnoreCase(field.name, name)) return field.type;
+  }
+  return std::nullopt;
+}
+
+SqlExprPtr MakeColumnRef(const std::string& name) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExprKind::kColumnRef;
+  e->name = name;
+  return e;
+}
+
+SqlExprPtr MakeAggCall(const std::string& fn, SqlExprPtr arg) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExprKind::kCall;
+  e->name = fn;
+  e->args.push_back(std::move(arg));
+  return e;
+}
+
+void PushAggregateBelowJoin(LogicalNode* node, BoundPlan* plan,
+                            Catalog* catalog) {
+  for (auto& child : node->children) {
+    PushAggregateBelowJoin(child.get(), plan, catalog);
+  }
+  if (node->op != LogicalOp::kAggregate || node->select == nullptr) return;
+  if (node->children.empty() ||
+      node->children[0]->op != LogicalOp::kJoin) {
+    return;
+  }
+  LogicalNode* join = node->children[0].get();
+  if (join->ref == nullptr ||
+      join->ref->join_type != exec::JoinType::kInner ||
+      join->ref->join_keys.size() != 1) {
+    return;
+  }
+  const LogicalNode& lchild = *join->children[0];
+  const LogicalNode& rchild = *join->children[1];
+  if (!lchild.output_names.has_value() || !rchild.output_names.has_value()) {
+    return;
+  }
+  std::set<std::string> lnames(lchild.output_names->begin(),
+                               lchild.output_names->end());
+  // Right-side names that survive the join un-renamed (same attribution
+  // rule as predicate pushdown).
+  std::set<std::string> rnames;
+  for (const std::string& name : *rchild.output_names) {
+    if (lnames.count(name) == 0) rnames.insert(name);
+  }
+  const std::string& lkey = join->ref->join_keys[0].first;
+  const std::string& rkey = join->ref->join_keys[0].second;
+  if (lnames.count(ToLower(lkey)) == 0) return;
+  if (std::none_of(rchild.output_names->begin(), rchild.output_names->end(),
+                   [&](const std::string& n) {
+                     return EqualsIgnoreCase(n, rkey);
+                   })) {
+    return;
+  }
+
+  const SelectStatement& select = *node->select;
+  struct AggItem {
+    exec::AggOp op;
+    std::string input;  // original spelling; empty for COUNT(*)
+  };
+  std::vector<AggItem> aggs;
+  for (const auto& item : select.items) {
+    if (item.star) return;
+    if (!IsTopLevelAggregate(*item.expr)) {
+      // Non-aggregate items must be bare group-key refs; side attribution
+      // happens with the group keys below.
+      if (item.expr->kind != SqlExprKind::kColumnRef) return;
+      continue;
+    }
+    const SqlExpr& call = *item.expr;
+    if (call.args.size() != 1) return;
+    bool star_arg = call.args[0]->kind == SqlExprKind::kStar;
+    Result<exec::AggOp> op = exec::AggOpFromName(call.name, star_arg);
+    if (!op.ok()) return;
+    if (op.ValueOrDie() == exec::AggOp::kCountStar) {
+      aggs.push_back({exec::AggOp::kCountStar, ""});
+      continue;
+    }
+    if (op.ValueOrDie() != exec::AggOp::kCount &&
+        op.ValueOrDie() != exec::AggOp::kSum) {
+      return;
+    }
+    if (call.args[0]->kind != SqlExprKind::kColumnRef) return;
+    const std::string& input = call.args[0]->name;
+    if (lnames.count(ToLower(input)) == 0) return;
+    if (op.ValueOrDie() == exec::AggOp::kSum) {
+      std::optional<TypeId> type =
+          ResolveScanColumnType(lchild, catalog, input);
+      if (!type.has_value() ||
+          (*type != TypeId::kInt32 && *type != TypeId::kInt64 &&
+           *type != TypeId::kBool)) {
+        return;
+      }
+    }
+    aggs.push_back({op.ValueOrDie(), input});
+  }
+  if (aggs.empty()) return;
+
+  // Split group keys by side: fact keys move into the partial aggregate,
+  // dim keys keep grouping above the join.
+  std::vector<std::string> fact_keys;
+  for (const std::string& key : select.group_by) {
+    if (lnames.count(ToLower(key)) > 0) {
+      fact_keys.push_back(key);
+    } else if (rnames.count(ToLower(key)) == 0) {
+      return;  // renamed or unknown — fail open
+    }
+  }
+
+  // Partial statement: fact group keys ∪ join key, plus one partial
+  // aggregate per original aggregate.
+  auto partial = std::make_unique<SelectStatement>();
+  std::vector<std::string> partial_names;
+  for (const std::string& key : fact_keys) {
+    SelectItem item;
+    item.expr = MakeColumnRef(key);
+    partial->items.push_back(std::move(item));
+    partial->group_by.push_back(key);
+    partial_names.push_back(ToLower(key));
+  }
+  if (std::none_of(fact_keys.begin(), fact_keys.end(),
+                   [&](const std::string& k) {
+                     return EqualsIgnoreCase(k, lkey);
+                   })) {
+    SelectItem item;
+    item.expr = MakeColumnRef(lkey);
+    partial->items.push_back(std::move(item));
+    partial->group_by.push_back(lkey);
+    partial_names.push_back(ToLower(lkey));
+  }
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    SqlExprPtr arg;
+    if (aggs[i].op == exec::AggOp::kCountStar) {
+      arg = std::make_unique<SqlExpr>();
+      arg->kind = SqlExprKind::kStar;
+    } else {
+      arg = MakeColumnRef(aggs[i].input);
+    }
+    std::string name = "__pagg_" + std::to_string(i);
+    SelectItem item;
+    item.expr = MakeAggCall(
+        aggs[i].op == exec::AggOp::kSum ? "SUM" : "COUNT", std::move(arg));
+    item.alias = name;
+    partial->items.push_back(std::move(item));
+    partial_names.push_back(std::move(name));
+  }
+
+  // Final statement: aggregates become SUM over their partial column,
+  // keeping the original output names; group keys pass through.
+  auto final_stmt = std::make_unique<SelectStatement>();
+  final_stmt->group_by = select.group_by;
+  size_t agg_index = 0;
+  for (size_t i = 0; i < select.items.size(); ++i) {
+    const SelectItem& orig = select.items[i];
+    SelectItem item;
+    if (IsTopLevelAggregate(*orig.expr)) {
+      item.expr = MakeAggCall(
+          "SUM", MakeColumnRef("__pagg_" + std::to_string(agg_index++)));
+      item.alias =
+          orig.alias.empty() ? DeriveItemName(*orig.expr, i) : orig.alias;
+    } else {
+      item.expr = MakeColumnRef(orig.expr->name);
+      item.alias = orig.alias;
+    }
+    final_stmt->items.push_back(std::move(item));
+  }
+
+  auto pnode = std::make_unique<LogicalNode>();
+  pnode->op = LogicalOp::kAggregate;
+  pnode->select = partial.get();
+  pnode->output_names = partial_names;
+  pnode->children.push_back(std::move(join->children[0]));
+  join->children[0] = std::move(pnode);
+
+  // The join's left input narrowed; recompute its output names with the
+  // binder's collision rule.
+  std::set<std::string> pset(partial_names.begin(), partial_names.end());
+  std::vector<std::string> join_names = partial_names;
+  for (const std::string& name : *rchild.output_names) {
+    join_names.push_back(pset.count(name) > 0 ? name + "_r" : name);
+  }
+  join->output_names = std::move(join_names);
+
+  node->select = final_stmt.get();
+  plan->stmt_arena.push_back(std::move(partial));
+  plan->stmt_arena.push_back(std::move(final_stmt));
+  obs::MetricsRegistry::Global()
+      .GetCounter("mlcs.factorized.agg_pushdowns")
+      ->Add(1);
+}
+
 }  // namespace
 
 void OptimizePlan(BoundPlan* plan, const OptimizerContext& ctx) {
@@ -332,6 +577,9 @@ void OptimizePlan(BoundPlan* plan, const OptimizerContext& ctx) {
   }
   PushDownPredicates(&plan->root);
   if (ctx.catalog != nullptr) {
+    if (ml::FactorizedEnabled()) {
+      PushAggregateBelowJoin(plan->root.get(), plan, ctx.catalog);
+    }
     PruneScope(plan->root.get(), ctx.catalog);
   }
 }

@@ -26,7 +26,14 @@ struct OptimizerContext {
 ///      filtering the nullable side below the join would change results).
 ///      Conjuncts that straddle sides, reference renamed ("_r") columns,
 ///      or reference no columns stay put.
-///   3. Projection pruning — each scan is narrowed to the columns its
+///   3. Aggregate pushdown below a join — a grouped COUNT/integer-SUM
+///      statistics query over a single-key inner fact⋈dim join is rewritten
+///      so the fact side collapses to per-(group keys, join key) partial
+///      aggregates before the join, and the aggregate above it folds the
+///      partials with SUM. Gated by ml::FactorizedEnabled()
+///      (MLCS_DISABLE_FACTORIZED) — the relational half of factorized ML
+///      training (DESIGN.md §14).
+///   4. Projection pruning — each scan is narrowed to the columns its
 ///      SELECT scope references (select list, WHERE/HAVING, GROUP BY,
 ///      ORDER BY, join keys). `SELECT *` anywhere in the scope disables
 ///      pruning for that scope; a scope referencing no scan columns (e.g.

@@ -66,12 +66,13 @@ struct LogicalNode {
   std::optional<std::vector<std::string>> output_names;
 };
 
-/// A bound logical plan plus the expressions the optimizer synthesized
-/// (folded literals); the arena keeps borrowed conjunct pointers alive for
-/// the plan's lifetime.
+/// A bound logical plan plus the expressions and statements the optimizer
+/// synthesized (folded literals, aggregate-pushdown partial/final select
+/// lists); the arenas keep borrowed pointers alive for the plan's lifetime.
 struct BoundPlan {
   LogicalNodePtr root;
   std::vector<SqlExprPtr> arena;
+  std::vector<std::unique_ptr<SelectStatement>> stmt_arena;
 };
 
 /// -- Shared SELECT-shape helpers (used by binder and physical operators) --

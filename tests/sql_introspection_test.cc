@@ -19,6 +19,7 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "ml/training_source.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sql/database.h"
@@ -358,6 +359,90 @@ TEST_F(SqlIntrospectionTest, SelectStarDisablesPruning) {
   std::string plan = PlanOf("SELECT * FROM voters WHERE age > 30");
   EXPECT_NE(plan.find("SCAN voters\n"), std::string::npos);
   EXPECT_EQ(plan.find("SCAN voters ["), std::string::npos);
+}
+
+/// -- Aggregate pushdown below a join (sql/optimizer.cc rule 3) ------------
+
+/// Restores the factorized knob even when an ASSERT unwinds early.
+struct FactorizedToggleGuard {
+  bool saved = ml::FactorizedEnabled();
+  ~FactorizedToggleGuard() { ml::SetFactorizedEnabled(saved); }
+};
+
+TEST_F(SqlIntrospectionTest, GoldenPlanAggregatePushdownBelowJoin) {
+  // Pin the rule on so the golden plan holds under MLCS_DISABLE_FACTORIZED=1
+  // (the disabled shape has its own test below).
+  FactorizedToggleGuard restore;
+  ml::SetFactorizedEnabled(true);
+  uint64_t before = obs::MetricsRegistry::Global()
+                        .GetCounter("mlcs.factorized.agg_pushdowns")
+                        ->Value();
+  // The fact side collapses to per-(group key, join key) partials below
+  // the join; the aggregate above folds them with SUM.
+  EXPECT_EQ(
+      PlanOf("SELECT precinct, COUNT(*) AS n, SUM(age) AS total "
+             "FROM voters JOIN precincts ON precinct = precinct "
+             "GROUP BY precinct"),
+      "AGGREGATE [precinct, SUM(__pagg_0) AS n, SUM(__pagg_1) AS total]"
+      " group by precinct\n"
+      "  HASH JOIN on precinct = precinct\n"
+      "    AGGREGATE [precinct, COUNT(*) AS __pagg_0, SUM(age) AS __pagg_1]"
+      " group by precinct\n"
+      "      SCAN voters [precinct, age]\n"
+      "    SCAN precincts [precinct]\n");
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter("mlcs.factorized.agg_pushdowns")
+                ->Value(),
+            before);
+}
+
+TEST_F(SqlIntrospectionTest, AggregatePushdownResultsMatchUnoptimized) {
+  // precinct 10 joins 2 voters (ages 20, 40), precinct 20 joins 1 (60).
+  std::string sql =
+      "SELECT precinct, COUNT(*) AS n, SUM(age) AS total "
+      "FROM voters JOIN precincts ON precinct = precinct "
+      "GROUP BY precinct ORDER BY precinct";
+  auto on = Q(sql);
+  ASSERT_EQ(on->num_rows(), 2u);
+  EXPECT_EQ(on->GetValue(0, 1).ValueOrDie(), Value::Int64(2));
+  EXPECT_EQ(on->GetValue(0, 2).ValueOrDie(), Value::Int64(60));
+  EXPECT_EQ(on->GetValue(1, 1).ValueOrDie(), Value::Int64(1));
+  EXPECT_EQ(on->GetValue(1, 2).ValueOrDie(), Value::Int64(60));
+  db_.set_optimizer_enabled(false);
+  auto off = Q(sql);
+  db_.set_optimizer_enabled(true);
+  EXPECT_TRUE(on->Equals(*off)) << on->ToString() << "\n" << off->ToString();
+}
+
+TEST_F(SqlIntrospectionTest, AggregatePushdownFailsOpenOnDimSideSum) {
+  // SUM(dem) reads the dimension side, so the rewrite must not fire —
+  // only SUM over fact-side integer columns is pushable.
+  std::string plan = PlanOf(
+      "SELECT SUM(dem) AS d FROM voters JOIN precincts "
+      "ON precinct = precinct");
+  EXPECT_EQ(plan.find("__pagg"), std::string::npos) << plan;
+}
+
+TEST_F(SqlIntrospectionTest, AggregatePushdownFailsOpenOnAvg) {
+  // AVG re-associates double arithmetic; the rewrite leaves it alone.
+  std::string plan = PlanOf(
+      "SELECT precinct, AVG(age) AS a FROM voters JOIN precincts "
+      "ON precinct = precinct GROUP BY precinct");
+  EXPECT_EQ(plan.find("__pagg"), std::string::npos) << plan;
+}
+
+TEST_F(SqlIntrospectionTest, AggregatePushdownDisabledByFactorizedKnob) {
+  FactorizedToggleGuard restore;
+  ml::SetFactorizedEnabled(false);
+  std::string plan = PlanOf(
+      "SELECT precinct, COUNT(*) AS n FROM voters JOIN precincts "
+      "ON precinct = precinct GROUP BY precinct");
+  EXPECT_EQ(plan.find("__pagg"), std::string::npos) << plan;
+  ml::SetFactorizedEnabled(true);
+  plan = PlanOf(
+      "SELECT precinct, COUNT(*) AS n FROM voters JOIN precincts "
+      "ON precinct = precinct GROUP BY precinct");
+  EXPECT_NE(plan.find("__pagg"), std::string::npos) << plan;
 }
 
 TEST_F(SqlIntrospectionTest, StdDevAggregate) {

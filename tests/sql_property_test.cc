@@ -7,6 +7,9 @@
 #include <thread>
 
 #include "common/random.h"
+#include "ml/logistic_regression.h"
+#include "ml/random_forest.h"
+#include "ml/training_source.h"
 #include "sql/database.h"
 #include "storage/encoding.h"
 
@@ -196,7 +199,7 @@ std::string ParityPredicate(Rng& rng, bool join_scope) {
 }
 
 std::string ParityQuery(Rng& rng) {
-  switch (rng.NextBounded(5)) {
+  switch (rng.NextBounded(8)) {
     case 0:  // plain filter + projection (pruning applies)
       return "SELECT k, v FROM a WHERE " + ParityPredicate(rng, false);
     case 1:  // inner join: pushdown to either side
@@ -208,7 +211,19 @@ std::string ParityQuery(Rng& rng) {
     case 3:  // aggregate with grouped ORDER BY
       return "SELECT k, COUNT(*) AS c, SUM(v) AS sv FROM a WHERE " +
              ParityPredicate(rng, false) + " GROUP BY k ORDER BY k";
-    case 4:
+    case 4:  // aggregate over a join: pushdown-below-join candidate, with
+             // duplicate b keys (fan-out) and NULL v inputs
+      return "SELECT k, COUNT(*) AS c, SUM(v) AS sv, COUNT(v) AS cv "
+             "FROM a JOIN b ON k = k GROUP BY k ORDER BY k";
+    case 5:  // same, filtered: the fact-side filter must stay below the
+             // partial aggregate
+      return "SELECT k, SUM(w) AS sw FROM a JOIN b ON k = k WHERE " +
+             ParityPredicate(rng, false) + " GROUP BY k ORDER BY k";
+    case 6:  // dim-side group key: grouping stays above the join while the
+             // fact side still collapses by the join key
+      return "SELECT u, COUNT(*) AS c, SUM(v) AS sv FROM a JOIN b "
+             "ON k = k GROUP BY u ORDER BY u";
+    case 7:
     default:  // no column refs at all: narrowest-column scan kicks in
       return "SELECT COUNT(*) FROM a WHERE " + ParityPredicate(rng, false);
   }
@@ -391,6 +406,149 @@ TEST(SqlPropertyTest, EncodingParityOnRandomQueries) {
           << sql << "\nencoded:\n"
           << on.ValueOrDie()->ToString() << "\ndecoded:\n"
           << off.ValueOrDie()->ToString();
+    }
+  }
+}
+
+/// -- Factorized-training parity ---------------------------------------------
+///
+/// Models trained through the factorized statistics provider (dimension
+/// features as per-key LUTs addressed through a shared join-key column)
+/// must predict bit-identically to the same models trained on the
+/// materialized join output — across dimension fan-out, NULL feature
+/// values, serial vs thread-pool tree fitting, and encoded vs plain source
+/// columns. This is the contract ml/training_source.h promises.
+TEST(SqlPropertyTest, FactorizedTrainingParitySweep) {
+  for (size_t fan_out : {size_t{1}, size_t{10}, size_t{100}}) {
+    for (bool parallel : {false, true}) {
+      for (bool encoded : {false, true}) {
+        SCOPED_TRACE("fan_out=" + std::to_string(fan_out) +
+                     " parallel=" + std::to_string(parallel) +
+                     " encoded=" + std::to_string(encoded));
+        const size_t kDimRows = 12;
+        // Ragged: the last key gets the leftover rows, so per-key counts
+        // are not uniform.
+        const size_t n = kDimRows * fan_out + 7;
+        Rng rng(9100 + fan_out * 10 + (parallel ? 2 : 0) + (encoded ? 1 : 0));
+
+        // Dimension table: two per-key features, one with NULL entries.
+        Schema dim_schema;
+        dim_schema.AddField("g1", TypeId::kInt32);
+        dim_schema.AddField("g2", TypeId::kInt32);
+        auto dim = Table::Make(std::move(dim_schema));
+        for (size_t k = 0; k < kDimRows; ++k) {
+          Value g2 = k % 5 == 3
+                         ? Value::MakeNull(TypeId::kInt32)
+                         : Value::Int32(static_cast<int32_t>(
+                               rng.NextBounded(6)));
+          ASSERT_TRUE(dim->AppendRow({Value::Int32(static_cast<int32_t>(
+                                          rng.NextInt(-20, 20))),
+                                      g2})
+                          .ok());
+        }
+
+        // Fact table: sorted key runs (RLE-shaped), one dense feature with
+        // NULLs, one low-cardinality feature (dictionary-shaped), and a
+        // label that depends on both sides.
+        Schema fact_schema;
+        fact_schema.AddField("f1", TypeId::kInt32);
+        fact_schema.AddField("f2", TypeId::kInt32);
+        auto fact = Table::Make(std::move(fact_schema));
+        std::vector<uint32_t> keys(n);
+        ml::Labels y(n);
+        for (size_t r = 0; r < n; ++r) {
+          keys[r] = static_cast<uint32_t>(
+              std::min(r / (fan_out + 1), kDimRows - 1));
+          bool f1_null = rng.NextDouble() < 0.05;
+          int32_t f1 = static_cast<int32_t>(rng.NextInt(-50, 50));
+          int32_t f2 = static_cast<int32_t>(rng.NextBounded(4));
+          ASSERT_TRUE(fact->AppendRow({f1_null
+                                           ? Value::MakeNull(TypeId::kInt32)
+                                           : Value::Int32(f1),
+                                       Value::Int32(f2)})
+                          .ok());
+          y[r] = static_cast<int32_t>((keys[r] * 7 + (f1_null ? 3 : f1) +
+                                       static_cast<size_t>(f2 + 50)) %
+                                      3);
+        }
+
+        // Materialized join output: dimension features gathered per fact
+        // row. The encoded axis compresses the very columns the matrix is
+        // built from, exercising the decode boundary into ML ingestion.
+        TablePtr gathered = dim->TakeRows(keys);
+        std::vector<ColumnPtr> mat_cols = {
+            fact->column(0), fact->column(1), gathered->column(0),
+            gathered->column(1)};
+        if (encoded) {
+          EncodingPolicy aggressive;
+          aggressive.min_rows = 1;
+          aggressive.max_dict_fraction = 1.0;
+          aggressive.max_run_fraction = 1.0;
+          size_t n_encoded = 0;
+          for (auto& col : mat_cols) {
+            col = EncodeColumn(col, aggressive);
+            n_encoded += col->is_encoded() ? 1 : 0;
+          }
+          EXPECT_GT(n_encoded, 0u);
+        }
+        auto xm = ml::Matrix::FromColumns(mat_cols);
+        ASSERT_TRUE(xm.ok()) << xm.status().ToString();
+
+        // Factorized source: the same features, never gathered — dense
+        // fact columns plus K-entry dimension LUTs behind the key column.
+        std::vector<double> f1d =
+            fact->column(0)->ToDoubleVector().ValueOrDie();
+        std::vector<double> f2d =
+            fact->column(1)->ToDoubleVector().ValueOrDie();
+        ml::TrainingSource src;
+        ASSERT_TRUE(src.AddDenseFeature(&f1d).ok());
+        ASSERT_TRUE(src.AddDenseFeature(&f2d).ok());
+        ASSERT_TRUE(src.SetKeys(keys, kDimRows).ok());
+        ASSERT_TRUE(
+            src.AddFactorizedFeature(
+                   dim->column(0)->ToDoubleVector().ValueOrDie())
+                .ok());
+        ASSERT_TRUE(
+            src.AddFactorizedFeature(
+                   dim->column(1)->ToDoubleVector().ValueOrDie())
+                .ok());
+        EXPECT_EQ(src.num_factorized(), 2u);
+
+        // Random forest: same options + seed, both representations.
+        ml::RandomForestOptions opt;
+        opt.n_estimators = 5;
+        opt.max_depth = 6;
+        opt.seed = 11;
+        opt.parallel_fit = parallel;
+        ml::RandomForest rf_mat(opt);
+        ml::RandomForest rf_fac(opt);
+        ASSERT_TRUE(rf_mat.Fit(xm.ValueOrDie(), y).ok());
+        ASSERT_TRUE(rf_fac.FitSource(src, y).ok());
+        auto rf_pm = rf_mat.Predict(xm.ValueOrDie());
+        auto rf_pf = rf_fac.Predict(xm.ValueOrDie());
+        ASSERT_TRUE(rf_pm.ok() && rf_pf.ok());
+        EXPECT_EQ(rf_pm.ValueOrDie(), rf_pf.ValueOrDie());
+        auto rf_cm = rf_mat.PredictConfidence(xm.ValueOrDie());
+        auto rf_cf = rf_fac.PredictConfidence(xm.ValueOrDie());
+        ASSERT_TRUE(rf_cm.ok() && rf_cf.ok());
+        EXPECT_EQ(rf_cm.ValueOrDie(), rf_cf.ValueOrDie());
+
+        // Logistic regression: gradient sums must stay bit-identical too.
+        ml::LogisticRegressionOptions lr_opt;
+        lr_opt.epochs = 12;
+        ml::LogisticRegression lr_mat(lr_opt);
+        ml::LogisticRegression lr_fac(lr_opt);
+        ASSERT_TRUE(lr_mat.Fit(xm.ValueOrDie(), y).ok());
+        ASSERT_TRUE(lr_fac.FitSource(src, y).ok());
+        auto lr_pm = lr_mat.Predict(xm.ValueOrDie());
+        auto lr_pf = lr_fac.Predict(xm.ValueOrDie());
+        ASSERT_TRUE(lr_pm.ok() && lr_pf.ok());
+        EXPECT_EQ(lr_pm.ValueOrDie(), lr_pf.ValueOrDie());
+        auto lr_cm = lr_mat.PredictProba(xm.ValueOrDie(), 1);
+        auto lr_cf = lr_fac.PredictProba(xm.ValueOrDie(), 1);
+        ASSERT_TRUE(lr_cm.ok() && lr_cf.ok());
+        EXPECT_EQ(lr_cm.ValueOrDie(), lr_cf.ValueOrDie());
+      }
     }
   }
 }

@@ -75,6 +75,17 @@ Rules
                         the column once before the loop (DESIGN.md §13).
                         Deliberate per-iteration decodes opt out with
                         `// lint:allow(row-decode)` plus a reason.
+  matrix-materialize    Dense-matrix materialization (`Matrix::FromColumns`
+                        / `Matrix::FromTable`, `DecodeTable`, `.ToMatrix(`)
+                        inside src/ml/ outside matrix.{h,cc} — trainers
+                        consume `ml::TrainingSource` (per-key LUTs behind a
+                        shared key column, DESIGN.md §14) so dimension
+                        features are never gathered per fact row. The dense
+                        fallback funnels through TrainingSource::FromMatrix,
+                        which borrows an already-built matrix. Deliberate
+                        conversions (e.g. a UDF boundary that receives
+                        columns) opt out with
+                        `// lint:allow(matrix-materialize)` plus a reason.
   adhoc-stats           Declaring a `struct <Name>Stats` outside src/obs/ —
                         new counters belong on the metrics registry
                         (obs::MetricsRegistry, `mlcs.<subsystem>.<series>`)
@@ -565,6 +576,29 @@ def check_row_decode(path, relpath, lines):
             pending_loop = False  # brace-less single-statement body
 
 
+MATRIX_MATERIALIZE_RE = re.compile(
+    r"\bMatrix\s*::\s*(?:FromColumns|FromTable)\s*\(|\bDecodeTable\s*\(|"
+    r"(?:\.|->)\s*ToMatrix\s*\(")
+MATRIX_MATERIALIZE_EXEMPT = ("src/ml/matrix.h", "src/ml/matrix.cc")
+
+
+def check_matrix_materialize(path, relpath, lines):
+    rel = relpath.replace(os.sep, "/")
+    if not rel.startswith("src/ml/") or rel in MATRIX_MATERIALIZE_EXEMPT:
+        return
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        if not MATRIX_MATERIALIZE_RE.search(line):
+            continue
+        if allowed(raw, "matrix-materialize"):
+            continue
+        report(path, i + 1, "matrix-materialize",
+               "dense-matrix materialization in ML training code; consume "
+               "an ml::TrainingSource (DESIGN.md §14) instead of gathering "
+               "the join output, or justify with "
+               "`// lint:allow(matrix-materialize)`")
+
+
 ADHOC_STATS_RE = re.compile(r"^\s*struct\s+\w*Stats\b")
 
 
@@ -617,6 +651,7 @@ def lint_file(path, headers):
     check_exec_operator_call(path, relpath, lines)
     check_blk_io(path, relpath, lines)
     check_row_decode(path, relpath, lines)
+    check_matrix_materialize(path, relpath, lines)
     check_adhoc_stats(path, relpath, lines)
 
 
