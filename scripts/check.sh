@@ -97,7 +97,10 @@ bash scripts/check_vectorization.sh
 assert_metrics_block() {
   # Every BENCH_<name>.json must carry the metrics-registry snapshot
   # ("mlcs_metrics", at top level for the custom harnesses or inside the
-  # google-benchmark context block) with at least one series in it.
+  # google-benchmark context block) with at least one series in it, and the
+  # snapshot must surface histogram quantiles (.p50) rather than raw
+  # bucket rows — a regression there silently degrades every dashboard
+  # built on the bench JSON.
   python3 - "$1" <<'PYEOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -105,6 +108,10 @@ with open(sys.argv[1]) as f:
 block = doc.get("mlcs_metrics", doc.get("context", {}).get("mlcs_metrics"))
 assert isinstance(block, dict) and block, \
     f"{sys.argv[1]}: missing or empty mlcs_metrics block"
+assert any(k.endswith(".p50") for k in block), \
+    f"{sys.argv[1]}: mlcs_metrics block has no .p50 quantile series"
+assert not any(".le_" in k for k in block), \
+    f"{sys.argv[1]}: mlcs_metrics block leaks raw .le_ bucket rows"
 PYEOF
 }
 
@@ -125,6 +132,9 @@ bench_smoke() {
     MLCS_BENCH_MIN_TIME=0.01 \
     MLCS_SERVE_BENCH_REQUESTS=400 MLCS_SERVE_BENCH_CLIENTS=2 \
     MLCS_SERVE_BENCH_STRICT=0 \
+    MLCS_OBS_BENCH_QUERIES=12 MLCS_OBS_BENCH_THREADS=2 \
+    MLCS_OBS_BENCH_ROWS=2000 MLCS_OBS_BENCH_REPS=2 \
+    MLCS_OBS_BENCH_STRICT=0 \
     MLCS_STORAGE_ROWS=2000 MLCS_STORAGE_COLS=16 MLCS_BLOCK_ROWS=256 \
       "$b" >/dev/null
     python3 -m json.tool "BENCH_$(basename "$b").json" >/dev/null

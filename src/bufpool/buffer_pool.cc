@@ -1,7 +1,10 @@
 #include "bufpool/buffer_pool.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <utility>
+
+#include "obs/wait_stats.h"
 
 namespace mlcs::bufpool {
 
@@ -67,9 +70,17 @@ Result<PinnedChunk> BufferPool::Fetch(const std::string& key,
   }
   // Miss: load outside the lock — disk I/O must not serialize unrelated
   // scans. Two threads racing on the same key may both load; the loser's
-  // copy is simply dropped below.
+  // copy is simply dropped below. The pin path is stalled on I/O for the
+  // duration, which is exactly what `mlcs.wait.bufpool.load` attributes.
   misses_->Add(1);
+  static obs::WaitSite* load_wait =
+      obs::WaitStats::Global().GetSite(obs::WaitKind::kBufpool, "load");
+  auto load_start = std::chrono::steady_clock::now();
   MLCS_ASSIGN_OR_RETURN(ColumnPtr column, load());
+  load_wait->RecordWaitNs(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - load_start)
+          .count()));
   if (column == nullptr) {
     return Status::Internal("buffer pool loader returned a null column");
   }

@@ -72,4 +72,37 @@ Result<TablePtr> TableClient::Query(const std::string& sql,
   return DecodeResultSet(&reader, protocol);
 }
 
+Result<std::string> TableClient::FetchExport(uint8_t verb,
+                                             const std::string& payload) {
+  if (fd_ < 0) return Status::NetworkError("not connected");
+  uint32_t payload_len = static_cast<uint32_t>(payload.size());
+  if (!net::WriteAll(fd_, &verb, 1) ||
+      !net::WriteAll(fd_, &payload_len, sizeof(payload_len)) ||
+      !net::WriteAll(fd_, payload.data(), payload.size())) {
+    return Status::NetworkError("failed to send export request");
+  }
+  uint64_t frame_len = 0;
+  if (!net::ReadExact(fd_, &frame_len, sizeof(frame_len))) {
+    return Status::NetworkError("connection closed while reading export");
+  }
+  std::vector<uint8_t> frame(frame_len);
+  if (!net::ReadExact(fd_, frame.data(), frame.size())) {
+    return Status::NetworkError("truncated export frame");
+  }
+  last_response_bytes_ = frame.size();
+  ByteReader reader(frame);
+  MLCS_ASSIGN_OR_RETURN(uint8_t ok_flag, reader.ReadU8());
+  MLCS_ASSIGN_OR_RETURN(std::string text, reader.ReadString());
+  if (ok_flag != 0) return Status::NetworkError("server error: " + text);
+  return text;
+}
+
+Result<std::string> TableClient::FetchMetricsText() {
+  return FetchExport(kVerbPrometheus, "");
+}
+
+Result<std::string> TableClient::FetchChromeTrace(uint64_t trace_id) {
+  return FetchExport(kVerbChromeTrace, std::to_string(trace_id));
+}
+
 }  // namespace mlcs::client

@@ -28,10 +28,18 @@ class TableClient {
   /// Executes SQL on the server and materializes the result locally.
   Result<TablePtr> Query(const std::string& sql, WireProtocol protocol);
 
+  /// Observability verbs (kVerbPrometheus / kVerbChromeTrace): the
+  /// server's Prometheus text exposition, or the Chrome trace_event JSON
+  /// of one recorded trace (0 = every retained trace).
+  Result<std::string> FetchMetricsText();
+  Result<std::string> FetchChromeTrace(uint64_t trace_id);
+
   /// Bytes received for the last query (for throughput reporting).
   size_t last_response_bytes() const { return last_response_bytes_; }
 
  private:
+  Result<std::string> FetchExport(uint8_t verb, const std::string& payload);
+
   int fd_ = -1;
   size_t last_response_bytes_ = 0;
 };

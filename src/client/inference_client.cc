@@ -80,6 +80,26 @@ Result<serve::PredictResponse> InferenceClient::Call(
   return response;
 }
 
+Result<std::string> InferenceClient::FetchMetricsText() {
+  if (fd_ < 0) return Status::NetworkError("not connected");
+  ByteWriter body;
+  serve::EncodeMetricsRequest(&body);
+  MLCS_RETURN_IF_ERROR(serve::WriteFrame(fd_, body));
+  MLCS_ASSIGN_OR_RETURN(std::vector<uint8_t> frame, serve::ReadFrame(fd_));
+  ByteReader reader(frame);
+  return serve::DecodeExportResponse(&reader);
+}
+
+Result<std::string> InferenceClient::FetchChromeTrace(uint64_t trace_id) {
+  if (fd_ < 0) return Status::NetworkError("not connected");
+  ByteWriter body;
+  serve::EncodeTraceExportRequest(trace_id, &body);
+  MLCS_RETURN_IF_ERROR(serve::WriteFrame(fd_, body));
+  MLCS_ASSIGN_OR_RETURN(std::vector<uint8_t> frame, serve::ReadFrame(fd_));
+  ByteReader reader(frame);
+  return serve::DecodeExportResponse(&reader);
+}
+
 Result<std::vector<int32_t>> InferenceClient::Predict(
     const std::string& model_name, const ml::Matrix& features,
     const InferenceCallOptions& options) {

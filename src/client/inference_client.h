@@ -57,6 +57,12 @@ class InferenceClient {
       const std::string& model_name, const ml::Matrix& features,
       const InferenceCallOptions& options = {});
 
+  /// Observability sideband (serial use, like Call): a Prometheus text
+  /// snapshot of the server's metrics registry, or the Chrome trace_event
+  /// JSON of one recorded trace (0 = every retained trace).
+  Result<std::string> FetchMetricsText();
+  Result<std::string> FetchChromeTrace(uint64_t trace_id);
+
  private:
   int fd_ = -1;
   uint64_t next_request_id_ = 1;

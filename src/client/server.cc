@@ -6,10 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 
 #include "client/net_util.h"
 #include "common/logging.h"
+#include "obs/export.h"
 
 namespace mlcs::client {
 
@@ -157,6 +159,24 @@ void TableServer::ServeConnection(int fd) {
     }
     std::string sql(sql_len, '\0');
     if (!net::ReadExact(fd, sql.data(), sql.size())) break;
+
+    if (protocol_byte == kVerbPrometheus ||
+        protocol_byte == kVerbChromeTrace) {
+      // Observability verbs bypass SQL entirely: the payload is empty
+      // (Prometheus) or a decimal trace id (Chrome trace).
+      ByteWriter response;
+      response.WriteU8(0);
+      if (protocol_byte == kVerbPrometheus) {
+        response.WriteString(obs::PrometheusText());
+      } else {
+        uint64_t trace_id = std::strtoull(sql.c_str(), nullptr, 10);
+        response.WriteString(obs::ChromeTraceJson(trace_id));
+      }
+      uint64_t frame_len = response.size();
+      if (!net::WriteAll(fd, &frame_len, sizeof(frame_len))) break;
+      if (!net::WriteAll(fd, response.data().data(), response.size())) break;
+      continue;
+    }
 
     ByteWriter response;
     auto result = db_->Query(sql);

@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/wait_stats.h"
+
 namespace mlcs {
 namespace {
 
@@ -211,9 +213,38 @@ Mutex::~Mutex() {
   for (auto& [node, out] : Graph()) out.erase(this);
 }
 
+void Mutex::LockContended() {
+  auto start = std::chrono::steady_clock::now();
+  mu_.lock();
+  RecordContendedWait(start);
+}
+
+void Mutex::RecordContendedWait(
+    std::chrono::steady_clock::time_point start) {
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  auto* site = static_cast<obs::WaitSite*>(
+      wait_site_.load(std::memory_order_acquire));
+  if (site == nullptr) {
+    // GetSite is lock-free, so resolving the MetricsRegistry mutex's own
+    // site cannot recurse. Racing resolvers converge on one site (or a
+    // benign duplicate Export merges).
+    site = obs::WaitStats::Global().GetSite(obs::WaitKind::kLock, name_);
+    wait_site_.store(site, std::memory_order_release);
+  }
+  site->RecordWaitNs(static_cast<uint64_t>(ns));
+}
+
 void Mutex::LockSlow() {
   PreAcquireCheck(this);
-  mu_.lock();
+  // Wait attribution mirrors the release path: only an actually-blocking
+  // acquisition pays for a clock pair and a site record.
+  if (!mu_.try_lock()) {
+    auto start = std::chrono::steady_clock::now();
+    mu_.lock();
+    RecordContendedWait(start);
+  }
   PushHeld(this);
 }
 

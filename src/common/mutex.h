@@ -49,6 +49,14 @@ inline bool LockDebugEnabled() {
 /// std::mutex (measured within noise on abl-par-exec, EXPERIMENTS.md
 /// abl-lockdisc). The MLCS_LOCK_DEBUG env var (0/1) overrides the build
 /// default at process start.
+///
+/// Wait attribution (DESIGN.md §15): the uncontended path is a plain
+/// try_lock (same single CAS as lock). Only when that fails — the thread
+/// is actually about to block — is the blocking acquisition timed and
+/// recorded into this mutex's named WaitSite
+/// (`mlcs.wait.lock.<name>.*`), in both release and detector builds. The
+/// resolved site pointer is cached per-mutex, so steady-state contention
+/// cost is one clock pair plus a few relaxed atomic bumps.
 class MLCS_CAPABILITY("mutex") Mutex {
  public:
   /// `name` must outlive the mutex (string literals); it labels the node
@@ -61,7 +69,8 @@ class MLCS_CAPABILITY("mutex") Mutex {
 
   void Lock() MLCS_ACQUIRE() {
     if (!internal::LockDebugEnabled()) {
-      mu_.lock();
+      if (mu_.try_lock()) return;
+      LockContended();
       return;
     }
     LockSlow();
@@ -96,9 +105,16 @@ class MLCS_CAPABILITY("mutex") Mutex {
   void LockSlow();
   void UnlockSlow();
   bool TryLockSlow();
+  /// Blocking acquisition after a failed try_lock: times the block and
+  /// records it into the wait site (mutex.cc).
+  void LockContended();
+  void RecordContendedWait(std::chrono::steady_clock::time_point start);
 
   std::mutex mu_;
   const char* name_;
+  /// Lazily resolved obs::WaitSite*, cached after the first contended
+  /// acquisition (type-erased: common/ must not depend on obs/ headers).
+  std::atomic<void*> wait_site_{nullptr};
 };
 
 /// RAII lock for the scope — the only way code outside this header should

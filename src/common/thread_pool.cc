@@ -26,6 +26,8 @@ ThreadPool::ThreadPool(size_t num_threads) {
   task_wait_us_ = registry.GetHistogram(
       "mlcs.threadpool.task_wait_us",
       {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000});
+  dispatch_wait_ =
+      obs::WaitStats::Global().GetSite(obs::WaitKind::kPool, "dispatch");
   if (num_threads == 0) {
     num_threads = DefaultThreadCount();
   }
@@ -49,9 +51,12 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(
       [this, enqueued, task = std::move(task)] {
         auto started = std::chrono::steady_clock::now();
+        auto waited = started - enqueued;
         task_wait_us_->Observe(
-            std::chrono::duration<double, std::micro>(started - enqueued)
-                .count());
+            std::chrono::duration<double, std::micro>(waited).count());
+        dispatch_wait_->RecordWaitNs(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                .count()));
         task();
         tasks_completed_->Add(1);
       });

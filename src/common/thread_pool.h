@@ -10,6 +10,7 @@
 
 #include "common/mutex.h"
 #include "obs/metrics.h"
+#include "obs/wait_stats.h"
 
 namespace mlcs {
 
@@ -65,6 +66,10 @@ class ThreadPool {
   obs::Gauge* queue_depth_;
   obs::Counter* tasks_completed_;
   obs::Histogram* task_wait_us_;
+  /// Same enqueue→dequeue latency mirrored into the wait-attribution
+  /// registry (`mlcs.wait.pool.dispatch`) so dispatch delay shows up next
+  /// to lock/queue/bufpool blocking in one place (DESIGN.md §15).
+  obs::WaitSite* dispatch_wait_;
 };
 
 }  // namespace mlcs

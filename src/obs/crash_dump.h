@@ -1,0 +1,39 @@
+#ifndef MLCS_OBS_CRASH_DUMP_H_
+#define MLCS_OBS_CRASH_DUMP_H_
+
+namespace mlcs::obs::crash {
+
+/// Crash/stall dump (DESIGN.md §15). InstallCrashHandler() registers a
+/// signal handler for SIGSEGV and SIGABRT (post-mortem) plus SIGUSR1
+/// (on-demand: `kill -USR1 <pid>` against a live, possibly stalled,
+/// process). The handler writes `mlcs_crash_<pid>.json` — the latest
+/// metrics snapshot, the flight recorder's pre-serialized trace ring, and
+/// every live thread's current span stack — using only async-signal-safe
+/// primitives: it reads the static seqlock-guarded buffers of
+/// crash_state.h and emits them with open()/write() and hand-rolled
+/// integer formatting. No allocation, no locks, no stdio (enforced by the
+/// `signal-unsafe` lint rule on this translation unit).
+///
+/// Fatal signals re-raise with the default disposition after dumping, so
+/// exit codes and core dumps are unchanged. SIGUSR1 returns to the
+/// interrupted code (errno preserved) — the process keeps running.
+
+/// Registers the handlers; idempotent. `install_fatal == false` registers
+/// only SIGUSR1 (for processes whose runtime owns the fatal signals, e.g.
+/// sanitizer builds). Returns false if sigaction failed.
+bool InstallCrashHandler(bool install_fatal = true);
+
+/// Directory for the dump file (default "."); copied into a fixed buffer,
+/// truncated if longer than ~200 bytes. Callable before or after install.
+void SetCrashDumpDir(const char* dir);
+
+/// The exact path the next dump will write (fixed static buffer).
+const char* CrashDumpPath();
+
+/// Runs the dump path directly (signal number 0) — what unit tests call
+/// to validate the JSON without delivering a real signal.
+void TriggerCrashDumpForTesting();
+
+}  // namespace mlcs::obs::crash
+
+#endif  // MLCS_OBS_CRASH_DUMP_H_

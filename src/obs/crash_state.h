@@ -1,0 +1,74 @@
+#ifndef MLCS_OBS_CRASH_STATE_H_
+#define MLCS_OBS_CRASH_STATE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace mlcs::obs::crash {
+
+/// Crash-visible shared state (DESIGN.md §15). Everything the crash
+/// handler dumps is pre-serialized into these fixed static buffers by
+/// normal (allocating, locking) code on the healthy path; the
+/// async-signal-safe handler in crash_dump.cc only reads atomics and
+/// bytes and write()s them out. Each buffer is guarded by a seqlock:
+/// writers bump `seq` to odd, mutate, bump to even — the handler skips a
+/// buffer it observes mid-write instead of emitting torn JSON.
+///
+/// Layering: the storage lives in flight_recorder.cc (so this TU stays
+/// malloc-free for the `signal-unsafe` lint rule); writers are
+/// flight_recorder.cc (metrics + trace slots) and trace.cc (per-thread
+/// span stacks).
+
+inline constexpr size_t kMetricsBufBytes = 64 * 1024;
+inline constexpr size_t kTraceSlotBytes = 4096;
+inline constexpr size_t kNumTraceSlots = 32;
+inline constexpr size_t kMaxThreadSlots = 128;
+inline constexpr size_t kMaxSpanDepth = 16;
+inline constexpr size_t kSpanNameBytes = 48;
+
+/// Seqlock-guarded pre-serialized JSON object (`{...}`), e.g. the latest
+/// metrics snapshot.
+struct SeqBuf {
+  std::atomic<uint32_t> seq{0};  // even = stable, odd = being written
+  std::atomic<uint32_t> len{0};
+  char data[kMetricsBufBytes];
+};
+
+/// One pre-serialized flight-recorder entry (a JSON object). Slots form a
+/// ring: writers claim them round-robin, so the newest kNumTraceSlots
+/// completed traces are always dump-ready.
+struct TraceSlot {
+  std::atomic<uint32_t> seq{0};
+  std::atomic<uint32_t> len{0};
+  char data[kTraceSlotBytes];
+};
+
+/// One thread's live span stack. `names` entries are JSON-sanitized at
+/// push time (quotes/backslashes/control bytes replaced) so the handler
+/// can quote them verbatim. `depth` is published with release order after
+/// the name bytes are in place; a racy read may see a stale frame name —
+/// acceptable for a crash dump.
+struct ThreadSlot {
+  std::atomic<uint32_t> in_use{0};
+  std::atomic<uint64_t> thread_index{0};
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<uint32_t> depth{0};
+  char names[kMaxSpanDepth][kSpanNameBytes];
+};
+
+struct CrashState {
+  SeqBuf metrics;
+  TraceSlot trace_slots[kNumTraceSlots];
+  std::atomic<uint32_t> next_trace_slot{0};
+  ThreadSlot thread_slots[kMaxThreadSlots];
+};
+
+/// The process-wide instance (static storage in flight_recorder.cc —
+/// never allocated, so it is readable from the first instruction of a
+/// signal handler).
+CrashState& GlobalCrashState();
+
+}  // namespace mlcs::obs::crash
+
+#endif  // MLCS_OBS_CRASH_STATE_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -11,6 +12,33 @@ namespace {
 
 double ToMicros(std::chrono::nanoseconds ns) {
   return static_cast<double>(ns.count()) / 1000.0;
+}
+
+Schema TraceSchema() {
+  Schema schema;
+  schema.AddField("trace_id", TypeId::kInt64);
+  schema.AddField("span_id", TypeId::kInt64);
+  schema.AddField("parent_id", TypeId::kInt64);
+  schema.AddField("name", TypeId::kVarchar);
+  schema.AddField("start_us", TypeId::kDouble);
+  schema.AddField("duration_us", TypeId::kDouble);
+  schema.AddField("rows_in", TypeId::kInt64);
+  schema.AddField("rows_out", TypeId::kInt64);
+  schema.AddField("bytes", TypeId::kInt64);
+  schema.AddField("note", TypeId::kVarchar);
+  return schema;
+}
+
+Schema SlowQuerySchema() {
+  Schema schema;
+  schema.AddField("trace_id", TypeId::kInt64);
+  schema.AddField("query", TypeId::kVarchar);
+  schema.AddField("duration_ms", TypeId::kDouble);
+  schema.AddField("spans", TypeId::kInt64);
+  schema.AddField("dropped_spans", TypeId::kInt64);
+  schema.AddField("truncated", TypeId::kInt64);
+  schema.AddField("plan", TypeId::kVarchar);
+  return schema;
 }
 
 }  // namespace
@@ -29,18 +57,8 @@ TablePtr MetricsTable() {
 }
 
 TablePtr TraceTable(uint64_t trace_id) {
-  Schema schema;
-  schema.AddField("trace_id", TypeId::kInt64);
-  schema.AddField("span_id", TypeId::kInt64);
-  schema.AddField("parent_id", TypeId::kInt64);
-  schema.AddField("name", TypeId::kVarchar);
-  schema.AddField("start_us", TypeId::kDouble);
-  schema.AddField("duration_us", TypeId::kDouble);
-  schema.AddField("rows_in", TypeId::kInt64);
-  schema.AddField("rows_out", TypeId::kInt64);
-  schema.AddField("bytes", TypeId::kInt64);
-  auto table = Table::Make(std::move(schema));
-  for (const TraceSpan& s : TraceSink::Global().Query(trace_id)) {
+  auto table = Table::Make(TraceSchema());
+  for (const TraceSpan& s : FlightRecorder::Global().Query(trace_id)) {
     (void)table->AppendRow(
         {Value::Int64(static_cast<int64_t>(s.trace_id)),
          Value::Int64(s.span_id), Value::Int64(s.parent_id),
@@ -48,7 +66,22 @@ TablePtr TraceTable(uint64_t trace_id) {
          Value::Double(ToMicros(s.duration)),
          Value::Int64(static_cast<int64_t>(s.rows_in)),
          Value::Int64(static_cast<int64_t>(s.rows_out)),
-         Value::Int64(static_cast<int64_t>(s.bytes))});
+         Value::Int64(static_cast<int64_t>(s.bytes)),
+         Value::Varchar(s.note)});
+  }
+  return table;
+}
+
+TablePtr SlowQueriesTable() {
+  auto table = Table::Make(SlowQuerySchema());
+  for (const RecordedTrace& t : FlightRecorder::Global().SlowQueries()) {
+    (void)table->AppendRow(
+        {Value::Int64(static_cast<int64_t>(t.trace_id)),
+         Value::Varchar(t.query_text.empty() ? t.root_name : t.query_text),
+         Value::Double(t.duration_ms),
+         Value::Int64(static_cast<int64_t>(t.spans.size())),
+         Value::Int64(static_cast<int64_t>(t.dropped_spans)),
+         Value::Int64(t.truncated ? 1 : 0), Value::Varchar(t.plan_text)});
   }
   return table;
 }
@@ -72,15 +105,7 @@ Status RegisterIntrospectionFunctions(udf::UdfRegistry* registry) {
     entry.name = "mlcs_trace";
     entry.param_types = {TypeId::kInt64};
     entry.typed = true;
-    entry.return_schema.AddField("trace_id", TypeId::kInt64);
-    entry.return_schema.AddField("span_id", TypeId::kInt64);
-    entry.return_schema.AddField("parent_id", TypeId::kInt64);
-    entry.return_schema.AddField("name", TypeId::kVarchar);
-    entry.return_schema.AddField("start_us", TypeId::kDouble);
-    entry.return_schema.AddField("duration_us", TypeId::kDouble);
-    entry.return_schema.AddField("rows_in", TypeId::kInt64);
-    entry.return_schema.AddField("rows_out", TypeId::kInt64);
-    entry.return_schema.AddField("bytes", TypeId::kInt64);
+    entry.return_schema = TraceSchema();
     entry.fn = [](const std::vector<ColumnPtr>& args) -> Result<TablePtr> {
       if (args.size() != 1 || args[0]->size() != 1 || args[0]->IsNull(0)) {
         return Status::InvalidArgument(
@@ -89,6 +114,17 @@ Status RegisterIntrospectionFunctions(udf::UdfRegistry* registry) {
       }
       MLCS_ASSIGN_OR_RETURN(Value id, args[0]->GetValue(0));
       return TraceTable(static_cast<uint64_t>(id.int64_value()));
+    };
+    MLCS_RETURN_IF_ERROR(registry->RegisterTable(std::move(entry)));
+  }
+  {
+    udf::TableUdfEntry entry;
+    entry.name = "mlcs_slow_queries";
+    entry.typed = true;  // zero arguments, enforced
+    entry.return_schema = SlowQuerySchema();
+    entry.fn =
+        [](const std::vector<ColumnPtr>& /*args*/) -> Result<TablePtr> {
+      return SlowQueriesTable();
     };
     MLCS_RETURN_IF_ERROR(registry->RegisterTable(std::move(entry)));
   }

@@ -1,9 +1,10 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <chrono>
 
 #include "common/logging.h"
+#include "obs/wait_stats.h"
 
 namespace mlcs::obs {
 
@@ -59,50 +60,119 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+Quantiles EstimateQuantiles(const double* bounds, size_t num_bounds,
+                            const uint64_t* bucket_counts,
+                            uint64_t total_count) {
+  Quantiles q;
+  if (total_count == 0) return q;
+  const double fallback = num_bounds > 0 ? bounds[num_bounds - 1] : 0.0;
+  const double targets[3] = {0.50, 0.90, 0.99};
+  double* outs[3] = {&q.p50, &q.p90, &q.p99};
+  for (int t = 0; t < 3; ++t) {
+    double rank = targets[t] * static_cast<double>(total_count);
+    if (rank < 1.0) rank = 1.0;
+    double estimate = fallback;
+    double cum = 0.0;
+    for (size_t i = 0; i <= num_bounds; ++i) {
+      double in_bucket = static_cast<double>(bucket_counts[i]);
+      if (cum + in_bucket >= rank) {
+        if (i == num_bounds) break;  // +inf bucket: clamp to last bound
+        double lower = (i == 0) ? 0.0 : bounds[i - 1];
+        double frac = in_bucket == 0.0 ? 1.0 : (rank - cum) / in_bucket;
+        estimate = lower + frac * (bounds[i] - lower);
+        break;
+      }
+      cum += in_bucket;
+    }
+    *outs[t] = estimate;
+  }
+  return q;
+}
+
 namespace {
 
-/// "100", "0.25": shortest representation that round-trips the bound.
-std::string FormatBound(double bound) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%g", bound);
-  return buf;
+Quantiles HistogramQuantiles(const Histogram& h) {
+  std::vector<uint64_t> counts(h.num_buckets());
+  for (size_t i = 0; i < h.num_buckets(); ++i) counts[i] = h.BucketCount(i);
+  return EstimateQuantiles(h.bounds().data(), h.bounds().size(),
+                           counts.data(), h.Count());
 }
 
 }  // namespace
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  auto begin = std::chrono::steady_clock::now();
   if (snapshots_ != nullptr) snapshots_->Add(1);
-  MutexLock lock(&mutex_);
   std::vector<MetricSample> out;
-  out.reserve(counters_.size() + gauges_.size() + 3 * histograms_.size());
-  for (const auto& [name, counter] : counters_) {
-    out.push_back({name, "counter", static_cast<double>(counter->Value())});
-  }
-  for (const auto& [name, gauge] : gauges_) {
-    out.push_back({name, "gauge", static_cast<double>(gauge->Value())});
-  }
-  for (const auto& [name, h] : histograms_) {
-    for (size_t i = 0; i < h->bounds().size(); ++i) {
-      out.push_back({name + ".le_" + FormatBound(h->bounds()[i]),
-                     "histogram", static_cast<double>(h->BucketCount(i))});
+  {
+    MutexLock lock(&mutex_);
+    out.reserve(counters_.size() + gauges_.size() +
+                5 * histograms_.size());
+    for (const auto& [name, counter] : counters_) {
+      out.push_back(
+          {name, "counter", static_cast<double>(counter->Value())});
     }
-    out.push_back({name + ".le_inf", "histogram",
-                   static_cast<double>(h->BucketCount(h->bounds().size()))});
-    out.push_back(
-        {name + ".count", "histogram", static_cast<double>(h->Count())});
-    out.push_back({name + ".sum", "histogram", h->Sum()});
+    for (const auto& [name, gauge] : gauges_) {
+      out.push_back({name, "gauge", static_cast<double>(gauge->Value())});
+    }
+    for (const auto& [name, h] : histograms_) {
+      Quantiles q = HistogramQuantiles(*h);
+      out.push_back(
+          {name + ".count", "histogram", static_cast<double>(h->Count())});
+      out.push_back({name + ".sum", "histogram", h->Sum()});
+      out.push_back({name + ".p50", "histogram", q.p50});
+      out.push_back({name + ".p90", "histogram", q.p90});
+      out.push_back({name + ".p99", "histogram", q.p99});
+    }
   }
+  // Only the Global() registry (recognizable by its self-registered
+  // counter) merges the process-wide wait sites: plain instance registries
+  // in tests must stay self-contained.
+  if (snapshots_ != nullptr) WaitStats::Global().Export(&out);
   std::sort(out.begin(), out.end(),
             [](const MetricSample& a, const MetricSample& b) {
               return a.name < b.name;
             });
+  if (export_us_ != nullptr) {
+    export_us_->Observe(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count());
+  }
   return out;
+}
+
+RegistrySnapshot MetricsRegistry::StructuredSnapshot() const {
+  RegistrySnapshot snap;
+  MutexLock lock(&mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back(
+        {name, "counter", static_cast<double>(counter->Value())});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back(
+        {name, "gauge", static_cast<double>(gauge->Value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.counts.resize(h->num_buckets());
+    for (size_t i = 0; i < h->num_buckets(); ++i) {
+      hs.counts[i] = h->BucketCount(i);
+    }
+    hs.count = h->Count();
+    hs.sum = h->Sum();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = [] {
     auto* r = new MetricsRegistry();
     r->snapshots_ = r->GetCounter("mlcs.obs.snapshots");
+    r->export_us_ = r->GetHistogram(
+        "mlcs.obs.export_us", {10, 50, 100, 500, 1000, 5000, 10000, 50000});
     return r;
   }();
   return *registry;

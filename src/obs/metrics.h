@@ -21,8 +21,11 @@ namespace mlcs::obs {
 ///
 /// Naming scheme (DESIGN.md §10): `mlcs.<subsystem>.<series>`, lowercase,
 /// dot-separated, e.g. `mlcs.plan_cache.hits`, `mlcs.threadpool.queue_depth`,
-/// `mlcs.serve.batched_rows`. Histograms export one row per bucket
-/// (`<name>.le_<bound>`) plus `<name>.count` and `<name>.sum`.
+/// `mlcs.serve.batched_rows`. Histograms export `<name>.count`,
+/// `<name>.sum`, and interpolated `<name>.p50/.p90/.p99` quantile rows
+/// (DESIGN.md §15) — raw bucket blobs are reachable through
+/// StructuredSnapshot() for the Prometheus exporter, which needs the
+/// cumulative `_bucket{le=...}` form.
 
 /// Monotonic event count. Relaxed atomics: series are independent and
 /// snapshots are advisory, so no ordering is needed.
@@ -93,6 +96,40 @@ struct MetricSample {
   double value = 0.0;
 };
 
+/// Interpolated quantile estimates from fixed histogram buckets.
+struct Quantiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Estimates p50/p90/p99 by linear interpolation inside the bucket that
+/// holds each target rank (the Prometheus `histogram_quantile` model).
+/// `bucket_counts` has `num_bounds + 1` entries (the last is the +inf
+/// overflow bucket, whose estimates clamp to the last finite bound — the
+/// error is bounded and one-sided). All zeros when `total_count == 0`.
+Quantiles EstimateQuantiles(const double* bounds, size_t num_bounds,
+                            const uint64_t* bucket_counts,
+                            uint64_t total_count);
+
+/// Full-resolution view of one histogram for structured exporters.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1, last is +inf
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Kind-separated snapshot — what the Prometheus text exporter renders
+/// (it needs per-bucket counts, which the flat Snapshot() elides in favor
+/// of quantiles).
+struct RegistrySnapshot {
+  std::vector<MetricSample> counters;
+  std::vector<MetricSample> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
 /// Named registration + snapshot over the three metric kinds. Registration
 /// takes a mutex (cold: callers cache the returned pointer); bumping the
 /// returned handle is wait-free. Handles are stable for the process
@@ -114,20 +151,29 @@ class MetricsRegistry {
 
   /// Consistent-enough snapshot of every series, sorted by name.
   /// (Individual reads are atomic; the set is not a cross-series
-  /// transaction — fine for telemetry.)
+  /// transaction — fine for telemetry.) The Global() registry's snapshot
+  /// additionally merges the WaitStats sites (`mlcs.wait.*`).
   std::vector<MetricSample> Snapshot() const;
+
+  /// Per-kind snapshot with full histogram buckets, sorted by name within
+  /// each kind. Wait sites are NOT merged here — exporters render them
+  /// with labels straight from WaitStats.
+  RegistrySnapshot StructuredSnapshot() const;
 
   /// Process-wide registry (leaky singleton, never destroyed). Unlike a
   /// plain registry it self-registers `mlcs.obs.snapshots` (bumped per
-  /// Snapshot call), so a global export always carries at least one
-  /// series — the bench-JSON metrics block is checkable even from a
-  /// binary that exercises no instrumented subsystem.
+  /// Snapshot call) and the `mlcs.obs.export_us` histogram (snapshot
+  /// render time), so a global export always carries at least one counter
+  /// AND one histogram — the bench-JSON metrics block (and its quantile
+  /// fields) is checkable even from a binary that exercises no
+  /// instrumented subsystem.
   static MetricsRegistry& Global();
 
  private:
   mutable Mutex mutex_{"MetricsRegistry::mutex_"};
   /// Set once inside Global()'s initializer, read-only afterwards.
-  Counter* snapshots_ = nullptr;  // lint:allow(guarded-member)
+  Counter* snapshots_ = nullptr;    // lint:allow(guarded-member)
+  Histogram* export_us_ = nullptr;  // lint:allow(guarded-member)
   std::map<std::string, std::unique_ptr<Counter>> counters_
       MLCS_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_

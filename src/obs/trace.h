@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +31,10 @@ struct TraceSpan {
   uint64_t trace_id = 0;
   uint32_t span_id = 0;
   uint32_t parent_id = 0;
+  /// Small per-thread index (CurrentThreadIndex()) of the recording
+  /// thread — the `tid` of the Chrome trace_event export, which is how a
+  /// morsel-parallel operator's spans land on separate timeline rows.
+  uint32_t tid = 0;
   std::string name;
   /// Offset from the trace's start, and the span's own wall time.
   std::chrono::nanoseconds start_offset{0};
@@ -52,9 +55,19 @@ struct TraceSpan {
 bool TracingEnabled();
 void SetTracingEnabled(bool enabled);
 
+/// True when a query boundary should create a trace context: tracing is
+/// on OR the always-on flight recorder is capturing completed traces.
+/// (Implemented in trace.cc to keep this header free of the recorder.)
+bool TraceCaptureEnabled();
+
 /// True when the calling thread currently has a trace context installed —
 /// the cheap gate instrumentation checks before building span names.
 bool TraceActive();
+
+/// Stable small index (1, 2, …) identifying the calling thread; assigned
+/// on first use. Exported as the Chrome trace `tid` and the crash dump's
+/// thread key — readable, unlike the 64-bit std::thread::id hash.
+uint32_t CurrentThreadIndex();
 
 class TraceContext;
 
@@ -77,8 +90,8 @@ class ScopedTraceAttach {
 /// Collects the spans of one trace. Construction installs the context on
 /// the calling thread (saving any outer context; an EXPLAIN ANALYZE inside
 /// a traced session shadows, then restores it). Destruction records the
-/// root span and flushes everything to the global TraceSink — unless the
-/// caller already took the spans with ConsumeSpans().
+/// root span and flushes everything to the global FlightRecorder — unless
+/// the caller already took the spans with ConsumeSpans().
 class TraceContext {
  public:
   /// `force` creates an active context even when TracingEnabled() is off
@@ -91,6 +104,21 @@ class TraceContext {
 
   bool active() const { return active_; }
   uint64_t trace_id() const { return trace_id_; }
+
+  /// Wall time since construction — what Database::Query compares against
+  /// the slow-query threshold before rendering plan text.
+  double ElapsedMs() const;
+
+  /// Query-level context carried into the flight recorder's RecordedTrace
+  /// (no-ops when inactive). Plan text is set lazily, post-execution, and
+  /// only for queries that crossed the slow threshold.
+  void set_query_text(std::string sql);
+  void set_plan_text(std::string plan);
+
+  /// Spans this trace dropped at the kMaxSpansPerTrace cap (per-trace
+  /// attribution; the global `mlcs.trace.dropped_spans` counter is the
+  /// process aggregate).
+  uint64_t dropped_spans() const;
 
   /// Records a completed span with explicit endpoints (e.g. the serving
   /// admission wait, whose start predates the batch's context).
@@ -123,8 +151,12 @@ class TraceContext {
   bool consumed_ = false;         // lint:allow(guarded-member) owner-thread only
   uint64_t trace_id_ = 0;         // lint:allow(guarded-member)
   std::string root_name_;         // lint:allow(guarded-member)
+  /// Owner-thread only, like root_name_.
+  std::string query_text_;        // lint:allow(guarded-member)
+  std::string plan_text_;         // lint:allow(guarded-member)
   std::chrono::steady_clock::time_point start_;  // lint:allow(guarded-member)
   std::atomic<uint32_t> next_span_id_{2};  // 1 is the root
+  std::atomic<uint64_t> dropped_{0};
   Mutex mutex_{"TraceContext::mutex_"};
   std::vector<TraceSpan> spans_ MLCS_GUARDED_BY(mutex_);
   bool dropped_warned_ MLCS_GUARDED_BY(mutex_) = false;
@@ -167,27 +199,6 @@ class ScopedSpan {
   uint64_t bytes_ = 0;
   std::string note_;
   const void* op_token_ = nullptr;
-};
-
-/// Bounded ring of recently completed traces, queryable through the
-/// `mlcs_trace(trace_id)` SQL table function. Holding the newest
-/// kMaxTraces traces; older ones are evicted (counted in
-/// `mlcs.trace.evicted_traces`).
-class TraceSink {
- public:
-  static constexpr size_t kMaxTraces = 64;
-
-  void AddTrace(std::vector<TraceSpan> spans);
-  /// Spans of one trace (empty when unknown), or of every retained trace
-  /// when `trace_id == 0`, ordered by (trace, span id).
-  std::vector<TraceSpan> Query(uint64_t trace_id) const;
-  void Clear();
-
-  static TraceSink& Global();
-
- private:
-  mutable Mutex mutex_{"TraceSink::mutex_"};
-  std::deque<std::vector<TraceSpan>> traces_ MLCS_GUARDED_BY(mutex_);
 };
 
 }  // namespace mlcs::obs

@@ -1,0 +1,104 @@
+#ifndef MLCS_OBS_WAIT_STATS_H_
+#define MLCS_OBS_WAIT_STATS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mlcs::obs {
+
+struct MetricSample;
+
+/// Wait-state attribution (DESIGN.md §15). Every blocking primitive in the
+/// engine — contended mlcs::Mutex acquisitions, BoundedQueue consumer
+/// waits, buffer-pool miss loads, ThreadPool dispatch — records its
+/// time-blocked into a named WaitSite here, so `mlcs_metrics()` can answer
+/// "what were 200 threads waiting on" with per-site latency histograms
+/// (`mlcs.wait.{lock,queue,bufpool,pool}.<site>.*`).
+///
+/// The registry is deliberately NOT built on MetricsRegistry: recording a
+/// wait must never take a lock (the most important caller *is* the lock
+/// facade, including MetricsRegistry's own mutex — routing through the
+/// registry would recurse). Sites live in a fixed-capacity array, claimed
+/// with a lock-free CAS handshake, and bump relaxed atomics; the flat
+/// MetricsRegistry::Global() snapshot merges them in at export time.
+
+/// Which blocking primitive a site instruments; becomes the third path
+/// segment of the exported series name.
+enum class WaitKind : uint8_t { kLock = 0, kQueue = 1, kBufpool = 2,
+                                kPool = 3 };
+
+const char* WaitKindName(WaitKind kind);
+
+/// One named blocking site: a fixed-bucket latency histogram (bounds in
+/// microseconds, shared by every site) plus count/total/max. All methods
+/// are lock-free and async-signal-tolerant (plain atomics, no allocation).
+class WaitSite {
+ public:
+  static constexpr size_t kNumBounds = 11;
+  static constexpr size_t kNameBytes = 56;
+  /// Ascending bucket upper bounds in microseconds (10us … 1s, +inf
+  /// implicit).
+  static const double* BoundsUs();
+
+  void RecordWaitNs(uint64_t ns);
+
+  const char* name() const { return name_; }
+  WaitKind kind() const { return kind_; }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t TotalNs() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  uint64_t MaxNs() const { return max_ns_.load(std::memory_order_relaxed); }
+  /// Count in bucket `i`; `i == kNumBounds` is the overflow bucket.
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class WaitStats;
+  /// 0 = free, 1 = being claimed, 2 = published (name_/kind_ readable).
+  std::atomic<uint32_t> state_{0};
+  char name_[kNameBytes] = {0};
+  WaitKind kind_ = WaitKind::kLock;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+  std::atomic<uint64_t> buckets_[kNumBounds + 1] = {};
+};
+
+/// Fixed-capacity, lock-free site registry. GetSite is idempotent per
+/// (kind, name) modulo a benign claim race (two racing first-callers may
+/// create duplicate sites; Export merges by name, and callers cache the
+/// returned pointer so the race is one-shot). Past capacity every caller
+/// shares one "overflow" site — waits are never silently dropped.
+class WaitStats {
+ public:
+  static constexpr size_t kMaxSites = 256;
+
+  /// Never returns null; `name` is copied (truncated to kNameBytes-1).
+  WaitSite* GetSite(WaitKind kind, const char* name);
+
+  /// Appends flat samples (`mlcs.wait.<kind>.<name>.count/.sum/.max/
+  /// .p50/.p90/.p99`, microseconds) merged across duplicate sites.
+  void Export(std::vector<MetricSample>* out) const;
+
+  /// Published sites in claim order (duplicates included).
+  std::vector<const WaitSite*> Sites() const;
+
+  /// Zeroes every published site's counters (the sites themselves persist —
+  /// cached pointers stay valid). Testing/bench only.
+  void ResetCountersForTesting();
+
+  static WaitStats& Global();
+
+ private:
+  std::atomic<uint32_t> num_sites_{0};
+  WaitSite sites_[kMaxSites];
+  WaitSite overflow_;
+};
+
+}  // namespace mlcs::obs
+
+#endif  // MLCS_OBS_WAIT_STATS_H_

@@ -1,6 +1,7 @@
 #ifndef MLCS_SERVE_BOUNDED_QUEUE_H_
 #define MLCS_SERVE_BOUNDED_QUEUE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <deque>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "common/mutex.h"
+#include "obs/wait_stats.h"
 
 namespace mlcs::serve {
 
@@ -16,10 +18,18 @@ namespace mlcs::serve {
 /// accepts the item or reports the queue full/closed, so the caller can
 /// answer `overloaded` instead of queueing without bound. Consumers drain
 /// remaining items after Close() (drain-then-stop shutdown).
+///
+/// Consumer blocked-time is attributed to `mlcs.wait.queue.<site>` (the
+/// `wait_site` constructor label, DESIGN.md §15): only waits that
+/// actually parked on the condvar are recorded, so an always-stocked
+/// queue costs nothing extra.
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+  /// `wait_site` must outlive the queue (string literals).
+  explicit BoundedQueue(size_t capacity,
+                        const char* wait_site = "BoundedQueue")
+      : capacity_(capacity), wait_site_name_(wait_site) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -39,7 +49,11 @@ class BoundedQueue {
   /// drained; nullopt only in the latter case.
   std::optional<T> PopWait() {
     MutexLock lock(&mutex_);
-    while (!closed_ && items_.empty()) cv_.Wait(lock);
+    if (!closed_ && items_.empty()) {
+      auto start = std::chrono::steady_clock::now();
+      while (!closed_ && items_.empty()) cv_.Wait(lock);
+      RecordBlocked(start);
+    }
     return PopLocked();
   }
 
@@ -47,8 +61,12 @@ class BoundedQueue {
   /// the micro-batcher's linger wait.
   std::optional<T> PopUntil(std::chrono::steady_clock::time_point deadline) {
     MutexLock lock(&mutex_);
-    while (!closed_ && items_.empty()) {
-      if (!cv_.WaitUntil(lock, deadline)) break;  // deadline passed
+    if (!closed_ && items_.empty()) {
+      auto start = std::chrono::steady_clock::now();
+      while (!closed_ && items_.empty()) {
+        if (!cv_.WaitUntil(lock, deadline)) break;  // deadline passed
+      }
+      RecordBlocked(start);
     }
     return PopLocked();
   }
@@ -83,7 +101,22 @@ class BoundedQueue {
     return out;
   }
 
+  void RecordBlocked(std::chrono::steady_clock::time_point start) {
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    obs::WaitSite* site = wait_site_.load(std::memory_order_acquire);
+    if (site == nullptr) {
+      site = obs::WaitStats::Global().GetSite(obs::WaitKind::kQueue,
+                                              wait_site_name_);
+      wait_site_.store(site, std::memory_order_release);
+    }
+    site->RecordWaitNs(static_cast<uint64_t>(ns));
+  }
+
   const size_t capacity_;
+  const char* wait_site_name_;
+  std::atomic<obs::WaitSite*> wait_site_{nullptr};
   mutable Mutex mutex_{"BoundedQueue::mutex_"};
   CondVar cv_;
   std::deque<T> items_ MLCS_GUARDED_BY(mutex_);

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/export.h"
 
 namespace mlcs::serve {
 
@@ -75,7 +76,7 @@ Status InferenceServer::Start(uint16_t port) {
   port_ = ntohs(addr.sin_port);
   listen_fd_.store(fd);
   queue_ = std::make_unique<BoundedQueue<Pending>>(
-      options_.max_queue_requests);
+      options_.max_queue_requests, "serve.admission");
   draining_.store(false);
   io_stop_.store(false);
   running_.store(true);
@@ -225,6 +226,10 @@ bool InferenceServer::ProcessBufferedFrames(const ConnPtr& conn) {
 
 void InferenceServer::HandleFrame(const ConnPtr& conn, const uint8_t* body,
                                   size_t size) {
+  if (IsExportRequest(body, size)) {
+    HandleExportFrame(conn, body, size);
+    return;
+  }
   ByteReader reader(body, size);
   auto decoded = DecodePredictRequest(&reader);
   if (!decoded.ok()) {
@@ -257,6 +262,26 @@ void InferenceServer::HandleFrame(const ConnPtr& conn, const uint8_t* body,
   }
   stats_.requests_accepted.Add(1);
   stats_.peak_queue_depth.UpdateMax(queue_->size());
+}
+
+void InferenceServer::HandleExportFrame(const ConnPtr& conn,
+                                        const uint8_t* body, size_t size) {
+  ByteReader reader(body, size);
+  auto decoded = DecodeExportRequest(&reader);
+  bool ok = decoded.ok();
+  std::string text;
+  if (!ok) {
+    text = decoded.status().ToString();
+  } else if (decoded.ValueOrDie().kind == 'm') {
+    text = obs::PrometheusText();
+  } else {
+    text = obs::ChromeTraceJson(decoded.ValueOrDie().trace_id);
+  }
+  ByteWriter out;
+  EncodeExportResponse(ok, text, &out);
+  MutexLock lock(&conn->write_mutex);
+  Status ignored = WriteFrame(conn->fd, out);
+  (void)ignored;
 }
 
 void InferenceServer::BatchLoop() {

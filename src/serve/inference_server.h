@@ -122,6 +122,10 @@ class InferenceServer {
   [[nodiscard]] bool ReadAndDispatch(const ConnPtr& conn);
   [[nodiscard]] bool ProcessBufferedFrames(const ConnPtr& conn);
   void HandleFrame(const ConnPtr& conn, const uint8_t* body, size_t size);
+  /// Observability sideband ('m'/'t' frames): renders the export on the
+  /// I/O thread and answers inline — never queued behind inference.
+  void HandleExportFrame(const ConnPtr& conn, const uint8_t* body,
+                         size_t size);
   void ExecuteBatch(std::vector<Pending> batch);
   /// `trace` is the batch's trace context (null when tracing is off); pool
   /// workers attach to it so predict spans land in the batch's trace.

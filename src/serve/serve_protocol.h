@@ -88,6 +88,28 @@ uint64_t PeekRequestId(const uint8_t* body, size_t size);
 void EncodePredictResponse(const PredictResponse& response, ByteWriter* out);
 Result<PredictResponse> DecodePredictResponse(ByteReader* in);
 
+/// Observability sideband (DESIGN.md §15) on the same framed transport:
+/// kind 'm' requests a Prometheus text snapshot of the global registry,
+/// kind 't' (+ u64 trace id, 0 = all retained) a Chrome trace_event JSON
+/// export. Both are answered inline by the I/O thread with an 'E' frame —
+/// ok flag + text — so a scraper never queues behind inference.
+struct ExportRequest {
+  uint8_t kind = 0;       // 'm' or 't'
+  uint64_t trace_id = 0;  // 't' only
+};
+
+/// True when `body` opens with an export request kind (how HandleFrame
+/// routes between predict and the sideband without trial decoding).
+bool IsExportRequest(const uint8_t* body, size_t size);
+
+void EncodeMetricsRequest(ByteWriter* out);
+void EncodeTraceExportRequest(uint64_t trace_id, ByteWriter* out);
+Result<ExportRequest> DecodeExportRequest(ByteReader* in);
+
+void EncodeExportResponse(bool ok, const std::string& text, ByteWriter* out);
+/// The exported text, or the server-side error as a Status.
+Result<std::string> DecodeExportResponse(ByteReader* in);
+
 /// Blocking frame transport: a u32 length prefix followed by the body.
 Status WriteFrame(int fd, const ByteWriter& body);
 Result<std::vector<uint8_t>> ReadFrame(int fd);

@@ -8,6 +8,8 @@
 #include "bufpool/stored_table.h"
 #include "common/file_util.h"
 #include "common/string_util.h"
+#include "exec/operator.h"
+#include "obs/flight_recorder.h"
 #include "obs/introspection.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
@@ -163,10 +165,13 @@ size_t Database::plan_cache_size() const {
 
 Result<TablePtr> Database::Query(const std::string& sql) {
   // Root span for the whole statement; children (parse, plan, operators)
-  // nest under it. No-op (one relaxed atomic load) when tracing is off.
+  // nest under it. Created when tracing is on OR the always-on flight
+  // recorder is capturing (`force`: the ctor's own gate only checks the
+  // tracing flag). No-ops down to two relaxed loads when both are off.
   std::optional<obs::TraceContext> trace;
-  if (obs::TracingEnabled()) {
-    trace.emplace("query: " + sql.substr(0, 120));
+  if (obs::TraceCaptureEnabled()) {
+    trace.emplace("query: " + sql.substr(0, 120), /*force=*/true);
+    trace->set_query_text(sql);
   }
   // Fast path: a resident, still-current plan for this exact text. Take a
   // strong reference under the lock, execute outside it (plans are const
@@ -190,7 +195,9 @@ Result<TablePtr> Database::Query(const std::string& sql) {
     }
   }
   if (cached != nullptr) {
-    return sql::Executor::RunPrepared(*cached);
+    auto result = sql::Executor::RunPrepared(*cached);
+    MaybeCapturePlanText(trace, *cached);
+    return result;
   }
 
   sql::Statement stmt;
@@ -227,7 +234,25 @@ Result<TablePtr> Database::Query(const std::string& sql) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     }
   }
-  return sql::Executor::RunPrepared(*plan);
+  auto result = sql::Executor::RunPrepared(*plan);
+  MaybeCapturePlanText(trace, *plan);
+  return result;
+}
+
+void Database::MaybeCapturePlanText(
+    std::optional<obs::TraceContext>& trace,
+    const sql::PreparedSelect& plan) {
+  // Plan text is rendered lazily and only for queries that already
+  // crossed the slow threshold — a fast query pays nothing beyond the
+  // ElapsedMs clock read. The trace dtor (which fires after this returns)
+  // carries the text into the slow-query log.
+  if (!trace.has_value() || !trace->active()) return;
+  if (trace->ElapsedMs() < obs::FlightRecorder::SlowQueryThresholdMs()) {
+    return;
+  }
+  if (plan.root != nullptr) {
+    trace->set_plan_text(exec::RenderOperatorTree(*plan.root));
+  }
 }
 
 Result<TablePtr> Database::Run(const std::string& script) {

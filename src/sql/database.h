@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "common/mutex.h"
 #include "common/result.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/executor.h"
 #include "storage/catalog.h"
 #include "udf/udf.h"
@@ -95,6 +97,11 @@ class Database {
 
  private:
   void RegisterBuiltinFunctions();
+  /// Renders the optimized plan into the query's trace when the statement
+  /// has already crossed the slow-query threshold (lazy: fast queries
+  /// never pay the render).
+  static void MaybeCapturePlanText(std::optional<obs::TraceContext>& trace,
+                                   const sql::PreparedSelect& plan);
 
   // Each internally synchronized (Catalog/UdfRegistry carry their own
   // mutexes; the Executor is immutable after the setters clear the cache).

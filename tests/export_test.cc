@@ -1,0 +1,212 @@
+/// Standard-exporter and crash-dump contracts (DESIGN.md §15): Prometheus
+/// text exposition (names, label escaping, cumulative buckets), Chrome
+/// trace_event JSON, dump-to-disk helpers, and the async-signal-safe
+/// crash dump round-tripped through a real SIGUSR1 delivery.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/crash_dump.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/wait_stats.h"
+
+namespace mlcs::obs {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// -- Prometheus text exposition -------------------------------------------
+
+TEST(PrometheusExportTest, CounterAndGaugeFamilies) {
+  MetricsRegistry::Global().GetCounter("test.export.prom_counter")->Add(3);
+  MetricsRegistry::Global().GetGauge("test.export.prom_gauge")->Set(-7);
+  std::string text = PrometheusText();
+  // Golden fragments: dotted names sanitize to underscores, each sample
+  // is preceded by its TYPE header.
+  EXPECT_NE(text.find("# TYPE test_export_prom_counter counter\n"
+                      "test_export_prom_counter 3\n"),
+            std::string::npos)
+      << text.substr(0, 2000);
+  EXPECT_NE(text.find("# TYPE test_export_prom_gauge gauge\n"
+                      "test_export_prom_gauge -7\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusExportTest, HistogramIsCumulativeWithInfBucket) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test.export.prom_hist", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(99.0);  // overflow bucket
+  std::string text = PrometheusText();
+  // Buckets are cumulative; +Inf equals _count; _sum is the raw total.
+  EXPECT_NE(text.find("# TYPE test_export_prom_hist histogram\n"
+                      "test_export_prom_hist_bucket{le=\"1\"} 1\n"
+                      "test_export_prom_hist_bucket{le=\"2\"} 2\n"
+                      "test_export_prom_hist_bucket{le=\"+Inf\"} 3\n"
+                      "test_export_prom_hist_sum 101\n"
+                      "test_export_prom_hist_count 3\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusExportTest, WaitSitesExportAsLabeledFamilyWithEscaping) {
+  WaitSite* site =
+      WaitStats::Global().GetSite(WaitKind::kQueue, "esc\"site\\name");
+  site->RecordWaitNs(5'000);  // 5us → first bucket (10us bound)
+  std::string text = PrometheusText();
+  EXPECT_NE(text.find("# TYPE mlcs_wait_us histogram\n"), std::string::npos);
+  // Reserved characters in the site label are escaped per the exposition
+  // format: backslash and double-quote.
+  const std::string labels =
+      "{kind=\"queue\",site=\"esc\\\"site\\\\name\"";
+  EXPECT_NE(text.find("mlcs_wait_us_bucket" + labels + ",le=\"10\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mlcs_wait_us_sum" + labels + "} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("mlcs_wait_us_count" + labels + "} 1"),
+            std::string::npos);
+}
+
+TEST(PrometheusExportTest, DumpWritesFile) {
+  MetricsRegistry::Global().GetCounter("test.export.dump_marker")->Add(1);
+  std::string path = testing::TempDir() + "/prom_dump.txt";
+  ASSERT_TRUE(DumpPrometheusText(path).ok());
+  std::string text = ReadFileOrEmpty(path);
+  EXPECT_NE(text.find("# TYPE "), std::string::npos);
+  EXPECT_NE(text.find("test_export_dump_marker 1"), std::string::npos);
+}
+
+/// -- Chrome trace_event JSON ----------------------------------------------
+
+TEST(ChromeTraceExportTest, EmitsCompleteEventsWithArgs) {
+  FlightRecorder::Global().Clear();
+  uint64_t id = 0;
+  {
+    TraceContext ctx("chrome export root", /*force=*/true);
+    id = ctx.trace_id();
+    ScopedSpan s("exec.scan");
+    s.set_rows_out(42);
+    s.set_bytes(1024);
+    s.set_note("blocks=3 \"skipped\"=2");
+  }
+  std::string json = ChromeTraceJson(id);
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+  // Every span is a complete ("X") event with microsecond ts/dur and the
+  // span tree flattened into args.
+  EXPECT_NE(json.find("\"name\":\"exec.scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"chrome export root\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":" + std::to_string(id)), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rows_out\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":1024"), std::string::npos);
+  // Notes are JSON-escaped.
+  EXPECT_NE(json.find("\"note\":\"blocks=3 \\\"skipped\\\"=2\""),
+            std::string::npos)
+      << json;
+  FlightRecorder::Global().Clear();
+}
+
+TEST(ChromeTraceExportTest, UnknownTraceYieldsEmptyEventList) {
+  FlightRecorder::Global().Clear();
+  EXPECT_EQ(ChromeTraceJson(987654321),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(ChromeTraceExportTest, DumpWritesFile) {
+  FlightRecorder::Global().Clear();
+  uint64_t id = 0;
+  {
+    TraceContext ctx("dumped", /*force=*/true);
+    id = ctx.trace_id();
+    ScopedSpan s("work");
+  }
+  std::string path = testing::TempDir() + "/chrome_dump.json";
+  ASSERT_TRUE(DumpChromeTrace(id, path).ok());
+  std::string json = ReadFileOrEmpty(path);
+  EXPECT_NE(json.find("\"name\":\"dumped\""), std::string::npos);
+  FlightRecorder::Global().Clear();
+}
+
+/// -- Crash dump -----------------------------------------------------------
+
+/// Populates every crash-state domain, then checks the dump carries it:
+/// the metrics seqlock buffer, the pre-serialized trace ring, and the
+/// calling thread's live span stack.
+std::string PopulateAndDump(bool via_signal) {
+  MetricsRegistry::Global().GetCounter("test.export.crash_marker")->Add(11);
+  FlightRecorder::Global().Clear();
+  {
+    TraceContext done("crash completed trace", /*force=*/true);
+    ScopedSpan s("finished.span");
+  }
+  FlightRecorder::RefreshCrashMetrics(/*force=*/true);
+
+  crash::SetCrashDumpDir(testing::TempDir().c_str());
+  EXPECT_TRUE(crash::InstallCrashHandler(/*install_fatal=*/false));
+
+  // A live (unfinished) trace: its span stack must appear under
+  // "threads" even though nothing was flushed yet.
+  TraceContext live("crash live trace", /*force=*/true);
+  ScopedSpan outer("live.outer");
+  ScopedSpan inner("live.inner");
+  if (via_signal) {
+    // raise() delivers synchronously on this thread; the handler has
+    // returned (SIGUSR1 is non-fatal) by the time raise returns.
+    EXPECT_EQ(std::raise(SIGUSR1), 0);
+  } else {
+    crash::TriggerCrashDumpForTesting();
+  }
+  return ReadFileOrEmpty(crash::CrashDumpPath());
+}
+
+TEST(CrashDumpTest, Sigusr1WritesDumpAndProcessSurvives) {
+  std::string dump = PopulateAndDump(/*via_signal=*/true);
+  ASSERT_FALSE(dump.empty()) << crash::CrashDumpPath();
+  EXPECT_NE(dump.find("\"signal\":" + std::to_string(SIGUSR1)),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"pid\":"), std::string::npos);
+  // Metrics snapshot (seqlock buffer refreshed above).
+  EXPECT_NE(dump.find("test.export.crash_marker"), std::string::npos);
+  // Flight-recorder ring summary.
+  EXPECT_NE(dump.find("\"recent_traces\":["), std::string::npos);
+  EXPECT_NE(dump.find("crash completed trace"), std::string::npos);
+  // The live thread's span stack, root-to-leaf.
+  EXPECT_NE(dump.find("\"threads\":["), std::string::npos);
+  EXPECT_NE(dump.find("crash live trace"), std::string::npos);
+  EXPECT_NE(dump.find("live.outer"), std::string::npos);
+  EXPECT_NE(dump.find("live.inner"), std::string::npos);
+  FlightRecorder::Global().Clear();
+}
+
+TEST(CrashDumpTest, TriggerForTestingMatchesSignalPath) {
+  std::string dump = PopulateAndDump(/*via_signal=*/false);
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("\"signal\":0"), std::string::npos);
+  EXPECT_NE(dump.find("live.inner"), std::string::npos);
+  FlightRecorder::Global().Clear();
+}
+
+}  // namespace
+}  // namespace mlcs::obs

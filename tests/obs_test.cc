@@ -1,6 +1,7 @@
 // Unit tests for the observability layer (src/obs/): metrics registry
-// semantics, histogram bucket edges, snapshot consistency, and the trace
-// span API (context install/restore, nesting, span cap, sink retention).
+// semantics, histogram bucket edges, quantile estimation, snapshot
+// consistency, the trace span API (context install/restore, nesting, span
+// cap), wait-state attribution, and flight-recorder retention.
 
 #include <gtest/gtest.h>
 
@@ -9,8 +10,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/wait_stats.h"
 
 namespace mlcs::obs {
 namespace {
@@ -69,8 +72,9 @@ TEST(MetricsRegistryTest, SnapshotExportsEverySeriesSorted) {
   h->Observe(0.5);
   h->Observe(7.0);
   std::vector<MetricSample> samples = registry.Snapshot();
-  // gauge + counter + histogram rows (le_1, le_inf, count, sum).
-  ASSERT_EQ(samples.size(), 6u);
+  // gauge + counter + histogram rows (count, p50, p90, p99, sum) — the
+  // quantiles replaced the old raw `.le_<bound>` bucket rows.
+  ASSERT_EQ(samples.size(), 7u);
   for (size_t i = 1; i < samples.size(); ++i) {
     EXPECT_LT(samples[i - 1].name, samples[i].name);
   }
@@ -81,13 +85,82 @@ TEST(MetricsRegistryTest, SnapshotExportsEverySeriesSorted) {
   EXPECT_EQ(samples[1].kind, "counter");
   EXPECT_DOUBLE_EQ(samples[1].value, 2.0);
   EXPECT_EQ(samples[2].name, "test.c.hist.count");
+  EXPECT_EQ(samples[2].kind, "histogram");
   EXPECT_DOUBLE_EQ(samples[2].value, 2.0);
-  EXPECT_EQ(samples[3].name, "test.c.hist.le_1");
+  // One sample at 0.5 (bucket le=1), one at 7.0 (+inf): the median
+  // interpolates to the first bound; the tail clamps to it (one-sided
+  // bounded error, never an invented value past the data).
+  EXPECT_EQ(samples[3].name, "test.c.hist.p50");
   EXPECT_DOUBLE_EQ(samples[3].value, 1.0);
-  EXPECT_EQ(samples[4].name, "test.c.hist.le_inf");
+  EXPECT_EQ(samples[4].name, "test.c.hist.p90");
   EXPECT_DOUBLE_EQ(samples[4].value, 1.0);
-  EXPECT_EQ(samples[5].name, "test.c.hist.sum");
-  EXPECT_DOUBLE_EQ(samples[5].value, 7.5);
+  EXPECT_EQ(samples[5].name, "test.c.hist.p99");
+  EXPECT_DOUBLE_EQ(samples[5].value, 1.0);
+  EXPECT_EQ(samples[6].name, "test.c.hist.sum");
+  EXPECT_DOUBLE_EQ(samples[6].value, 7.5);
+}
+
+TEST(QuantileTest, InterpolatesWithinBuckets) {
+  const double bounds[2] = {10.0, 20.0};
+  const uint64_t counts[3] = {5, 5, 0};
+  Quantiles q = EstimateQuantiles(bounds, 2, counts, 10);
+  // p50 rank 5 exhausts bucket 0 exactly → its upper bound.
+  EXPECT_DOUBLE_EQ(q.p50, 10.0);
+  // p90 rank 9: 4 of bucket 1's 5 → 10 + 0.8 * 10.
+  EXPECT_DOUBLE_EQ(q.p90, 18.0);
+  EXPECT_DOUBLE_EQ(q.p99, 19.8);
+}
+
+TEST(QuantileTest, OverflowBucketClampsToLastBound) {
+  const double bounds[2] = {10.0, 20.0};
+  const uint64_t counts[3] = {0, 0, 4};
+  Quantiles q = EstimateQuantiles(bounds, 2, counts, 4);
+  EXPECT_DOUBLE_EQ(q.p50, 20.0);
+  EXPECT_DOUBLE_EQ(q.p99, 20.0);
+}
+
+TEST(QuantileTest, EmptyHistogramIsAllZero) {
+  const double bounds[1] = {10.0};
+  const uint64_t counts[2] = {0, 0};
+  Quantiles q = EstimateQuantiles(bounds, 1, counts, 0);
+  EXPECT_DOUBLE_EQ(q.p50, 0.0);
+  EXPECT_DOUBLE_EQ(q.p90, 0.0);
+  EXPECT_DOUBLE_EQ(q.p99, 0.0);
+}
+
+TEST(WaitStatsTest, SiteRecordsCountTotalMaxAndBuckets) {
+  WaitSite* site = WaitStats::Global().GetSite(WaitKind::kLock,
+                                               "test.obs.site");
+  // Same (kind, name) → same slot; different kind → different slot.
+  EXPECT_EQ(WaitStats::Global().GetSite(WaitKind::kLock, "test.obs.site"),
+            site);
+  EXPECT_NE(WaitStats::Global().GetSite(WaitKind::kQueue, "test.obs.site"),
+            site);
+  uint64_t count_before = site->Count();
+  site->RecordWaitNs(5'000);       // 5us → first bucket (le 10us)
+  site->RecordWaitNs(2'000'000);   // 2ms
+  EXPECT_EQ(site->Count(), count_before + 2);
+  EXPECT_GE(site->TotalNs(), 2'005'000u);
+  EXPECT_GE(site->MaxNs(), 2'000'000u);
+  EXPECT_GE(site->BucketCount(0), 1u);
+}
+
+TEST(WaitStatsTest, GlobalSnapshotMergesWaitSeries) {
+  WaitSite* site =
+      WaitStats::Global().GetSite(WaitKind::kBufpool, "test.obs.merge");
+  site->RecordWaitNs(42'000);
+  bool found_count = false;
+  bool found_p50 = false;
+  for (const MetricSample& s : MetricsRegistry::Global().Snapshot()) {
+    if (s.name == "mlcs.wait.bufpool.test.obs.merge.count") {
+      found_count = true;
+      EXPECT_EQ(s.kind, "histogram");
+      EXPECT_GE(s.value, 1.0);
+    }
+    if (s.name == "mlcs.wait.bufpool.test.obs.merge.p50") found_p50 = true;
+  }
+  EXPECT_TRUE(found_count);
+  EXPECT_TRUE(found_p50);
 }
 
 TEST(MetricsRegistryTest, ConcurrentBumpsLoseNothing) {
@@ -242,7 +315,7 @@ TEST(TraceTest, ScopedTraceAttachJoinsPoolThreads) {
   EXPECT_EQ(s.parent_id, 1u);
 }
 
-TEST(TraceTest, SpanCapDropsAndCounts) {
+TEST(TraceTest, SpanCapDropsCountsAndMarksRoot) {
   Counter* dropped =
       MetricsRegistry::Global().GetCounter("mlcs.trace.dropped_spans");
   uint64_t dropped_before = dropped->Value();
@@ -251,33 +324,24 @@ TEST(TraceTest, SpanCapDropsAndCounts) {
   for (int i = 0; i < 8192 + kOver; ++i) {
     ScopedSpan span("s");
   }
+  EXPECT_EQ(ctx.dropped_spans(), static_cast<uint64_t>(kOver));
   std::vector<TraceSpan> spans = ctx.ConsumeSpans();
   // Cap spans + root; the overflow was counted, not silently lost.
   EXPECT_EQ(spans.size(), 8192u + 1u);
   EXPECT_GE(dropped->Value(), dropped_before + kOver);
-}
-
-TEST(TraceSinkTest, RetainsAndQueriesFlushedTraces) {
-  TraceSink sink;
-  uint64_t id1 = 0;
-  {
-    TraceContext ctx("first", /*force=*/true);
-    id1 = ctx.trace_id();
-    { ScopedSpan s("a"); }
-    sink.AddTrace(ctx.ConsumeSpans());
+  // Per-trace attribution: the root span carries the truncation flag so a
+  // later reader of just this trace knows it is incomplete.
+  const TraceSpan* root = nullptr;
+  for (const TraceSpan& s : spans) {
+    if (s.span_id == 1) root = &s;
   }
-  std::vector<TraceSpan> got = sink.Query(id1);
-  ASSERT_EQ(got.size(), 2u);
-  for (const TraceSpan& s : got) EXPECT_EQ(s.trace_id, id1);
-  EXPECT_TRUE(sink.Query(id1 + 999999).empty());
-  // trace_id 0 → everything, ordered by (trace, span id).
-  EXPECT_EQ(sink.Query(0).size(), 2u);
-  sink.Clear();
-  EXPECT_TRUE(sink.Query(0).empty());
+  ASSERT_NE(root, nullptr);
+  EXPECT_NE(root->note.find("truncated"), std::string::npos);
+  EXPECT_NE(root->note.find("100"), std::string::npos);
 }
 
-TEST(TraceSinkTest, DestructorFlushesToGlobalSinkWhenEnabled) {
-  TraceSink::Global().Clear();
+TEST(FlightRecorderTest, RetainsAndQueriesFlushedTraces) {
+  FlightRecorder::Global().Clear();
   SetTracingEnabled(true);
   uint64_t id = 0;
   {
@@ -287,9 +351,113 @@ TEST(TraceSinkTest, DestructorFlushesToGlobalSinkWhenEnabled) {
     ScopedSpan s("work");
   }
   SetTracingEnabled(false);
-  std::vector<TraceSpan> got = TraceSink::Global().Query(id);
+  std::vector<TraceSpan> got = FlightRecorder::Global().Query(id);
   ASSERT_EQ(got.size(), 2u);
-  TraceSink::Global().Clear();
+  for (const TraceSpan& s : got) EXPECT_EQ(s.trace_id, id);
+  EXPECT_TRUE(FlightRecorder::Global().Query(id + 999999).empty());
+  // trace_id 0 → every ring trace, ordered by (trace, span id).
+  EXPECT_GE(FlightRecorder::Global().Query(0).size(), 2u);
+  FlightRecorder::Global().Clear();
+  EXPECT_TRUE(FlightRecorder::Global().Query(0).empty());
+}
+
+TEST(FlightRecorderTest, AlwaysOnCaptureWithoutTracingFlag) {
+  // The recorder replaces the old "tracing must be on" gate: a forced
+  // context (what Database::Query creates when RecordingEnabled) lands in
+  // the ring even though TracingEnabled() is false.
+  ASSERT_FALSE(TracingEnabled());
+  ASSERT_TRUE(FlightRecorder::RecordingEnabled());
+  FlightRecorder::Global().Clear();
+  uint64_t id = 0;
+  {
+    TraceContext ctx("always-on", /*force=*/true);
+    id = ctx.trace_id();
+    ScopedSpan s("work");
+  }
+  EXPECT_EQ(FlightRecorder::Global().Query(id).size(), 2u);
+  FlightRecorder::Global().Clear();
+}
+
+TEST(FlightRecorderTest, RuntimeDisableStopsCapture) {
+  FlightRecorder::Global().Clear();
+  FlightRecorder::SetRecordingEnabled(false);
+  EXPECT_FALSE(FlightRecorder::RecordingEnabled());
+  {
+    TraceContext ctx("not recorded", /*force=*/true);
+    ScopedSpan s("work");
+  }
+  EXPECT_EQ(FlightRecorder::Global().trace_count(), 0u);
+  FlightRecorder::SetRecordingEnabled(true);
+}
+
+RecordedTrace MakeTrace(uint64_t id, const std::string& name,
+                        double duration_ms, size_t note_bytes = 0) {
+  RecordedTrace t;
+  t.trace_id = id;
+  t.root_name = name;
+  t.duration_ms = duration_ms;
+  TraceSpan root;
+  root.trace_id = id;
+  root.span_id = 1;
+  root.name = name;
+  root.note.assign(note_bytes, 'x');
+  t.spans.push_back(std::move(root));
+  return t;
+}
+
+TEST(FlightRecorderTest, ByteBudgetEvictsOldestButKeepsNewest) {
+  Counter* evicted =
+      MetricsRegistry::Global().GetCounter("mlcs.trace.evicted_traces");
+  uint64_t evicted_before = evicted->Value();
+  FlightRecorder recorder(/*byte_budget=*/4096);
+  for (uint64_t i = 1; i <= 16; ++i) {
+    recorder.AddTrace(MakeTrace(i, "t", 0.0, /*note_bytes=*/512));
+  }
+  EXPECT_LE(recorder.bytes_retained(), 4096u + 1024u);
+  EXPECT_LT(recorder.trace_count(), 16u);
+  EXPECT_GE(recorder.trace_count(), 1u);
+  // Newest survives, oldest went first.
+  EXPECT_FALSE(recorder.Query(16).empty());
+  EXPECT_TRUE(recorder.Query(1).empty());
+  EXPECT_GT(evicted->Value(), evicted_before);
+  // A single trace larger than the whole budget is still retained — the
+  // ring never evicts down to empty.
+  FlightRecorder tiny(/*byte_budget=*/64);
+  tiny.AddTrace(MakeTrace(99, "huge", 0.0, /*note_bytes=*/4096));
+  EXPECT_EQ(tiny.trace_count(), 1u);
+}
+
+TEST(FlightRecorderTest, SlowQueriesSurviveRingEviction) {
+  FlightRecorder::SetSlowQueryThresholdMsForTesting(100.0);
+  FlightRecorder recorder(/*byte_budget=*/4096);
+  recorder.AddTrace(MakeTrace(7, "slow one", 250.0));
+  for (uint64_t i = 100; i < 120; ++i) {
+    recorder.AddTrace(MakeTrace(i, "filler", 1.0, /*note_bytes=*/512));
+  }
+  // Evicted from the ring, still reachable through the slow log.
+  ASSERT_EQ(recorder.slow_query_count(), 1u);
+  EXPECT_FALSE(recorder.Query(7).empty());
+  std::vector<RecordedTrace> slow = recorder.SlowQueries();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].trace_id, 7u);
+  EXPECT_TRUE(slow[0].slow);
+  EXPECT_DOUBLE_EQ(slow[0].duration_ms, 250.0);
+  FlightRecorder::SetSlowQueryThresholdMsForTesting(
+      FlightRecorder::kDefaultSlowQueryMs);
+}
+
+TEST(FlightRecorderTest, SlowLogIsBoundedNewestFirst) {
+  FlightRecorder::SetSlowQueryThresholdMsForTesting(1.0);
+  FlightRecorder recorder(/*byte_budget=*/1 << 20, /*max_slow=*/4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    recorder.AddTrace(MakeTrace(i, "slow", 50.0));
+  }
+  std::vector<RecordedTrace> slow = recorder.SlowQueries();
+  ASSERT_EQ(slow.size(), 4u);
+  EXPECT_EQ(slow[0].trace_id, 10u);  // newest first
+  EXPECT_EQ(slow[3].trace_id, 7u);
+  FlightRecorder::SetSlowQueryThresholdMsForTesting(
+      FlightRecorder::kDefaultSlowQueryMs);
 }
 
 }  // namespace

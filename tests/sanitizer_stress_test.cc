@@ -24,6 +24,7 @@
 #include "ml/pickle.h"
 #include "modelstore/model_cache.h"
 #include "modelstore/model_store.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/inference_server.h"
@@ -560,9 +561,9 @@ TEST(SanitizerStressTest, TracingConcurrentQueriesAndServing) {
   server.Stop();
   obs::SetTracingEnabled(false);
   EXPECT_EQ(unexpected.load(), 0);
-  // Every traced query and batch flushed into the sink; spans recorded
+  // Every traced query and batch flushed into the recorder; spans recorded
   // from pool workers (operators, predicts) must be well-formed.
-  std::vector<obs::TraceSpan> spans = obs::TraceSink::Global().Query(0);
+  std::vector<obs::TraceSpan> spans = obs::FlightRecorder::Global().Query(0);
   EXPECT_FALSE(spans.empty());
   for (const obs::TraceSpan& s : spans) {
     EXPECT_NE(s.trace_id, 0u);

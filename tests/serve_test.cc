@@ -302,6 +302,27 @@ TEST_F(InferenceServerTest, PredictsOverBothLayouts) {
   EXPECT_GE(global_ok, 2u);
 }
 
+TEST_F(InferenceServerTest, MetricsAndTraceExportFrames) {
+  auto server = MakeServer({});
+  client::InferenceClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  // A predict first, so the scrape reflects real serving work.
+  ASSERT_TRUE(client.Predict("m", query_).ok());
+
+  auto metrics = client.FetchMetricsText();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics.ValueOrDie().find("# TYPE "), std::string::npos);
+  EXPECT_NE(metrics.ValueOrDie().find("mlcs_serve_responses_ok"),
+            std::string::npos);
+
+  auto trace = client.FetchChromeTrace(0);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace.ValueOrDie().find("{\"traceEvents\":["), 0u);
+
+  // Export frames interleave with predicts on one connection.
+  EXPECT_EQ(client.Predict("m", query_).ValueOrDie(), expected_);
+}
+
 TEST_F(InferenceServerTest, UnknownModelAnswersModelNotFound) {
   auto server = MakeServer({});
   client::InferenceClient client;

@@ -2,6 +2,7 @@
 
 #include "client/client.h"
 #include "client/server.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace mlcs::client {
@@ -117,6 +118,35 @@ TEST_F(ServerClientTest, RepeatedQueriesHitPlanCache) {
   }
   EXPECT_GE(hits->Value(), hits_before + 9);
   EXPECT_GE(db_.plan_cache_size(), 1u);
+}
+
+/// The 0xF0/0xF1 observability verbs ride the same connection as queries:
+/// a monitoring scrape needs no second endpoint.
+TEST_F(ServerClientTest, MetricsAndTraceExportVerbs) {
+  TableClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  // Run a traced query so the flight recorder holds something.
+  obs::FlightRecorder::Global().Clear();
+  ASSERT_TRUE(client.Query("SELECT SUM(x) FROM t", WireProtocol::kPgText)
+                  .ok());
+
+  auto metrics = client.FetchMetricsText();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics.ValueOrDie().find("# TYPE "), std::string::npos);
+  EXPECT_NE(metrics.ValueOrDie().find("mlcs_plan_cache_hits"),
+            std::string::npos);
+
+  auto trace = client.FetchChromeTrace(0);  // 0 → every retained trace
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace.ValueOrDie().find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(trace.ValueOrDie().find("query: SELECT SUM(x) FROM t"),
+            std::string::npos);
+
+  // The connection stays usable for SQL after export frames.
+  auto t = client.Query("SELECT COUNT(*) FROM t", WireProtocol::kMyBinary)
+               .ValueOrDie();
+  EXPECT_EQ(t->GetValue(0, 0).ValueOrDie(), Value::Int64(3));
+  obs::FlightRecorder::Global().Clear();
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "ml/training_source.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sql/database.h"
@@ -229,6 +230,16 @@ TEST_F(SqlIntrospectionTest, MetricsTableFunctionExportsRegistry) {
   EXPECT_TRUE(names.count("mlcs.scan.bytes_touched"));
   EXPECT_TRUE(names.count("mlcs.threadpool.tasks_completed"));
   EXPECT_TRUE(names.count("mlcs.threadpool.task_wait_us.count"));
+  // Histograms surface as interpolated quantiles, not raw bucket rows.
+  EXPECT_TRUE(names.count("mlcs.threadpool.task_wait_us.p50"));
+  EXPECT_TRUE(names.count("mlcs.threadpool.task_wait_us.p99"));
+  for (const std::string& n : names) {
+    EXPECT_EQ(n.find(".le_"), std::string::npos) << n;
+  }
+  // Wait-state attribution rides in the same snapshot: the pool dispatch
+  // above recorded at least one submit→run wait.
+  EXPECT_TRUE(names.count("mlcs.wait.pool.dispatch.count"));
+  EXPECT_TRUE(names.count("mlcs.wait.pool.dispatch.p90"));
 
   // The snapshot is a point-in-time read, so a named series is directly
   // filterable in SQL and reflects work already done.
@@ -244,7 +255,8 @@ TEST_F(SqlIntrospectionTest, TraceTableFunctionReturnsFlushedSpans) {
   obs::SetTracingEnabled(false);
 
   auto t = Q("SELECT * FROM mlcs_trace(0)");
-  ASSERT_EQ(t->schema().num_fields(), 9u);
+  ASSERT_EQ(t->schema().num_fields(), 10u);
+  EXPECT_EQ(t->schema().field(9).name, "note");
   ASSERT_GE(t->num_rows(), 3u);  // root + parse + plan at minimum
 
   // Find this query's root span, then check its trace is well-formed.
@@ -278,6 +290,37 @@ TEST_F(SqlIntrospectionTest, TraceTableFunctionReturnsFlushedSpans) {
   EXPECT_TRUE(span_names.count("sql.plan"));
 
   EXPECT_FALSE(db_.Query("SELECT * FROM mlcs_trace()").ok());
+}
+
+TEST_F(SqlIntrospectionTest, SlowQueriesTableFunctionCapturesQueryAndPlan) {
+  // Threshold 0 → every statement counts as slow; the capture pipeline
+  // (forced trace + full SQL + rendered plan) must round-trip into SQL.
+  obs::FlightRecorder::SetSlowQueryThresholdMsForTesting(0.0);
+  const std::string sql = "SELECT COUNT(*) FROM voters WHERE age > 30";
+  Q(sql);
+  obs::FlightRecorder::SetSlowQueryThresholdMsForTesting(
+      obs::FlightRecorder::kDefaultSlowQueryMs);
+
+  auto t = Q("SELECT * FROM mlcs_slow_queries()");
+  ASSERT_EQ(t->schema().num_fields(), 7u);
+  EXPECT_EQ(t->schema().field(0).name, "trace_id");
+  EXPECT_EQ(t->schema().field(1).name, "query");
+  EXPECT_EQ(t->schema().field(6).name, "plan");
+  bool found = false;
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    if (t->GetValue(r, 1).ValueOrDie().string_value() != sql) continue;
+    found = true;
+    EXPECT_GT(t->GetValue(r, 0).ValueOrDie().int64_value(), 0);
+    EXPECT_GE(t->GetValue(r, 2).ValueOrDie().double_value(), 0.0);
+    EXPECT_GE(t->GetValue(r, 3).ValueOrDie().int64_value(), 3);  // spans
+    EXPECT_EQ(t->GetValue(r, 5).ValueOrDie().int64_value(), 0);  // truncated
+    const std::string plan = t->GetValue(r, 6).ValueOrDie().string_value();
+    EXPECT_NE(plan.find("AGGREGATE"), std::string::npos) << plan;
+    EXPECT_NE(plan.find("SCAN voters"), std::string::npos) << plan;
+  }
+  EXPECT_TRUE(found);
+  // Zero-argument contract, like mlcs_metrics().
+  EXPECT_FALSE(db_.Query("SELECT * FROM mlcs_slow_queries(1)").ok());
 }
 
 /// -- Golden plans: the optimizer's rewrites must show in EXPLAIN ----------

@@ -86,6 +86,15 @@ Rules
                         conversions (e.g. a UDF boundary that receives
                         columns) opt out with
                         `// lint:allow(matrix-materialize)` plus a reason.
+  signal-unsafe         Async-signal-unsafe construct in the crash-handler
+                        translation unit (src/obs/crash_dump.cc): heap
+                        allocation (malloc/new/std::string/containers),
+                        locks, printf-family / stdio / iostream formatting.
+                        Everything there must stay callable from a SIGSEGV
+                        handler — only atomics, byte copies into static
+                        buffers, and raw open()/write()/close() (DESIGN.md
+                        §15). A deliberate exception opts out with
+                        `// lint:allow(signal-unsafe)` plus a reason.
   adhoc-stats           Declaring a `struct <Name>Stats` outside src/obs/ —
                         new counters belong on the metrics registry
                         (obs::MetricsRegistry, `mlcs.<subsystem>.<series>`)
@@ -234,7 +243,7 @@ EXEMPT_TYPE_RE = re.compile(
     r"(?:mlcs::)?(?:Mutex|CondVar)\b"
     r"|std::atomic\b"
     r"|std::once_flag\b"
-    r"|(?:obs::)?(?:Mirrored)?(?:Counter|Gauge|Histogram)\s*[*&]?\s*\w+"
+    r"|(?:obs::)?(?:Mirrored)?(?:Counter|Gauge|Histogram|WaitSite)\s*[*&]?\s*\w+"
     r")")
 
 
@@ -599,6 +608,52 @@ def check_matrix_materialize(path, relpath, lines):
                "`// lint:allow(matrix-materialize)`")
 
 
+# --- signal-unsafe --------------------------------------------------------
+# The crash handler runs with arbitrary locks held and the heap possibly
+# corrupt, so its whole TU is restricted to the async-signal-safe set.
+SIGNAL_UNSAFE_FILES = ("src/obs/crash_dump.cc",)
+SIGNAL_UNSAFE_PATTERNS = (
+    (re.compile(r"\b(?:malloc|calloc|realloc|free|aligned_alloc)\s*\("),
+     "heap allocation"),
+    (re.compile(r"\bnew\b(?!\s*\()"), "operator new allocates"),
+    (re.compile(r"\bstd\s*::\s*(?:string|vector|deque|map|unordered_map|"
+                r"set|unordered_set|list|ostringstream|stringstream|"
+                r"function)\b"),
+     "allocating std:: type"),
+    (re.compile(r"\b(?:printf|fprintf|sprintf|snprintf|vsnprintf|vprintf|"
+                r"vfprintf|puts|fputs|fwrite|fread|fopen|fclose|fflush|"
+                r"perror)\s*\("),
+     "stdio/printf-family call"),
+    (re.compile(r"\bstd\s*::\s*(?:cout|cerr|clog|format|to_string)\b"),
+     "iostream/format call"),
+    (re.compile(r"\b(?:MutexLock|lock_guard|unique_lock|scoped_lock|"
+                r"pthread_mutex_\w+)\b|(?:\.|->)\s*(?:lock|Lock)\s*\("),
+     "lock acquisition (handler may interrupt the holder)"),
+    (re.compile(r'^\s*#\s*include\s+<(?:cstdio|stdio\.h|iostream|sstream|'
+                r'ostream|string|vector|mutex|format)>'),
+     "header pulls in allocating/locking machinery"),
+)
+
+
+def check_signal_unsafe(path, relpath, lines):
+    rel = relpath.replace(os.sep, "/")
+    if rel not in SIGNAL_UNSAFE_FILES:
+        return
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        for pat, why in SIGNAL_UNSAFE_PATTERNS:
+            m = pat.search(line)
+            if not m:
+                continue
+            if allowed(raw, "signal-unsafe"):
+                continue
+            report(path, i + 1, "signal-unsafe",
+                   f"`{m.group(0).strip()}` in the crash-handler TU: {why}; "
+                   "the handler must stay async-signal-safe (atomics, "
+                   "static buffers, raw write() only)")
+            break
+
+
 ADHOC_STATS_RE = re.compile(r"^\s*struct\s+\w*Stats\b")
 
 
@@ -653,6 +708,7 @@ def lint_file(path, headers):
     check_row_decode(path, relpath, lines)
     check_matrix_materialize(path, relpath, lines)
     check_adhoc_stats(path, relpath, lines)
+    check_signal_unsafe(path, relpath, lines)
 
 
 def collect(paths):
